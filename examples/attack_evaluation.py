@@ -1,0 +1,63 @@
+"""Empirical privacy: an optimal Bayesian attacker vs both mechanisms.
+
+ε-Geo-I bounds likelihood ratios; this example measures what an optimal
+adversary (exact Bayesian posterior over the predefined points, uniform
+prior) actually achieves against each mechanism — localization error,
+posterior mass on the truth, and top-1 identification rate.
+
+Key caveat it demonstrates: nominal ε is **metric-dependent**. The tree
+mechanism spends ε per *tree unit* (distances up to thousands), planar
+Laplace per Euclidean unit, so equal nominal budgets do not buy equal
+empirical privacy; dividing the tree budget by the realized HST stretch
+restores comparability.
+
+Run:  python examples/attack_evaluation.py
+"""
+
+from repro import Box, publish_tree
+from repro.matching import estimate_stretch
+from repro.privacy import evaluate_laplace_attack, evaluate_tree_attack
+
+
+def main() -> None:
+    region = Box.square(200.0)
+    tree = publish_tree(region, grid_nx=16, seed=0)
+    stretch = estimate_stretch(tree, seed=1)
+    print(
+        f"domain: {tree.n_points} predefined points, tree depth {tree.depth}, "
+        f"realized stretch ~{stretch:.1f}x\n"
+    )
+
+    header = (
+        f"{'eps':>6} {'mechanism':>16} {'mean error':>11} "
+        f"{'P(truth)':>9} {'top-1':>7}"
+    )
+    print(header)
+    for eps in (0.1, 0.2, 0.5, 1.0):
+        tree_rep = evaluate_tree_attack(tree, eps, n_trials=300, seed=2)
+        tree_adj = evaluate_tree_attack(
+            tree, eps / stretch, n_trials=300, seed=2
+        )
+        lap_rep = evaluate_laplace_attack(
+            tree.points, eps, n_trials=300, seed=2
+        )
+        for label, rep in (
+            ("tree (nominal)", tree_rep),
+            ("tree (eps/stretch)", tree_adj),
+            ("laplace", lap_rep),
+        ):
+            print(
+                f"{eps:>6.2f} {label:>16.16} {rep.mean_error:>11.2f} "
+                f"{rep.mean_true_mass:>9.3f} {rep.top1_accuracy:>7.1%}"
+            )
+        print()
+
+    print(
+        "equal nominal eps does not mean equal empirical privacy: the tree "
+        "budget applies to tree-unit distances. Dividing it by the HST "
+        "stretch puts both mechanisms on one footing."
+    )
+
+
+if __name__ == "__main__":
+    main()

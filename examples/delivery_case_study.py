@@ -1,0 +1,75 @@
+"""Food delivery with reachability: the matching-size case study (Sec. IV-C).
+
+Couriers (workers) only accept orders within their reachable distance.
+The server must maximize the number of *successfully served* orders while
+both sides report obfuscated locations. We compare the paper's TBF against
+the Prob baseline (To et al., ICDE'18): Laplace obfuscation plus
+probability-of-reachability assignment.
+
+Run:  python examples/delivery_case_study.py [--orders 600] [--couriers 1000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import Instance, ProbPipeline, TBFSizePipeline
+from repro.experiments import shared_tree
+from repro.matching import sample_radii
+from repro.workloads import SyntheticConfig, gaussian_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--orders", type=int, default=600)
+    parser.add_argument("--couriers", type=int, default=1000)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    workload = gaussian_workload(
+        SyntheticConfig(n_tasks=args.orders, n_workers=args.couriers), seed=0
+    )
+    radii = sample_radii(args.couriers, 10.0, 20.0, seed=1)
+    tree = shared_tree(workload.region)
+    print(
+        f"{args.orders} orders, {args.couriers} couriers with reachable "
+        f"distances in [10, 20] on a 200 x 200 map"
+    )
+
+    print(f"\n{'eps':>5} {'Prob':>14} {'TBF':>14} {'TBF gain':>10}")
+    for epsilon in (0.2, 0.4, 0.6, 0.8, 1.0):
+        instance = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=workload.task_locations,
+            epsilon=epsilon,
+            radii=radii,
+        )
+        prob = np.mean(
+            [
+                ProbPipeline().run(instance, seed=s).matching_size
+                for s in range(args.repeats)
+            ]
+        )
+        tbf = np.mean(
+            [
+                TBFSizePipeline(tree=tree).run(instance, seed=s).matching_size
+                for s in range(args.repeats)
+            ]
+        )
+        gain = (tbf - prob) / prob if prob else float("nan")
+        print(
+            f"{epsilon:5.1f} {prob:10.0f}/{args.orders} "
+            f"{tbf:10.0f}/{args.orders} {gain:+9.1%}"
+        )
+
+    print(
+        "\nserved orders out of total, averaged over "
+        f"{args.repeats} runs; an assignment succeeds only if the courier "
+        "can truly reach the order. TBF's advantage peaks at strict "
+        "privacy (paper Fig. 8b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

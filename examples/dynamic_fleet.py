@@ -1,0 +1,64 @@
+"""Dynamic fleet: recycling drivers and privacy budgets over a day.
+
+Extension beyond the paper's single-shot model: drivers come back online
+at their drop-off location after each ride, and every fresh location
+report spends privacy budget under sequential composition. This example
+simulates a morning of Poisson ride requests and shows the trade-off a
+budget cap forces: fewer re-reports -> staler server-side locations ->
+longer pickups.
+
+Run:  python examples/dynamic_fleet.py
+"""
+
+import numpy as np
+
+from repro import Box, TreeMechanism, publish_tree
+from repro.crowdsourcing.timeline import FleetSimulator, poisson_arrivals
+
+
+def main() -> None:
+    region = Box.square(200.0)
+    tree = publish_tree(region, grid_nx=16, seed=0)
+    per_report_eps = 0.5
+    mechanism = TreeMechanism(tree, epsilon=per_report_eps, seed=1)
+
+    rng = np.random.default_rng(2)
+    n_drivers = 60
+    drivers = rng.uniform(0, 200, size=(n_drivers, 2))
+    arrivals = poisson_arrivals(rate=2.0, horizon=120.0, seed=3)
+    requests = rng.uniform(0, 200, size=(len(arrivals), 2))
+    print(
+        f"{n_drivers} drivers, {len(arrivals)} requests over 120 time units "
+        f"(eps = {per_report_eps} per report)"
+    )
+
+    print(
+        f"\n{'budget cap':>11} {'served':>7} {'dropped':>8} "
+        f"{'mean pickup':>12} {'reports':>8} {'suppressed':>11}"
+    )
+    for capacity in (None, 8.0, 2.0, 0.5):
+        simulator = FleetSimulator(
+            tree,
+            mechanism,
+            drivers,
+            speed=20.0,
+            service_time=2.0,
+            budget_capacity=capacity,
+        )
+        trace = simulator.run(requests, arrivals, seed=4)
+        cap_label = "unlimited" if capacity is None else f"{capacity:g}"
+        print(
+            f"{cap_label:>11} {trace.served:>7} {trace.dropped:>8} "
+            f"{trace.mean_pickup_distance:>12.1f} {trace.reports_sent:>8} "
+            f"{trace.reports_suppressed:>11}"
+        )
+
+    print(
+        "\ntighter per-driver budgets suppress relocation re-reports; the "
+        "server matches against stale leaves and pickups get longer — the "
+        "cost of composing eps-Geo-I over a working day."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Mechanism explorer: displacement profiles from first principles.
+
+Prints, for the published tree of the default experimental setup, the
+closed-form displacement law of the paper's tree mechanism next to the
+planar Laplace baseline across privacy budgets — the analytical view that
+explains the experiment shapes (TBF flat in epsilon, Laplace blowing up as
+2/eps) before any matching is run.
+
+Run:  python examples/mechanism_explorer.py
+"""
+
+from repro import Box, publish_tree
+from repro.experiments import render_series
+from repro.privacy import (
+    compare_mechanisms,
+    tree_displacement_profile,
+)
+
+
+def main() -> None:
+    region = Box.square(200.0)
+    tree = publish_tree(region, grid_nx=32, seed=0)
+    print(
+        f"published tree: N={tree.n_points}, D={tree.depth}, "
+        f"c={tree.branching} over a 200 x 200 region\n"
+    )
+
+    epsilons = [0.2, 0.4, 0.6, 0.8, 1.0]
+    rows = compare_mechanisms(tree, epsilons)
+    print(
+        f"{'eps':>5} {'tree mean':>10} {'tree stay%':>11} "
+        f"{'tree q90':>9} {'laplace mean':>13} {'laplace q90':>12}"
+    )
+    for row in rows:
+        print(
+            f"{row['epsilon']:>5.1f} {row['tree_mean']:>10.2f} "
+            f"{row['tree_stay'] * 100:>10.1f}% {row['tree_q90']:>9.1f} "
+            f"{row['laplace_mean']:>13.2f} {row['laplace_q90']:>12.1f}"
+        )
+
+    print()
+    print(
+        render_series(
+            epsilons,
+            {
+                "tree mean": [r["tree_mean"] for r in rows],
+                "laplace mean": [r["laplace_mean"] for r in rows],
+            },
+            width=44,
+            title="expected displacement (coordinate units) vs epsilon",
+        )
+    )
+
+    profile = tree_displacement_profile(tree, epsilon=0.2)
+    print("tree displacement law at eps = 0.2 (distance: probability):")
+    for d, p in zip(profile.support, profile.probabilities):
+        if p > 1e-3:
+            print(f"  {d:7.1f} : {p:6.3f}")
+    print(
+        "\nLaplace noise is unbounded (mean 2/eps) while the tree law is "
+        "capped by the tree diameter — the first-principles reason the "
+        "paper's TBF curve stays flat as privacy tightens."
+    )
+
+
+if __name__ == "__main__":
+    main()

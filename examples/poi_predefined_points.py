@@ -1,0 +1,75 @@
+"""Custom predefined points: building the HST over POIs instead of a grid.
+
+The paper leaves the choice of predefined points open — the server only
+needs *some* fixed public point set. A uniform grid is the default in this
+library, but a deployment may prefer points of interest (metro stations,
+mall entrances, street corners): snapping then carries semantic meaning
+("report the nearest station") and density follows demand.
+
+This example builds a POI set shaped like a city (dense center, arterial
+corridors, sparse suburbs), constructs the HST over it, and compares TBF's
+total distance against the default uniform grid of the same size N.
+
+Run:  python examples/poi_predefined_points.py
+"""
+
+import numpy as np
+
+from repro import Box, Instance, TBFPipeline, build_hst, uniform_grid
+from repro.workloads import SyntheticConfig, gaussian_workload
+
+
+def city_pois(n: int, region: Box, seed: int = 0) -> np.ndarray:
+    """A POI set: 60% downtown cluster, 25% on two corridors, 15% uniform."""
+    rng = np.random.default_rng(seed)
+    center = region.center
+    downtown = rng.normal(center, 22.0, size=(int(n * 0.60), 2))
+    along = rng.uniform(region.xmin, region.xmax, size=int(n * 0.25))
+    corridors = np.column_stack(
+        [along, np.where(rng.random(len(along)) < 0.5, 60.0, 140.0)]
+    )
+    corridors += rng.normal(0, 3.0, size=corridors.shape)
+    suburbs = region.sample_uniform(n - len(downtown) - len(corridors), seed=rng)
+    pois = region.clamp(np.concatenate([downtown, corridors, suburbs]))
+    # predefined points must be distinct
+    return np.unique(np.round(pois, 3), axis=0)
+
+
+def main() -> None:
+    region = Box.square(200.0)
+    workload = gaussian_workload(
+        SyntheticConfig(n_tasks=400, n_workers=800), seed=1
+    )
+    instance = Instance(
+        region=region,
+        worker_locations=workload.worker_locations,
+        task_locations=workload.task_locations,
+        epsilon=0.4,
+    )
+
+    pois = city_pois(256, region, seed=0)
+    poi_tree = build_hst(pois, seed=2)
+    grid_tree = build_hst(uniform_grid(region, 16), seed=2)  # N = 256 too
+
+    print(f"POI tree:  N={poi_tree.n_points}, D={poi_tree.depth}, c={poi_tree.branching}")
+    print(f"grid tree: N={grid_tree.n_points}, D={grid_tree.depth}, c={grid_tree.branching}")
+
+    for name, tree in (("POI", poi_tree), ("grid", grid_tree)):
+        totals = [
+            TBFPipeline(tree=tree).run(instance, seed=s).total_distance
+            for s in range(3)
+        ]
+        print(
+            f"TBF on {name:>4} predefined points: "
+            f"total distance = {np.mean(totals):8.1f}"
+        )
+
+    print(
+        "\nthe workload is downtown-heavy, so demand-shaped POIs snap "
+        "users to nearer predefined points than a uniform grid of equal "
+        "size — the log N term is about *where* the N points sit, too."
+    )
+
+
+if __name__ == "__main__":
+    main()

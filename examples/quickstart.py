@@ -1,0 +1,70 @@
+"""Quickstart: the paper's four-step workflow in ~60 lines.
+
+1. The (untrusted) server publishes an HST over predefined points.
+2. Workers snap + obfuscate their locations and register.
+3. Tasks arrive one by one, snap + obfuscate, and are submitted.
+4. The server matches each task to the nearest available worker on the
+   tree (Algorithm 4) — seeing only obfuscated leaves throughout.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Box,
+    MatchingServer,
+    Task,
+    TreeMechanism,
+    Worker,
+    publish_tree,
+)
+from repro.crowdsourcing import encode_task_tree, encode_worker_tree
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    region = Box.square(200.0)
+
+    # -- step 1: server-side publication (public, no user data) ---------
+    tree = publish_tree(region, grid_nx=16, seed=0)
+    print(
+        f"published HST: N={tree.n_points} predefined points, "
+        f"depth D={tree.depth}, branching c={tree.branching}"
+    )
+
+    # -- step 2: workers obfuscate client-side and register -------------
+    epsilon = 0.5
+    mechanism = TreeMechanism(tree, epsilon=epsilon, seed=1)
+    server = MatchingServer(tree)
+    workers = [Worker(i, rng.uniform(0, 200, size=2)) for i in range(30)]
+    for worker in workers:
+        report = encode_worker_tree(worker, tree, mechanism, rng)
+        server.register_worker(report)
+    print(f"registered {server.registered_workers} workers (eps = {epsilon})")
+
+    # -- steps 3-4: tasks arrive online and are matched immediately -----
+    tasks = [Task(j, rng.uniform(0, 200, size=2)) for j in range(20)]
+    total_true_distance = 0.0
+    for task in tasks:
+        report = encode_task_tree(task, tree, mechanism, rng)
+        worker_id = server.submit_task(report)
+        true_d = float(np.hypot(*(task.location - workers[worker_id].location)))
+        total_true_distance += true_d
+        print(
+            f"  task {task.task_id:2d} -> worker {worker_id:2d} "
+            f"(true travel distance {true_d:6.1f})"
+        )
+
+    print(
+        f"\nmatched {server.result.size} tasks; "
+        f"total true travel distance = {total_true_distance:.1f}"
+    )
+    print(
+        "the server never saw a true coordinate — only obfuscated HST "
+        "leaves protected by an eps-Geo-Indistinguishable mechanism"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Ride hailing on the Chengdu-like taxi workload: TBF vs the baselines.
+
+The scenario from the paper's introduction: passengers (tasks) request
+rides during a peak half-hour; drivers (workers) are online across the
+city; the dispatch server is untrusted, so both sides obfuscate their
+locations before reporting. We compare the paper's tree-based framework
+(TBF) against the planar-Laplace baselines (Lap-GR, Lap-HG) on one
+simulated day, across privacy budgets.
+
+Run:  python examples/ride_hailing.py [--day 0] [--workers 1600] [--scale 0.25]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import Instance, LapGRPipeline, LapHGPipeline, TBFPipeline
+from repro.experiments import shared_tree
+from repro.workloads import ChengduTaxiDataset, METERS_PER_UNIT
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--day", type=int, default=0, help="day slice (0-29)")
+    parser.add_argument("--workers", type=int, default=1600)
+    parser.add_argument(
+        "--scale", type=float, default=0.25, help="fraction of the day's tasks"
+    )
+    args = parser.parse_args()
+
+    dataset = ChengduTaxiDataset()
+    workload = dataset.day_workload(args.day, n_workers=args.workers, seed=0)
+    n_tasks = max(1, int(len(workload.task_locations) * args.scale))
+    tasks = workload.task_locations[:n_tasks]
+    print(
+        f"day {args.day}: {n_tasks} ride requests, {args.workers} drivers, "
+        f"10 km x 10 km region ({METERS_PER_UNIT:.0f} m per unit)"
+    )
+
+    tree = shared_tree(workload.region)
+    pipelines = [
+        LapGRPipeline(),
+        LapHGPipeline(tree=tree),
+        TBFPipeline(tree=tree),
+    ]
+
+    print(f"\n{'eps':>5}  " + "".join(f"{p.name:>12}" for p in pipelines))
+    for epsilon in (0.2, 0.4, 0.6, 0.8, 1.0):
+        instance = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=tasks,
+            epsilon=epsilon,
+        )
+        row = []
+        for pipeline in pipelines:
+            totals = [
+                pipeline.run(instance, seed=s).total_distance for s in range(3)
+            ]
+            # report in kilometres of true passenger-pickup distance
+            km = float(np.mean(totals)) * METERS_PER_UNIT / 1000.0
+            row.append(f"{km:10.1f}km")
+        print(f"{epsilon:5.1f}  " + "".join(f"{v:>12}" for v in row))
+
+    print(
+        "\ntotal true pickup distance, averaged over 3 runs; lower is "
+        "better. TBF stays flat as the privacy budget tightens while the "
+        "Laplace baselines blow up (paper Fig. 7d)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy shim so `python setup.py develop` works offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

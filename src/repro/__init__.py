@@ -1,0 +1,104 @@
+"""repro — reproduction of "Differentially Private Online Task Assignment
+in Spatial Crowdsourcing: A Tree-based Approach" (Tao et al., ICDE 2020).
+
+Public API tour:
+
+* :mod:`repro.hst` — Hierarchically Well-Separated Trees (Alg. 1).
+* :mod:`repro.privacy` — the tree mechanism (Algs. 2-3), the planar
+  Laplace baseline and Geo-Indistinguishability audits (Thms. 1-2).
+* :mod:`repro.matching` — HST-Greedy (Alg. 4), the Euclidean greedy and
+  Prob baselines, the offline optimum.
+* :mod:`repro.crowdsourcing` — workers/tasks/server and the end-to-end
+  pipelines (TBF, Lap-GR, Lap-HG, Prob).
+* :mod:`repro.workloads` — the paper's synthetic Gaussian workloads and
+  the Chengdu-like taxi substitute.
+* :mod:`repro.experiments` — per-figure sweeps; also a CLI
+  (``python -m repro.experiments``).
+
+Quickstart::
+
+    from repro import (
+        Box, build_hst, uniform_grid, TreeMechanism, HSTGreedyMatcher,
+    )
+
+    region = Box.square(200.0)
+    tree = build_hst(uniform_grid(region, 16), seed=0)
+    mech = TreeMechanism(tree, epsilon=0.5, seed=1)
+    worker_leaves = [mech.obfuscate(tree.path_of(i)) for i in (3, 77, 120)]
+    matcher = HSTGreedyMatcher.for_tree(tree, worker_leaves)
+    worker, level = matcher.assign(mech.obfuscate(tree.path_of(42)))
+"""
+
+from .crowdsourcing import (
+    Instance,
+    LapGRPipeline,
+    LapHGPipeline,
+    MatchingServer,
+    PipelineOutcome,
+    ProbPipeline,
+    TBFPipeline,
+    TBFSizePipeline,
+    Task,
+    Worker,
+    publish_tree,
+)
+from .geometry import Box, SnapIndex, uniform_grid
+from .hst import HST, build_hst
+from .matching import (
+    EuclideanGreedyMatcher,
+    HSTGreedyMatcher,
+    LeafTrie,
+    MatchingResult,
+    ProbMatcher,
+    optimal_matching,
+)
+from .privacy import (
+    PlanarLaplaceMechanism,
+    TreeMechanism,
+    TreeWeights,
+    verify_laplace_geo_i,
+    verify_tree_geo_i,
+)
+from .workloads import (
+    ChengduTaxiDataset,
+    SyntheticConfig,
+    Workload,
+    gaussian_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box",
+    "ChengduTaxiDataset",
+    "EuclideanGreedyMatcher",
+    "HST",
+    "HSTGreedyMatcher",
+    "Instance",
+    "LapGRPipeline",
+    "LapHGPipeline",
+    "LeafTrie",
+    "MatchingResult",
+    "MatchingServer",
+    "PipelineOutcome",
+    "PlanarLaplaceMechanism",
+    "ProbMatcher",
+    "ProbPipeline",
+    "SnapIndex",
+    "SyntheticConfig",
+    "TBFPipeline",
+    "TBFSizePipeline",
+    "Task",
+    "TreeMechanism",
+    "TreeWeights",
+    "Worker",
+    "Workload",
+    "build_hst",
+    "gaussian_workload",
+    "optimal_matching",
+    "publish_tree",
+    "uniform_grid",
+    "verify_laplace_geo_i",
+    "verify_tree_geo_i",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Spatial crowdsourcing substrate: entities, clients, server, pipelines."""
+
+from .clients import (
+    encode_task_laplace,
+    encode_task_tree,
+    encode_worker_laplace,
+    encode_worker_tree,
+)
+from .entities import Task, TaskReport, Worker, WorkerReport
+from .pipelines import (
+    PSDPipeline,
+    MIN_DISTANCE_PIPELINES,
+    SIZE_PIPELINES,
+    Instance,
+    LapGRPipeline,
+    LapHGPipeline,
+    PipelineOutcome,
+    ProbPipeline,
+    TBFPipeline,
+    TBFSizePipeline,
+)
+from .server import MatchingServer, make_predefined_points, publish_tree
+
+__all__ = [
+    "Instance",
+    "LapGRPipeline",
+    "LapHGPipeline",
+    "MIN_DISTANCE_PIPELINES",
+    "MatchingServer",
+    "PSDPipeline",
+    "PipelineOutcome",
+    "ProbPipeline",
+    "SIZE_PIPELINES",
+    "TBFPipeline",
+    "TBFSizePipeline",
+    "Task",
+    "TaskReport",
+    "Worker",
+    "WorkerReport",
+    "encode_task_laplace",
+    "encode_task_tree",
+    "encode_worker_laplace",
+    "encode_worker_tree",
+    "make_predefined_points",
+    "publish_tree",
+]

@@ -1,0 +1,112 @@
+"""The untrusted server's side of the workflow (paper Fig. 1, steps 1 & 4).
+
+The server owns two jobs:
+
+1. **Publication** — pick the predefined point set for the service region
+   and build/publish the HST over it (:func:`publish_tree`). Both are
+   public artifacts; they encode no user data.
+2. **Assignment** — accept obfuscated reports and match each arriving task
+   immediately (:class:`MatchingServer`). The server types only accept
+   :class:`~repro.crowdsourcing.entities.WorkerReport` /
+   :class:`~repro.crowdsourcing.entities.TaskReport` payloads, so true
+   locations cannot reach this module by construction.
+
+The experiment pipelines inline this logic for speed; this class is the
+reference implementation that the examples and integration tests exercise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.box import Box
+from ..geometry.grid import uniform_grid
+from ..hst.build import build_hst
+from ..hst.tree import HST
+from ..matching.hst_greedy import HSTGreedyMatcher
+from ..matching.types import Assignment, MatchingResult
+from .entities import TaskReport, WorkerReport
+
+__all__ = ["make_predefined_points", "publish_tree", "MatchingServer"]
+
+
+def make_predefined_points(region: Box, grid_nx: int, grid_ny: int | None = None):
+    """The server's predefined point set: a uniform lattice over the region.
+
+    A lattice keeps the announcement compact (two integers and a box) and
+    bounds the snapping error by half a cell diagonal; the paper leaves the
+    choice of predefined points open.
+    """
+    return uniform_grid(region, grid_nx, grid_ny)
+
+
+def publish_tree(
+    region: Box,
+    grid_nx: int = 32,
+    grid_ny: int | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> HST:
+    """Construct the HST the server publishes for a service region."""
+    return build_hst(make_predefined_points(region, grid_nx, grid_ny), seed=seed)
+
+
+class MatchingServer:
+    """Online assignment over obfuscated HST reports.
+
+    Workers register up front; tasks arrive one by one through
+    :meth:`submit_task` and are matched immediately (Algorithm 4). The
+    accumulated matching is exposed as :attr:`result` with *reported* leaf
+    distances only — converting to true travel distances requires the true
+    coordinates, which the server never has (pipelines do that outside).
+    """
+
+    def __init__(self, tree: HST) -> None:
+        self.tree = tree
+        self._worker_reports: dict[int, WorkerReport] = {}
+        self._matcher: HSTGreedyMatcher | None = None
+        self.result = MatchingResult()
+
+    def register_worker(self, report: WorkerReport) -> None:
+        """Accept a worker's obfuscated registration (before any task)."""
+        if not isinstance(report, WorkerReport):
+            raise TypeError("server only accepts WorkerReport payloads")
+        if report.leaf is None:
+            raise ValueError("the HST server needs leaf-encoded reports")
+        if self._matcher is not None:
+            raise RuntimeError("registration is closed once tasks arrive")
+        if report.worker_id in self._worker_reports:
+            raise ValueError(f"worker {report.worker_id} already registered")
+        self._worker_reports[report.worker_id] = report
+
+    @property
+    def registered_workers(self) -> int:
+        return len(self._worker_reports)
+
+    def submit_task(self, report: TaskReport) -> int | None:
+        """Match an arriving task to the nearest available worker's report.
+
+        Returns the assigned worker id (or ``None`` if the pool is empty)
+        and records the pair in :attr:`result`.
+        """
+        if not isinstance(report, TaskReport):
+            raise TypeError("server only accepts TaskReport payloads")
+        if report.leaf is None:
+            raise ValueError("the HST server needs leaf-encoded reports")
+        if self._matcher is None:
+            ids = sorted(self._worker_reports)
+            self._ids = ids
+            self._matcher = HSTGreedyMatcher(
+                self.tree.depth,
+                self.tree.branching,
+                [self._worker_reports[i].leaf for i in ids],
+            )
+        found = self._matcher.assign(report.leaf)
+        if found is None:
+            self.result.unassigned_tasks.append(report.task_id)
+            return None
+        slot, _level = found
+        worker_id = self._ids[slot]
+        self.result.assignments.append(
+            Assignment(task=report.task_id, worker=worker_id)
+        )
+        return worker_id

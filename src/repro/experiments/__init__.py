@@ -1,0 +1,31 @@
+"""Experiment harness: configs, sweeps, metrics and reporting."""
+
+from .ascii_chart import render_series, render_sweep_chart
+from .config import CASE_STUDY_RADII, DEFAULTS, TABLE_II, TABLE_III, scaled
+from .figures import EXPERIMENTS, build_sweep, shared_tree, table1_rows
+from .metrics import MetricSummary, SeriesPoint, SweepResult, summarize
+from .report import format_sweep, format_table1, sweep_to_csv
+from .runner import Sweep, run_sweep
+
+__all__ = [
+    "CASE_STUDY_RADII",
+    "DEFAULTS",
+    "EXPERIMENTS",
+    "MetricSummary",
+    "SeriesPoint",
+    "Sweep",
+    "SweepResult",
+    "TABLE_II",
+    "TABLE_III",
+    "build_sweep",
+    "render_series",
+    "render_sweep_chart",
+    "format_sweep",
+    "format_table1",
+    "run_sweep",
+    "scaled",
+    "shared_tree",
+    "summarize",
+    "sweep_to_csv",
+    "table1_rows",
+]

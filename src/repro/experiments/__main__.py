@@ -1,0 +1,117 @@
+"""Command-line entry point for the experiment harness.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments table1
+    python -m repro.experiments fig7_eps --scale 0.1 --repeats 3
+    python -m repro.experiments all --scale 0.05 --repeats 2 --csv out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .figures import EXPERIMENTS, build_sweep, table1_rows
+from .report import format_sweep, format_table1, sweep_to_csv
+from .runner import run_sweep
+
+_SIZE_EXPERIMENTS = {"fig8_W", "fig8_eps", "fig8_real_W", "fig8_real_eps"}
+
+
+def _metrics_for(experiment_id: str) -> tuple[str, ...]:
+    if experiment_id in _SIZE_EXPERIMENTS:
+        return ("matching_size", "running_time")
+    return ("total_distance", "running_time", "memory_mib")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'table1', or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="workload size factor; 1.0 = paper-scale (default 0.1)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="repetitions per point (paper: 10)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--csv",
+        type=pathlib.Path,
+        default=None,
+        help="directory to also write per-experiment CSV files into",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render an ASCII chart of the primary metric",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("table1")
+        print("summary")
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.experiment == "table1":
+        print(format_table1(table1_rows()))
+        return 0
+
+    if args.experiment == "summary":
+        from .summary import format_headline_report, run_headline_checks
+
+        progress = (
+            None if args.quiet else lambda msg: print(msg, file=sys.stderr)
+        )
+        checks = run_headline_checks(
+            scale=args.scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            progress=progress,
+        )
+        print(format_headline_report(checks))
+        return 0 if all(c.passed for c in checks) else 1
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment not in ("all",) and args.experiment not in EXPERIMENTS:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; try 'list'"
+        )
+    progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr)
+    for experiment_id in ids:
+        sweep = build_sweep(experiment_id, scale=args.scale)
+        result = run_sweep(
+            sweep, repeats=args.repeats, seed=args.seed, progress=progress
+        )
+        print(format_sweep(result, metrics=_metrics_for(experiment_id)))
+        if args.chart:
+            from .ascii_chart import render_sweep_chart
+
+            primary = _metrics_for(experiment_id)[0]
+            print(render_sweep_chart(result, metric=primary))
+        if args.csv is not None:
+            args.csv.mkdir(parents=True, exist_ok=True)
+            path = args.csv / f"{experiment_id}.csv"
+            path.write_text(sweep_to_csv(result))
+            print(f"[csv written to {path}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""The paper's experimental parameter grids (Tables II and III).
+
+Default values are the paper's bold settings: ``|T| = 3000``,
+``|W| = 5000``, ``mu = 100``, ``sigma = 20``, ``epsilon = 0.6`` for the
+synthetic data, and ``|W| = 8000``, ``epsilon = 0.6`` for the real data.
+
+Every sweep accepts a ``scale`` factor that shrinks workload sizes
+proportionally (counts only — spatial parameters are physical and stay
+fixed) so the full suite runs on a laptop; EXPERIMENTS.md records the scale
+each reported number was produced with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "TABLE_II",
+    "TABLE_III",
+    "CASE_STUDY_RADII",
+    "Defaults",
+    "scaled",
+]
+
+#: Table II — synthetic data settings (defaults in the paper are bold).
+TABLE_II = {
+    "n_tasks": (1000, 2000, 3000, 4000, 5000),
+    "n_workers": (3000, 4000, 5000, 6000, 7000),
+    "mu": (50.0, 75.0, 100.0, 125.0, 150.0),
+    "sigma": (10.0, 15.0, 20.0, 25.0, 30.0),
+    "epsilon": (0.2, 0.4, 0.6, 0.8, 1.0),
+    "scalability": (20_000, 40_000, 60_000, 80_000, 100_000),
+}
+
+#: Table III — real data settings (30 daily slices; |T| comes from the data).
+TABLE_III = {
+    "n_workers": (6000, 7000, 8000, 9000, 10_000),
+    "epsilon": (0.2, 0.4, 0.6, 0.8, 1.0),
+    "n_days": 30,
+}
+
+#: Reachable-distance ranges of the matching-size case study (Sec. IV-C),
+#: in workload units. The real-data range is the paper's 500-1000 m
+#: converted at the Chengdu workload's 50 m/unit normalization.
+CASE_STUDY_RADII = {
+    "synthetic": (10.0, 20.0),
+    "real": (500.0 / 50.0, 1000.0 / 50.0),
+    "real_meters": (500.0, 1000.0),
+}
+
+
+@dataclass(frozen=True)
+class Defaults:
+    """The bold (default) settings used when a parameter is not swept."""
+
+    n_tasks: int = 3000
+    n_workers: int = 5000
+    mu: float = 100.0
+    sigma: float = 20.0
+    epsilon: float = 0.6
+    real_n_workers: int = 8000
+    grid_nx: int = 32
+    repeats: int = 10
+
+
+DEFAULTS = Defaults()
+
+
+def scaled(count: int, scale: float) -> int:
+    """Scale a workload count, keeping at least one element."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(1, int(round(count * scale)))

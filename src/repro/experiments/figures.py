@@ -1,0 +1,414 @@
+"""Per-figure experiment definitions (the paper's Sec. IV, panel by panel).
+
+Each builder returns a :class:`~repro.experiments.runner.Sweep` that
+regenerates one *column* of a figure — the paper plots three metrics
+(total distance / running time / memory) per sweep, and one
+:class:`~repro.experiments.metrics.SweepResult` carries all of them, so
+e.g. ``fig6_T`` covers panels 6a, 6e and 6i at once.
+
+``scale`` shrinks workload counts proportionally (laptop-friendly);
+spatial parameters, epsilons and the predefined grid are physical and stay
+fixed. The published HST is built once per (region, grid) and shared, as
+the paper's server does.
+
+The registry :data:`EXPERIMENTS` maps experiment ids (DESIGN.md Sec. 4) to
+builders; the CLI and the benchmark suite both go through it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..crowdsourcing.pipelines import (
+    Instance,
+    LapGRPipeline,
+    LapHGPipeline,
+    ProbPipeline,
+    TBFPipeline,
+    TBFSizePipeline,
+)
+from ..geometry.box import Box
+from ..hst.build import build_hst
+from ..hst.tree import HST
+from ..matching.reachability import sample_radii
+from ..privacy.tree_mechanism import TreeMechanism
+from ..workloads.synthetic import DEFAULT_REGION, SyntheticConfig, gaussian_workload
+from ..workloads.taxi import ChengduTaxiDataset
+from .config import CASE_STUDY_RADII, DEFAULTS, TABLE_II, TABLE_III, scaled
+from .runner import Sweep
+
+__all__ = ["EXPERIMENTS", "build_sweep", "shared_tree", "table1_rows"]
+
+_TREE_CACHE: dict[tuple, HST] = {}
+
+
+def shared_tree(region: Box, grid_nx: int = DEFAULTS.grid_nx, seed: int = 0) -> HST:
+    """The published HST for a service region (cached per region/grid/seed).
+
+    The paper's server constructs the HST once over the predefined points
+    and publishes it; repetitions vary the workloads and the mechanisms'
+    randomness, not the tree.
+    """
+    from ..crowdsourcing.server import make_predefined_points
+
+    key = (region, grid_nx, seed)
+    if key not in _TREE_CACHE:
+        _TREE_CACHE[key] = build_hst(
+            make_predefined_points(region, grid_nx), seed=seed
+        )
+    return _TREE_CACHE[key]
+
+
+# --------------------------------------------------------------------- #
+# pipeline factory bundles                                                #
+# --------------------------------------------------------------------- #
+
+
+def _distance_pipelines(region: Box) -> list[Callable[[], object]]:
+    tree = shared_tree(region)
+    return [
+        lambda: LapGRPipeline(),
+        lambda: LapHGPipeline(tree=tree),
+        lambda: TBFPipeline(tree=tree),
+    ]
+
+
+def _size_pipelines(region: Box) -> list[Callable[[], object]]:
+    tree = shared_tree(region)
+    return [
+        lambda: ProbPipeline(),
+        lambda: TBFSizePipeline(tree=tree),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# synthetic sweeps (Figs. 6 and 7 left half)                              #
+# --------------------------------------------------------------------- #
+
+
+def _synthetic_instance(
+    *,
+    n_tasks: int,
+    n_workers: int,
+    mu: float = DEFAULTS.mu,
+    sigma: float = DEFAULTS.sigma,
+    epsilon: float = DEFAULTS.epsilon,
+    radii_range: tuple[float, float] | None = None,
+    rng=None,
+) -> Instance:
+    workload = gaussian_workload(
+        SyntheticConfig(n_tasks=n_tasks, n_workers=n_workers, mu=mu, sigma=sigma),
+        seed=rng,
+    )
+    radii = (
+        sample_radii(n_workers, *radii_range, seed=rng)
+        if radii_range is not None
+        else None
+    )
+    return Instance(
+        region=workload.region,
+        worker_locations=workload.worker_locations,
+        task_locations=workload.task_locations,
+        epsilon=epsilon,
+        radii=radii,
+    )
+
+
+def fig6_T(scale: float = 1.0) -> Sweep:
+    """Fig. 6a/e/i — vary |T| on synthetic data."""
+    return Sweep(
+        experiment_id="fig6_T",
+        title="Varying |T| (synthetic)",
+        x_label="|T|",
+        x_values=[scaled(v, scale) for v in TABLE_II["n_tasks"]],
+        make_instance=lambda x, rep, rng: _synthetic_instance(
+            n_tasks=int(x), n_workers=scaled(DEFAULTS.n_workers, scale), rng=rng
+        ),
+        pipelines=_distance_pipelines(DEFAULT_REGION),
+    )
+
+
+def fig6_W(scale: float = 1.0) -> Sweep:
+    """Fig. 6b/f/j — vary |W| on synthetic data."""
+    return Sweep(
+        experiment_id="fig6_W",
+        title="Varying |W| (synthetic)",
+        x_label="|W|",
+        x_values=[scaled(v, scale) for v in TABLE_II["n_workers"]],
+        make_instance=lambda x, rep, rng: _synthetic_instance(
+            n_tasks=scaled(DEFAULTS.n_tasks, scale), n_workers=int(x), rng=rng
+        ),
+        pipelines=_distance_pipelines(DEFAULT_REGION),
+    )
+
+
+def fig6_mu(scale: float = 1.0) -> Sweep:
+    """Fig. 6c/g/k — vary the location mean mu on synthetic data."""
+    return Sweep(
+        experiment_id="fig6_mu",
+        title="Varying mu (synthetic)",
+        x_label="mu",
+        x_values=list(TABLE_II["mu"]),
+        make_instance=lambda x, rep, rng: _synthetic_instance(
+            n_tasks=scaled(DEFAULTS.n_tasks, scale),
+            n_workers=scaled(DEFAULTS.n_workers, scale),
+            mu=float(x),
+            rng=rng,
+        ),
+        pipelines=_distance_pipelines(DEFAULT_REGION),
+    )
+
+
+def fig6_sigma(scale: float = 1.0) -> Sweep:
+    """Fig. 6d/h/l — vary the location std sigma on synthetic data."""
+    return Sweep(
+        experiment_id="fig6_sigma",
+        title="Varying sigma (synthetic)",
+        x_label="sigma",
+        x_values=list(TABLE_II["sigma"]),
+        make_instance=lambda x, rep, rng: _synthetic_instance(
+            n_tasks=scaled(DEFAULTS.n_tasks, scale),
+            n_workers=scaled(DEFAULTS.n_workers, scale),
+            sigma=float(x),
+            rng=rng,
+        ),
+        pipelines=_distance_pipelines(DEFAULT_REGION),
+    )
+
+
+def fig7_eps(scale: float = 1.0) -> Sweep:
+    """Fig. 7a/e/i — vary the privacy budget epsilon on synthetic data."""
+    return Sweep(
+        experiment_id="fig7_eps",
+        title="Varying epsilon (synthetic)",
+        x_label="epsilon",
+        x_values=list(TABLE_II["epsilon"]),
+        make_instance=lambda x, rep, rng: _synthetic_instance(
+            n_tasks=scaled(DEFAULTS.n_tasks, scale),
+            n_workers=scaled(DEFAULTS.n_workers, scale),
+            epsilon=float(x),
+            rng=rng,
+        ),
+        pipelines=_distance_pipelines(DEFAULT_REGION),
+    )
+
+
+def fig7_scal(scale: float = 1.0) -> Sweep:
+    """Fig. 7b/f/j — scalability: |T| = |W| up to 100k on synthetic data."""
+    return Sweep(
+        experiment_id="fig7_scal",
+        title="Scalability |T| = |W| (synthetic)",
+        x_label="|T| = |W|",
+        x_values=[scaled(v, scale) for v in TABLE_II["scalability"]],
+        make_instance=lambda x, rep, rng: _synthetic_instance(
+            n_tasks=int(x), n_workers=int(x), rng=rng
+        ),
+        pipelines=_distance_pipelines(DEFAULT_REGION),
+    )
+
+
+# --------------------------------------------------------------------- #
+# real-data sweeps (Fig. 7 right half)                                    #
+# --------------------------------------------------------------------- #
+
+_TAXI = ChengduTaxiDataset()
+
+
+def _taxi_instance(
+    *,
+    n_workers: int,
+    epsilon: float,
+    rep: int,
+    scale: float,
+    radii_range: tuple[float, float] | None = None,
+    rng=None,
+) -> Instance:
+    """One daily slice: repetition ``rep`` maps to day ``rep % 30``,
+    mirroring the paper's test-per-day-and-average protocol."""
+    day = rep % _TAXI.n_days
+    workload = _TAXI.day_workload(day, n_workers, seed=rng)
+    tasks = workload.task_locations
+    n_keep = scaled(len(tasks), scale)
+    radii = (
+        sample_radii(n_workers, *radii_range, seed=rng)
+        if radii_range is not None
+        else None
+    )
+    return Instance(
+        region=workload.region,
+        worker_locations=workload.worker_locations,
+        task_locations=tasks[:n_keep],
+        epsilon=epsilon,
+        radii=radii,
+    )
+
+
+def fig7_real_W(scale: float = 1.0) -> Sweep:
+    """Fig. 7c/g/k — vary |W| on the Chengdu-like taxi data."""
+    return Sweep(
+        experiment_id="fig7_real_W",
+        title="Varying |W| (real-data substitute)",
+        x_label="|W|",
+        x_values=[scaled(v, scale) for v in TABLE_III["n_workers"]],
+        make_instance=lambda x, rep, rng: _taxi_instance(
+            n_workers=int(x), epsilon=DEFAULTS.epsilon, rep=rep, scale=scale, rng=rng
+        ),
+        pipelines=_distance_pipelines(_TAXI.config.region),
+    )
+
+
+def fig7_real_eps(scale: float = 1.0) -> Sweep:
+    """Fig. 7d/h/l — vary epsilon on the Chengdu-like taxi data."""
+    return Sweep(
+        experiment_id="fig7_real_eps",
+        title="Varying epsilon (real-data substitute)",
+        x_label="epsilon",
+        x_values=list(TABLE_III["epsilon"]),
+        make_instance=lambda x, rep, rng: _taxi_instance(
+            n_workers=scaled(DEFAULTS.real_n_workers, scale),
+            epsilon=float(x),
+            rep=rep,
+            scale=scale,
+            rng=rng,
+        ),
+        pipelines=_distance_pipelines(_TAXI.config.region),
+    )
+
+
+# --------------------------------------------------------------------- #
+# matching-size case study (Fig. 8)                                       #
+# --------------------------------------------------------------------- #
+
+
+def fig8_W(scale: float = 1.0) -> Sweep:
+    """Fig. 8a/e — case study, vary |W| on synthetic data."""
+    return Sweep(
+        experiment_id="fig8_W",
+        title="Case study: matching size varying |W| (synthetic)",
+        x_label="|W|",
+        x_values=[scaled(v, scale) for v in TABLE_II["n_workers"]],
+        make_instance=lambda x, rep, rng: _synthetic_instance(
+            n_tasks=scaled(DEFAULTS.n_tasks, scale),
+            n_workers=int(x),
+            radii_range=CASE_STUDY_RADII["synthetic"],
+            rng=rng,
+        ),
+        pipelines=_size_pipelines(DEFAULT_REGION),
+    )
+
+
+def fig8_eps(scale: float = 1.0) -> Sweep:
+    """Fig. 8b/f — case study, vary epsilon on synthetic data."""
+    return Sweep(
+        experiment_id="fig8_eps",
+        title="Case study: matching size varying epsilon (synthetic)",
+        x_label="epsilon",
+        x_values=list(TABLE_II["epsilon"]),
+        make_instance=lambda x, rep, rng: _synthetic_instance(
+            n_tasks=scaled(DEFAULTS.n_tasks, scale),
+            n_workers=scaled(DEFAULTS.n_workers, scale),
+            epsilon=float(x),
+            radii_range=CASE_STUDY_RADII["synthetic"],
+            rng=rng,
+        ),
+        pipelines=_size_pipelines(DEFAULT_REGION),
+    )
+
+
+def fig8_real_W(scale: float = 1.0) -> Sweep:
+    """Fig. 8c/g — case study, vary |W| on the taxi data."""
+    return Sweep(
+        experiment_id="fig8_real_W",
+        title="Case study: matching size varying |W| (real-data substitute)",
+        x_label="|W|",
+        x_values=[scaled(v, scale) for v in TABLE_III["n_workers"]],
+        make_instance=lambda x, rep, rng: _taxi_instance(
+            n_workers=int(x),
+            epsilon=DEFAULTS.epsilon,
+            rep=rep,
+            scale=scale,
+            radii_range=CASE_STUDY_RADII["real"],
+            rng=rng,
+        ),
+        pipelines=_size_pipelines(_TAXI.config.region),
+    )
+
+
+def fig8_real_eps(scale: float = 1.0) -> Sweep:
+    """Fig. 8d/h — case study, vary epsilon on the taxi data."""
+    return Sweep(
+        experiment_id="fig8_real_eps",
+        title="Case study: matching size varying epsilon (real-data substitute)",
+        x_label="epsilon",
+        x_values=list(TABLE_III["epsilon"]),
+        make_instance=lambda x, rep, rng: _taxi_instance(
+            n_workers=scaled(DEFAULTS.real_n_workers, scale),
+            epsilon=float(x),
+            rep=rep,
+            scale=scale,
+            radii_range=CASE_STUDY_RADII["real"],
+            rng=rng,
+        ),
+        pipelines=_size_pipelines(_TAXI.config.region),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table I — the worked mechanism example                                  #
+# --------------------------------------------------------------------- #
+
+
+def table1_rows(epsilon: float = 0.1) -> list[dict]:
+    """Regenerate the paper's Table I from the Example 1 HST.
+
+    Builds the four-point tree of Example 1 (beta = 1/2, identity
+    permutation), obfuscates leaf ``o1`` with ``epsilon = 0.1`` and reports
+    per level: the sibling-set size, the weight ``wt_i`` and the per-leaf
+    probability.
+    """
+    points = [(1.0, 1.0), (2.0, 3.0), (5.0, 3.0), (4.0, 4.0)]
+    tree = build_hst(points, beta=0.5, permutation=[0, 1, 2, 3])
+    mech = TreeMechanism(tree, epsilon)
+    rows = []
+    for level in range(tree.depth + 1):
+        rows.append(
+            {
+                "level": level,
+                "n_leaves": int(mech.weights.level_counts[level]),
+                "weight": float(mech.weights.wt[level]),
+                "probability": mech.weights.leaf_probability(level),
+            }
+        )
+    total = sum(r["n_leaves"] * r["probability"] for r in rows)
+    if not np.isclose(total, 1.0):
+        raise AssertionError(f"Table I probabilities sum to {total}, not 1")
+    return rows
+
+
+#: Experiment registry: id -> sweep builder (see DESIGN.md Sec. 4).
+EXPERIMENTS: dict[str, Callable[[float], Sweep]] = {
+    "fig6_T": fig6_T,
+    "fig6_W": fig6_W,
+    "fig6_mu": fig6_mu,
+    "fig6_sigma": fig6_sigma,
+    "fig7_eps": fig7_eps,
+    "fig7_scal": fig7_scal,
+    "fig7_real_W": fig7_real_W,
+    "fig7_real_eps": fig7_real_eps,
+    "fig8_W": fig8_W,
+    "fig8_eps": fig8_eps,
+    "fig8_real_W": fig8_real_W,
+    "fig8_real_eps": fig8_real_eps,
+}
+
+
+def build_sweep(experiment_id: str, scale: float = 1.0) -> Sweep:
+    """Look up and build a sweep from the registry."""
+    try:
+        builder = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return builder(scale)

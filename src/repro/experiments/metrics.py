@@ -1,0 +1,105 @@
+"""Aggregation of pipeline outcomes into the paper's reported metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..crowdsourcing.pipelines import PipelineOutcome
+
+__all__ = ["MetricSummary", "SeriesPoint", "SweepResult", "summarize"]
+
+#: Metric keys extracted from every outcome.
+METRIC_KEYS = (
+    "total_distance",
+    "running_time",
+    "memory_mib",
+    "matching_size",
+    "avg_task_latency",
+)
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and standard deviation of one metric over repetitions."""
+
+    mean: float
+    std: float
+    n: int
+
+    @classmethod
+    def of(cls, values) -> "MetricSummary":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            return cls(float("nan"), float("nan"), 0)
+        return cls(float(arr.mean()), float(arr.std()), int(arr.size))
+
+
+def summarize(outcomes: list[PipelineOutcome]) -> dict[str, MetricSummary]:
+    """Aggregate repeated runs of one algorithm at one sweep point."""
+    values: dict[str, list[float]] = {k: [] for k in METRIC_KEYS}
+    for out in outcomes:
+        n_tasks = len(out.matching.assignments) + len(
+            out.matching.unassigned_tasks
+        )
+        values["total_distance"].append(out.total_distance)
+        values["running_time"].append(out.assignment_seconds)
+        values["memory_mib"].append(out.peak_mib)
+        values["matching_size"].append(float(out.matching_size))
+        values["avg_task_latency"].append(
+            out.assignment_seconds / n_tasks if n_tasks else float("nan")
+        )
+    return {k: MetricSummary.of(v) for k, v in values.items()}
+
+
+@dataclass
+class SeriesPoint:
+    """All algorithms' metric summaries at one x value of a sweep."""
+
+    x: float
+    metrics: dict[str, dict[str, MetricSummary]] = field(default_factory=dict)
+
+    def metric(self, algorithm: str, key: str) -> MetricSummary:
+        return self.metrics[algorithm][key]
+
+
+@dataclass
+class SweepResult:
+    """Result of one experiment: the series the paper plots.
+
+    ``points[i].metrics[algorithm][metric]`` mirrors one curve sample of
+    the corresponding figure panel.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    algorithms: list[str]
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    @property
+    def x_values(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    def series(self, algorithm: str, metric: str) -> list[float]:
+        """One plotted curve: the metric means across the sweep."""
+        return [p.metric(algorithm, metric).mean for p in self.points]
+
+    def improvement(
+        self, metric: str, better: str, worse: str, mode: str = "min"
+    ) -> list[float]:
+        """Relative saving of ``better`` vs ``worse`` per sweep point.
+
+        ``mode='min'`` treats smaller as better (distance/time);
+        ``mode='max'`` treats larger as better (matching size).
+        """
+        out = []
+        for p in self.points:
+            b = p.metric(better, metric).mean
+            w = p.metric(worse, metric).mean
+            if mode == "min":
+                out.append((w - b) / w if w else float("nan"))
+            else:
+                out.append((b - w) / w if w else float("nan"))
+        return out

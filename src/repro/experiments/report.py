@@ -1,0 +1,127 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The paper reports curves; a terminal can't plot, so :func:`format_sweep`
+prints the same series as aligned tables — one block per metric, one row
+per x value, one column per algorithm — plus the TBF-vs-baseline savings
+the paper quotes in its Summary of Results.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from .metrics import SweepResult
+
+__all__ = ["format_sweep", "format_table1", "sweep_to_csv"]
+
+#: Printable metric labels (and their figure-panel roles).
+_METRIC_LABELS = {
+    "total_distance": "total distance",
+    "running_time": "running time (s)",
+    "memory_mib": "memory (MiB)",
+    "matching_size": "matching size",
+    "avg_task_latency": "avg latency per task (s)",
+}
+
+
+def format_sweep(
+    result: SweepResult,
+    metrics: tuple[str, ...] = (
+        "total_distance",
+        "running_time",
+        "memory_mib",
+    ),
+) -> str:
+    """Render a sweep result as aligned text tables."""
+    out = io.StringIO()
+    out.write(f"== {result.experiment_id}: {result.title} ==\n")
+    for metric in metrics:
+        out.write(f"\n-- {_METRIC_LABELS.get(metric, metric)} --\n")
+        header = [result.x_label] + result.algorithms
+        rows = []
+        for point in result.points:
+            row = [f"{point.x:g}"]
+            for algo in result.algorithms:
+                summary = point.metric(algo, metric)
+                row.append(f"{summary.mean:.4g} (±{summary.std:.2g})")
+            rows.append(row)
+        out.write(_align(header, rows))
+    out.write(_savings_block(result))
+    return out.getvalue()
+
+
+def _savings_block(result: SweepResult) -> str:
+    """TBF-vs-baseline relative savings, as the paper's summary quotes."""
+    if "TBF" not in result.algorithms:
+        return ""
+    lines = ["\n-- TBF savings --\n"]
+    size_mode = "Prob" in result.algorithms
+    metric = "matching_size" if size_mode else "total_distance"
+    mode = "max" if size_mode else "min"
+    for rival in result.algorithms:
+        if rival == "TBF":
+            continue
+        gains = result.improvement(metric, "TBF", rival, mode=mode)
+        best = max(gains)
+        verb = "more matches" if size_mode else "shorter distance"
+        lines.append(
+            f"TBF vs {rival}: up to {best:+.1%} {verb} "
+            f"(per-x: {', '.join(f'{g:+.1%}' for g in gains)})\n"
+        )
+    return "".join(lines)
+
+
+def format_table1(rows: list[dict]) -> str:
+    """Render the regenerated Table I."""
+    header = ["Level i", "|L_i(o1)|", "wt_i", "Probability"]
+    body = [
+        [
+            str(r["level"]),
+            str(r["n_leaves"]),
+            f"{r['weight']:.3f}",
+            f"{r['probability']:.3f}",
+        ]
+        for r in rows
+    ]
+    return "== Table I: leaf obfuscation probabilities (Example 2) ==\n" + _align(
+        header, body
+    )
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """Machine-readable dump: one row per (x, algorithm, metric)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        ["experiment", "x", "algorithm", "metric", "mean", "std", "n"]
+    )
+    for point in result.points:
+        for algo in result.algorithms:
+            for metric, summary in point.metrics[algo].items():
+                writer.writerow(
+                    [
+                        result.experiment_id,
+                        point.x,
+                        algo,
+                        metric,
+                        summary.mean,
+                        summary.std,
+                        summary.n,
+                    ]
+                )
+    return out.getvalue()
+
+
+def _align(header: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines) + "\n"

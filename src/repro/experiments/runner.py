@@ -1,0 +1,99 @@
+"""Sweep execution: the engine behind every figure reproduction.
+
+A :class:`Sweep` declares what the paper's figure panel varies (x values),
+how to materialize a problem instance per repetition, and which pipelines
+compete. :func:`run_sweep` executes it with independent RNG streams per
+(point, repetition), shares the published HST across pipelines of one
+repetition the way the paper's server does, and aggregates the paper's
+metrics into a :class:`~repro.experiments.metrics.SweepResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..crowdsourcing.pipelines import Instance
+from ..utils import ensure_rng, spawn_rng
+from .metrics import SeriesPoint, SweepResult, summarize
+
+__all__ = ["Sweep", "run_sweep"]
+
+#: instance factory signature: (x value, repetition index, rng) -> Instance
+InstanceFactory = Callable[[float, int, "object"], Instance]
+
+
+@dataclass
+class Sweep:
+    """Declarative description of one experiment (one figure column).
+
+    Attributes
+    ----------
+    experiment_id, title, x_label:
+        Identification and axis labelling (mirrors the paper's captions).
+    x_values:
+        The sweep grid (e.g. ``|T|`` in 1000..5000).
+    make_instance:
+        Builds the POMBM instance for ``(x, repetition, rng)``. Repetitions
+        with the same index see the same rng stream across algorithms, so
+        all pipelines compete on *identical* inputs.
+    pipelines:
+        Pipeline factories (``lambda: TBFPipeline()`` style) — fresh
+        pipeline objects per repetition keep runs independent.
+    repeats:
+        Paper default is 10; callers usually lower it via
+        :func:`run_sweep`'s argument.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x_values: list[float]
+    make_instance: InstanceFactory
+    pipelines: list[Callable[[], object]]
+    notes: dict = field(default_factory=dict)
+
+
+def run_sweep(
+    sweep: Sweep,
+    repeats: int = 3,
+    seed: int | None = 0,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Execute a sweep and aggregate the paper's metrics.
+
+    Each (x value, repetition) pair gets an independent child RNG used for
+    the workload draw; each algorithm then runs on that same instance with
+    its own derived RNG, so mechanisms' randomness differs but inputs are
+    shared — exactly the paper's "repeat 10 times and average" protocol.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    root = ensure_rng(seed)
+    algorithms = [factory().name for factory in sweep.pipelines]
+    result = SweepResult(
+        experiment_id=sweep.experiment_id,
+        title=sweep.title,
+        x_label=sweep.x_label,
+        algorithms=algorithms,
+    )
+    for x in sweep.x_values:
+        rep_rngs = spawn_rng(root, repeats)
+        outcomes: dict[str, list] = {name: [] for name in algorithms}
+        for rep, rep_rng in enumerate(rep_rngs):
+            instance = sweep.make_instance(x, rep, rep_rng)
+            algo_rngs = spawn_rng(rep_rng, len(sweep.pipelines))
+            for factory, name, algo_rng in zip(
+                sweep.pipelines, algorithms, algo_rngs
+            ):
+                pipeline = factory()
+                outcomes[name].append(pipeline.run(instance, seed=algo_rng))
+            if progress is not None:
+                progress(
+                    f"[{sweep.experiment_id}] x={x:g} rep {rep + 1}/{repeats}"
+                )
+        point = SeriesPoint(x=float(x))
+        for name in algorithms:
+            point.metrics[name] = summarize(outcomes[name])
+        result.points.append(point)
+    return result

@@ -1,0 +1,152 @@
+"""One-shot headline verification: the paper's Summary of Results as code.
+
+``python -m repro.experiments summary`` runs the two decisive sweeps
+(Fig. 7a's ε sweep for total distance, Fig. 8b's ε sweep for matching
+size) and grades the paper's headline claims against the measurements,
+printing a PASS/FAIL table. This is the five-minute smoke check of the
+whole reproduction; EXPERIMENTS.md holds the full per-figure record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .figures import build_sweep, table1_rows
+from .metrics import SweepResult
+from .runner import run_sweep
+
+__all__ = ["HeadlineCheck", "run_headline_checks", "format_headline_report"]
+
+#: Paper Table I probabilities, used as the exact-match headline.
+_TABLE1_EXPECTED = {0: 0.394, 1: 0.264, 2: 0.119, 3: 0.024, 4: 0.001}
+
+
+@dataclass(frozen=True)
+class HeadlineCheck:
+    """One graded claim."""
+
+    claim: str
+    measured: str
+    passed: bool
+
+
+def run_headline_checks(
+    scale: float = 0.2, repeats: int = 2, seed: int = 0, progress=None
+) -> list[HeadlineCheck]:
+    """Run the decisive sweeps and grade the paper's headline claims."""
+    checks: list[HeadlineCheck] = []
+
+    # -- Table I: exact probabilities -----------------------------------
+    rows = table1_rows()
+    worst = max(
+        abs(r["probability"] - _TABLE1_EXPECTED[r["level"]]) for r in rows
+    )
+    checks.append(
+        HeadlineCheck(
+            claim="Table I probabilities match to printed precision",
+            measured=f"max abs deviation {worst:.2e}",
+            passed=worst < 5e-4,
+        )
+    )
+
+    # -- Fig. 7a: total distance vs epsilon ------------------------------
+    eps_sweep = run_sweep(
+        build_sweep("fig7_eps", scale=scale),
+        repeats=repeats,
+        seed=seed,
+        progress=progress,
+    )
+    checks.extend(_distance_claims(eps_sweep))
+
+    # -- Fig. 8b: matching size vs epsilon -------------------------------
+    size_sweep = run_sweep(
+        build_sweep("fig8_eps", scale=max(scale, 0.2)),
+        repeats=repeats,
+        seed=seed,
+        progress=progress,
+    )
+    checks.extend(_size_claims(size_sweep))
+    return checks
+
+
+def _distance_claims(result: SweepResult) -> list[HeadlineCheck]:
+    first = result.points[0]
+    tbf0 = first.metric("TBF", "total_distance").mean
+    gr0 = first.metric("Lap-GR", "total_distance").mean
+    hg0 = first.metric("Lap-HG", "total_distance").mean
+    tbf_series = result.series("TBF", "total_distance")
+    gr_series = result.series("Lap-GR", "total_distance")
+    checks = [
+        HeadlineCheck(
+            claim="TBF beats Lap-GR and Lap-HG at strict privacy (eps=0.2)",
+            measured=(
+                f"TBF {tbf0:.0f} vs Lap-GR {gr0:.0f} / Lap-HG {hg0:.0f} "
+                f"({(gr0 - tbf0) / gr0:+.0%} / {(hg0 - tbf0) / hg0:+.0%})"
+            ),
+            passed=tbf0 < gr0 and tbf0 < hg0,
+        ),
+        HeadlineCheck(
+            claim="TBF total distance is insensitive to eps",
+            measured=(
+                f"spread {max(tbf_series) / min(tbf_series):.2f}x across "
+                f"eps in [0.2, 1.0]"
+            ),
+            passed=max(tbf_series) < 2.0 * min(tbf_series),
+        ),
+        HeadlineCheck(
+            claim="Laplace baselines degrade sharply as eps -> 0.2",
+            measured=f"Lap-GR blowup {gr_series[0] / gr_series[-1]:.1f}x",
+            passed=gr_series[0] > 1.5 * gr_series[-1],
+        ),
+        HeadlineCheck(
+            claim="TBF beats Lap-HG at every eps",
+            measured="per-eps: "
+            + ", ".join(
+                f"{(h - t) / h:+.0%}"
+                for t, h in zip(
+                    tbf_series, result.series("Lap-HG", "total_distance")
+                )
+            ),
+            passed=all(
+                t < h
+                for t, h in zip(
+                    tbf_series, result.series("Lap-HG", "total_distance")
+                )
+            ),
+        ),
+    ]
+    return checks
+
+
+def _size_claims(result: SweepResult) -> list[HeadlineCheck]:
+    first = result.points[0]
+    tbf0 = first.metric("TBF", "matching_size").mean
+    prob0 = first.metric("Prob", "matching_size").mean
+    tbf_series = result.series("TBF", "matching_size")
+    prob_series = result.series("Prob", "matching_size")
+    gains = [t / p for t, p in zip(tbf_series, prob_series)]
+    return [
+        HeadlineCheck(
+            claim="Case study: TBF matches more tasks than Prob at eps=0.2",
+            measured=f"TBF {tbf0:.0f} vs Prob {prob0:.0f} "
+            f"({(tbf0 - prob0) / prob0:+.0%}; paper ceiling +47.7%)",
+            passed=tbf0 > prob0,
+        ),
+        HeadlineCheck(
+            claim="Case study: TBF's advantage is largest at strict privacy",
+            measured=f"TBF/Prob ratio falls {gains[0]:.2f} -> {gains[-1]:.2f}",
+            passed=gains[0] > gains[-1],
+        ),
+    ]
+
+
+def format_headline_report(checks: list[HeadlineCheck]) -> str:
+    """Render the graded claims as an aligned PASS/FAIL table."""
+    lines = ["== headline claims (paper Summary of Results) =="]
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        lines.append(f"[{status}] {check.claim}")
+        lines.append(f"       {check.measured}")
+    passed = sum(1 for c in checks if c.passed)
+    lines.append(f"\n{passed}/{len(checks)} headline claims reproduced")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,26 @@
+"""Geometry substrate: points, regions and predefined-point snapping."""
+
+from .box import Box
+from .grid import SnapIndex, uniform_grid
+from .points import (
+    as_point,
+    as_points,
+    diameter,
+    distances_to,
+    euclidean,
+    pairwise_distances,
+    total_pair_distance,
+)
+
+__all__ = [
+    "Box",
+    "SnapIndex",
+    "uniform_grid",
+    "as_point",
+    "as_points",
+    "diameter",
+    "distances_to",
+    "euclidean",
+    "pairwise_distances",
+    "total_pair_distance",
+]

@@ -1,0 +1,79 @@
+"""Predefined point sets and nearest-point snapping.
+
+The server in the paper constructs the HST over a *predefined* set of N
+points published ahead of time (Sec. III-B): workers and tasks snap their
+true location to the nearest predefined point before obfuscation. This
+module provides the canonical uniform-grid point set used throughout the
+reproduction plus a KD-tree snap index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .box import Box
+from .points import as_point, as_points
+
+__all__ = ["uniform_grid", "SnapIndex"]
+
+
+def uniform_grid(box: Box, nx: int, ny: int | None = None) -> np.ndarray:
+    """``nx * ny`` points forming a uniform lattice over ``box``.
+
+    Points are placed at cell centers so the maximum snap displacement is
+    half a cell diagonal. ``ny`` defaults to ``nx``. The returned array is
+    ordered row-major (y outer, x inner) and is deterministic, making it a
+    stable choice for the published predefined point set.
+    """
+    if ny is None:
+        ny = nx
+    if nx < 1 or ny < 1:
+        raise ValueError(f"grid must be at least 1x1, got {nx}x{ny}")
+    xs = box.xmin + (np.arange(nx) + 0.5) * (box.width / nx)
+    ys = box.ymin + (np.arange(ny) + 0.5) * (box.height / ny)
+    gx, gy = np.meshgrid(xs, ys)
+    return np.column_stack([gx.ravel(), gy.ravel()])
+
+
+class SnapIndex:
+    """Nearest-predefined-point lookup backed by a KD-tree.
+
+    This is the client-side "map location to an HST leaf" step: the index
+    is built once from the published point set and then answers
+    nearest-neighbour queries in O(log N).
+    """
+
+    def __init__(self, points) -> None:
+        pts = as_points(points)
+        if len(pts) == 0:
+            raise ValueError("snap index needs at least one predefined point")
+        self._points = pts
+        self._tree = cKDTree(pts)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The predefined point set (read-only view)."""
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    def snap(self, location) -> int:
+        """Index of the predefined point nearest to ``location``."""
+        _, idx = self._tree.query(as_point(location))
+        return int(idx)
+
+    def snap_many(self, locations) -> np.ndarray:
+        """Vectorized :meth:`snap` for an ``(n, 2)`` array of locations."""
+        locs = as_points(locations)
+        if len(locs) == 0:
+            return np.empty(0, dtype=np.intp)
+        _, idx = self._tree.query(locs)
+        return np.asarray(idx, dtype=np.intp)
+
+    def point(self, index: int) -> np.ndarray:
+        """Coordinates of predefined point ``index``."""
+        return self._points[index].copy()

@@ -1,0 +1,159 @@
+"""Construction of a Hierarchically Well-Separated Tree (paper Algorithm 1).
+
+This is the FRT-style randomized construction (Fakcharoenphol, Rao, Talwar,
+STOC'03) exactly as the paper presents it:
+
+1. Draw a random permutation ``pi`` of the point set and a radius factor
+   ``beta`` uniform in ``[1/2, 1]``.
+2. The root (level ``D = ceil(log2(2 * diameter))``) contains every point.
+3. Going down level by level, each cluster ``S`` at level ``i+1`` is carved
+   by balls of radius ``r_i = beta * 2**i`` around the points in permutation
+   order: the members of ``S`` within ``r_i`` of the first center that
+   covers them form one child cluster.
+4. Finally the tree is made *complete c-ary* by padding with fake nodes,
+   where ``c`` is the maximum branching observed. The padding stays
+   implicit (see :mod:`repro.hst.paths`), so construction is
+   ``O(N^2 * D)`` rather than the ``O(N^2 * D + c^D)`` of a materialized
+   completion.
+
+The standard FRT argument requires the minimum inter-point distance to be at
+least 1 so that level-0 clusters are singletons; we normalize the metric by
+``1/d_min`` when needed and record the factor, so callers always get one
+leaf per point.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..geometry.points import as_points, pairwise_distances
+from ..utils import ensure_rng
+from .tree import HST
+
+__all__ = ["build_hst"]
+
+
+def build_hst(
+    points,
+    seed: int | np.random.Generator | None = None,
+    beta: float | None = None,
+    permutation=None,
+) -> HST:
+    """Build a complete HST over ``points`` (paper Algorithm 1).
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array of *distinct* predefined points. These become the
+        real leaves of the tree.
+    seed:
+        RNG seed/generator for the random permutation and ``beta``.
+    beta:
+        Radius factor in ``[1/2, 1]``. Drawn uniformly when ``None``.
+        Fixing it makes the construction deterministic, which tests and the
+        paper's worked Example 1 use.
+    permutation:
+        Explicit point ordering ``pi`` (sequence of all point indices).
+        Drawn uniformly when ``None``.
+
+    Returns
+    -------
+    HST
+        The completed tree; see :class:`repro.hst.tree.HST`.
+    """
+    pts = as_points(points)
+    n = len(pts)
+    if n == 0:
+        raise ValueError("cannot build an HST over an empty point set")
+    rng = ensure_rng(seed)
+
+    if beta is None:
+        beta = float(rng.uniform(0.5, 1.0))
+    if not 0.5 <= beta <= 1.0:
+        raise ValueError(f"beta must lie in [1/2, 1], got {beta}")
+
+    if permutation is None:
+        perm = rng.permutation(n)
+    else:
+        perm = np.asarray(permutation, dtype=np.intp)
+        if sorted(perm.tolist()) != list(range(n)):
+            raise ValueError("permutation must be a permutation of range(n)")
+
+    if n == 1:
+        return HST(
+            points=pts,
+            depth=1,
+            branching=1,
+            paths=np.zeros((1, 1), dtype=np.int32),
+            metric_scale=1.0,
+            beta=beta,
+            permutation=perm,
+        )
+
+    dist = pairwise_distances(pts)
+    off_diag = dist[~np.eye(n, dtype=bool)]
+    d_min = float(off_diag.min())
+    if d_min == 0.0:
+        raise ValueError("predefined points must be distinct")
+    # FRT needs min distance >= 1 so that level-0 balls isolate single
+    # points; rescale the metric when necessary and remember the factor.
+    metric_scale = 1.0 if d_min >= 1.0 else 1.0 / d_min
+    if metric_scale != 1.0:
+        dist = dist * metric_scale
+    diam = float(dist.max())
+    depth = max(1, math.ceil(math.log2(2.0 * diam)))
+
+    # rank-ordered distance columns: column j = distances to pi(j). Alg. 1
+    # carves each cluster by the centers in pi order, so every point ends up
+    # with the *first* center (globally, since line 9 ranges over all of V)
+    # whose ball covers it. That first-covering-center rank is independent
+    # of the clustering, so one O(N^2) pass per level handles all clusters.
+    dist_by_rank = dist[:, perm]
+
+    paths = np.zeros((n, depth), dtype=np.int32)
+    cluster_ids = np.zeros(n, dtype=np.int64)  # all points start at the root
+    for step, i in enumerate(range(depth - 1, -1, -1)):
+        radius = beta * (2.0**i)
+        # Every point covers itself (distance 0), so argmax is defined.
+        first_center = np.argmax(dist_by_rank <= radius, axis=1).astype(np.int64)
+        # Children of one parent are ordered by first-covering rank —
+        # exactly the order Alg. 1's sequential carving creates them in.
+        key = cluster_ids * n + first_center
+        unique_keys, inverse = np.unique(key, return_inverse=True)
+        parents = unique_keys // n
+        # position of each new cluster within its parent's child list
+        is_new_parent = np.empty(len(parents), dtype=bool)
+        is_new_parent[0] = True
+        np.not_equal(parents[1:], parents[:-1], out=is_new_parent[1:])
+        group_starts = np.maximum.accumulate(
+            np.where(is_new_parent, np.arange(len(parents)), 0)
+        )
+        child_pos = np.arange(len(parents)) - group_starts
+        paths[:, step] = child_pos[inverse]
+        cluster_ids = inverse.astype(np.int64)
+
+    if len(np.unique(cluster_ids)) != n:
+        raise AssertionError(
+            "level-0 clusters are not singletons; metric normalization failed"
+        )
+
+    return HST(
+        points=pts,
+        depth=depth,
+        branching=_max_branching(paths),
+        paths=paths,
+        metric_scale=metric_scale,
+        beta=beta,
+        permutation=perm,
+    )
+
+
+def _max_branching(paths: np.ndarray) -> int:
+    """Maximum number of distinct children over all real internal nodes.
+
+    Child indices are assigned densely from 0 at every node, so the maximum
+    branching equals ``max(paths) + 1``.
+    """
+    return int(paths.max()) + 1

@@ -1,0 +1,107 @@
+"""ASCII rendering of small HSTs (the paper's Figs. 2b and 3, in text).
+
+For worked examples, docs and debugging: draw the real tree structure —
+optionally padded with the implicit fake nodes — as an indented text tree
+annotated with levels, edge lengths and leaf identities.
+
+Exponential in depth when fake nodes are included; guarded accordingly.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .paths import Path, edge_length
+from .tree import HST
+
+__all__ = ["render_tree"]
+
+#: Refuse to draw complete trees with more nodes than this.
+MAX_RENDER_NODES = 10_000
+
+
+def render_tree(
+    tree: HST,
+    include_fake: bool = False,
+    point_labels: list[str] | None = None,
+) -> str:
+    """Render the tree as indented text.
+
+    Real leaves print their point index/label and coordinates; fake nodes
+    (only with ``include_fake=True``) print as ``f``. Each line shows the
+    node's level and the length of the edge from its parent.
+    """
+    if point_labels is not None and len(point_labels) != tree.n_points:
+        raise ValueError("need one label per predefined point")
+    if include_fake and _complete_size(tree) > MAX_RENDER_NODES:
+        raise ValueError(
+            f"complete tree has ~{_complete_size(tree)} nodes; rendering "
+            f"with fake nodes is limited to {MAX_RENDER_NODES}"
+        )
+    out = io.StringIO()
+    out.write(
+        f"HST: N={tree.n_points}, D={tree.depth}, c={tree.branching}, "
+        f"scale={tree.metric_scale:g}\n"
+    )
+    _render_node(tree, (), out, include_fake, point_labels)
+    return out.getvalue()
+
+
+def _complete_size(tree: HST) -> int:
+    c, depth = tree.branching, tree.depth
+    if c == 1:
+        return depth + 1
+    return (c ** (depth + 1) - 1) // (c - 1)
+
+
+def _render_node(
+    tree: HST,
+    prefix: Path,
+    out: io.StringIO,
+    include_fake: bool,
+    labels,
+    indent: str = "",
+) -> None:
+    level = tree.depth - len(prefix)
+    if len(prefix) == 0:
+        out.write(f"(root, level {level})\n")
+    else:
+        edge = edge_length(level)
+        tag = _node_tag(tree, prefix, labels)
+        out.write(f"{indent}+-[{edge}]- {tag} (level {level})\n")
+    if level == 0:
+        return
+    real_children = tree.real_children.get(prefix)
+    child_count = tree.branching if include_fake else (real_children or 0)
+    child_indent = indent + "   "
+    for child in range(child_count):
+        child_prefix = prefix + (child,)
+        is_real = real_children is not None and child < real_children
+        if is_real or include_fake:
+            if is_real:
+                _render_node(
+                    tree, child_prefix, out, include_fake, labels, child_indent
+                )
+            else:
+                _render_fake(tree, child_prefix, out, child_indent)
+
+
+def _render_fake(tree: HST, prefix: Path, out: io.StringIO, indent: str) -> None:
+    level = tree.depth - len(prefix)
+    out.write(f"{indent}+-[{edge_length(level)}]- f (level {level})\n")
+    if level == 0:
+        return
+    child_indent = indent + "   "
+    for child in range(tree.branching):
+        _render_fake(tree, prefix + (child,), out, child_indent)
+
+
+def _node_tag(tree: HST, prefix: Path, labels) -> str:
+    if len(prefix) == tree.depth:
+        idx = tree.point_of(prefix)
+        if idx is None:
+            return "f"
+        name = labels[idx] if labels is not None else f"o{idx + 1}"
+        x, y = tree.points[idx]
+        return f"{name} ({x:g}, {y:g})"
+    return "*"

@@ -1,0 +1,29 @@
+"""Online and offline matching engines (paper Sec. III-E and baselines)."""
+
+from .capacitated import CapacitatedHSTGreedyMatcher
+from .chain_greedy import HSTChainMatcher
+from .euclidean_greedy import EuclideanGreedyMatcher
+from .hst_greedy import HSTGreedyMatcher, max_level_within
+from .leaf_trie import LeafTrie
+from .offline import optimal_matching, optimal_total_distance
+from .prob_assign import NoiseDifferencePool, ProbMatcher
+from .reachability import estimate_stretch, radius_to_tree_units, sample_radii
+from .types import Assignment, MatchingResult
+
+__all__ = [
+    "Assignment",
+    "CapacitatedHSTGreedyMatcher",
+    "EuclideanGreedyMatcher",
+    "HSTChainMatcher",
+    "HSTGreedyMatcher",
+    "LeafTrie",
+    "MatchingResult",
+    "NoiseDifferencePool",
+    "ProbMatcher",
+    "estimate_stretch",
+    "max_level_within",
+    "optimal_matching",
+    "optimal_total_distance",
+    "radius_to_tree_units",
+    "sample_radii",
+]

@@ -1,0 +1,97 @@
+"""HST-Chain: the chain-reassignment matcher of Bansal et al. (ref. [19]).
+
+The paper's related work describes the other classical HST-based online
+matching algorithm — Bansal, Buchbinder, Gupta, Naor (Algorithmica 2014),
+O(log^2 k)-competitive: a task is "successively assigned to workers
+(including those matched ones) until it finds an unmatched worker". Each
+hop moves the search to the position of an already-matched worker, letting
+chains of short hops reach an unmatched worker that is globally far but
+locally connected.
+
+The paper evaluates only HST-Greedy (its Algorithm 4); HST-Chain is
+provided as an extension and compared in
+``benchmarks/bench_ablation_chain.py``. It operates on the same obfuscated
+leaves, so it plugs into the same privacy mechanism unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..hst.paths import Path
+from .leaf_trie import LeafTrie
+
+__all__ = ["HSTChainMatcher"]
+
+
+class HSTChainMatcher:
+    """Online matching by chain reassignment on HST leaves.
+
+    Parameters
+    ----------
+    depth, branching:
+        Shape of the complete HST the leaf paths live in.
+    worker_paths:
+        Obfuscated leaf path per worker; ids are positions.
+    max_hops:
+        Safety bound on chain length (defaults to a generous multiple of
+        the tree depth; chains longer than this fall back to the nearest
+        unmatched worker).
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        branching: int,
+        worker_paths: Sequence[Path],
+        max_hops: int = 64,
+    ) -> None:
+        if max_hops < 1:
+            raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+        self._paths = [tuple(int(v) for v in p) for p in worker_paths]
+        # all workers, matched or not: hop targets
+        self._all = LeafTrie(depth, branching)
+        # only unmatched workers: chain terminals
+        self._free = LeafTrie(depth, branching)
+        for worker_id, path in enumerate(self._paths):
+            self._all.insert(path, worker_id)
+            self._free.insert(path, worker_id)
+        self._max_hops = max_hops
+
+    @property
+    def available(self) -> int:
+        """Number of unmatched workers."""
+        return len(self._free)
+
+    def assign(self, task_path: Path) -> tuple[int, int] | None:
+        """Chain from the task's leaf until an unmatched worker is found.
+
+        Returns ``(worker_id, hops)`` where ``hops`` counts the matched
+        workers traversed before the terminal; ``None`` when no unmatched
+        workers remain.
+        """
+        if len(self._free) == 0:
+            return None
+        position = tuple(int(v) for v in task_path)
+        visited: set[int] = set()
+        for hop in range(self._max_hops):
+            candidate = self._nearest_unvisited(position, visited)
+            if candidate is None:
+                break
+            worker_id = candidate
+            if worker_id in self._free:
+                self._free.remove(worker_id)
+                return worker_id, hop
+            # hop to the matched worker's reported position and continue
+            visited.add(worker_id)
+            position = self._paths[worker_id]
+        # chain exhausted: fall back to the nearest unmatched worker
+        found = self._free.pop_nearest(position)
+        assert found is not None  # len(self._free) > 0 checked above
+        return found[0], self._max_hops
+
+    def _nearest_unvisited(self, position: Path, visited: set[int]) -> int | None:
+        for worker_id, _level in self._all.iter_candidates(position):
+            if worker_id not in visited:
+                return worker_id
+        return None

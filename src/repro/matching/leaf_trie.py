@@ -1,0 +1,189 @@
+"""A counted trie over HST leaf paths.
+
+This is the data structure that makes HST-Greedy (paper Algorithm 4) fast:
+``nearest available worker on the tree`` is ``worker whose leaf path shares
+the longest prefix with the task's leaf path``. The trie stores available
+workers keyed by leaf path with per-node subtree counts, giving
+
+* ``insert`` / ``remove`` in O(D),
+* ``nearest`` in O(D * c),
+* lazy enumeration of *all* workers in non-decreasing tree distance
+  (:meth:`iter_candidates`) for the reachability-constrained variant,
+
+compared to the O(n) per task of the paper's naive scan (their stated
+complexity is O(D n m); see ``benchmarks/bench_ablation_trie.py``).
+
+Ties (several workers equally close on the tree) are broken deterministically
+by descending into the smallest live child index and taking the most recently
+inserted item at a leaf — the paper allows arbitrary tie-breaking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..hst.paths import Path, tree_distance_for_level
+
+__all__ = ["LeafTrie"]
+
+
+class _Node:
+    __slots__ = ("count", "children", "items")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.children: dict[int, _Node] = {}
+        self.items: list[int] | None = None  # only at leaves
+
+
+class LeafTrie:
+    """Multiset of (item id, leaf path) with nearest-on-tree queries."""
+
+    def __init__(self, depth: int, branching: int) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if branching < 1:
+            raise ValueError(f"branching must be >= 1, got {branching}")
+        self.depth = depth
+        self.branching = branching
+        self._root = _Node()
+        self._paths: dict[int, Path] = {}
+
+    def __len__(self) -> int:
+        return self._root.count
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._paths
+
+    def path_of(self, item: int) -> Path:
+        """Leaf path under which ``item`` is stored."""
+        return self._paths[item]
+
+    # ------------------------------------------------------------------ #
+    # updates                                                             #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, path: Path, item: int) -> None:
+        """Add ``item`` at ``path``. Item ids must be unique."""
+        path = self._validate(path)
+        if item in self._paths:
+            raise ValueError(f"item {item} already present")
+        node = self._root
+        node.count += 1
+        for v in path:
+            node = node.children.setdefault(v, _Node())
+            node.count += 1
+        if node.items is None:
+            node.items = []
+        node.items.append(item)
+        self._paths[item] = path
+
+    def remove(self, item: int) -> None:
+        """Remove a previously inserted item."""
+        path = self._paths.pop(item, None)
+        if path is None:
+            raise KeyError(f"item {item} not present")
+        node = self._root
+        node.count -= 1
+        chain = []
+        for v in path:
+            chain.append((node, v))
+            node = node.children[v]
+            node.count -= 1
+        node.items.remove(item)
+        # Prune empty branches so iteration never revisits dead subtrees.
+        for parent, v in reversed(chain):
+            if parent.children[v].count == 0:
+                del parent.children[v]
+            else:
+                break
+
+    # ------------------------------------------------------------------ #
+    # queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    def iter_candidates(self, path: Path) -> Iterator[tuple[int, int]]:
+        """Yield ``(item, lca_level)`` in non-decreasing tree distance.
+
+        All stored items are eventually yielded; items at LCA level ``l``
+        are at tree distance ``2**(l+2) - 4`` from ``path``.
+        """
+        path = self._validate(path)
+        # Walk down the query path recording the node chain that exists.
+        chain: list[_Node] = [self._root]
+        node = self._root
+        for v in path:
+            child = node.children.get(v)
+            if child is None:
+                break
+            chain.append(child)
+            node = child
+        # Exact-leaf items first (level 0), then widen level by level.
+        deepest = len(chain) - 1  # prefix length of the deepest live node
+        if deepest == self.depth and chain[-1].items:
+            # Most recently inserted first: cheap and deterministic.
+            for item in reversed(list(chain[-1].items)):
+                yield item, 0
+        for prefix_len in range(min(deepest, self.depth - 1), -1, -1):
+            level = self.depth - prefix_len
+            parent = chain[prefix_len]
+            skip = path[prefix_len]
+            for v in sorted(parent.children):
+                if v == skip:
+                    continue
+                yield from self._iter_subtree(parent.children[v], level)
+
+    def nearest(self, path: Path) -> tuple[int, int] | None:
+        """Closest item on the tree, as ``(item, lca_level)``; ``None`` if empty."""
+        for found in self.iter_candidates(path):
+            return found
+        return None
+
+    def pop_nearest(self, path: Path) -> tuple[int, int] | None:
+        """Remove and return the closest item (Algorithm 4's inner step)."""
+        found = self.nearest(path)
+        if found is not None:
+            self.remove(found[0])
+        return found
+
+    def pop_nearest_within(
+        self, path: Path, max_tree_distance: float
+    ) -> tuple[int, int] | None:
+        """Closest item at tree distance <= ``max_tree_distance``, removed.
+
+        Used by the matching-size case study where the server filters by a
+        (tree-unit) reachability radius.
+        """
+        found = self.nearest(path)
+        if found is None:
+            return None
+        item, level = found
+        if tree_distance_for_level(level) > max_tree_distance:
+            return None
+        self.remove(item)
+        return found
+
+    # ------------------------------------------------------------------ #
+    # internals                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _iter_subtree(self, node: _Node, level: int) -> Iterator[tuple[int, int]]:
+        """DFS over live leaves below ``node``, yielding ``(item, level)``."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.items:
+                for item in reversed(list(current.items)):
+                    yield item, level
+            # reversed-sorted so the smallest child index is explored first
+            for v in sorted(current.children, reverse=True):
+                stack.append(current.children[v])
+
+    def _validate(self, path: Path) -> Path:
+        p = tuple(int(v) for v in path)
+        if len(p) != self.depth:
+            raise ValueError(f"path length {len(p)} != depth {self.depth}")
+        for v in p:
+            if not 0 <= v < self.branching:
+                raise ValueError(f"child index {v} outside [0, {self.branching})")
+        return p

@@ -1,0 +1,84 @@
+"""Reachability support for the matching-size case study (paper Sec. IV-C).
+
+The case study gives every worker a *reachable distance*: an assignment
+succeeds only when the true task-worker Euclidean distance is within it.
+The paper draws radii uniformly from [10, 20] (synthetic) and [500, 1000]
+(real data).
+
+Because the HST-side server reasons in *tree* distances — which dominate
+Euclidean distances by the HST's stretch — filtering candidates by a raw
+radius would be far too strict. :func:`estimate_stretch` measures the
+median tree-over-Euclidean expansion on the predefined points, and
+:func:`radius_to_tree_units` converts each worker's Euclidean radius to a
+comparable tree-unit budget. This is a server-side calibration that uses
+only public information (the published tree), so it costs no privacy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hst.tree import HST
+from ..utils import ensure_rng
+
+__all__ = [
+    "sample_radii",
+    "estimate_stretch",
+    "radius_to_tree_units",
+]
+
+
+def sample_radii(n: int, low: float, high: float, seed=None) -> np.ndarray:
+    """Draw ``n`` worker reachable distances uniformly from ``[low, high]``."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0 <= low <= high:
+        raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+    rng = ensure_rng(seed)
+    return rng.uniform(low, high, size=n)
+
+
+def estimate_stretch(
+    tree: HST, n_pairs: int = 512, seed=None
+) -> float:
+    """Median tree-distance / Euclidean-distance ratio over random leaf pairs.
+
+    The FRT guarantee is ``d <= E[dT] <= O(log N) d`` (in the rescaled
+    metric); the realized median stretch of *this* tree is what the server
+    should calibrate reachability filters with.
+    """
+    n = tree.n_points
+    if n < 2:
+        return 1.0
+    rng = ensure_rng(seed)
+    a = rng.integers(0, n, size=n_pairs)
+    b = rng.integers(0, n, size=n_pairs)
+    keep = a != b
+    a, b = a[keep], b[keep]
+    if len(a) == 0:
+        return 1.0
+    ratios = []
+    pts = tree.points
+    for i, j in zip(a.tolist(), b.tolist()):
+        d = float(np.hypot(*(pts[i] - pts[j])))
+        if d == 0.0:
+            continue
+        ratios.append(tree.tree_distance_points(i, j) / tree.metric_scale / d)
+    return float(np.median(ratios)) if ratios else 1.0
+
+
+def radius_to_tree_units(
+    radii, tree: HST, stretch: float | None = None, seed=None
+) -> np.ndarray:
+    """Convert Euclidean reachable radii to tree-unit filter budgets.
+
+    ``tree_budget = radius * stretch * metric_scale``; with the median
+    stretch this accepts roughly the workers a Euclidean filter of the same
+    radius would.
+    """
+    if stretch is None:
+        stretch = estimate_stretch(tree, seed=seed)
+    r = np.asarray(radii, dtype=np.float64)
+    if np.any(r < 0):
+        raise ValueError("radii must be non-negative")
+    return r * float(stretch) * tree.metric_scale

@@ -1,0 +1,67 @@
+"""Shared result types for online matching algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.points import as_points
+
+__all__ = ["Assignment", "MatchingResult"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One task-worker pair decided by an online matcher.
+
+    ``distance`` is the *true* Euclidean distance between the pair's actual
+    locations — the quantity the paper's total-distance objective counts —
+    filled in by the pipeline, which knows the unobfuscated coordinates.
+    ``success`` marks reachability for the matching-size case study
+    (always ``True`` for the minimum-distance objective).
+    """
+
+    task: int
+    worker: int
+    distance: float = float("nan")
+    success: bool = True
+
+
+@dataclass
+class MatchingResult:
+    """Outcome of running an online matcher over a full task arrival order."""
+
+    assignments: list[Assignment] = field(default_factory=list)
+    unassigned_tasks: list[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Matching size: the number of successful assignments."""
+        return sum(1 for a in self.assignments if a.success)
+
+    @property
+    def total_distance(self) -> float:
+        """Total true travel distance over successful assignments."""
+        return float(
+            sum(a.distance for a in self.assignments if a.success)
+        )
+
+    def worker_of(self, task: int) -> int | None:
+        """Worker assigned to ``task``, or ``None``."""
+        for a in self.assignments:
+            if a.task == task:
+                return a.worker
+        return None
+
+    @staticmethod
+    def from_pairs(pairs, task_locations, worker_locations) -> "MatchingResult":
+        """Build a result from ``(task, worker)`` index pairs, computing the
+        true distances from the given coordinate arrays."""
+        tasks = as_points(task_locations)
+        workers = as_points(worker_locations)
+        result = MatchingResult()
+        for task, worker in pairs:
+            d = float(np.hypot(*(tasks[task] - workers[worker])))
+            result.assignments.append(Assignment(task=task, worker=worker, distance=d))
+        return result

@@ -1,0 +1,59 @@
+"""Privacy mechanisms and Geo-Indistinguishability auditing."""
+
+from .budget import BudgetExceededError, PrivacyBudgetLedger
+from .bounds import lemma2_upper_factor, theorem3_competitive_bound
+from .attack import (
+    AttackReport,
+    evaluate_laplace_attack,
+    evaluate_tree_attack,
+    laplace_posterior,
+    tree_posterior,
+)
+from .analysis import (
+    DisplacementProfile,
+    compare_mechanisms,
+    empirical_displacement,
+    laplace_displacement_profile,
+    tree_displacement_profile,
+)
+from .audit import (
+    GeoIReport,
+    expectation_bound_report,
+    lemma1_lower_bound_factor,
+    sampler_total_variation,
+    verify_laplace_geo_i,
+    verify_tree_geo_i,
+)
+from .laplace import PlanarLaplaceMechanism
+from .psd import GeocastRegion, NoisyQuadtree
+from .tree_mechanism import ENUMERATION_LEAF_LIMIT, TreeMechanism
+from .weights import TreeWeights
+
+__all__ = [
+    "ENUMERATION_LEAF_LIMIT",
+    "AttackReport",
+    "BudgetExceededError",
+    "evaluate_laplace_attack",
+    "evaluate_tree_attack",
+    "laplace_posterior",
+    "tree_posterior",
+    "DisplacementProfile",
+    "compare_mechanisms",
+    "empirical_displacement",
+    "laplace_displacement_profile",
+    "tree_displacement_profile",
+    "GeoIReport",
+    "GeocastRegion",
+    "NoisyQuadtree",
+    "PlanarLaplaceMechanism",
+    "PrivacyBudgetLedger",
+    "TreeMechanism",
+    "TreeWeights",
+    "expectation_bound_report",
+    "lemma1_lower_bound_factor",
+    "lemma2_upper_factor",
+    "theorem3_competitive_bound",
+    "sampler_total_variation",
+    "verify_laplace_geo_i",
+    "verify_tree_geo_i",
+]

@@ -1,0 +1,189 @@
+"""Bayesian localization attack: empirical privacy of the mechanisms.
+
+ε-Geo-I bounds the *likelihood ratio* an adversary can extract from one
+report; what a platform operator actually cares about is how well an
+optimal adversary can localize a user. This module implements the standard
+evaluation (Shokri et al.-style): an adversary with a public prior over
+the predefined points observes one obfuscated report and forms the exact
+Bayesian posterior; we score
+
+* the **expected localization error** of the posterior-mean/MAP estimate
+  (higher = more private), and
+* the **posterior concentration** (probability mass the adversary can put
+  on the true point).
+
+Both mechanisms are evaluated on the same discrete domain — the tree
+mechanism natively (its likelihoods are the closed-form level weights),
+and planar Laplace by its density at the predefined points — making the
+comparison apples-to-apples. An extension beyond the paper, which proves
+the Geo-I bound but never measures realized adversarial error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.points import distances_to
+from ..hst.paths import Path, lca_level
+from ..hst.tree import HST
+from ..privacy.laplace import PlanarLaplaceMechanism
+from ..privacy.tree_mechanism import TreeMechanism
+from ..utils import ensure_rng
+
+__all__ = [
+    "AttackReport",
+    "tree_posterior",
+    "laplace_posterior",
+    "evaluate_tree_attack",
+    "evaluate_laplace_attack",
+]
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Averaged adversarial performance over sampled reports.
+
+    ``mean_error`` is the adversary's expected Euclidean localization
+    error (MAP estimate vs true point); ``mean_true_mass`` the posterior
+    probability assigned to the true point; ``top1_accuracy`` how often
+    the MAP estimate *is* the true point.
+    """
+
+    mechanism: str
+    epsilon: float
+    n_trials: int
+    mean_error: float
+    mean_true_mass: float
+    top1_accuracy: float
+
+
+def tree_posterior(
+    mechanism: TreeMechanism, observed: Path, prior: np.ndarray | None = None
+) -> np.ndarray:
+    """Exact posterior over predefined points given one tree report.
+
+    ``P(x_i | z) ∝ prior_i * wt_{lvl(x_i, z)}`` — the likelihood is the
+    closed-form per-leaf weight, so this is the *optimal* attacker.
+    """
+    tree = mechanism.tree
+    n = tree.n_points
+    prior = _normalize_prior(prior, n)
+    observed = tree.validate_path(observed)
+    likelihood = np.array(
+        [
+            mechanism.weights.wt[lca_level(tree.path_of(i), observed)]
+            for i in range(n)
+        ]
+    )
+    joint = prior * likelihood
+    total = joint.sum()
+    if total <= 0:
+        # all likelihoods underflowed: the observation carries no usable
+        # information; the posterior is the prior
+        return prior.copy()
+    return joint / total
+
+
+def laplace_posterior(
+    mechanism: PlanarLaplaceMechanism,
+    points: np.ndarray,
+    observed,
+    prior: np.ndarray | None = None,
+) -> np.ndarray:
+    """Posterior over a discrete point domain given one noisy coordinate.
+
+    ``P(x_i | z) ∝ prior_i * exp(-eps * d(x_i, z))`` (the planar Laplace
+    density up to constants).
+    """
+    n = len(points)
+    prior = _normalize_prior(prior, n)
+    with np.errstate(under="ignore"):
+        likelihood = np.exp(-mechanism.epsilon * distances_to(points, observed))
+    joint = prior * likelihood
+    total = joint.sum()
+    if total <= 0:
+        return prior.copy()
+    return joint / total
+
+
+def evaluate_tree_attack(
+    tree: HST,
+    epsilon: float,
+    n_trials: int = 200,
+    prior: np.ndarray | None = None,
+    seed=None,
+) -> AttackReport:
+    """Run the optimal Bayesian attack against the tree mechanism.
+
+    True points are drawn from the prior; each is obfuscated once and
+    attacked; errors are averaged.
+    """
+    rng = ensure_rng(seed)
+    mechanism = TreeMechanism(tree, epsilon)
+    prior_arr = _normalize_prior(prior, tree.n_points)
+    errors, masses, hits = [], [], 0
+    for _ in range(n_trials):
+        true_idx = int(rng.choice(tree.n_points, p=prior_arr))
+        report = mechanism.obfuscate_walk(tree.path_of(true_idx), rng)
+        posterior = tree_posterior(mechanism, report, prior_arr)
+        guess = int(np.argmax(posterior))
+        errors.append(
+            float(np.hypot(*(tree.points[guess] - tree.points[true_idx])))
+        )
+        masses.append(float(posterior[true_idx]))
+        hits += guess == true_idx
+    return AttackReport(
+        mechanism="tree",
+        epsilon=float(epsilon),
+        n_trials=n_trials,
+        mean_error=float(np.mean(errors)),
+        mean_true_mass=float(np.mean(masses)),
+        top1_accuracy=hits / n_trials,
+    )
+
+
+def evaluate_laplace_attack(
+    points,
+    epsilon: float,
+    n_trials: int = 200,
+    prior: np.ndarray | None = None,
+    seed=None,
+) -> AttackReport:
+    """Run the Bayesian attack against planar Laplace on the same domain."""
+    pts = np.asarray(points, dtype=np.float64)
+    rng = ensure_rng(seed)
+    mechanism = PlanarLaplaceMechanism(epsilon)
+    prior_arr = _normalize_prior(prior, len(pts))
+    errors, masses, hits = [], [], 0
+    for _ in range(n_trials):
+        true_idx = int(rng.choice(len(pts), p=prior_arr))
+        report = mechanism.obfuscate(pts[true_idx], rng)
+        posterior = laplace_posterior(mechanism, pts, report, prior_arr)
+        guess = int(np.argmax(posterior))
+        errors.append(float(np.hypot(*(pts[guess] - pts[true_idx]))))
+        masses.append(float(posterior[true_idx]))
+        hits += guess == true_idx
+    return AttackReport(
+        mechanism="laplace",
+        epsilon=float(epsilon),
+        n_trials=n_trials,
+        mean_error=float(np.mean(errors)),
+        mean_true_mass=float(np.mean(masses)),
+        top1_accuracy=hits / n_trials,
+    )
+
+
+def _normalize_prior(prior, n: int) -> np.ndarray:
+    if prior is None:
+        return np.full(n, 1.0 / n)
+    arr = np.asarray(prior, dtype=np.float64)
+    if arr.shape != (n,):
+        raise ValueError(f"prior must have shape ({n},), got {arr.shape}")
+    if np.any(arr < 0):
+        raise ValueError("prior must be non-negative")
+    total = arr.sum()
+    if total <= 0:
+        raise ValueError("prior must have positive mass")
+    return arr / total

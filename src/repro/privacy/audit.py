@@ -1,0 +1,206 @@
+"""Verification of the paper's privacy and utility claims.
+
+These tools turn the paper's theorems into executable checks:
+
+* **Theorem 1** (the tree mechanism is ε-Geo-I under the tree metric):
+  :func:`verify_tree_geo_i` checks the inequality
+  ``M(x1)(z) <= exp(eps * dT(x1, x2)) * M(x2)(z)`` *exactly*, because the
+  mechanism's probabilities are available in closed form.
+* **Theorem 2** (the random walk samples the Algorithm 2 distribution):
+  :func:`sampler_total_variation` estimates the TV distance between a
+  sampler's empirical distribution and the exact one.
+* **Lemmas 1/2** (expectation bounds that drive the competitive ratio):
+  :func:`expectation_bound_report` evaluates ``E[dT(u', v)]`` exactly and
+  compares it against the Lemma 1 lower bound.
+* The planar Laplace baseline's Geo-I follows from its density ratio;
+  :func:`verify_laplace_geo_i` checks it on sampled triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..geometry.points import euclidean
+from ..hst.paths import Path, lca_level, tree_distance
+from ..utils import ensure_rng
+from .laplace import PlanarLaplaceMechanism
+from .tree_mechanism import TreeMechanism
+
+__all__ = [
+    "GeoIReport",
+    "verify_tree_geo_i",
+    "verify_laplace_geo_i",
+    "sampler_total_variation",
+    "expectation_bound_report",
+    "lemma1_lower_bound_factor",
+]
+
+
+@dataclass(frozen=True)
+class GeoIReport:
+    """Outcome of a Geo-Indistinguishability audit.
+
+    ``max_excess`` is the largest value of
+    ``log(M(x1)(z) / M(x2)(z)) - eps * d(x1, x2)`` observed; the mechanism
+    satisfies ε-Geo-I on the audited triples iff it is <= 0 (up to float
+    round-off, exposed via :meth:`holds`).
+    """
+
+    epsilon: float
+    triples_checked: int
+    max_excess: float
+
+    def holds(self, tol: float = 1e-9) -> bool:
+        return self.max_excess <= tol
+
+
+def verify_tree_geo_i(
+    mechanism: TreeMechanism,
+    leaves: list[Path] | None = None,
+    max_pairs: int | None = None,
+    seed=None,
+) -> GeoIReport:
+    """Exact Theorem 1 audit of the tree mechanism.
+
+    For every pair ``(x1, x2)`` of the given leaves, the worst ratio over
+    output leaves ``z`` is attained at ``z`` in the subtree of ``x1``
+    below ``lca(x1, x2)`` (where ``M(x1)(z)`` is maximal and ``M(x2)(z)``
+    minimal), but we do not rely on that: the ratio
+    ``wt[lvl(x1,z)] / wt[lvl(x2,z)]`` only depends on the two LCA levels,
+    and for a fixed pair only ``O(D^2)`` level combinations are feasible.
+    We check them all by evaluating the ratio at ``z`` ranging over the
+    *real* leaves plus the pair's own sibling structure — sufficient
+    because weights are level-functions.
+    """
+    tree = mechanism.tree
+    if leaves is None:
+        leaves = [tree.path_of(i) for i in range(tree.n_points)]
+    pairs = list(combinations(range(len(leaves)), 2))
+    if max_pairs is not None and len(pairs) > max_pairs:
+        rng = ensure_rng(seed)
+        chosen = rng.choice(len(pairs), size=max_pairs, replace=False)
+        pairs = [pairs[int(i)] for i in chosen]
+
+    eps = mechanism.epsilon
+    depth = tree.depth
+    # log wt_i = -eps * dT(level i) exactly (Eq. 3); using the analytic
+    # form keeps the audit immune to float underflow of deep weights.
+    from ..hst.paths import tree_distance_for_level
+
+    log_wt = np.array(
+        [-eps * tree_distance_for_level(i) for i in range(depth + 1)]
+    )
+    max_excess = -np.inf
+    checked = 0
+    for a, b in pairs:
+        x1, x2 = leaves[a], leaves[b]
+        d12 = tree_distance(x1, x2)
+        l12 = lca_level(x1, x2)
+        # Feasible (lvl(x1,z), lvl(x2,z)) combinations — see Theorem 1's
+        # case analysis: either both levels equal some i > l12, or both
+        # are <= l12 with at least one equal to l12, or one is < l12 and
+        # the other exactly l12.
+        level_pairs = {(i, i) for i in range(l12 + 1, depth + 1)}
+        for i in range(l12 + 1):
+            level_pairs.add((i, l12))
+            level_pairs.add((l12, i))
+        for l1, l2 in level_pairs:
+            excess = (log_wt[l1] - log_wt[l2]) - eps * d12
+            max_excess = max(max_excess, float(excess))
+            checked += 1
+    return GeoIReport(epsilon=eps, triples_checked=checked, max_excess=max_excess)
+
+
+def verify_laplace_geo_i(
+    mechanism: PlanarLaplaceMechanism,
+    points,
+    n_outputs: int = 32,
+    seed=None,
+) -> GeoIReport:
+    """Density-ratio audit of the planar Laplace mechanism.
+
+    Checks ``log pdf(z|x1) - log pdf(z|x2) <= eps * d(x1, x2)`` on all
+    pairs from ``points`` against ``n_outputs`` random output locations —
+    exact up to the triangle inequality, so any positive excess signals a
+    bug rather than sampling noise.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    rng = ensure_rng(seed)
+    span = pts.max(axis=0) - pts.min(axis=0) + 1.0
+    outputs = pts.min(axis=0) + rng.random((n_outputs, 2)) * span
+    eps = mechanism.epsilon
+    max_excess = -np.inf
+    checked = 0
+    for a, b in combinations(range(len(pts)), 2):
+        d12 = euclidean(pts[a], pts[b])
+        for z in outputs:
+            log_ratio = eps * (euclidean(pts[b], z) - euclidean(pts[a], z))
+            max_excess = max(max_excess, float(log_ratio - eps * d12))
+            checked += 1
+    return GeoIReport(epsilon=eps, triples_checked=checked, max_excess=max_excess)
+
+
+def sampler_total_variation(
+    mechanism: TreeMechanism,
+    x: Path,
+    n_samples: int = 20_000,
+    method: str = "walk",
+    seed=None,
+) -> float:
+    """Empirical TV distance between a sampler and the exact distribution.
+
+    Used to validate Theorem 2 (the random walk realizes Algorithm 2's
+    distribution); requires an enumerable tree.
+    """
+    exact = mechanism.distribution(x)
+    rng = ensure_rng(seed)
+    sampler = {
+        "walk": mechanism.obfuscate_walk,
+        "level": mechanism.obfuscate_level,
+        "enumerate": mechanism.obfuscate_enumerate,
+    }[method]
+    counts: dict[Path, int] = {}
+    for _ in range(n_samples):
+        z = sampler(x, rng)
+        counts[z] = counts.get(z, 0) + 1
+    tv = 0.0
+    for leaf, p in exact.items():
+        tv += abs(counts.get(leaf, 0) / n_samples - p)
+    # leaves sampled but not enumerated would be a structural bug
+    extra = set(counts) - set(exact)
+    if extra:
+        raise AssertionError(f"sampler produced non-tree leaves: {sorted(extra)[:3]}")
+    return 0.5 * tv
+
+
+def lemma1_lower_bound_factor(branching: int) -> float:
+    """Lemma 1's constant: ``1 / (3 * (2c - 1))``."""
+    if branching < 1:
+        raise ValueError(f"branching must be >= 1, got {branching}")
+    return 1.0 / (3.0 * (2.0 * branching - 1.0))
+
+
+def expectation_bound_report(
+    mechanism: TreeMechanism, u: Path, v: Path
+) -> dict[str, float]:
+    """Evaluate the Lemma 1 bound for one leaf pair.
+
+    Returns the exact expectation ``E[dT(u', v)]``, the true distance
+    ``dT(u, v)``, the Lemma 1 lower bound and the realized expansion factor
+    ``E[dT(u', v)] / dT(u, v)`` (``inf`` when ``u == v``).
+    """
+    d_uv = tree_distance(tuple(u), tuple(v))
+    expectation = mechanism.expected_tree_distance(u, v)
+    lower = lemma1_lower_bound_factor(mechanism.tree.branching) * d_uv
+    factor = expectation / d_uv if d_uv > 0 else float("inf")
+    return {
+        "distance": float(d_uv),
+        "expectation": expectation,
+        "lemma1_lower_bound": lower,
+        "expansion_factor": factor,
+    }
+
+

@@ -1,0 +1,83 @@
+"""Privacy budget accounting for repeated location reports.
+
+The paper analyses a single report per user. In deployments workers
+re-report as they move, and under sequential composition each
+ε-Geo-Indistinguishable report spends ε of a cumulative budget. This
+module provides the ledger a client (or an auditor) uses to enforce a cap:
+an extension beyond the paper, but a prerequisite for real adoption of
+either mechanism.
+
+Composition note: Geo-I composes additively over *independent* mechanism
+invocations on the same datum — reporting twice with budgets ε1 and ε2 is
+(ε1+ε2)-Geo-I against an adversary seeing both reports. The ledger tracks
+exactly that sum per principal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BudgetExceededError", "PrivacyBudgetLedger"]
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a spend would push a principal past its budget cap."""
+
+
+@dataclass
+class PrivacyBudgetLedger:
+    """Per-principal cumulative epsilon tracker with a hard cap.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum cumulative epsilon any principal may spend.
+    """
+
+    capacity: float
+    _spent: dict[object, float] = field(default_factory=dict, repr=False)
+    _history: list[tuple[object, float]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+
+    def spent(self, principal) -> float:
+        """Cumulative epsilon already spent by ``principal``."""
+        return self._spent.get(principal, 0.0)
+
+    def remaining(self, principal) -> float:
+        """Budget left before ``principal`` hits the cap."""
+        return self.capacity - self.spent(principal)
+
+    def can_spend(self, principal, epsilon: float) -> bool:
+        """Whether a further ``epsilon`` spend fits under the cap."""
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        return self.spent(principal) + epsilon <= self.capacity + 1e-12
+
+    def spend(self, principal, epsilon: float) -> float:
+        """Record an ``epsilon`` spend; returns the new cumulative total.
+
+        Raises :class:`BudgetExceededError` (and records nothing) when the
+        spend would exceed the cap — callers should check
+        :meth:`can_spend` first on hot paths.
+        """
+        if not self.can_spend(principal, epsilon):
+            raise BudgetExceededError(
+                f"principal {principal!r} has {self.remaining(principal):.3f} "
+                f"of {self.capacity} left; cannot spend {epsilon}"
+            )
+        new_total = self.spent(principal) + epsilon
+        self._spent[principal] = new_total
+        self._history.append((principal, epsilon))
+        return new_total
+
+    @property
+    def history(self) -> list[tuple[object, float]]:
+        """All recorded spends in order, as ``(principal, epsilon)``."""
+        return list(self._history)
+
+    def total_spent(self) -> float:
+        """Sum of all spends across principals (for dashboards)."""
+        return sum(self._spent.values())

@@ -1,0 +1,96 @@
+"""Small shared utilities: RNG handling, timing and memory probes.
+
+Everything in this repository that consumes randomness accepts a ``seed``
+argument which may be ``None`` (fresh entropy), an ``int`` (reproducible),
+or an already-constructed :class:`numpy.random.Generator` (shared stream).
+:func:`ensure_rng` normalizes all three cases.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Stopwatch",
+    "measure_peak_memory",
+]
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` draws fresh OS entropy, an ``int`` seeds deterministically and
+    an existing generator is passed through unchanged (so callers can share
+    one stream across components).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used by experiment sweeps so each repetition gets a statistically
+    independent but reproducible stream.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock timer.
+
+    The paper reports "the total time an algorithm takes from receiving a
+    task to the completion of the assignment"; pipelines wrap exactly that
+    region in :meth:`timed` so setup (HST construction, workload synthesis)
+    is excluded, matching the paper's metric.
+    """
+
+    elapsed: float = 0.0
+    _laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def timed(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            lap = time.perf_counter() - start
+            self.elapsed += lap
+            self._laps.append(lap)
+
+    @property
+    def laps(self) -> list[float]:
+        return list(self._laps)
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._laps.clear()
+
+
+@contextmanager
+def measure_peak_memory(result: dict):
+    """Record peak traced allocation (MiB) into ``result['peak_mib']``.
+
+    This is the Python analogue of the paper's resident-memory column: it
+    captures the extra heap the algorithm under test allocates (HST, tries,
+    KD-trees, matchings), not the interpreter baseline.
+    """
+    tracemalloc.start()
+    try:
+        yield result
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        result["peak_mib"] = peak / (1024 * 1024)

@@ -1,0 +1,34 @@
+"""Workload generators (paper Sec. IV-A)."""
+
+from .arrival import random_arrival_order, shuffle_tasks
+from .synthetic import (
+    DEFAULT_REGION,
+    SyntheticConfig,
+    Workload,
+    gaussian_workload,
+)
+from .taxi import (
+    CHENGDU_REGION,
+    METERS_PER_UNIT,
+    N_DAYS,
+    TASKS_PER_DAY,
+    ChengduTaxiConfig,
+    ChengduTaxiDataset,
+    meters_to_units,
+)
+
+__all__ = [
+    "CHENGDU_REGION",
+    "METERS_PER_UNIT",
+    "DEFAULT_REGION",
+    "ChengduTaxiConfig",
+    "ChengduTaxiDataset",
+    "N_DAYS",
+    "SyntheticConfig",
+    "TASKS_PER_DAY",
+    "Workload",
+    "gaussian_workload",
+    "meters_to_units",
+    "random_arrival_order",
+    "shuffle_tasks",
+]

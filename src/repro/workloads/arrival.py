@@ -1,0 +1,29 @@
+"""Arrival-order handling for the random order model (paper Definition 8).
+
+The paper analyses online matching in the *random order model*: the
+adversary fixes the task set, but tasks arrive in a uniformly random
+permutation. Workloads therefore shuffle task rows per repetition using
+these helpers, and pipelines simply consume tasks in row order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.points import as_points
+from ..utils import ensure_rng
+
+__all__ = ["random_arrival_order", "shuffle_tasks"]
+
+
+def random_arrival_order(n: int, seed=None) -> np.ndarray:
+    """A uniformly random arrival permutation of ``n`` tasks."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return ensure_rng(seed).permutation(n)
+
+
+def shuffle_tasks(task_locations, seed=None) -> np.ndarray:
+    """Return the task rows re-ordered by a fresh random arrival order."""
+    tasks = as_points(task_locations)
+    return tasks[random_arrival_order(len(tasks), seed)]

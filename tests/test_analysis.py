@@ -1,0 +1,134 @@
+"""Tests for repro.privacy.analysis: displacement profiles."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import (
+    DisplacementProfile,
+    TreeMechanism,
+    compare_mechanisms,
+    empirical_displacement,
+    laplace_displacement_profile,
+    tree_displacement_profile,
+)
+
+
+class TestTreeProfile:
+    def test_support_matches_level_distances(self, example1_tree):
+        profile = tree_displacement_profile(example1_tree, epsilon=0.1)
+        assert profile.support.tolist() == [0.0, 4.0, 12.0, 28.0, 60.0]
+
+    def test_probabilities_match_table1(self, example1_tree):
+        profile = tree_displacement_profile(example1_tree, epsilon=0.1)
+        # per-level mass = per-leaf probability * level count
+        assert profile.probabilities[0] == pytest.approx(0.394, abs=5e-4)
+        assert profile.probabilities[2] == pytest.approx(2 * 0.119, abs=1e-3)
+
+    def test_mean_equals_weights_expectation(self, example1_tree):
+        from repro.privacy import TreeWeights
+
+        profile = tree_displacement_profile(example1_tree, epsilon=0.2)
+        weights = TreeWeights.from_tree(example1_tree, 0.2)
+        assert profile.mean == pytest.approx(weights.expected_displacement)
+
+    def test_stay_probability(self, example1_tree):
+        profile = tree_displacement_profile(example1_tree, epsilon=0.1)
+        assert profile.stay_probability == pytest.approx(0.394, abs=5e-4)
+
+    def test_mean_saturates_at_small_epsilon(self, small_grid_tree):
+        """The tree mean displacement is bounded by the tree diameter, so
+        it flattens as eps -> 0 — the mechanism behind TBF's flat curve."""
+        means = [
+            tree_displacement_profile(small_grid_tree, eps).mean
+            for eps in (0.4, 0.1, 0.025, 0.00625)
+        ]
+        assert all(np.diff(means) >= -1e-9)  # grows as eps shrinks
+        cap = small_grid_tree.max_tree_distance / small_grid_tree.metric_scale
+        assert means[-1] <= cap
+
+    def test_rescaled_tree_units(self):
+        from repro.hst import build_hst
+
+        tree = build_hst([(0.0, 0.0), (0.25, 0.0), (10.0, 0.0)], seed=0)
+        profile = tree_displacement_profile(tree, epsilon=0.5)
+        # support is in metric units: divided by the metric scale (4.0)
+        assert profile.support[1] == pytest.approx(4.0 / tree.metric_scale)
+
+
+class TestLaplaceProfile:
+    def test_mean_is_two_over_eps(self):
+        for eps in (0.2, 0.5, 1.0):
+            profile = laplace_displacement_profile(eps, bins=2048)
+            assert profile.mean == pytest.approx(2.0 / eps, rel=0.02)
+
+    def test_median_matches_inverse_cdf(self):
+        from repro.privacy import PlanarLaplaceMechanism
+
+        eps = 0.5
+        profile = laplace_displacement_profile(eps, bins=4096)
+        exact = float(PlanarLaplaceMechanism(eps).inverse_radius_cdf(0.5))
+        assert profile.quantile(0.5) == pytest.approx(exact, rel=0.02)
+
+    def test_no_zero_mass(self):
+        profile = laplace_displacement_profile(0.5)
+        assert profile.stay_probability < 0.01
+
+    def test_bad_max_radius(self):
+        with pytest.raises(ValueError):
+            laplace_displacement_profile(0.5, max_radius=0.0)
+
+
+class TestProfileValidation:
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            DisplacementProfile(
+                "x", 1.0, np.array([0.0, 1.0]), np.array([1.0])
+            )
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValueError):
+            DisplacementProfile(
+                "x", 1.0, np.array([0.0, 1.0]), np.array([0.2, 0.2])
+            )
+
+    def test_quantile_bounds(self, example1_tree):
+        profile = tree_displacement_profile(example1_tree, 0.1)
+        with pytest.raises(ValueError):
+            profile.quantile(1.5)
+        assert profile.quantile(0.0) == 0.0
+        assert profile.quantile(1.0) == 60.0
+
+
+class TestCompareMechanisms:
+    def test_rows_and_keys(self, small_grid_tree):
+        rows = compare_mechanisms(small_grid_tree, [0.2, 1.0])
+        assert len(rows) == 2
+        assert {"epsilon", "tree_mean", "laplace_mean", "tree_q50"} <= set(rows[0])
+
+    def test_explains_fig7a(self, small_grid_tree):
+        """Laplace's mean displacement diverges as 2/eps while the tree
+        mechanism saturates at the tree diameter — the first-principles
+        reason TBF's curve is flat and the baselines blow up at small eps."""
+        rows = compare_mechanisms(small_grid_tree, [1e-4, 0.1, 2.0])
+        tiny, strict, loose = rows
+        diameter_cap = (
+            small_grid_tree.max_tree_distance / small_grid_tree.metric_scale
+        )
+        assert tiny["laplace_mean"] == pytest.approx(2e4, rel=0.05)
+        assert tiny["laplace_mean"] > diameter_cap  # Laplace is unbounded
+        assert tiny["tree_mean"] <= diameter_cap  # the tree saturates
+        # the tree mean is monotone in privacy and bounded throughout
+        assert tiny["tree_mean"] >= strict["tree_mean"] >= loose["tree_mean"]
+
+
+class TestEmpiricalDisplacement:
+    def test_matches_profile_mean(self, example1_tree):
+        mech = TreeMechanism(example1_tree, epsilon=0.1)
+        samples = empirical_displacement(mech, 0, n_samples=8000, seed=0)
+        profile = tree_displacement_profile(example1_tree, 0.1)
+        assert samples.mean() == pytest.approx(profile.mean, rel=0.1)
+
+    def test_support_is_level_distances(self, example1_tree):
+        mech = TreeMechanism(example1_tree, epsilon=0.1)
+        samples = empirical_displacement(mech, 1, n_samples=500, seed=1)
+        assert set(np.unique(samples)) <= {0.0, 4.0, 12.0, 28.0, 60.0}

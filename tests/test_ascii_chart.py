@@ -1,0 +1,63 @@
+"""Tests for repro.experiments.ascii_chart."""
+
+import pytest
+
+from repro.experiments import (
+    build_sweep,
+    render_series,
+    render_sweep_chart,
+    run_sweep,
+)
+
+
+class TestRenderSeries:
+    def test_basic_layout(self):
+        text = render_series(
+            [1.0, 2.0],
+            {"A": [10.0, 20.0], "B": [5.0, 15.0]},
+            width=10,
+            title="demo",
+        )
+        assert text.startswith("demo")
+        assert "x = 1" in text and "x = 2" in text
+        assert "A" in text and "B" in text
+
+    def test_bars_scale_to_global_peak(self):
+        text = render_series([1.0], {"A": [10.0], "B": [5.0]}, width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        bar_a = lines[0].split("|")[1].split()[0]
+        bar_b = lines[1].split("|")[1].split()[0]
+        assert len(bar_a) == 10
+        assert len(bar_b) == 5
+
+    def test_distinct_glyphs_per_series(self):
+        text = render_series([1.0], {"A": [8.0], "B": [8.0]}, width=8)
+        assert "#" in text and "*" in text
+
+    def test_zero_values(self):
+        text = render_series([1.0], {"A": [0.0]}, width=10)
+        assert "0" in text
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            render_series([1.0, 2.0], {"A": [1.0]})
+        with pytest.raises(ValueError):
+            render_series([1.0], {})
+
+
+class TestRenderSweepChart:
+    def test_from_real_sweep(self):
+        sweep = build_sweep("fig6_T", scale=0.01)
+        sweep.x_values = sweep.x_values[:2]
+        result = run_sweep(sweep, repeats=1, seed=0)
+        chart = render_sweep_chart(result)
+        assert "fig6_T" in chart
+        for algo in result.algorithms:
+            assert algo in chart
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        main(["fig6_T", "--scale", "0.01", "--repeats", "1", "--quiet", "--chart"])
+        out = capsys.readouterr().out
+        assert "total_distance vs |T|" in out

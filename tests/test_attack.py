@@ -1,0 +1,135 @@
+"""Tests for repro.privacy.attack: the Bayesian localization adversary."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import PlanarLaplaceMechanism, TreeMechanism
+from repro.privacy.attack import (
+    evaluate_laplace_attack,
+    evaluate_tree_attack,
+    laplace_posterior,
+    tree_posterior,
+)
+
+
+class TestTreePosterior:
+    def test_is_distribution(self, small_grid_tree):
+        mech = TreeMechanism(small_grid_tree, epsilon=0.3)
+        posterior = tree_posterior(mech, small_grid_tree.path_of(5))
+        assert posterior.shape == (small_grid_tree.n_points,)
+        assert posterior.sum() == pytest.approx(1.0)
+        assert np.all(posterior >= 0)
+
+    def test_observed_real_leaf_is_map(self, small_grid_tree):
+        """Seeing a report at a real leaf, that leaf is the most likely
+        true point under a uniform prior (weights decrease with level)."""
+        mech = TreeMechanism(small_grid_tree, epsilon=0.5)
+        idx = 12
+        posterior = tree_posterior(mech, small_grid_tree.path_of(idx))
+        assert int(np.argmax(posterior)) == idx
+
+    def test_prior_shifts_posterior(self, small_grid_tree):
+        """A strong prior on a *nearby* point overrides the observation:
+        Geo-I's promise is exactly that close points stay confusable. (Far
+        points are a different story — see the class below.)"""
+        mech = TreeMechanism(small_grid_tree, epsilon=0.05)
+        n = small_grid_tree.n_points
+        # find the closest real-leaf pair on the tree
+        best = min(
+            (
+                (small_grid_tree.tree_distance_points(i, j), i, j)
+                for i in range(n)
+                for j in range(i + 1, n)
+            ),
+        )
+        _, a, b = best
+        prior = np.full(n, 1e-6)
+        prior[a] = 1.0
+        posterior = tree_posterior(
+            mech, small_grid_tree.path_of(b), prior=prior
+        )
+        assert int(np.argmax(posterior)) == a
+
+    def test_bad_prior_rejected(self, small_grid_tree):
+        mech = TreeMechanism(small_grid_tree, epsilon=0.2)
+        with pytest.raises(ValueError):
+            tree_posterior(mech, small_grid_tree.path_of(0), prior=np.ones(3))
+        with pytest.raises(ValueError):
+            tree_posterior(
+                mech,
+                small_grid_tree.path_of(0),
+                prior=np.zeros(small_grid_tree.n_points),
+            )
+
+
+class TestLaplacePosterior:
+    def test_is_distribution(self):
+        pts = np.random.default_rng(0).random((20, 2)) * 100
+        mech = PlanarLaplaceMechanism(0.3)
+        posterior = laplace_posterior(mech, pts, (50.0, 50.0))
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_nearest_point_is_map(self):
+        pts = np.array([[0.0, 0.0], [50.0, 0.0], [100.0, 0.0]])
+        mech = PlanarLaplaceMechanism(0.5)
+        posterior = laplace_posterior(mech, pts, (52.0, 1.0))
+        assert int(np.argmax(posterior)) == 1
+
+
+class TestAttackEvaluation:
+    def test_reports_have_sane_fields(self, small_grid_tree):
+        report = evaluate_tree_attack(
+            small_grid_tree, epsilon=0.3, n_trials=50, seed=0
+        )
+        assert report.mechanism == "tree"
+        assert report.n_trials == 50
+        assert report.mean_error >= 0
+        assert 0 <= report.mean_true_mass <= 1
+        assert 0 <= report.top1_accuracy <= 1
+
+    def test_smaller_epsilon_is_more_private(self, small_grid_tree):
+        """Tighter budgets must increase adversarial error for both
+        mechanisms — the whole point of the parameter."""
+        strict = evaluate_tree_attack(
+            small_grid_tree, epsilon=0.05, n_trials=150, seed=1
+        )
+        loose = evaluate_tree_attack(
+            small_grid_tree, epsilon=5.0, n_trials=150, seed=1
+        )
+        assert strict.mean_error > loose.mean_error
+        assert strict.top1_accuracy < loose.top1_accuracy
+
+        pts = small_grid_tree.points
+        l_strict = evaluate_laplace_attack(pts, 0.05, n_trials=150, seed=2)
+        l_loose = evaluate_laplace_attack(pts, 5.0, n_trials=150, seed=2)
+        assert l_strict.mean_error > l_loose.mean_error
+
+    def test_huge_epsilon_attack_is_near_perfect(self, small_grid_tree):
+        report = evaluate_tree_attack(
+            small_grid_tree, epsilon=50.0, n_trials=80, seed=3
+        )
+        assert report.top1_accuracy > 0.95
+        assert report.mean_error == pytest.approx(0.0, abs=1.0)
+
+    def test_nominal_epsilon_is_metric_dependent(self, small_grid_tree):
+        """Empirical-privacy reality check: at the same *nominal* eps, the
+        tree mechanism (budget per tree unit, distances up to ~1000 here)
+        leaks more to an optimal Bayes attacker than planar Laplace
+        (budget per Euclidean unit). Geo-I budgets are only comparable
+        within one metric — a caveat the paper's comparison inherits and
+        this reproduction documents."""
+        tree_rep = evaluate_tree_attack(
+            small_grid_tree, epsilon=0.2, n_trials=200, seed=4
+        )
+        lap_rep = evaluate_laplace_attack(
+            small_grid_tree.points, 0.2, n_trials=200, seed=4
+        )
+        assert tree_rep.top1_accuracy >= lap_rep.top1_accuracy
+        # scaling the tree budget by the realized stretch restores parity
+        from repro.matching import estimate_stretch
+
+        stretch = estimate_stretch(small_grid_tree, seed=5)
+        adjusted = evaluate_tree_attack(
+            small_grid_tree, epsilon=0.2 / stretch, n_trials=200, seed=4
+        )
+        assert adjusted.top1_accuracy <= tree_rep.top1_accuracy

@@ -1,0 +1,126 @@
+"""Tests for TreeMechanism.obfuscate_batch: the vectorized sampler."""
+
+import numpy as np
+import pytest
+
+from repro.hst import build_hst, lca_level
+from repro.privacy import TreeMechanism
+
+from .conftest import EXAMPLE1_POINTS
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_hst(EXAMPLE1_POINTS, beta=0.5, permutation=[0, 1, 2, 3])
+
+
+@pytest.fixture(scope="module")
+def mech(tree):
+    return TreeMechanism(tree, epsilon=0.1, seed=0)
+
+
+class TestShapeAndValidity:
+    def test_output_shape(self, tree, mech):
+        paths = np.tile(tree.paths[0], (10, 1))
+        out = mech.obfuscate_batch(paths, np.random.default_rng(0))
+        assert out.shape == (10, tree.depth)
+
+    def test_outputs_are_valid_paths(self, tree, mech):
+        rng = np.random.default_rng(1)
+        paths = tree.paths[np.zeros(200, dtype=int)]
+        out = mech.obfuscate_batch(paths, rng)
+        assert out.min() >= 0
+        assert out.max() < tree.branching
+
+    def test_empty_batch(self, tree, mech):
+        out = mech.obfuscate_batch(np.empty((0, tree.depth), dtype=int))
+        assert out.shape == (0, tree.depth)
+
+    def test_input_not_mutated(self, tree, mech):
+        paths = tree.paths[:2].copy()
+        before = paths.copy()
+        mech.obfuscate_batch(paths, np.random.default_rng(2))
+        assert np.array_equal(paths, before)
+
+    def test_rejects_wrong_width(self, mech):
+        with pytest.raises(ValueError):
+            mech.obfuscate_batch(np.zeros((3, 2), dtype=int))
+
+    def test_rejects_out_of_range(self, tree, mech):
+        bad = np.full((1, tree.depth), tree.branching, dtype=int)
+        with pytest.raises(ValueError):
+            mech.obfuscate_batch(bad)
+
+
+class TestDistribution:
+    def test_matches_exact_distribution(self, tree, mech):
+        """Empirical batch distribution vs the Algorithm 2 closed form."""
+        x = tree.path_of(0)
+        exact = mech.distribution(x)
+        n = 40_000
+        batch = np.tile(np.array(x), (n, 1))
+        out = mech.obfuscate_batch(batch, np.random.default_rng(3))
+        counts = {}
+        for row in out:
+            key = tuple(int(v) for v in row)
+            counts[key] = counts.get(key, 0) + 1
+        assert set(counts) <= set(exact)
+        tv = 0.5 * sum(
+            abs(counts.get(z, 0) / n - p) for z, p in exact.items()
+        )
+        assert tv < 0.03
+
+    def test_level_marginals_match_walk(self, tree, mech):
+        x = tree.path_of(2)
+        n = 20_000
+        out = mech.obfuscate_batch(
+            np.tile(np.array(x), (n, 1)), np.random.default_rng(4)
+        )
+        levels = np.array(
+            [lca_level(x, tuple(int(v) for v in row)) for row in out]
+        )
+        for lvl in range(tree.depth + 1):
+            expected = mech.weights.level_probs[lvl]
+            assert abs(float(np.mean(levels == lvl)) - expected) < 0.02
+
+    def test_mixed_inputs_each_follow_own_law(self, tree, mech):
+        """A batch mixing different true leaves obfuscates each correctly:
+        the stay probability applies per row."""
+        n = 10_000
+        paths = np.vstack(
+            [np.tile(tree.paths[0], (n, 1)), np.tile(tree.paths[2], (n, 1))]
+        )
+        out = mech.obfuscate_batch(paths, np.random.default_rng(5))
+        stay0 = float(np.mean((out[:n] == tree.paths[0]).all(axis=1)))
+        stay2 = float(np.mean((out[n:] == tree.paths[2]).all(axis=1)))
+        expected = mech.weights.stay_probability
+        assert abs(stay0 - expected) < 0.02
+        assert abs(stay2 - expected) < 0.02
+
+    def test_unary_tree_identity(self):
+        unary = build_hst([(3.0, 4.0)], seed=0)
+        m = TreeMechanism(unary, epsilon=0.5)
+        paths = np.zeros((5, 1), dtype=int)
+        out = m.obfuscate_batch(paths, np.random.default_rng(0))
+        assert np.array_equal(out, paths)
+
+
+class TestPipelineConsistency:
+    def test_batch_and_scalar_agree_on_grid_tree(self, small_grid_tree):
+        mech = TreeMechanism(small_grid_tree, epsilon=0.3)
+        x = small_grid_tree.path_of(7)
+        n = 15_000
+        batch = mech.obfuscate_batch(
+            np.tile(np.array(x), (n, 1)), np.random.default_rng(6)
+        )
+        rng = np.random.default_rng(7)
+        scalar_levels = np.array(
+            [lca_level(x, mech.obfuscate_walk(x, rng)) for _ in range(n)]
+        )
+        batch_levels = np.array(
+            [lca_level(x, tuple(int(v) for v in row)) for row in batch]
+        )
+        for lvl in range(small_grid_tree.depth + 1):
+            a = float(np.mean(scalar_levels == lvl))
+            b = float(np.mean(batch_levels == lvl))
+            assert abs(a - b) < 0.025

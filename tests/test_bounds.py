@@ -1,0 +1,51 @@
+"""Tests for repro.privacy.bounds: the paper's closed-form guarantees."""
+
+import math
+
+import pytest
+
+from repro.privacy import lemma2_upper_factor, theorem3_competitive_bound
+
+
+class TestLemma2Factor:
+    def test_binary_case_is_inverse_square(self):
+        """With c = 2 the factor behaves like (ln 4 / eps)^2 ~ 1/eps^2."""
+        f = lemma2_upper_factor(0.1, branching=2)
+        assert f == pytest.approx((math.log(4) / 0.1) ** 2)
+
+    def test_decreases_with_epsilon(self):
+        factors = [lemma2_upper_factor(e) for e in (0.1, 0.5, 1.0)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_never_below_one(self):
+        assert lemma2_upper_factor(100.0) == 1.0
+
+    def test_grows_with_branching(self):
+        assert lemma2_upper_factor(0.2, 4) > lemma2_upper_factor(0.2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma2_upper_factor(0.0)
+        with pytest.raises(ValueError):
+            lemma2_upper_factor(0.5, branching=0)
+
+
+class TestTheorem3Bound:
+    def test_quoted_form_at_c2(self):
+        """The paper quotes O(1/eps^4 log N log^2 k) for binary HSTs."""
+        eps, n, k = 0.2, 1024, 512
+        bound = theorem3_competitive_bound(eps, n, k)
+        quoted = (math.log(4) / eps) ** 4 * math.log2(n) * math.log2(k) ** 2
+        assert bound == pytest.approx(quoted)
+
+    def test_monotone_in_all_arguments(self):
+        base = theorem3_competitive_bound(0.5, 1000, 100)
+        assert theorem3_competitive_bound(0.25, 1000, 100) > base
+        assert theorem3_competitive_bound(0.5, 10_000, 100) > base
+        assert theorem3_competitive_bound(0.5, 1000, 1000) > base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem3_competitive_bound(0.5, 0, 10)
+        with pytest.raises(ValueError):
+            theorem3_competitive_bound(0.5, 10, 0)

@@ -1,0 +1,78 @@
+"""Tests for repro.privacy.budget: sequential composition accounting."""
+
+import pytest
+
+from repro.privacy import BudgetExceededError, PrivacyBudgetLedger
+
+
+class TestLedger:
+    def test_fresh_principal_has_full_budget(self):
+        ledger = PrivacyBudgetLedger(capacity=2.0)
+        assert ledger.spent("w1") == 0.0
+        assert ledger.remaining("w1") == 2.0
+
+    def test_spend_accumulates(self):
+        ledger = PrivacyBudgetLedger(capacity=2.0)
+        assert ledger.spend("w1", 0.5) == 0.5
+        assert ledger.spend("w1", 0.7) == pytest.approx(1.2)
+        assert ledger.remaining("w1") == pytest.approx(0.8)
+
+    def test_principals_are_independent(self):
+        ledger = PrivacyBudgetLedger(capacity=1.0)
+        ledger.spend("w1", 0.9)
+        assert ledger.remaining("w2") == 1.0
+        ledger.spend("w2", 0.9)
+
+    def test_cap_enforced(self):
+        ledger = PrivacyBudgetLedger(capacity=1.0)
+        ledger.spend("w1", 0.8)
+        with pytest.raises(BudgetExceededError):
+            ledger.spend("w1", 0.3)
+        # a failed spend records nothing
+        assert ledger.spent("w1") == pytest.approx(0.8)
+
+    def test_exact_cap_allowed(self):
+        ledger = PrivacyBudgetLedger(capacity=1.0)
+        ledger.spend("w1", 0.5)
+        ledger.spend("w1", 0.5)
+        assert ledger.remaining("w1") == pytest.approx(0.0)
+
+    def test_can_spend(self):
+        ledger = PrivacyBudgetLedger(capacity=1.0)
+        ledger.spend("w1", 0.6)
+        assert ledger.can_spend("w1", 0.4)
+        assert not ledger.can_spend("w1", 0.5)
+
+    def test_history_and_total(self):
+        ledger = PrivacyBudgetLedger(capacity=5.0)
+        ledger.spend("a", 1.0)
+        ledger.spend("b", 2.0)
+        assert ledger.history == [("a", 1.0), ("b", 2.0)]
+        assert ledger.total_spent() == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyBudgetLedger(capacity=0.0)
+        ledger = PrivacyBudgetLedger(capacity=1.0)
+        with pytest.raises(ValueError):
+            ledger.spend("w", 0.0)
+        with pytest.raises(ValueError):
+            ledger.can_spend("w", -0.1)
+
+
+class TestWithMechanism:
+    def test_repeated_reports_respect_cap(self, example1_tree):
+        """A worker re-reporting its leaf spends its budget down and is cut
+        off exactly when composition would exceed the cap."""
+        from repro.privacy import TreeMechanism
+
+        per_report = 0.3
+        ledger = PrivacyBudgetLedger(capacity=1.0)
+        mech = TreeMechanism(example1_tree, epsilon=per_report, seed=0)
+        reports = 0
+        while ledger.can_spend("worker-7", per_report):
+            ledger.spend("worker-7", per_report)
+            mech.obfuscate(example1_tree.path_of(0))
+            reports += 1
+        assert reports == 3  # floor(1.0 / 0.3)
+        assert ledger.remaining("worker-7") == pytest.approx(0.1)

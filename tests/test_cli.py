@@ -1,0 +1,62 @@
+"""Tests for the python -m repro.experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig6_T" in out
+        assert "fig8_real_eps" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "0.394" in out
+
+    def test_single_experiment(self, capsys):
+        code = main(
+            ["fig6_T", "--scale", "0.01", "--repeats", "1", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig6_T" in out
+        assert "TBF" in out
+
+    def test_case_study_prints_matching_size(self, capsys):
+        code = main(
+            ["fig8_W", "--scale", "0.01", "--repeats", "1", "--quiet"]
+        )
+        assert code == 0
+        assert "matching size" in capsys.readouterr().out
+
+    def test_csv_output(self, tmp_path, capsys):
+        code = main(
+            [
+                "fig6_W",
+                "--scale",
+                "0.01",
+                "--repeats",
+                "1",
+                "--quiet",
+                "--csv",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        csv_file = tmp_path / "fig6_W.csv"
+        assert csv_file.exists()
+        assert "total_distance" in csv_file.read_text()
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_progress_goes_to_stderr(self, capsys):
+        main(["fig6_T", "--scale", "0.01", "--repeats", "1"])
+        captured = capsys.readouterr()
+        assert "rep 1/1" in captured.err

@@ -1,0 +1,88 @@
+"""Tests for repro.matching.euclidean_greedy."""
+
+import numpy as np
+import pytest
+
+from repro.matching import EuclideanGreedyMatcher
+
+
+class TestAssign:
+    def test_picks_nearest(self):
+        matcher = EuclideanGreedyMatcher([(0, 0), (10, 0), (5, 5)])
+        worker, dist = matcher.assign((9, 1))
+        assert worker == 1
+        assert dist == pytest.approx(np.hypot(1, 1))
+
+    def test_consumes_workers(self):
+        matcher = EuclideanGreedyMatcher([(0, 0), (1, 0)])
+        assert matcher.assign((0, 0))[0] == 0
+        assert matcher.assign((0, 0))[0] == 1
+        assert matcher.assign((0, 0)) is None
+
+    def test_empty_pool(self):
+        matcher = EuclideanGreedyMatcher(np.zeros((0, 2)))
+        assert matcher.assign((0, 0)) is None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_probe_matches_naive_scan(self, seed):
+        """The KD-tree probe and the literal O(n) scan make identical
+        decisions on the same instance (no distance ties in random data)."""
+        rng = np.random.default_rng(seed)
+        workers = rng.random((50, 2)) * 100
+        tasks = rng.random((50, 2)) * 100
+        fast = EuclideanGreedyMatcher(workers)
+        slow = EuclideanGreedyMatcher(workers, naive=True)
+        for task in tasks:
+            fast_worker, fast_dist = fast.assign(task)
+            slow_worker, slow_dist = slow.assign(task)
+            assert fast_worker == slow_worker
+            assert fast_dist == pytest.approx(slow_dist)
+
+    def test_probe_expansion_under_heavy_consumption(self):
+        """Once most workers are consumed, the k-NN probe must expand."""
+        rng = np.random.default_rng(9)
+        workers = rng.random((64, 2))
+        matcher = EuclideanGreedyMatcher(workers)
+        results = [matcher.assign((0.5, 0.5)) for _ in range(64)]
+        assert all(r is not None for r in results)
+        assert {r[0] for r in results} == set(range(64))
+
+
+class TestAssignWithin:
+    def test_respects_radius(self):
+        matcher = EuclideanGreedyMatcher([(10, 0)])
+        assert matcher.assign_within((0, 0), radius=5.0) is None
+        assert matcher.available == 1
+        worker, dist = matcher.assign_within((0, 0), radius=15.0)
+        assert worker == 0 and dist == pytest.approx(10.0)
+        assert matcher.available == 0
+
+    def test_empty_pool(self):
+        matcher = EuclideanGreedyMatcher(np.zeros((0, 2)))
+        assert matcher.assign_within((0, 0), radius=1.0) is None
+
+
+class TestRelease:
+    def test_roundtrip(self):
+        matcher = EuclideanGreedyMatcher([(0, 0)])
+        worker, _ = matcher.assign((0, 0))
+        matcher.release(worker)
+        assert matcher.available == 1
+        assert matcher.assign((0, 0))[0] == worker
+
+    def test_release_unconsumed_rejected(self):
+        matcher = EuclideanGreedyMatcher([(0, 0)])
+        with pytest.raises(ValueError):
+            matcher.release(0)
+
+
+class TestGreedyQuality:
+    def test_zero_distance_on_identical_sets(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((20, 2)) * 50
+        matcher = EuclideanGreedyMatcher(pts)
+        total = 0.0
+        for p in pts:
+            _, d = matcher.assign(p)
+            total += d
+        assert total == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,205 @@
+"""Tests for repro.experiments: config, metrics, runner, figures, report."""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    CASE_STUDY_RADII,
+    DEFAULTS,
+    EXPERIMENTS,
+    TABLE_II,
+    TABLE_III,
+    MetricSummary,
+    build_sweep,
+    format_sweep,
+    format_table1,
+    run_sweep,
+    scaled,
+    summarize,
+    sweep_to_csv,
+    table1_rows,
+)
+from repro.crowdsourcing import PipelineOutcome
+from repro.matching import MatchingResult
+from repro.matching.types import Assignment
+
+
+class TestConfig:
+    def test_table2_matches_paper(self):
+        assert TABLE_II["n_tasks"] == (1000, 2000, 3000, 4000, 5000)
+        assert TABLE_II["n_workers"] == (3000, 4000, 5000, 6000, 7000)
+        assert TABLE_II["epsilon"] == (0.2, 0.4, 0.6, 0.8, 1.0)
+        assert TABLE_II["scalability"][-1] == 100_000
+
+    def test_table3_matches_paper(self):
+        assert TABLE_III["n_workers"] == (6000, 7000, 8000, 9000, 10_000)
+        assert TABLE_III["n_days"] == 30
+
+    def test_case_study_radii(self):
+        assert CASE_STUDY_RADII["synthetic"] == (10.0, 20.0)
+        assert CASE_STUDY_RADII["real_meters"] == (500.0, 1000.0)
+        # the paper's 500-1000 m at the workload's 50 m/unit normalization
+        assert CASE_STUDY_RADII["real"] == (10.0, 20.0)
+
+    def test_scaled(self):
+        assert scaled(1000, 0.1) == 100
+        assert scaled(3, 0.1) == 1  # floor of one
+        with pytest.raises(ValueError):
+            scaled(10, 0.0)
+
+
+class TestMetrics:
+    def _outcome(self, distance, seconds=0.5, mib=1.0, successes=2):
+        assignments = [
+            Assignment(task=i, worker=i, distance=distance / successes)
+            for i in range(successes)
+        ]
+        return PipelineOutcome(
+            algorithm="X",
+            matching=MatchingResult(assignments=assignments),
+            assignment_seconds=seconds,
+            setup_seconds=0.1,
+            peak_mib=mib,
+        )
+
+    def test_summary_of(self):
+        s = MetricSummary.of([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.n == 3
+
+    def test_summary_empty(self):
+        s = MetricSummary.of([])
+        assert np.isnan(s.mean)
+        assert s.n == 0
+
+    def test_summarize_keys(self):
+        metrics = summarize([self._outcome(10.0), self._outcome(20.0)])
+        assert metrics["total_distance"].mean == 15.0
+        assert metrics["matching_size"].mean == 2.0
+        assert metrics["running_time"].mean == 0.5
+        assert metrics["memory_mib"].mean == 1.0
+        assert metrics["avg_task_latency"].mean == pytest.approx(0.25)
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = table1_rows()
+        by_level = {r["level"]: r for r in rows}
+        assert by_level[0]["probability"] == pytest.approx(0.394, abs=5e-4)
+        assert by_level[1]["probability"] == pytest.approx(0.264, abs=5e-4)
+        assert by_level[2]["probability"] == pytest.approx(0.119, abs=5e-4)
+        assert by_level[3]["probability"] == pytest.approx(0.024, abs=5e-4)
+        assert by_level[4]["probability"] == pytest.approx(0.001, abs=5e-4)
+        assert [r["n_leaves"] for r in rows] == [1, 1, 2, 4, 8]
+
+    def test_formatting(self):
+        text = format_table1(table1_rows())
+        assert "Table I" in text
+        assert "0.394" in text
+
+
+class TestRegistryAndSweeps:
+    def test_registry_covers_design_md_index(self):
+        expected = {
+            "fig6_T",
+            "fig6_W",
+            "fig6_mu",
+            "fig6_sigma",
+            "fig7_eps",
+            "fig7_scal",
+            "fig7_real_W",
+            "fig7_real_eps",
+            "fig8_W",
+            "fig8_eps",
+            "fig8_real_W",
+            "fig8_real_eps",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            build_sweep("fig99")
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_every_sweep_builds_and_makes_instances(self, experiment_id):
+        sweep = build_sweep(experiment_id, scale=0.01)
+        assert len(sweep.x_values) == 5
+        rng = np.random.default_rng(0)
+        instance = sweep.make_instance(sweep.x_values[0], 0, rng)
+        assert instance.n_tasks >= 1
+        assert instance.n_workers >= 1
+        if experiment_id.startswith("fig8"):
+            assert instance.radii is not None
+
+    def test_run_sweep_tiny(self):
+        sweep = build_sweep("fig6_T", scale=0.01)
+        sweep.x_values = sweep.x_values[:2]
+        result = run_sweep(sweep, repeats=2, seed=0)
+        assert result.algorithms == ["Lap-GR", "Lap-HG", "TBF"]
+        assert len(result.points) == 2
+        for point in result.points:
+            for algo in result.algorithms:
+                assert point.metric(algo, "total_distance").n == 2
+
+    def test_run_sweep_reproducible(self):
+        sweep = build_sweep("fig6_T", scale=0.01)
+        sweep.x_values = sweep.x_values[:1]
+        a = run_sweep(sweep, repeats=2, seed=7)
+        b = run_sweep(sweep, repeats=2, seed=7)
+        assert a.series("TBF", "total_distance") == b.series(
+            "TBF", "total_distance"
+        )
+
+    def test_run_sweep_progress_callback(self):
+        sweep = build_sweep("fig6_T", scale=0.01)
+        sweep.x_values = sweep.x_values[:1]
+        messages = []
+        run_sweep(sweep, repeats=1, seed=0, progress=messages.append)
+        assert messages and "fig6_T" in messages[0]
+
+    def test_run_sweep_rejects_bad_repeats(self):
+        sweep = build_sweep("fig6_T", scale=0.01)
+        with pytest.raises(ValueError):
+            run_sweep(sweep, repeats=0)
+
+    def test_case_study_sweep_runs(self):
+        sweep = build_sweep("fig8_W", scale=0.01)
+        sweep.x_values = sweep.x_values[:1]
+        result = run_sweep(sweep, repeats=1, seed=0)
+        assert result.algorithms == ["Prob", "TBF"]
+        point = result.points[0]
+        assert point.metric("TBF", "matching_size").mean >= 0
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        sweep = build_sweep("fig6_T", scale=0.01)
+        sweep.x_values = sweep.x_values[:2]
+        return run_sweep(sweep, repeats=1, seed=0)
+
+    def test_format_contains_series(self, result):
+        text = format_sweep(result)
+        assert "total distance" in text
+        assert "Lap-GR" in text and "TBF" in text
+        assert "TBF savings" in text
+
+    def test_csv_roundtrip(self, result):
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(result))))
+        assert len(rows) == 2 * 3 * 5  # x-values * algorithms * metrics
+        assert {r["algorithm"] for r in rows} == {"Lap-GR", "Lap-HG", "TBF"}
+
+    def test_improvement_helper(self, result):
+        gains = result.improvement("total_distance", "TBF", "Lap-GR")
+        assert len(gains) == 2
+
+
+class TestDefaults:
+    def test_paper_bold_values(self):
+        assert DEFAULTS.n_tasks == 3000
+        assert DEFAULTS.n_workers == 5000
+        assert DEFAULTS.epsilon == 0.6
+        assert DEFAULTS.repeats == 10

@@ -1,0 +1,91 @@
+"""Tests for repro.geometry.box."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+
+
+class TestConstruction:
+    def test_square(self):
+        box = Box.square(200.0)
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (0, 0, 200, 200)
+
+    def test_square_with_origin(self):
+        box = Box.square(10.0, origin=(5.0, -5.0))
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (5, -5, 15, 5)
+
+    def test_square_rejects_nonpositive_side(self):
+        with pytest.raises(ValueError):
+            Box.square(0.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Box(1, 0, 0, 1)
+
+    def test_zero_area_allowed(self):
+        box = Box(1, 1, 1, 1)
+        assert box.width == 0 and box.height == 0
+
+
+class TestProperties:
+    def test_dimensions(self):
+        box = Box(0, 0, 4, 3)
+        assert box.width == 4
+        assert box.height == 3
+        assert box.diagonal == pytest.approx(5.0)
+
+    def test_center(self):
+        assert np.array_equal(Box(0, 0, 10, 20).center, [5.0, 10.0])
+
+
+class TestContains:
+    def test_inside_and_outside(self):
+        box = Box.square(10.0)
+        mask = box.contains([(5, 5), (11, 5), (-1, 5), (10, 10)])
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_boundary_is_inside(self):
+        assert box_contains_single(Box.square(1.0), (0.0, 1.0))
+
+
+def box_contains_single(box, p):
+    return bool(box.contains([p])[0])
+
+
+class TestClamp:
+    def test_clamps_outside_points(self):
+        box = Box.square(10.0)
+        out = box.clamp([(12, 5), (-3, -3), (5, 5)])
+        assert out.tolist() == [[10, 5], [0, 0], [5, 5]]
+
+    def test_preserves_input(self):
+        box = Box.square(10.0)
+        pts = np.array([[20.0, 20.0]])
+        box.clamp(pts)
+        assert pts[0, 0] == 20.0
+
+    def test_clamped_points_contained(self):
+        box = Box(2, 3, 8, 9)
+        rng = np.random.default_rng(0)
+        pts = rng.normal(0, 20, size=(100, 2))
+        assert box.contains(box.clamp(pts)).all()
+
+
+class TestSampleUniform:
+    def test_contained(self):
+        box = Box(-5, -5, 5, 5)
+        assert box.contains(box.sample_uniform(500, seed=1)).all()
+
+    def test_deterministic(self):
+        box = Box.square(3.0)
+        assert np.array_equal(
+            box.sample_uniform(10, seed=9), box.sample_uniform(10, seed=9)
+        )
+
+    def test_zero(self):
+        assert Box.square(1.0).sample_uniform(0).shape == (0, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Box.square(1.0).sample_uniform(-1)

@@ -1,0 +1,173 @@
+"""Tests for repro.hst.build: Algorithm 1 and its invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import euclidean, pairwise_distances
+from repro.hst import build_hst
+
+from .conftest import EXAMPLE1_POINTS, random_point_set
+
+
+class TestExample1:
+    """The paper's worked Example 1 (Figs. 2 and 3), end to end."""
+
+    def test_depth_matches_paper(self, example1_tree):
+        # D = ceil(log2(2 * d(o1, o3))) = 4
+        assert example1_tree.depth == 4
+
+    def test_branching_is_two(self, example1_tree):
+        assert example1_tree.branching == 2
+
+    def test_leaf_paths_match_figure3(self, example1_tree):
+        assert example1_tree.path_of(0) == (0, 0, 0, 0)  # o1
+        assert example1_tree.path_of(1) == (0, 1, 0, 0)  # o2
+        assert example1_tree.path_of(2) == (1, 0, 0, 0)  # o3
+        assert example1_tree.path_of(3) == (1, 0, 1, 0)  # o4
+
+    def test_o1_o2_split_at_level_3(self, example1_tree):
+        assert example1_tree.lca_level(
+            example1_tree.path_of(0), example1_tree.path_of(1)
+        ) == 3
+
+    def test_o3_o4_split_at_level_2(self, example1_tree):
+        assert example1_tree.lca_level(
+            example1_tree.path_of(2), example1_tree.path_of(3)
+        ) == 2
+
+    def test_no_rescaling_needed(self, example1_tree):
+        assert example1_tree.metric_scale == 1.0
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_one_leaf_per_point(self, seed):
+        pts = random_point_set(15, seed)
+        tree = build_hst(pts, seed=seed)
+        leaf_paths = {tree.path_of(i) for i in range(len(pts))}
+        assert len(leaf_paths) == len(pts)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_paths_within_branching(self, seed):
+        tree = build_hst(random_point_set(20, seed), seed=seed)
+        assert tree.paths.min() >= 0
+        assert tree.paths.max() < tree.branching
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tree_distance_dominates_metric(self, seed):
+        """The HST lower bound d(u, v) <= dT(u, v) holds deterministically."""
+        pts = random_point_set(12, seed)
+        tree = build_hst(pts, seed=seed)
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                d = euclidean(pts[i], pts[j]) * tree.metric_scale
+                assert tree.tree_distance_points(i, j) >= d - 1e-9
+
+    def test_depth_formula(self):
+        pts = random_point_set(10, 3)
+        tree = build_hst(pts, seed=0)
+        diam = pairwise_distances(pts).max() * tree.metric_scale
+        assert tree.depth == max(1, math.ceil(math.log2(2 * diam)))
+
+    def test_cluster_diameter_bound(self):
+        """Members of a level-i subtree lie within 2 * sum of radii above."""
+        pts = random_point_set(25, 9)
+        tree = build_hst(pts, seed=9, beta=0.75)
+        # two leaves with LCA at level l were carved together at level l-1,
+        # so their distance is < 2 * sum_{i<l} beta 2^i < beta 2^(l+1)
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                level = tree.lca_level(tree.path_of(i), tree.path_of(j))
+                d = euclidean(pts[i], pts[j]) * tree.metric_scale
+                assert d < 2 * 0.75 * (2**level)
+
+
+class TestDeterminismAndRandomness:
+    def test_same_seed_same_tree(self):
+        pts = random_point_set(18, 1)
+        a = build_hst(pts, seed=42)
+        b = build_hst(pts, seed=42)
+        assert a.depth == b.depth
+        assert a.branching == b.branching
+        assert np.array_equal(a.paths, b.paths)
+
+    def test_explicit_beta_and_permutation_are_honored(self):
+        tree = build_hst(EXAMPLE1_POINTS, beta=0.7, permutation=[3, 2, 1, 0])
+        assert tree.beta == 0.7
+        assert tree.permutation.tolist() == [3, 2, 1, 0]
+
+    def test_different_seeds_can_differ(self):
+        pts = random_point_set(30, 2)
+        trees = [build_hst(pts, seed=s) for s in range(8)]
+        signatures = {tuple(t.paths.ravel().tolist()) for t in trees}
+        assert len(signatures) > 1  # the construction is genuinely random
+
+
+class TestRescaling:
+    def test_close_points_trigger_rescale(self):
+        pts = [(0.0, 0.0), (0.25, 0.0), (10.0, 0.0)]
+        tree = build_hst(pts, seed=0)
+        assert tree.metric_scale == pytest.approx(4.0)
+        # one leaf per point even below unit spacing
+        assert len({tree.path_of(i) for i in range(3)}) == 3
+
+    def test_rescaled_distance_conversion(self):
+        pts = [(0.0, 0.0), (0.25, 0.0), (10.0, 0.0)]
+        tree = build_hst(pts, seed=0)
+        d_tree = tree.tree_distance_points(0, 2)
+        assert tree.tree_distance_metric(
+            tree.path_of(0), tree.path_of(2)
+        ) == pytest.approx(d_tree / 4.0)
+
+
+class TestEdgeCasesAndErrors:
+    def test_single_point(self):
+        tree = build_hst([(3.0, 4.0)], seed=0)
+        assert tree.depth == 1
+        assert tree.n_points == 1
+        assert tree.path_of(0) == (0,)
+
+    def test_two_points(self):
+        tree = build_hst([(0.0, 0.0), (5.0, 0.0)], seed=0)
+        assert tree.n_points == 2
+        assert tree.path_of(0) != tree.path_of(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_hst([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            build_hst([(1, 1), (1, 1), (2, 2)])
+
+    def test_bad_beta_rejected(self):
+        with pytest.raises(ValueError):
+            build_hst(EXAMPLE1_POINTS, beta=0.3)
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            build_hst(EXAMPLE1_POINTS, permutation=[0, 0, 1, 2])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 24),
+    seed=st.integers(0, 10_000),
+)
+def test_property_all_invariants(n, seed):
+    """Random instances: singleton leaves, dominated metric, valid paths."""
+    pts = random_point_set(n, seed)
+    tree = build_hst(pts, seed=seed)
+    assert tree.paths.shape == (n, tree.depth)
+    assert len({tree.path_of(i) for i in range(n)}) == n
+    rng = np.random.default_rng(seed)
+    for _ in range(10):
+        i, j = rng.integers(0, n, size=2)
+        if i == j:
+            continue
+        d = euclidean(pts[i], pts[j]) * tree.metric_scale
+        assert tree.tree_distance_points(int(i), int(j)) >= d - 1e-9

@@ -1,0 +1,130 @@
+"""Cross-module integration tests: the full paper workflow end to end."""
+
+import numpy as np
+import pytest
+
+from repro.crowdsourcing import (
+    Instance,
+    MatchingServer,
+    TBFPipeline,
+    Task,
+    Worker,
+    encode_task_tree,
+    encode_worker_tree,
+    publish_tree,
+)
+from repro.geometry import Box
+from repro.matching import optimal_total_distance
+from repro.privacy import TreeMechanism, verify_tree_geo_i
+from repro.workloads import SyntheticConfig, gaussian_workload
+
+
+class TestFullWorkflow:
+    """Fig. 1's four steps, executed through the public API."""
+
+    def test_publish_obfuscate_match(self):
+        region = Box.square(100.0)
+        rng = np.random.default_rng(0)
+
+        # Step 1: the server builds and publishes the HST.
+        tree = publish_tree(region, grid_nx=8, seed=0)
+
+        # Step 2: workers obfuscate and register.
+        mech = TreeMechanism(tree, epsilon=0.8, seed=1)
+        server = MatchingServer(tree)
+        workers = [Worker(i, rng.random(2) * 100) for i in range(20)]
+        for worker in workers:
+            server.register_worker(encode_worker_tree(worker, tree, mech, rng))
+
+        # Steps 3-4: tasks arrive, obfuscate, and are matched immediately.
+        tasks = [Task(j, rng.random(2) * 100) for j in range(15)]
+        for task in tasks:
+            assert server.submit_task(
+                encode_task_tree(task, tree, mech, rng)
+            ) is not None
+
+        # Every task got a distinct worker.
+        result = server.result
+        assert result.size == 15
+        used = [a.worker for a in result.assignments]
+        assert len(set(used)) == 15
+
+        # And the mechanism everyone used is epsilon-Geo-I (Theorem 1).
+        assert verify_tree_geo_i(mech, max_pairs=50, seed=2).holds()
+
+    def test_true_locations_never_reach_server_types(self):
+        """The WorkerReport/TaskReport layer carries no raw coordinates for
+        tree pipelines (architecture invariant, not just convention)."""
+        region = Box.square(100.0)
+        tree = publish_tree(region, grid_nx=6, seed=0)
+        mech = TreeMechanism(tree, epsilon=0.5, seed=0)
+        report = encode_worker_tree(Worker(0, (12.3, 45.6)), tree, mech)
+        assert report.noisy_location is None
+        assert report.leaf is not None
+        # the leaf is a coarse grid cell, not the coordinate itself
+        snapped = tree.points[tree.point_of(tree.leaf_for_location((12.3, 45.6)))]
+        assert not np.allclose(snapped, [12.3, 45.6])
+
+
+class TestEmpiricalCompetitiveRatio:
+    """Theorem 3 sanity: the realized total distance of TBF stays within a
+    moderate factor of the offline optimum on benign instances. The bound
+    itself is O(1/eps^4 log N log^2 k) — astronomically loose — so we check
+    a practical constant instead, which the paper's experiments justify."""
+
+    @pytest.mark.parametrize("eps", [0.4, 1.0])
+    def test_ratio_is_bounded(self, eps):
+        workload = gaussian_workload(
+            SyntheticConfig(n_tasks=80, n_workers=240), seed=4
+        )
+        instance = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=workload.task_locations,
+            epsilon=eps,
+        )
+        opt = optimal_total_distance(
+            workload.task_locations, workload.worker_locations
+        )
+        assert opt > 0
+        ratios = []
+        for seed in range(3):
+            outcome = TBFPipeline(grid_nx=16).run(instance, seed=seed)
+            ratios.append(outcome.total_distance / opt)
+        assert np.mean(ratios) < 60.0
+
+    def test_no_privacy_baseline_ratio_smaller(self):
+        """With a huge budget (noise ~ none) the ratio shrinks toward the
+        pure matching distortion, confirming privacy noise is what costs."""
+        workload = gaussian_workload(
+            SyntheticConfig(n_tasks=60, n_workers=180), seed=5
+        )
+        instance_strict = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=workload.task_locations,
+            epsilon=0.05,
+        )
+        instance_loose = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=workload.task_locations,
+            epsilon=50.0,
+        )
+        opt = optimal_total_distance(
+            workload.task_locations, workload.worker_locations
+        )
+        strict = np.mean(
+            [
+                TBFPipeline(grid_nx=16).run(instance_strict, seed=s).total_distance
+                for s in range(3)
+            ]
+        )
+        loose = np.mean(
+            [
+                TBFPipeline(grid_nx=16).run(instance_loose, seed=s).total_distance
+                for s in range(3)
+            ]
+        )
+        assert loose < strict
+        assert loose / opt < 25.0

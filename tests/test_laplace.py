@@ -1,0 +1,152 @@
+"""Tests for repro.privacy.laplace: the planar Laplace baseline mechanism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box, euclidean
+from repro.privacy import PlanarLaplaceMechanism
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            PlanarLaplaceMechanism(0.0)
+        with pytest.raises(ValueError):
+            PlanarLaplaceMechanism(-0.5)
+
+    def test_mean_radius(self):
+        assert PlanarLaplaceMechanism(0.5).mean_radius == pytest.approx(4.0)
+
+
+class TestDensity:
+    def test_pdf_at_center(self):
+        m = PlanarLaplaceMechanism(1.0)
+        assert m.pdf((0, 0), (0, 0)) == pytest.approx(1.0 / (2 * np.pi))
+
+    def test_pdf_decays_with_distance(self):
+        m = PlanarLaplaceMechanism(0.5)
+        assert m.pdf((0, 0), (1, 0)) > m.pdf((0, 0), (2, 0))
+
+    def test_pdf_isotropic(self):
+        m = PlanarLaplaceMechanism(0.7)
+        assert m.pdf((0, 0), (3, 4)) == pytest.approx(m.pdf((0, 0), (5, 0)))
+
+    def test_pdf_integrates_to_one(self):
+        """Numerical check on a polar grid: integral of pdf over R^2 ~ 1."""
+        m = PlanarLaplaceMechanism(0.8)
+        rs = np.linspace(1e-6, 40.0, 4000)
+        dr = rs[1] - rs[0]
+        # integrate 2*pi*r * pdf(r) dr
+        vals = 2 * np.pi * rs * (m.epsilon**2 / (2 * np.pi)) * np.exp(
+            -m.epsilon * rs
+        )
+        assert np.sum(vals) * dr == pytest.approx(1.0, abs=1e-3)
+
+
+class TestRadiusCdf:
+    def test_cdf_at_zero(self):
+        assert PlanarLaplaceMechanism(1.0).radius_cdf(0.0) == pytest.approx(0.0)
+
+    def test_cdf_monotone_to_one(self):
+        m = PlanarLaplaceMechanism(0.5)
+        rs = np.linspace(0, 50, 100)
+        cdf = m.radius_cdf(rs)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_cdf_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PlanarLaplaceMechanism(1.0).radius_cdf(-1.0)
+
+    @given(st.floats(0.0, 0.999), st.floats(0.05, 3.0))
+    def test_inverse_roundtrip(self, p, eps):
+        m = PlanarLaplaceMechanism(eps)
+        r = float(m.inverse_radius_cdf(p))
+        assert r >= 0.0
+        # absolute tolerance dominated by the 1 - (1 + x)e^{-x} cancellation
+        assert float(m.radius_cdf(r)) == pytest.approx(p, rel=1e-6, abs=1e-7)
+
+    def test_inverse_rejects_out_of_range(self):
+        m = PlanarLaplaceMechanism(1.0)
+        with pytest.raises(ValueError):
+            m.inverse_radius_cdf(1.0)
+        with pytest.raises(ValueError):
+            m.inverse_radius_cdf(-0.1)
+
+    def test_median_radius_formula(self):
+        """Median noise radius solves (1 + eps r) e^{-eps r} = 1/2."""
+        m = PlanarLaplaceMechanism(2.0)
+        median = float(m.inverse_radius_cdf(0.5))
+        assert (1 + 2.0 * median) * np.exp(-2.0 * median) == pytest.approx(0.5)
+
+
+class TestSampling:
+    def test_deterministic_with_seed(self):
+        a = PlanarLaplaceMechanism(0.5, seed=7).obfuscate_many(np.zeros((5, 2)))
+        b = PlanarLaplaceMechanism(0.5, seed=7).obfuscate_many(np.zeros((5, 2)))
+        assert np.array_equal(a, b)
+
+    def test_empirical_mean_radius(self):
+        m = PlanarLaplaceMechanism(0.5)
+        rng = np.random.default_rng(0)
+        noisy = m.obfuscate_many(np.zeros((20_000, 2)), rng)
+        radii = np.hypot(noisy[:, 0], noisy[:, 1])
+        assert radii.mean() == pytest.approx(m.mean_radius, rel=0.05)
+
+    def test_noise_is_isotropic(self):
+        m = PlanarLaplaceMechanism(0.5)
+        rng = np.random.default_rng(1)
+        noisy = m.obfuscate_many(np.zeros((20_000, 2)), rng)
+        angles = np.arctan2(noisy[:, 1], noisy[:, 0])
+        # quadrant counts should be balanced
+        counts = np.histogram(angles, bins=4, range=(-np.pi, np.pi))[0]
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_single_point_api(self):
+        m = PlanarLaplaceMechanism(1.0)
+        z = m.obfuscate((3, 4), np.random.default_rng(2))
+        assert z.shape == (2,)
+
+    def test_translation_equivariance_in_distribution(self):
+        m = PlanarLaplaceMechanism(0.8)
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        a = m.obfuscate((0.0, 0.0), rng_a)
+        b = m.obfuscate((10.0, -5.0), rng_b)
+        assert np.allclose(b - a, [10.0, -5.0])
+
+    def test_empty_batch(self):
+        m = PlanarLaplaceMechanism(1.0)
+        assert m.obfuscate_many(np.zeros((0, 2))).shape == (0, 2)
+
+
+class TestRegionClamp:
+    def test_clamped_inside(self):
+        box = Box.square(10.0)
+        m = PlanarLaplaceMechanism(0.05, region=box)  # huge noise
+        rng = np.random.default_rng(4)
+        noisy = m.obfuscate_many(np.full((500, 2), 5.0), rng)
+        assert box.contains(noisy).all()
+
+    def test_no_region_can_escape(self):
+        m = PlanarLaplaceMechanism(0.05)
+        rng = np.random.default_rng(4)
+        noisy = m.obfuscate_many(np.full((500, 2), 5.0), rng)
+        assert (np.abs(noisy - 5.0) > 5.0).any()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    eps=st.floats(0.1, 2.0),
+    x=st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+    z=st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+    x2=st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+)
+def test_property_geo_i_density_ratio(eps, x, z, x2):
+    """pdf(z|x) / pdf(z|x2) <= exp(eps * d(x, x2)): the Geo-I inequality."""
+    m = PlanarLaplaceMechanism(eps)
+    lhs = m.pdf(x, z)
+    rhs = m.pdf(x2, z) * np.exp(eps * euclidean(x, x2))
+    assert lhs <= rhs * (1 + 1e-9)

@@ -1,0 +1,199 @@
+"""Tests for repro.matching.leaf_trie."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hst.paths import tree_distance
+from repro.matching import LeafTrie
+
+
+def brute_nearest(entries: dict, query):
+    """Reference implementation: scan all stored paths."""
+    best = None
+    for item, path in entries.items():
+        d = tree_distance(path, query)
+        if best is None or d < best[1]:
+            best = (item, d)
+    return best
+
+
+class TestBasics:
+    def test_insert_and_len(self):
+        trie = LeafTrie(depth=3, branching=2)
+        trie.insert((0, 0, 0), 1)
+        trie.insert((0, 1, 0), 2)
+        assert len(trie) == 2
+        assert 1 in trie and 3 not in trie
+
+    def test_duplicate_item_rejected(self):
+        trie = LeafTrie(3, 2)
+        trie.insert((0, 0, 0), 1)
+        with pytest.raises(ValueError):
+            trie.insert((1, 0, 0), 1)
+
+    def test_shared_leaf_allowed(self):
+        trie = LeafTrie(3, 2)
+        trie.insert((0, 0, 0), 1)
+        trie.insert((0, 0, 0), 2)
+        assert len(trie) == 2
+
+    def test_path_of(self):
+        trie = LeafTrie(3, 2)
+        trie.insert((0, 1, 1), 9)
+        assert trie.path_of(9) == (0, 1, 1)
+
+    def test_remove(self):
+        trie = LeafTrie(3, 2)
+        trie.insert((0, 0, 0), 1)
+        trie.remove(1)
+        assert len(trie) == 0
+        assert trie.nearest((0, 0, 0)) is None
+
+    def test_remove_missing_raises(self):
+        trie = LeafTrie(3, 2)
+        with pytest.raises(KeyError):
+            trie.remove(5)
+
+    def test_bad_path_rejected(self):
+        trie = LeafTrie(3, 2)
+        with pytest.raises(ValueError):
+            trie.insert((0, 0), 1)
+        with pytest.raises(ValueError):
+            trie.insert((0, 0, 2), 1)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            LeafTrie(0, 2)
+        with pytest.raises(ValueError):
+            LeafTrie(3, 0)
+
+
+class TestNearest:
+    def test_exact_leaf_wins(self):
+        trie = LeafTrie(3, 2)
+        trie.insert((0, 0, 0), 1)
+        trie.insert((0, 0, 1), 2)
+        item, level = trie.nearest((0, 0, 1))
+        assert (item, level) == (2, 0)
+
+    def test_sibling_before_cousin(self):
+        trie = LeafTrie(3, 2)
+        trie.insert((0, 1, 0), 1)  # level-2 relative of query
+        trie.insert((1, 0, 0), 2)  # level-3 relative of query
+        item, level = trie.nearest((0, 0, 0))
+        assert (item, level) == (1, 2)
+
+    def test_empty(self):
+        assert LeafTrie(3, 2).nearest((0, 0, 0)) is None
+
+    def test_pop_nearest_consumes(self):
+        trie = LeafTrie(2, 2)
+        trie.insert((0, 0), 1)
+        trie.insert((0, 1), 2)
+        first = trie.pop_nearest((0, 0))
+        second = trie.pop_nearest((0, 0))
+        assert first == (1, 0)
+        assert second == (2, 1)
+        assert trie.pop_nearest((0, 0)) is None
+
+    def test_pop_nearest_within(self):
+        trie = LeafTrie(3, 2)
+        trie.insert((1, 0, 0), 1)  # level 3 from query: distance 28
+        assert trie.pop_nearest_within((0, 0, 0), 27) is None
+        assert len(trie) == 1
+        assert trie.pop_nearest_within((0, 0, 0), 28) == (1, 3)
+        assert len(trie) == 0
+
+
+class TestIterCandidates:
+    def test_levels_non_decreasing(self):
+        rng = np.random.default_rng(0)
+        trie = LeafTrie(4, 3)
+        for item in range(30):
+            trie.insert(tuple(rng.integers(0, 3, size=4)), item)
+        query = tuple(rng.integers(0, 3, size=4))
+        levels = [lvl for _, lvl in trie.iter_candidates(query)]
+        assert levels == sorted(levels)
+        assert len(levels) == 30
+
+    def test_yields_every_item_once(self):
+        rng = np.random.default_rng(1)
+        trie = LeafTrie(5, 2)
+        for item in range(40):
+            trie.insert(tuple(rng.integers(0, 2, size=5)), item)
+        seen = [item for item, _ in trie.iter_candidates((0, 0, 0, 0, 0))]
+        assert sorted(seen) == list(range(40))
+
+    def test_levels_are_true_lca_levels(self):
+        rng = np.random.default_rng(2)
+        trie = LeafTrie(4, 2)
+        paths = {}
+        for item in range(20):
+            p = tuple(rng.integers(0, 2, size=4))
+            paths[item] = p
+            trie.insert(p, item)
+        query = (0, 1, 0, 1)
+        for item, level in trie.iter_candidates(query):
+            assert tree_distance(paths[item], query) == (
+                0 if level == 0 else 2 ** (level + 2) - 4
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+        min_size=1,
+        max_size=20,
+    ),
+    query=st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+)
+def test_property_nearest_matches_bruteforce(data, query):
+    trie = LeafTrie(3, 3)
+    entries = {}
+    for item, path in enumerate(data):
+        trie.insert(path, item)
+        entries[item] = path
+    item, level = trie.nearest(query)
+    _, best_distance = brute_nearest(entries, query)
+    got = 0 if level == 0 else 2 ** (level + 2) - 4
+    assert got == best_distance
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 30),
+)
+def test_property_interleaved_updates_stay_consistent(seed, n):
+    """Random insert/remove/pop sequences keep counts and queries coherent."""
+    rng = np.random.default_rng(seed)
+    trie = LeafTrie(4, 2)
+    alive = {}
+    next_id = 0
+    for _ in range(n * 3):
+        op = rng.random()
+        if op < 0.5 or not alive:
+            path = tuple(int(v) for v in rng.integers(0, 2, size=4))
+            trie.insert(path, next_id)
+            alive[next_id] = path
+            next_id += 1
+        elif op < 0.75:
+            victim = int(rng.choice(list(alive)))
+            trie.remove(victim)
+            del alive[victim]
+        else:
+            query = tuple(int(v) for v in rng.integers(0, 2, size=4))
+            found = trie.pop_nearest(query)
+            if alive:
+                assert found is not None
+                item, level = found
+                expected = brute_nearest(alive, query)[1]
+                got = 0 if level == 0 else 2 ** (level + 2) - 4
+                assert got == expected
+                del alive[item]
+            else:
+                assert found is None
+        assert len(trie) == len(alive)

@@ -1,0 +1,57 @@
+"""Tests for repro.matching.types: Assignment and MatchingResult."""
+
+import numpy as np
+import pytest
+
+from repro.matching import Assignment, MatchingResult
+
+
+class TestAssignment:
+    def test_defaults(self):
+        a = Assignment(task=1, worker=2)
+        assert a.success
+        assert np.isnan(a.distance)
+
+    def test_failed_assignment(self):
+        a = Assignment(task=1, worker=2, distance=30.0, success=False)
+        assert not a.success
+
+
+class TestMatchingResult:
+    def test_size_counts_successes_only(self):
+        result = MatchingResult(
+            assignments=[
+                Assignment(0, 0, 1.0, success=True),
+                Assignment(1, 1, 2.0, success=False),
+                Assignment(2, 2, 3.0, success=True),
+            ]
+        )
+        assert result.size == 2
+
+    def test_total_distance_over_successes(self):
+        result = MatchingResult(
+            assignments=[
+                Assignment(0, 0, 1.5, success=True),
+                Assignment(1, 1, 100.0, success=False),
+                Assignment(2, 2, 2.5, success=True),
+            ]
+        )
+        assert result.total_distance == pytest.approx(4.0)
+
+    def test_worker_of(self):
+        result = MatchingResult(assignments=[Assignment(3, 7, 1.0)])
+        assert result.worker_of(3) == 7
+        assert result.worker_of(99) is None
+
+    def test_empty(self):
+        result = MatchingResult()
+        assert result.size == 0
+        assert result.total_distance == 0.0
+
+    def test_from_pairs_computes_distances(self):
+        tasks = [(0.0, 0.0), (10.0, 0.0)]
+        workers = [(3.0, 4.0), (10.0, 1.0)]
+        result = MatchingResult.from_pairs([(0, 0), (1, 1)], tasks, workers)
+        assert result.assignments[0].distance == pytest.approx(5.0)
+        assert result.assignments[1].distance == pytest.approx(1.0)
+        assert result.total_distance == pytest.approx(6.0)

@@ -1,0 +1,77 @@
+"""Tests for repro.matching.offline: the Hungarian yardstick."""
+
+import numpy as np
+import pytest
+
+from repro.matching import (
+    EuclideanGreedyMatcher,
+    optimal_matching,
+    optimal_total_distance,
+)
+
+
+class TestOptimalMatching:
+    def test_trivial_instance(self):
+        result = optimal_matching([(0, 0)], [(3, 4)])
+        assert result.size == 1
+        assert result.total_distance == pytest.approx(5.0)
+
+    def test_crossing_pairs_resolved(self):
+        """Greedy in arrival order crosses; the optimum does not."""
+        tasks = [(0.0, 0.0), (10.0, 0.0)]
+        workers = [(9.0, 0.0), (1.0, 0.0)]
+        result = optimal_matching(tasks, workers)
+        assert result.worker_of(0) == 1
+        assert result.worker_of(1) == 0
+        assert result.total_distance == pytest.approx(2.0)
+
+    def test_rectangular_more_workers(self):
+        tasks = [(0.0, 0.0)]
+        workers = [(5.0, 0.0), (1.0, 0.0), (9.0, 0.0)]
+        result = optimal_matching(tasks, workers)
+        assert result.size == 1
+        assert result.worker_of(0) == 1
+        assert result.unassigned_tasks == []
+
+    def test_rectangular_more_tasks(self):
+        tasks = [(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]
+        workers = [(0.0, 1.0)]
+        result = optimal_matching(tasks, workers)
+        assert result.size == 1
+        assert result.unassigned_tasks == [1, 2]
+
+    def test_empty_inputs(self):
+        assert optimal_matching([], [(0, 0)]).size == 0
+        result = optimal_matching([(0, 0)], [])
+        assert result.size == 0
+        assert result.unassigned_tasks == [0]
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            optimal_matching(np.zeros((10_000, 2)), np.zeros((10_000, 2)))
+
+
+class TestOptimalIsLowerBound:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_worse_than_online_greedy(self, seed):
+        rng = np.random.default_rng(seed)
+        tasks = rng.random((30, 2)) * 100
+        workers = rng.random((40, 2)) * 100
+        greedy = EuclideanGreedyMatcher(workers)
+        greedy_total = sum(greedy.assign(t)[1] for t in tasks)
+        assert optimal_total_distance(tasks, workers) <= greedy_total + 1e-9
+
+    def test_matches_exhaustive_on_tiny_instance(self):
+        from itertools import permutations
+
+        rng = np.random.default_rng(7)
+        tasks = rng.random((4, 2)) * 10
+        workers = rng.random((4, 2)) * 10
+        best = min(
+            sum(
+                float(np.hypot(*(tasks[i] - workers[p[i]])))
+                for i in range(4)
+            )
+            for p in permutations(range(4))
+        )
+        assert optimal_total_distance(tasks, workers) == pytest.approx(best)

@@ -1,0 +1,236 @@
+"""Tests for repro.crowdsourcing.pipelines: the compared systems end to end."""
+
+import numpy as np
+import pytest
+
+from repro.crowdsourcing import (
+    Instance,
+    LapGRPipeline,
+    LapHGPipeline,
+    ProbPipeline,
+    TBFPipeline,
+    TBFSizePipeline,
+)
+from repro.geometry import Box
+from repro.hst import build_hst
+from repro.matching import sample_radii
+from repro.workloads import SyntheticConfig, gaussian_workload
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    workload = gaussian_workload(
+        SyntheticConfig(n_tasks=60, n_workers=120), seed=0
+    )
+    return Instance(
+        region=workload.region,
+        worker_locations=workload.worker_locations,
+        task_locations=workload.task_locations,
+        epsilon=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def size_instance():
+    workload = gaussian_workload(
+        SyntheticConfig(n_tasks=60, n_workers=120), seed=1
+    )
+    return Instance(
+        region=workload.region,
+        worker_locations=workload.worker_locations,
+        task_locations=workload.task_locations,
+        epsilon=0.5,
+        radii=sample_radii(120, 10.0, 20.0, seed=2),
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_tree16():
+    from repro.crowdsourcing import make_predefined_points
+
+    return build_hst(make_predefined_points(Box.square(200.0), 16), seed=0)
+
+
+DISTANCE_PIPELINES = [
+    pytest.param(lambda tree: LapGRPipeline(), id="Lap-GR"),
+    pytest.param(lambda tree: LapHGPipeline(tree=tree), id="Lap-HG"),
+    pytest.param(lambda tree: TBFPipeline(tree=tree), id="TBF"),
+]
+
+
+class TestInstanceValidation:
+    def test_rejects_bad_epsilon(self, small_instance):
+        with pytest.raises(ValueError):
+            Instance(
+                region=small_instance.region,
+                worker_locations=small_instance.worker_locations,
+                task_locations=small_instance.task_locations,
+                epsilon=0.0,
+            )
+
+    def test_rejects_radii_mismatch(self, small_instance):
+        with pytest.raises(ValueError):
+            Instance(
+                region=small_instance.region,
+                worker_locations=small_instance.worker_locations,
+                task_locations=small_instance.task_locations,
+                epsilon=0.5,
+                radii=np.ones(3),
+            )
+
+    def test_counts(self, small_instance):
+        assert small_instance.n_tasks == 60
+        assert small_instance.n_workers == 120
+
+
+class TestDistancePipelines:
+    @pytest.mark.parametrize("factory", DISTANCE_PIPELINES)
+    def test_all_tasks_assigned_with_surplus_workers(
+        self, factory, small_instance, shared_tree16
+    ):
+        outcome = factory(shared_tree16).run(small_instance, seed=3)
+        assert outcome.matching.size == small_instance.n_tasks
+        assert outcome.matching.unassigned_tasks == []
+
+    @pytest.mark.parametrize("factory", DISTANCE_PIPELINES)
+    def test_workers_unique(self, factory, small_instance, shared_tree16):
+        outcome = factory(shared_tree16).run(small_instance, seed=4)
+        workers = [a.worker for a in outcome.matching.assignments]
+        assert len(set(workers)) == len(workers)
+
+    @pytest.mark.parametrize("factory", DISTANCE_PIPELINES)
+    def test_metrics_populated(self, factory, small_instance, shared_tree16):
+        outcome = factory(shared_tree16).run(small_instance, seed=5)
+        assert outcome.assignment_seconds > 0
+        assert outcome.setup_seconds > 0
+        assert outcome.peak_mib > 0
+        assert outcome.total_distance > 0
+
+    @pytest.mark.parametrize("factory", DISTANCE_PIPELINES)
+    def test_deterministic_given_seed(
+        self, factory, small_instance, shared_tree16
+    ):
+        a = factory(shared_tree16).run(small_instance, seed=42)
+        b = factory(shared_tree16).run(small_instance, seed=42)
+        assert a.total_distance == b.total_distance
+        assert [x.worker for x in a.matching.assignments] == [
+            x.worker for x in b.matching.assignments
+        ]
+
+    def test_distances_are_true_distances(self, small_instance, shared_tree16):
+        outcome = TBFPipeline(tree=shared_tree16).run(small_instance, seed=6)
+        for a in outcome.matching.assignments:
+            expected = float(
+                np.hypot(
+                    *(
+                        small_instance.task_locations[a.task]
+                        - small_instance.worker_locations[a.worker]
+                    )
+                )
+            )
+            assert a.distance == pytest.approx(expected)
+
+    def test_pool_exhaustion(self, shared_tree16):
+        workload = gaussian_workload(
+            SyntheticConfig(n_tasks=30, n_workers=10), seed=3
+        )
+        instance = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=workload.task_locations,
+            epsilon=0.5,
+        )
+        outcome = TBFPipeline(tree=shared_tree16).run(instance, seed=0)
+        assert outcome.matching.size == 10
+        assert len(outcome.matching.unassigned_tasks) == 20
+
+
+class TestHeadlineShape:
+    def test_tbf_beats_laplace_at_strict_privacy(self, shared_tree16):
+        """The paper's headline: at eps = 0.2 TBF's total distance is well
+        below both Laplace baselines."""
+        workload = gaussian_workload(
+            SyntheticConfig(n_tasks=200, n_workers=400), seed=9
+        )
+        instance = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=workload.task_locations,
+            epsilon=0.2,
+        )
+
+        def mean_distance(pipeline):
+            return np.mean(
+                [pipeline.run(instance, seed=s).total_distance for s in range(3)]
+            )
+
+        tbf = mean_distance(TBFPipeline(tree=shared_tree16))
+        lap_gr = mean_distance(LapGRPipeline())
+        lap_hg = mean_distance(LapHGPipeline(tree=shared_tree16))
+        assert tbf < lap_gr
+        assert tbf < lap_hg
+
+
+class TestSizePipelines:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            pytest.param(lambda tree: ProbPipeline(), id="Prob"),
+            pytest.param(lambda tree: TBFSizePipeline(tree=tree), id="TBF-size"),
+        ],
+    )
+    def test_successes_respect_radii(self, factory, size_instance, shared_tree16):
+        outcome = factory(shared_tree16).run(size_instance, seed=7)
+        for a in outcome.matching.assignments:
+            if a.success:
+                assert a.distance <= size_instance.radii[a.worker] + 1e-9
+            else:
+                assert a.distance > size_instance.radii[a.worker] - 1e-9
+
+    def test_matching_size_counts_only_successes(self, size_instance, shared_tree16):
+        outcome = TBFSizePipeline(tree=shared_tree16).run(size_instance, seed=8)
+        successes = sum(1 for a in outcome.matching.assignments if a.success)
+        assert outcome.matching_size == successes
+
+    def test_failed_worker_can_be_reused(self, shared_tree16):
+        """A failed proposal releases the worker: with one worker and two
+        co-located tasks, the second task can still succeed."""
+        region = Box.square(200.0)
+        instance = Instance(
+            region=region,
+            worker_locations=np.array([[100.0, 100.0]]),
+            task_locations=np.array([[100.0, 100.0], [100.0, 100.0]]),
+            epsilon=5.0,  # negligible noise
+            radii=np.array([5.0]),
+        )
+        outcome = TBFSizePipeline(tree=shared_tree16).run(instance, seed=0)
+        assert outcome.matching_size >= 1
+
+    def test_requires_radii(self, small_instance, shared_tree16):
+        with pytest.raises(ValueError):
+            TBFSizePipeline(tree=shared_tree16).run(small_instance, seed=0)
+        with pytest.raises(ValueError):
+            ProbPipeline().run(small_instance, seed=0)
+
+    def test_tbf_size_beats_prob_at_strict_privacy(self, shared_tree16):
+        """Fig. 8b's shape: at eps = 0.2 TBF matches more tasks than Prob."""
+        workload = gaussian_workload(
+            SyntheticConfig(n_tasks=200, n_workers=400), seed=11
+        )
+        instance = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=workload.task_locations,
+            epsilon=0.2,
+            radii=sample_radii(400, 10.0, 20.0, seed=12),
+        )
+        tbf = np.mean(
+            [
+                TBFSizePipeline(tree=shared_tree16).run(instance, seed=s).matching_size
+                for s in range(3)
+            ]
+        )
+        prob = np.mean(
+            [ProbPipeline().run(instance, seed=s).matching_size for s in range(3)]
+        )
+        assert tbf > prob

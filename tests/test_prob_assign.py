@@ -1,0 +1,116 @@
+"""Tests for repro.matching.prob_assign: the Prob baseline (To et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.matching import NoiseDifferencePool, ProbMatcher
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return NoiseDifferencePool(epsilon=0.5, n_samples=4096, seed=0)
+
+
+class TestNoiseDifferencePool:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            NoiseDifferencePool(0.5, n_samples=0)
+
+    def test_probability_decreases_with_distance(self, pool):
+        probs = pool.reach_probability([0.0, 5.0, 20.0, 60.0], 10.0)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_probability_increases_with_radius(self, pool):
+        p_small = pool.reach_probability(10.0, 5.0)
+        p_large = pool.reach_probability(10.0, 50.0)
+        assert p_large > p_small
+
+    def test_probability_in_unit_interval(self, pool):
+        rng = np.random.default_rng(1)
+        d = rng.random(50) * 100
+        r = rng.random(50) * 30
+        p = pool.reach_probability(d, r)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_huge_radius_is_certain(self, pool):
+        assert pool.reach_probability(0.0, 1e6)[0] == pytest.approx(1.0)
+
+    def test_matches_direct_monte_carlo(self):
+        """Pool estimate agrees with a fresh two-noise simulation."""
+        from repro.privacy import PlanarLaplaceMechanism
+
+        eps, d, radius = 0.4, 8.0, 12.0
+        pool = NoiseDifferencePool(eps, n_samples=20_000, seed=3)
+        estimate = float(pool.reach_probability(d, radius)[0])
+        rng = np.random.default_rng(4)
+        mech = PlanarLaplaceMechanism(eps)
+        w_true = np.zeros((20_000, 2))
+        t_true = np.tile([d, 0.0], (20_000, 1))
+        # observed displacement is (w_noisy - t_noisy); true distance is d.
+        # invert: given fixed observation, true distance = ||delta - S||.
+        s = mech.obfuscate_many(w_true, rng) - mech.obfuscate_many(w_true, rng)
+        direct = float((np.hypot(d - s[:, 0], s[:, 1]) <= radius).mean())
+        assert estimate == pytest.approx(direct, abs=0.02)
+
+    def test_rejects_negative_inputs(self, pool):
+        with pytest.raises(ValueError):
+            pool.reach_probability(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            pool.reach_probability(1.0, -5.0)
+
+    def test_magnitude_quantile_monotone(self, pool):
+        assert pool.magnitude_quantile(0.9) >= pool.magnitude_quantile(0.5)
+
+
+class TestProbMatcher:
+    def _matcher(self, pool, workers, radii, **kwargs):
+        return ProbMatcher(workers, radii, pool, **kwargs)
+
+    def test_prefers_high_probability_worker(self, pool):
+        # same radius: the nearer worker has a higher success probability
+        matcher = self._matcher(
+            pool, [(0.0, 0.0), (30.0, 0.0)], [10.0, 10.0]
+        )
+        worker, prob = matcher.assign((1.0, 0.0))
+        assert worker == 0
+        assert 0 < prob <= 1
+
+    def test_threshold_blocks_hopeless_assignments(self, pool):
+        matcher = self._matcher(
+            pool, [(500.0, 500.0)], [5.0], min_probability=0.5
+        )
+        assert matcher.assign((0.0, 0.0)) is None
+        assert matcher.available == 1
+
+    def test_consumes_and_releases(self, pool):
+        matcher = self._matcher(pool, [(0.0, 0.0)], [20.0])
+        worker, _ = matcher.assign((0.0, 0.0))
+        assert matcher.available == 0
+        matcher.release(worker)
+        assert matcher.available == 1
+
+    def test_release_unconsumed_rejected(self, pool):
+        matcher = self._matcher(pool, [(0.0, 0.0)], [20.0])
+        with pytest.raises(ValueError):
+            matcher.release(0)
+
+    def test_empty_pool_of_workers(self, pool):
+        matcher = self._matcher(pool, np.zeros((0, 2)), np.zeros(0))
+        assert matcher.assign((0.0, 0.0)) is None
+
+    def test_radii_shape_validated(self, pool):
+        with pytest.raises(ValueError):
+            self._matcher(pool, [(0, 0), (1, 1)], [5.0])
+
+    def test_negative_radius_rejected(self, pool):
+        with pytest.raises(ValueError):
+            self._matcher(pool, [(0, 0)], [-1.0])
+
+    def test_bad_threshold_rejected(self, pool):
+        with pytest.raises(ValueError):
+            self._matcher(pool, [(0, 0)], [5.0], min_probability=1.5)
+
+    def test_exhaustion(self, pool):
+        matcher = self._matcher(pool, [(0.0, 0.0)], [50.0])
+        assert matcher.assign((0.0, 0.0)) is not None
+        assert matcher.assign((0.0, 0.0)) is None

@@ -1,0 +1,171 @@
+"""Tests for repro.privacy.psd: the PSD quadtree baseline (To et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.crowdsourcing import Instance, PSDPipeline
+from repro.geometry import Box
+from repro.privacy import NoisyQuadtree
+from repro.workloads import SyntheticConfig, gaussian_workload
+
+
+@pytest.fixture(scope="module")
+def workers():
+    rng = np.random.default_rng(0)
+    return rng.uniform(10, 90, size=(400, 2))
+
+
+@pytest.fixture(scope="module")
+def quadtree(workers):
+    return NoisyQuadtree(
+        Box.square(100.0), workers, epsilon=1.0, height=5, seed=1
+    )
+
+
+class TestStructure:
+    def test_levels_and_cells(self, quadtree):
+        assert quadtree.cells_at(0) == 1
+        assert quadtree.cells_at(5) == 32
+
+    def test_budget_split_sums_to_epsilon(self, quadtree):
+        total = sum(quadtree.level_epsilon(l) for l in range(6))
+        assert total == pytest.approx(1.0)
+
+    def test_finest_level_gets_largest_share(self, quadtree):
+        shares = [quadtree.level_epsilon(l) for l in range(6)]
+        assert shares == sorted(shares)
+
+    def test_cell_of_roundtrip(self, quadtree):
+        box = quadtree.cell_box(5, *quadtree.cell_of((12.0, 34.0), 5))
+        assert box.contains([(12.0, 34.0)])[0]
+
+    def test_cell_of_clamps_boundary(self, quadtree):
+        assert quadtree.cell_of((100.0, 100.0), 5) == (31, 31)
+        assert quadtree.cell_of((-5.0, 50.0), 5)[0] == 0
+
+    def test_level_bounds(self, quadtree):
+        with pytest.raises(IndexError):
+            quadtree.noisy_count(6, 0, 0)
+
+    def test_validation(self, workers):
+        region = Box.square(100.0)
+        with pytest.raises(ValueError):
+            NoisyQuadtree(region, workers, epsilon=0.0)
+        with pytest.raises(ValueError):
+            NoisyQuadtree(region, workers, epsilon=1.0, height=0)
+        with pytest.raises(ValueError):
+            NoisyQuadtree(region, workers, epsilon=1.0, budget_ratio=0.0)
+
+
+class TestNoise:
+    def test_counts_are_noisy_but_calibrated(self, workers):
+        """Root count ~ true count with Laplace(1/eps_root) noise."""
+        region = Box.square(100.0)
+        errors = []
+        for seed in range(30):
+            qt = NoisyQuadtree(region, workers, epsilon=4.0, height=3, seed=seed)
+            errors.append(qt.noisy_count(0, 0, 0) - len(workers))
+        # unbiased and with plausible spread
+        assert abs(np.mean(errors)) < 10.0
+        assert np.std(errors) > 0.0
+
+    def test_different_seeds_differ(self, workers):
+        region = Box.square(100.0)
+        a = NoisyQuadtree(region, workers, epsilon=1.0, seed=1)
+        b = NoisyQuadtree(region, workers, epsilon=1.0, seed=2)
+        assert a.noisy_count(0, 0, 0) != b.noisy_count(0, 0, 0)
+
+    def test_same_seed_reproducible(self, workers):
+        region = Box.square(100.0)
+        a = NoisyQuadtree(region, workers, epsilon=1.0, seed=3)
+        b = NoisyQuadtree(region, workers, epsilon=1.0, seed=3)
+        assert a.noisy_count(3, 1, 2) == b.noisy_count(3, 1, 2)
+
+    def test_empty_worker_set(self):
+        qt = NoisyQuadtree(
+            Box.square(10.0), np.zeros((0, 2)), epsilon=1.0, height=2, seed=0
+        )
+        # counts exist (pure noise) and geocast still terminates
+        region = qt.geocast((5.0, 5.0), target_count=1.0)
+        assert region.cells
+
+
+class TestGeocast:
+    def test_starts_at_task_cell(self, quadtree):
+        region = quadtree.geocast((50.0, 50.0), target_count=0.1)
+        assert quadtree.cell_of((50.0, 50.0), region.level) in region.cells
+
+    def test_larger_target_grows_region(self, quadtree):
+        small = quadtree.geocast((50.0, 50.0), target_count=1.0)
+        large = quadtree.geocast((50.0, 50.0), target_count=100.0)
+        assert len(large.cells) >= len(small.cells)
+
+    def test_region_contains(self, quadtree):
+        region = quadtree.geocast((50.0, 50.0), target_count=5.0)
+        assert quadtree.region_contains(region, (50.0, 50.0))
+
+    def test_target_validation(self, quadtree):
+        with pytest.raises(ValueError):
+            quadtree.geocast((50.0, 50.0), target_count=0.0)
+
+
+class TestPSDPipeline:
+    def test_runs_and_matches(self):
+        workload = gaussian_workload(
+            SyntheticConfig(n_tasks=50, n_workers=200), seed=4
+        )
+        instance = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=workload.task_locations,
+            epsilon=1.0,
+        )
+        outcome = PSDPipeline().run(instance, seed=5)
+        assert outcome.algorithm == "PSD-GR"
+        assert outcome.matching.size >= 40  # near-complete with surplus
+        workers = [a.worker for a in outcome.matching.assignments]
+        assert len(set(workers)) == len(workers)
+
+    def test_deterministic_with_seed(self):
+        workload = gaussian_workload(
+            SyntheticConfig(n_tasks=30, n_workers=100), seed=6
+        )
+        instance = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=workload.task_locations,
+            epsilon=0.8,
+        )
+        a = PSDPipeline().run(instance, seed=7)
+        b = PSDPipeline().run(instance, seed=7)
+        assert a.total_distance == b.total_distance
+
+    def test_geocast_randomness_exceeds_clear_greedy(self):
+        """PSD assigns a *random* worker in the geocast region, so it can
+        never beat the no-privacy nearest-worker greedy on the same exact
+        task locations (note PSD leaves tasks in the clear: To et al.
+        protect workers only — a weaker model than the paper's, which is
+        why its distances can look competitive)."""
+        from repro.matching import EuclideanGreedyMatcher
+
+        workload = gaussian_workload(
+            SyntheticConfig(n_tasks=150, n_workers=400), seed=8
+        )
+        instance = Instance(
+            region=workload.region,
+            worker_locations=workload.worker_locations,
+            task_locations=workload.task_locations,
+            epsilon=0.6,
+        )
+        psd = np.mean(
+            [PSDPipeline().run(instance, seed=s).total_distance for s in range(3)]
+        )
+        greedy = EuclideanGreedyMatcher(workload.worker_locations)
+        clear = sum(
+            greedy.assign(t)[1] for t in workload.task_locations
+        )
+        assert psd > clear
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PSDPipeline(max_expansions=-1)

@@ -1,0 +1,84 @@
+"""Tests for repro.matching.reachability."""
+
+import numpy as np
+import pytest
+
+from repro.hst import build_hst
+from repro.matching import estimate_stretch, radius_to_tree_units, sample_radii
+
+from .conftest import random_point_set
+
+
+class TestSampleRadii:
+    def test_within_bounds(self):
+        radii = sample_radii(500, 10.0, 20.0, seed=0)
+        assert radii.shape == (500,)
+        assert radii.min() >= 10.0
+        assert radii.max() <= 20.0
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            sample_radii(10, 1, 2, seed=5), sample_radii(10, 1, 2, seed=5)
+        )
+
+    def test_zero(self):
+        assert sample_radii(0, 1, 2).shape == (0,)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            sample_radii(5, 20.0, 10.0)
+        with pytest.raises(ValueError):
+            sample_radii(-1, 1.0, 2.0)
+
+
+class TestEstimateStretch:
+    def test_at_least_one(self, small_grid_tree):
+        """Tree distances dominate the metric, so the stretch is >= 1."""
+        assert estimate_stretch(small_grid_tree, seed=0) >= 1.0
+
+    def test_single_point_tree(self):
+        tree = build_hst([(0.0, 0.0)], seed=0)
+        assert estimate_stretch(tree) == 1.0
+
+    def test_deterministic_given_seed(self, small_grid_tree):
+        a = estimate_stretch(small_grid_tree, seed=3)
+        b = estimate_stretch(small_grid_tree, seed=3)
+        assert a == b
+
+    def test_reasonable_magnitude(self, small_grid_tree):
+        """FRT stretch is O(log N); for 36 points it should be modest."""
+        stretch = estimate_stretch(small_grid_tree, n_pairs=1000, seed=1)
+        assert 1.0 <= stretch < 64.0
+
+    def test_matches_median_of_true_ratios(self):
+        tree = build_hst(random_point_set(10, 3), seed=3)
+        pts = tree.points
+        ratios = []
+        for i in range(10):
+            for j in range(10):
+                if i == j:
+                    continue
+                d = float(np.hypot(*(pts[i] - pts[j])))
+                ratios.append(
+                    tree.tree_distance_points(i, j) / tree.metric_scale / d
+                )
+        full_median = float(np.median(ratios))
+        sampled = estimate_stretch(tree, n_pairs=4000, seed=0)
+        assert sampled == pytest.approx(full_median, rel=0.5)
+
+
+class TestRadiusToTreeUnits:
+    def test_scales_by_stretch_and_metric(self, small_grid_tree):
+        budgets = radius_to_tree_units(
+            [10.0, 20.0], small_grid_tree, stretch=3.0
+        )
+        expected = np.array([10.0, 20.0]) * 3.0 * small_grid_tree.metric_scale
+        assert np.allclose(budgets, expected)
+
+    def test_auto_stretch(self, small_grid_tree):
+        budgets = radius_to_tree_units([5.0], small_grid_tree, seed=0)
+        assert budgets[0] >= 5.0  # stretch >= 1, scale = 1 here
+
+    def test_rejects_negative(self, small_grid_tree):
+        with pytest.raises(ValueError):
+            radius_to_tree_units([-1.0], small_grid_tree, stretch=2.0)

@@ -1,0 +1,90 @@
+"""Tests for repro.hst.serialize: the tree publication format."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hst import (
+    build_hst,
+    hst_from_dict,
+    hst_from_json,
+    hst_to_dict,
+    hst_to_json,
+)
+
+from .conftest import random_point_set
+
+
+class TestRoundTrip:
+    def test_example1(self, example1_tree):
+        clone = hst_from_dict(hst_to_dict(example1_tree))
+        assert clone.depth == example1_tree.depth
+        assert clone.branching == example1_tree.branching
+        assert np.array_equal(clone.paths, example1_tree.paths)
+        assert np.array_equal(clone.points, example1_tree.points)
+
+    def test_operational_equivalence(self, small_grid_tree):
+        clone = hst_from_json(hst_to_json(small_grid_tree))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            q = rng.random(2) * 100
+            assert clone.leaf_for_location(q) == small_grid_tree.leaf_for_location(q)
+        for i in range(0, small_grid_tree.n_points, 5):
+            for j in range(0, small_grid_tree.n_points, 7):
+                assert clone.tree_distance_points(
+                    i, j
+                ) == small_grid_tree.tree_distance_points(i, j)
+
+    def test_rescaled_tree_roundtrip(self):
+        tree = build_hst([(0.0, 0.0), (0.25, 0.0), (10.0, 0.0)], seed=0)
+        clone = hst_from_json(hst_to_json(tree))
+        assert clone.metric_scale == tree.metric_scale
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_trees(self, seed):
+        tree = build_hst(random_point_set(12, seed), seed=seed)
+        clone = hst_from_dict(hst_to_dict(tree))
+        assert np.array_equal(clone.paths, tree.paths)
+
+
+class TestFormat:
+    def test_json_is_valid_and_tagged(self, example1_tree):
+        doc = json.loads(hst_to_json(example1_tree))
+        assert doc["format"] == "repro-hst"
+        assert doc["version"] == 1
+
+    def test_indent_option(self, example1_tree):
+        assert "\n" in hst_to_json(example1_tree, indent=2)
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            hst_from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self, example1_tree):
+        doc = hst_to_dict(example1_tree)
+        doc["version"] = 99
+        with pytest.raises(ValueError):
+            hst_from_dict(doc)
+
+    def test_rejects_missing_fields(self, example1_tree):
+        doc = hst_to_dict(example1_tree)
+        del doc["paths"]
+        with pytest.raises(ValueError):
+            hst_from_dict(doc)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            hst_from_dict("not a dict")
+
+    def test_rejects_duplicate_paths(self, example1_tree):
+        doc = hst_to_dict(example1_tree)
+        doc["paths"][1] = doc["paths"][0]
+        with pytest.raises(ValueError):
+            hst_from_dict(doc)
+
+    def test_rejects_out_of_range_paths(self, example1_tree):
+        doc = hst_to_dict(example1_tree)
+        doc["paths"][0][0] = 7
+        with pytest.raises(ValueError):
+            hst_from_dict(doc)

@@ -1,0 +1,123 @@
+"""Tests for repro.experiments.summary: the headline grader."""
+
+import pytest
+
+from repro.experiments.metrics import MetricSummary, SeriesPoint, SweepResult
+from repro.experiments.summary import (
+    HeadlineCheck,
+    _distance_claims,
+    _size_claims,
+    format_headline_report,
+)
+
+
+def _point(x, values: dict[str, dict[str, float]]) -> SeriesPoint:
+    point = SeriesPoint(x=x)
+    for algo, metrics in values.items():
+        point.metrics[algo] = {
+            key: MetricSummary(mean=v, std=0.0, n=1) for key, v in metrics.items()
+        }
+    return point
+
+
+def _distance_result(tbf, gr, hg) -> SweepResult:
+    result = SweepResult(
+        experiment_id="fig7_eps",
+        title="t",
+        x_label="epsilon",
+        algorithms=["Lap-GR", "Lap-HG", "TBF"],
+    )
+    for i, x in enumerate([0.2, 0.4, 0.6, 0.8, 1.0]):
+        result.points.append(
+            _point(
+                x,
+                {
+                    "TBF": {"total_distance": tbf[i]},
+                    "Lap-GR": {"total_distance": gr[i]},
+                    "Lap-HG": {"total_distance": hg[i]},
+                },
+            )
+        )
+    return result
+
+
+def _size_result(tbf, prob) -> SweepResult:
+    result = SweepResult(
+        experiment_id="fig8_eps",
+        title="t",
+        x_label="epsilon",
+        algorithms=["Prob", "TBF"],
+    )
+    for i, x in enumerate([0.2, 0.6, 1.0]):
+        result.points.append(
+            _point(
+                x,
+                {
+                    "TBF": {"matching_size": tbf[i]},
+                    "Prob": {"matching_size": prob[i]},
+                },
+            )
+        )
+    return result
+
+
+class TestDistanceClaims:
+    def test_paper_shape_passes_all(self):
+        checks = _distance_claims(
+            _distance_result(
+                tbf=[3200, 3100, 3150, 3100, 3000],
+                gr=[8500, 4600, 3300, 2700, 2300],
+                hg=[8800, 5500, 4400, 3900, 3500],
+            )
+        )
+        assert all(c.passed for c in checks)
+
+    def test_flat_tbf_claim_fails_when_tbf_blows_up(self):
+        checks = _distance_claims(
+            _distance_result(
+                tbf=[9000, 6000, 4000, 3500, 3000],
+                gr=[9500, 4600, 3300, 2700, 2300],
+                hg=[9800, 5500, 4400, 3900, 3500],
+            )
+        )
+        flat = [c for c in checks if "insensitive" in c.claim][0]
+        assert not flat.passed
+
+    def test_strict_privacy_claim_fails_when_tbf_loses(self):
+        checks = _distance_claims(
+            _distance_result(
+                tbf=[9000, 3100, 3150, 3100, 3000],
+                gr=[8500, 4600, 3300, 2700, 2300],
+                hg=[8800, 5500, 4400, 3900, 3500],
+            )
+        )
+        strict = checks[0]
+        assert not strict.passed
+
+
+class TestSizeClaims:
+    def test_paper_shape_passes(self):
+        checks = _size_claims(_size_result(tbf=[570, 575, 580], prob=[380, 590, 600]))
+        assert all(c.passed for c in checks)
+
+    def test_fails_when_prob_wins_at_strict_privacy(self):
+        checks = _size_claims(_size_result(tbf=[370, 575, 580], prob=[380, 590, 600]))
+        assert not checks[0].passed
+
+
+class TestFormatting:
+    def test_report_lists_all_checks(self):
+        checks = [
+            HeadlineCheck("claim A", "measured A", True),
+            HeadlineCheck("claim B", "measured B", False),
+        ]
+        text = format_headline_report(checks)
+        assert "[PASS] claim A" in text
+        assert "[FAIL] claim B" in text
+        assert "1/2 headline claims reproduced" in text
+
+    def test_cli_lists_summary(self, capsys):
+        from repro.experiments.__main__ import main
+
+        main(["list"])
+        assert "summary" in capsys.readouterr().out

@@ -1,0 +1,155 @@
+"""Tests for repro.crowdsourcing.timeline: the dynamic fleet extension."""
+
+import numpy as np
+import pytest
+
+from repro.crowdsourcing.timeline import (
+    FleetSimulator,
+    FleetTrace,
+    RideRecord,
+    poisson_arrivals,
+)
+from repro.privacy import TreeMechanism
+
+
+@pytest.fixture(scope="module")
+def sim_parts(small_grid_tree):
+    mech = TreeMechanism(small_grid_tree, epsilon=0.8, seed=0)
+    return small_grid_tree, mech
+
+
+class TestPoissonArrivals:
+    def test_sorted_within_horizon(self):
+        times = poisson_arrivals(rate=2.0, horizon=50.0, seed=0)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0 and times.max() < 50.0
+
+    def test_rate_controls_count(self):
+        slow = poisson_arrivals(rate=0.5, horizon=200.0, seed=1)
+        fast = poisson_arrivals(rate=5.0, horizon=200.0, seed=1)
+        assert len(fast) > len(slow)
+
+    def test_expected_count(self):
+        times = poisson_arrivals(rate=3.0, horizon=1000.0, seed=2)
+        assert len(times) == pytest.approx(3000, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, 0.0)
+
+
+class TestRecordsAndTrace:
+    def test_record_served_flag(self):
+        assert RideRecord(0, 0.0, worker=3).served
+        assert not RideRecord(0, 0.0, worker=None).served
+
+    def test_trace_aggregates(self):
+        trace = FleetTrace(
+            records=[
+                RideRecord(0, 0.0, worker=1, pickup_distance=4.0),
+                RideRecord(1, 1.0, worker=None),
+                RideRecord(2, 2.0, worker=2, pickup_distance=6.0),
+            ]
+        )
+        assert trace.served == 2
+        assert trace.dropped == 1
+        assert trace.total_pickup_distance == pytest.approx(10.0)
+        assert trace.mean_pickup_distance == pytest.approx(5.0)
+
+    def test_empty_trace(self):
+        trace = FleetTrace()
+        assert trace.served == 0
+        assert np.isnan(trace.mean_pickup_distance)
+
+
+class TestFleetSimulator:
+    def _workers(self, n, seed=0):
+        return np.random.default_rng(seed).uniform(0, 100, size=(n, 2))
+
+    def test_busy_workers_are_not_rematched(self, sim_parts):
+        tree, mech = sim_parts
+        sim = FleetSimulator(
+            tree, mech, self._workers(1), speed=1.0, service_time=1000.0
+        )
+        tasks = np.array([[50.0, 50.0], [50.0, 50.0]])
+        trace = sim.run(tasks, [0.0, 1.0], seed=1)
+        assert trace.records[0].served
+        assert not trace.records[1].served  # the only worker is still busy
+
+    def test_workers_recycle_after_completion(self, sim_parts):
+        tree, mech = sim_parts
+        sim = FleetSimulator(
+            tree, mech, self._workers(1), speed=1e6, service_time=0.5
+        )
+        tasks = np.array([[50.0, 50.0], [60.0, 60.0]])
+        trace = sim.run(tasks, [0.0, 10.0], seed=1)
+        assert trace.served == 2
+        # the worker served from its new position: reports were re-sent
+        assert trace.reports_sent >= 2
+
+    def test_all_served_with_big_fleet(self, sim_parts):
+        tree, mech = sim_parts
+        sim = FleetSimulator(tree, mech, self._workers(50), speed=50.0)
+        arrivals = poisson_arrivals(rate=1.0, horizon=20.0, seed=3)
+        tasks = np.random.default_rng(4).uniform(0, 100, size=(len(arrivals), 2))
+        trace = sim.run(tasks, arrivals, seed=5)
+        assert trace.served == len(arrivals)
+
+    def test_budget_suppresses_re_reports(self, sim_parts):
+        tree, mech = sim_parts
+        # capacity = exactly one report (the registration)
+        sim = FleetSimulator(
+            tree,
+            mech,
+            self._workers(3),
+            speed=1e6,
+            service_time=0.1,
+            budget_capacity=mech.epsilon,
+        )
+        tasks = np.random.default_rng(6).uniform(0, 100, size=(9, 2))
+        trace = sim.run(tasks, np.arange(9, dtype=float), seed=7)
+        assert trace.reports_sent == 3  # registrations only
+        assert trace.reports_suppressed > 0
+        assert trace.served == 9  # stale reports still serve
+
+    def test_generous_budget_allows_re_reports(self, sim_parts):
+        tree, mech = sim_parts
+        sim = FleetSimulator(
+            tree,
+            mech,
+            self._workers(3),
+            speed=1e6,
+            service_time=0.1,
+            budget_capacity=100.0,
+        )
+        tasks = np.random.default_rng(6).uniform(0, 100, size=(9, 2))
+        trace = sim.run(tasks, np.arange(9, dtype=float), seed=7)
+        assert trace.reports_suppressed == 0
+        assert trace.reports_sent > 3
+
+    def test_deterministic_given_seed(self, sim_parts):
+        tree, mech = sim_parts
+        tasks = np.random.default_rng(8).uniform(0, 100, size=(12, 2))
+        times = np.sort(np.random.default_rng(9).uniform(0, 10, size=12))
+
+        def run():
+            sim = FleetSimulator(tree, mech, self._workers(6), speed=20.0)
+            return sim.run(tasks, times, seed=42)
+
+        a, b = run(), run()
+        assert a.total_pickup_distance == b.total_pickup_distance
+        assert [r.worker for r in a.records] == [r.worker for r in b.records]
+
+    def test_input_validation(self, sim_parts):
+        tree, mech = sim_parts
+        with pytest.raises(ValueError):
+            FleetSimulator(tree, mech, self._workers(2), speed=0.0)
+        with pytest.raises(ValueError):
+            FleetSimulator(tree, mech, self._workers(2), service_time=-1.0)
+        sim = FleetSimulator(tree, mech, self._workers(2))
+        with pytest.raises(ValueError):
+            sim.run(np.zeros((2, 2)), [0.0])  # length mismatch
+        with pytest.raises(ValueError):
+            sim.run(np.zeros((2, 2)), [1.0, 0.0])  # decreasing times

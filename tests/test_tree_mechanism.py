@@ -1,0 +1,236 @@
+"""Tests for repro.privacy.tree_mechanism: Algorithms 2 and 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hst import build_hst, enumerate_leaves, lca_level, tree_distance
+from repro.privacy import ENUMERATION_LEAF_LIMIT, TreeMechanism
+
+from .conftest import random_point_set, random_tree
+
+
+@pytest.fixture(scope="module")
+def mech(example1_tree_module):
+    return TreeMechanism(example1_tree_module, epsilon=0.1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def example1_tree_module():
+    from .conftest import EXAMPLE1_POINTS
+
+    return build_hst(EXAMPLE1_POINTS, beta=0.5, permutation=[0, 1, 2, 3])
+
+
+class TestProbabilities:
+    def test_example2_probabilities(self, mech, example1_tree_module):
+        """The paper's Example 2: obfuscating o1 with eps = 0.1."""
+        o1 = example1_tree_module.path_of(0)
+        assert mech.probability(o1, o1) == pytest.approx(0.394, abs=5e-4)
+        # f3 in Example 3 is a level-2 sibling: probability 0.119
+        assert mech.probability(o1, (0, 0, 1, 0)) == pytest.approx(0.119, abs=5e-4)
+        # o3 (level 4): probability ~0.001
+        o3 = example1_tree_module.path_of(2)
+        assert mech.probability(o1, o3) == pytest.approx(0.001, abs=5e-4)
+
+    def test_distribution_sums_to_one(self, mech, example1_tree_module):
+        dist = mech.distribution(example1_tree_module.path_of(1))
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert len(dist) == example1_tree_module.num_leaves
+
+    def test_distribution_depends_only_on_lca_level(self, mech, example1_tree_module):
+        x = example1_tree_module.path_of(0)
+        dist = mech.distribution(x)
+        for z, p in dist.items():
+            assert p == pytest.approx(
+                mech.weights.leaf_probability(lca_level(x, z))
+            )
+
+    def test_probability_validates_paths(self, mech):
+        with pytest.raises(ValueError):
+            mech.probability((0, 0, 0), (0, 0, 0, 0))
+
+
+class TestSamplersAgree:
+    """Theorem 2: all three samplers realize the same distribution."""
+
+    N_SAMPLES = 4000
+
+    def _empirical(self, mechanism, x, method, seed):
+        rng = np.random.default_rng(seed)
+        sampler = {
+            "walk": mechanism.obfuscate_walk,
+            "level": mechanism.obfuscate_level,
+            "enumerate": mechanism.obfuscate_enumerate,
+        }[method]
+        counts = {}
+        for _ in range(self.N_SAMPLES):
+            z = sampler(x, rng)
+            counts[z] = counts.get(z, 0) + 1
+        return counts
+
+    @pytest.mark.parametrize("method", ["walk", "level", "enumerate"])
+    def test_sampler_matches_exact_distribution(
+        self, mech, example1_tree_module, method
+    ):
+        x = example1_tree_module.path_of(0)
+        exact = mech.distribution(x)
+        counts = self._empirical(mech, x, method, seed=99)
+        tv = 0.5 * sum(
+            abs(counts.get(z, 0) / self.N_SAMPLES - p) for z, p in exact.items()
+        )
+        assert tv < 0.05
+        assert set(counts) <= set(exact)
+
+    def test_walk_equals_level_on_random_trees(self):
+        """Compare the two O(D) samplers through their LCA-level marginals
+        (the sufficient statistic: within a level both are uniform, which
+        the exact-distribution test above verifies)."""
+        for seed in range(3):
+            tree = random_tree(n=8, seed=seed)
+            mechanism = TreeMechanism(tree, epsilon=0.08)
+            x = tree.path_of(seed % tree.n_points)
+            walk = self._empirical(mechanism, x, "walk", seed=seed)
+            level = self._empirical(mechanism, x, "level", seed=seed + 50)
+            depth = tree.depth
+            walk_marginal = np.zeros(depth + 1)
+            level_marginal = np.zeros(depth + 1)
+            for z, c in walk.items():
+                walk_marginal[lca_level(x, z)] += c
+            for z, c in level.items():
+                level_marginal[lca_level(x, z)] += c
+            tv = 0.5 * np.abs(
+                walk_marginal - level_marginal
+            ).sum() / self.N_SAMPLES
+            assert tv < 0.06
+
+    def test_default_method_dispatch(self, example1_tree_module):
+        for method in ("walk", "level", "enumerate"):
+            m = TreeMechanism(example1_tree_module, 0.1, method=method, seed=1)
+            z = m.obfuscate(example1_tree_module.path_of(0))
+            assert len(z) == example1_tree_module.depth
+
+    def test_unknown_method_rejected(self, example1_tree_module):
+        with pytest.raises(ValueError):
+            TreeMechanism(example1_tree_module, 0.1, method="magic")
+
+
+class TestWalkMechanics:
+    def test_outputs_are_valid_leaves(self, mech, example1_tree_module):
+        rng = np.random.default_rng(5)
+        x = example1_tree_module.path_of(3)
+        for _ in range(200):
+            z = mech.obfuscate_walk(x, rng)
+            example1_tree_module.validate_path(z)
+
+    def test_can_output_fake_leaves(self, mech, example1_tree_module):
+        """Example 3's essence: o1 may be obfuscated to fake leaf f3."""
+        rng = np.random.default_rng(8)
+        x = example1_tree_module.path_of(0)
+        outputs = {mech.obfuscate_walk(x, rng) for _ in range(500)}
+        fakes = {z for z in outputs if not example1_tree_module.is_real_leaf(z)}
+        assert fakes  # fake leaves must be reachable
+
+    def test_unary_tree_returns_input(self):
+        tree = build_hst([(2.0, 2.0)], seed=0)
+        m = TreeMechanism(tree, epsilon=0.5, seed=0)
+        assert m.obfuscate_walk(tree.path_of(0)) == tree.path_of(0)
+
+    def test_huge_epsilon_rarely_moves(self, example1_tree_module):
+        m = TreeMechanism(example1_tree_module, epsilon=20.0, seed=3)
+        x = example1_tree_module.path_of(2)
+        outputs = {m.obfuscate_walk(x) for _ in range(100)}
+        assert outputs == {x}
+
+    def test_tiny_epsilon_moves_far(self, example1_tree_module):
+        m = TreeMechanism(example1_tree_module, epsilon=1e-4, seed=3)
+        x = example1_tree_module.path_of(2)
+        levels = [
+            lca_level(x, m.obfuscate_walk(x)) for _ in range(300)
+        ]
+        # with eps ~ 0 the distribution is near-uniform over leaves, and
+        # most leaves of a complete binary tree sit at the top level
+        assert np.mean(levels) > 2.0
+
+    def test_obfuscate_point_helper(self, mech, example1_tree_module):
+        z = mech.obfuscate_point(1, np.random.default_rng(0))
+        example1_tree_module.validate_path(z)
+
+    def test_obfuscate_many_length(self, mech, example1_tree_module):
+        xs = [example1_tree_module.path_of(i) for i in range(4)]
+        zs = mech.obfuscate_many(xs, np.random.default_rng(0))
+        assert len(zs) == 4
+
+
+class TestExpectedTreeDistance:
+    @pytest.mark.parametrize("eps", [0.05, 0.1, 0.5])
+    def test_matches_bruteforce_on_example1(self, example1_tree_module, eps):
+        m = TreeMechanism(example1_tree_module, epsilon=eps)
+        for u_idx in range(4):
+            for v_idx in range(4):
+                u = example1_tree_module.path_of(u_idx)
+                v = example1_tree_module.path_of(v_idx)
+                brute = sum(
+                    p * tree_distance(z, v)
+                    for z, p in m.distribution(u).items()
+                )
+                assert m.expected_tree_distance(u, v) == pytest.approx(brute)
+
+    def test_matches_bruteforce_on_random_trees(self):
+        for seed in range(4):
+            tree = random_tree(n=6, seed=seed + 20)
+            m = TreeMechanism(tree, epsilon=0.07)
+            u = tree.path_of(0)
+            v = tree.path_of(tree.n_points - 1)
+            brute = sum(
+                p * tree_distance(z, v) for z, p in m.distribution(u).items()
+            )
+            assert m.expected_tree_distance(u, v) == pytest.approx(brute)
+
+    def test_self_expectation_is_displacement(self, example1_tree_module):
+        m = TreeMechanism(example1_tree_module, epsilon=0.1)
+        u = example1_tree_module.path_of(0)
+        assert m.expected_tree_distance(u, u) == pytest.approx(
+            m.weights.expected_displacement
+        )
+
+
+class TestEnumerationGuard:
+    def test_large_tree_enumeration_refused(self):
+        pts = random_point_set(200, 0, side=256.0)
+        tree = build_hst(pts, seed=0)
+        if tree.num_leaves <= ENUMERATION_LEAF_LIMIT:
+            pytest.skip("random tree unexpectedly small")
+        m = TreeMechanism(tree, epsilon=0.5)
+        with pytest.raises(ValueError):
+            m.distribution(tree.path_of(0))
+        with pytest.raises(ValueError):
+            m.obfuscate_enumerate(tree.path_of(0))
+
+    def test_walk_still_fine_on_large_tree(self):
+        pts = random_point_set(200, 0, side=256.0)
+        tree = build_hst(pts, seed=0)
+        m = TreeMechanism(tree, epsilon=0.5, seed=1)
+        z = m.obfuscate_walk(tree.path_of(0))
+        tree.validate_path(z)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    eps=st.floats(0.02, 1.0),
+    point=st.integers(0, 7),
+)
+def test_property_level_marginals_match_theory(seed, eps, point):
+    """The sampled LCA-level marginal matches the closed-form level_probs."""
+    tree = random_tree(n=8, seed=seed)
+    m = TreeMechanism(tree, epsilon=eps)
+    x = tree.path_of(point % tree.n_points)
+    rng = np.random.default_rng(seed)
+    n = 1500
+    levels = np.array([lca_level(x, m.obfuscate_walk(x, rng)) for _ in range(n)])
+    for lvl in range(tree.depth + 1):
+        expected = m.weights.level_probs[lvl]
+        observed = float(np.mean(levels == lvl))
+        assert abs(observed - expected) < 0.06

@@ -1,0 +1,98 @@
+"""Tests for repro.utils: RNG plumbing, timing, memory probes."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Stopwatch, ensure_rng, measure_peak_memory, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+
+class TestSpawnRng:
+    def test_count(self):
+        children = spawn_rng(ensure_rng(0), 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rng(ensure_rng(0), 2)
+        assert not np.array_equal(children[0].random(8), children[1].random(8))
+
+    def test_reproducible_from_parent_seed(self):
+        a = [g.random(3) for g in spawn_rng(ensure_rng(5), 3)]
+        b = [g.random(3) for g in spawn_rng(ensure_rng(5), 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_zero_children(self):
+        assert spawn_rng(ensure_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(0), -1)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch.timed():
+            time.sleep(0.01)
+        first = watch.elapsed
+        with watch.timed():
+            time.sleep(0.01)
+        assert watch.elapsed > first >= 0.01
+
+    def test_laps_recorded(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch.timed():
+                pass
+        assert len(watch.laps) == 3
+        assert abs(sum(watch.laps) - watch.elapsed) < 1e-9
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.timed():
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert watch.laps == []
+
+    def test_records_time_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch.timed():
+                raise RuntimeError("boom")
+        assert len(watch.laps) == 1
+
+
+class TestMeasurePeakMemory:
+    def test_reports_positive_peak(self):
+        result = {}
+        with measure_peak_memory(result):
+            _ = [0] * 100_000
+        assert result["peak_mib"] > 0
+
+    def test_larger_allocation_reports_more(self):
+        small, big = {}, {}
+        with measure_peak_memory(small):
+            _ = np.zeros(1000)
+        with measure_peak_memory(big):
+            _ = np.zeros(1_000_000)
+        assert big["peak_mib"] > small["peak_mib"]

@@ -1,0 +1,49 @@
+"""Tests for repro.hst.visualize."""
+
+import pytest
+
+from repro.hst import build_hst, render_tree
+
+
+class TestRenderTree:
+    def test_example1_real_structure(self, example1_tree):
+        text = render_tree(example1_tree)
+        assert "N=4, D=4, c=2" in text
+        for name in ("o1", "o2", "o3", "o4"):
+            assert name in text
+        assert "f" not in [t.split()[1] for t in text.splitlines()[1:] if t]
+
+    def test_example1_complete_matches_figure3(self, example1_tree):
+        """Fig. 3's complete tree: 16 leaves, 12 of them fake."""
+        text = render_tree(example1_tree, include_fake=True)
+        leaf_lines = [l for l in text.splitlines() if "(level 0)" in l]
+        assert len(leaf_lines) == 16
+        fakes = [l for l in leaf_lines if "- f " in l]
+        assert len(fakes) == 12
+
+    def test_edge_lengths_shown(self, example1_tree):
+        text = render_tree(example1_tree)
+        assert "+-[16]-" in text  # level-3 edge
+        assert "+-[2]-" in text  # level-0 edge
+
+    def test_custom_labels(self, example1_tree):
+        text = render_tree(example1_tree, point_labels=["A", "B", "C", "D"])
+        assert "A (1, 1)" in text
+        assert "o1" not in text
+
+    def test_label_count_validated(self, example1_tree):
+        with pytest.raises(ValueError):
+            render_tree(example1_tree, point_labels=["A"])
+
+    def test_large_complete_tree_refused(self, small_grid_tree):
+        with pytest.raises(ValueError):
+            render_tree(small_grid_tree, include_fake=True)
+
+    def test_large_real_tree_allowed(self, small_grid_tree):
+        text = render_tree(small_grid_tree)
+        assert f"N={small_grid_tree.n_points}" in text
+
+    def test_single_point_tree(self):
+        tree = build_hst([(2.0, 2.0)], seed=0)
+        text = render_tree(tree, include_fake=True)
+        assert "o1 (2, 2)" in text

@@ -1,0 +1,176 @@
+"""Tests for repro.workloads: synthetic Gaussian and Chengdu-like taxi data."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    CHENGDU_REGION,
+    TASKS_PER_DAY,
+    ChengduTaxiConfig,
+    ChengduTaxiDataset,
+    SyntheticConfig,
+    Workload,
+    gaussian_workload,
+    random_arrival_order,
+    shuffle_tasks,
+)
+
+
+class TestSyntheticConfig:
+    def test_defaults_match_paper_bold_values(self):
+        cfg = SyntheticConfig()
+        assert cfg.n_tasks == 3000
+        assert cfg.n_workers == 5000
+        assert cfg.mu == 100.0
+        assert cfg.sigma == 20.0
+        assert cfg.region.width == 200.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_tasks=-1)
+        with pytest.raises(ValueError):
+            SyntheticConfig(sigma=0.0)
+
+
+class TestGaussianWorkload:
+    def test_counts(self):
+        wl = gaussian_workload(SyntheticConfig(n_tasks=50, n_workers=80), seed=0)
+        assert wl.n_tasks == 50
+        assert wl.n_workers == 80
+
+    def test_contained_in_region(self):
+        cfg = SyntheticConfig(n_tasks=500, n_workers=500, mu=50.0, sigma=30.0)
+        wl = gaussian_workload(cfg, seed=1)
+        assert cfg.region.contains(wl.task_locations).all()
+        assert cfg.region.contains(wl.worker_locations).all()
+
+    def test_deterministic(self):
+        cfg = SyntheticConfig(n_tasks=20, n_workers=20)
+        a = gaussian_workload(cfg, seed=5)
+        b = gaussian_workload(cfg, seed=5)
+        assert np.array_equal(a.task_locations, b.task_locations)
+        assert np.array_equal(a.worker_locations, b.worker_locations)
+
+    def test_distribution_center(self):
+        cfg = SyntheticConfig(n_tasks=5000, n_workers=10, mu=120.0, sigma=10.0)
+        wl = gaussian_workload(cfg, seed=2)
+        assert np.allclose(wl.task_locations.mean(axis=0), [120, 120], atol=1.0)
+
+    def test_sigma_controls_spread(self):
+        tight = gaussian_workload(
+            SyntheticConfig(n_tasks=3000, n_workers=10, sigma=10.0), seed=3
+        )
+        wide = gaussian_workload(
+            SyntheticConfig(n_tasks=3000, n_workers=10, sigma=30.0), seed=3
+        )
+        assert tight.task_locations.std() < wide.task_locations.std()
+
+    def test_with_radii(self):
+        wl = gaussian_workload(SyntheticConfig(n_tasks=5, n_workers=7), seed=0)
+        wl2 = wl.with_radii(np.full(7, 9.0))
+        assert wl2.radii.tolist() == [9.0] * 7
+        assert wl.radii is None  # original untouched
+        with pytest.raises(ValueError):
+            wl.with_radii(np.ones(3))
+
+
+class TestArrival:
+    def test_random_order_is_permutation(self):
+        order = random_arrival_order(100, seed=0)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            random_arrival_order(50, seed=1), random_arrival_order(50, seed=1)
+        )
+
+    def test_shuffle_tasks_preserves_multiset(self):
+        tasks = np.arange(20, dtype=np.float64).reshape(10, 2)
+        shuffled = shuffle_tasks(tasks, seed=2)
+        assert sorted(map(tuple, shuffled)) == sorted(map(tuple, tasks))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            random_arrival_order(-1)
+
+
+class TestChengduDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return ChengduTaxiDataset()
+
+    def test_thirty_days(self, dataset):
+        assert dataset.n_days == 30
+
+    def test_task_counts_in_published_range(self, dataset):
+        lo, hi = TASKS_PER_DAY
+        for day in range(dataset.n_days):
+            assert lo <= dataset.task_count(day) <= hi
+
+    def test_day_tasks_shape_and_region(self, dataset):
+        tasks = dataset.day_tasks(0)
+        assert tasks.shape == (dataset.task_count(0), 2)
+        assert CHENGDU_REGION.contains(tasks).all()
+
+    def test_days_are_reproducible(self, dataset):
+        assert np.array_equal(dataset.day_tasks(3), dataset.day_tasks(3))
+
+    def test_days_differ(self, dataset):
+        a, b = dataset.day_tasks(0), dataset.day_tasks(1)
+        assert a.shape != b.shape or not np.array_equal(a, b)
+
+    def test_same_city_across_instances(self):
+        a = ChengduTaxiDataset()
+        b = ChengduTaxiDataset()
+        assert np.array_equal(a.hotspot_centers, b.hotspot_centers)
+        assert np.array_equal(a.day_tasks(5), b.day_tasks(5))
+
+    def test_workers(self, dataset):
+        workers = dataset.workers(500, day=2)
+        assert workers.shape == (500, 2)
+        assert CHENGDU_REGION.contains(workers).all()
+
+    def test_workers_with_seed_reproducible(self, dataset):
+        a = dataset.workers(100, day=0, seed=7)
+        b = dataset.workers(100, day=0, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_day_workload(self, dataset):
+        wl = dataset.day_workload(4, n_workers=300, seed=0)
+        assert isinstance(wl, Workload)
+        assert wl.n_workers == 300
+        assert wl.n_tasks == dataset.task_count(4)
+
+    def test_demand_is_clustered(self, dataset):
+        """Hotspot mixture: demand density is far from uniform."""
+        tasks = dataset.day_tasks(0)
+        side = CHENGDU_REGION.width
+        grid, _, _ = np.histogram2d(
+            tasks[:, 0], tasks[:, 1], bins=10, range=[[0, side], [0, side]]
+        )
+        uniform_expectation = len(tasks) / 100
+        assert grid.max() > 3 * uniform_expectation
+
+    def test_normalized_units(self):
+        """10 km maps to 200 units at 50 m/unit (see module docstring)."""
+        from repro.workloads import METERS_PER_UNIT, meters_to_units
+
+        assert METERS_PER_UNIT == 50.0
+        assert CHENGDU_REGION.width == pytest.approx(200.0)
+        assert meters_to_units([500.0, 1000.0]).tolist() == [10.0, 20.0]
+
+    def test_day_out_of_range(self, dataset):
+        with pytest.raises(IndexError):
+            dataset.day_tasks(30)
+        with pytest.raises(IndexError):
+            dataset.workers(10, day=-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChengduTaxiConfig(n_days=0)
+        with pytest.raises(ValueError):
+            ChengduTaxiConfig(tasks_per_day=(100, 50))
+        with pytest.raises(ValueError):
+            ChengduTaxiConfig(hotspot_fraction=1.5)
+        with pytest.raises(ValueError):
+            ChengduTaxiConfig(n_hotspots=0)
