@@ -1,0 +1,60 @@
+"""Streaming service demo: a 4-shard fleet under bursty demand.
+
+The sharded engine partitions a 200x200 region into a 2x2 shard lattice;
+each shard publishes its own HST and runs its own mechanism, budget ledger
+and Algorithm-4 matcher. Half the fleet registers before the run (one
+batched, vectorized obfuscation call per shard); the other half comes
+online mid-traffic. Tasks arrive on an on/off bursty clock — the stress
+shape real ride-hailing demand has — and are matched immediately.
+
+Run:  python examples/streaming_service.py [--tasks N] [--workers N]
+"""
+
+import argparse
+
+from repro.service import LoadConfig, LoadGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=3000)
+    parser.add_argument("--tasks", type=int, default=800)
+    parser.add_argument("--rate", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = LoadConfig(
+        workload="gaussian",
+        n_workers=args.workers,
+        n_tasks=args.tasks,
+        task_rate=args.rate,
+        arrival="bursty",
+        warm_fraction=0.5,
+        shards=(2, 2),
+        grid_nx=12,
+        epsilon=0.5,
+        budget_capacity=2.0,
+        batch_size=256,
+        seed=args.seed,
+    )
+    print(
+        f"replaying {config.n_tasks} bursty tasks against "
+        f"{config.n_workers} workers on a "
+        f"{config.shards[0]}x{config.shards[1]} shard fleet "
+        f"(eps = {config.epsilon} per report)\n"
+    )
+    report = LoadGenerator(config).run()
+    print(report.format())
+    print(
+        f"\nburst stress: p95 latency {report.latency_p95_ms:.3f} ms vs "
+        f"p50 {report.latency_p50_ms:.3f} ms at "
+        f"{report.throughput_tasks_per_s:,.0f} tasks/s sustained"
+    )
+    print(
+        "every report crossed the trust boundary obfuscated; the per-shard "
+        "ledgers above account for the epsilon each worker has spent"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,5 @@
-"""Legacy shim so `python setup.py develop` works offline (no wheel pkg)."""
+"""Editable-install shim: this offline container lacks the wheel package,
+so PEP 660 editable builds fail; metadata lives in pyproject.toml."""
 from setuptools import setup
 
 setup()

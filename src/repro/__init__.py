@@ -10,8 +10,12 @@ Public API tour:
   Prob baselines, the offline optimum.
 * :mod:`repro.crowdsourcing` — workers/tasks/server and the end-to-end
   pipelines (TBF, Lap-GR, Lap-HG, Prob).
-* :mod:`repro.workloads` — the paper's synthetic Gaussian workloads and
-  the Chengdu-like taxi substitute.
+* :mod:`repro.workloads` — the paper's synthetic Gaussian workloads, the
+  Chengdu-like taxi substitute, and arrival-order/arrival-time processes.
+* :mod:`repro.service` — the serving layer: a sharded online assignment
+  engine with batched cohort obfuscation, a request queue, per-shard
+  telemetry/budget audit and a load generator
+  (``python -m repro.service --smoke``).
 * :mod:`repro.experiments` — per-figure sweeps; also a CLI
   (``python -m repro.experiments``).
 
@@ -54,10 +58,19 @@ from .matching import (
 )
 from .privacy import (
     PlanarLaplaceMechanism,
+    PrivacyBudgetLedger,
     TreeMechanism,
     TreeWeights,
     verify_laplace_geo_i,
     verify_tree_geo_i,
+)
+from .service import (
+    LoadConfig,
+    LoadGenerator,
+    ServiceReport,
+    ShardMap,
+    ShardServer,
+    ShardedAssignmentEngine,
 )
 from .workloads import (
     ChengduTaxiDataset,
@@ -78,12 +91,19 @@ __all__ = [
     "LapGRPipeline",
     "LapHGPipeline",
     "LeafTrie",
+    "LoadConfig",
+    "LoadGenerator",
     "MatchingResult",
     "MatchingServer",
     "PipelineOutcome",
     "PlanarLaplaceMechanism",
+    "PrivacyBudgetLedger",
     "ProbMatcher",
     "ProbPipeline",
+    "ServiceReport",
+    "ShardMap",
+    "ShardServer",
+    "ShardedAssignmentEngine",
     "SnapIndex",
     "SyntheticConfig",
     "TBFPipeline",

@@ -58,35 +58,73 @@ class MatchingServer:
     accumulated matching is exposed as :attr:`result` with *reported* leaf
     distances only — converting to true travel distances requires the true
     coordinates, which the server never has (pipelines do that outside).
+
+    The paper's OMBM model fixes the worker pool before the first task, so
+    registration closes once tasks arrive. The serving layer
+    (:mod:`repro.service`) relaxes that: with
+    ``allow_late_registration=True`` workers may keep joining between
+    tasks, each insertion going straight into the live matcher trie.
     """
 
-    def __init__(self, tree: HST) -> None:
+    def __init__(self, tree: HST, *, allow_late_registration: bool = False) -> None:
         self.tree = tree
+        self.allow_late_registration = allow_late_registration
         self._worker_reports: dict[int, WorkerReport] = {}
+        self._ids: list[int] = []
         self._matcher: HSTGreedyMatcher | None = None
         self.result = MatchingResult()
 
     def register_worker(self, report: WorkerReport) -> None:
-        """Accept a worker's obfuscated registration (before any task)."""
+        """Accept a worker's obfuscated registration."""
         if not isinstance(report, WorkerReport):
             raise TypeError("server only accepts WorkerReport payloads")
         if report.leaf is None:
             raise ValueError("the HST server needs leaf-encoded reports")
-        if self._matcher is not None:
+        if self._matcher is not None and not self.allow_late_registration:
             raise RuntimeError("registration is closed once tasks arrive")
         if report.worker_id in self._worker_reports:
             raise ValueError(f"worker {report.worker_id} already registered")
         self._worker_reports[report.worker_id] = report
+        if self._matcher is not None:
+            self._matcher.add_worker(report.leaf)
+            self._ids.append(report.worker_id)
+
+    def register_workers(self, reports) -> None:
+        """Accept a whole cohort of worker registrations at once."""
+        for report in reports:
+            self.register_worker(report)
 
     @property
     def registered_workers(self) -> int:
         return len(self._worker_reports)
+
+    def is_registered(self, worker_id: int) -> bool:
+        """Whether ``worker_id`` has a registration on record."""
+        return worker_id in self._worker_reports
+
+    @property
+    def available_workers(self) -> int:
+        """Workers registered and not yet consumed by an assignment."""
+        if self._matcher is None:
+            return len(self._worker_reports)
+        return self._matcher.available
 
     def submit_task(self, report: TaskReport) -> int | None:
         """Match an arriving task to the nearest available worker's report.
 
         Returns the assigned worker id (or ``None`` if the pool is empty)
         and records the pair in :attr:`result`.
+        """
+        found = self.submit_task_detailed(report)
+        return None if found is None else found[0]
+
+    def submit_task_detailed(self, report: TaskReport) -> tuple[int, int] | None:
+        """Like :meth:`submit_task`, but returns ``(worker_id, lca_level)``.
+
+        The LCA level of the matched pair determines the *reported* tree
+        distance — the only distance signal the server legitimately has —
+        which the serving layer converts to metric units for its
+        assignment-distance telemetry.
         """
         if not isinstance(report, TaskReport):
             raise TypeError("server only accepts TaskReport payloads")
@@ -104,9 +142,9 @@ class MatchingServer:
         if found is None:
             self.result.unassigned_tasks.append(report.task_id)
             return None
-        slot, _level = found
+        slot, level = found
         worker_id = self._ids[slot]
         self.result.assignments.append(
             Assignment(task=report.task_id, worker=worker_id)
         )
-        return worker_id
+        return worker_id, level

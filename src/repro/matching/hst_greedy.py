@@ -58,6 +58,7 @@ class HSTGreedyMatcher:
         self._trie = LeafTrie(depth, branching)
         for worker_id, path in enumerate(worker_paths):
             self._trie.insert(path, worker_id)
+        self._next_slot = len(worker_paths)
 
     @classmethod
     def for_tree(cls, tree, worker_paths: Sequence[Path]) -> "HSTGreedyMatcher":
@@ -68,6 +69,20 @@ class HSTGreedyMatcher:
     def available(self) -> int:
         """Number of workers not yet consumed."""
         return len(self._trie)
+
+    def add_worker(self, path: Path) -> int:
+        """Admit a worker that arrived after construction.
+
+        The paper's OMBM model fixes the worker set up front; the serving
+        layer (:mod:`repro.service`) relaxes that to streaming worker
+        arrivals, which only requires inserting a fresh leaf into the trie.
+        Returns the new worker's slot id (continuing the constructor's
+        numbering).
+        """
+        slot = self._next_slot
+        self._next_slot += 1
+        self._trie.insert(path, slot)
+        return slot
 
     def assign(self, task_path: Path) -> tuple[int, int] | None:
         """Assign the nearest available worker to the task's leaf.

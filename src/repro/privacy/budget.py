@@ -73,11 +73,60 @@ class PrivacyBudgetLedger:
         self._history.append((principal, epsilon))
         return new_total
 
+    def spend_batch(self, principals, epsilon: float) -> None:
+        """Record the same ``epsilon`` spend for a whole cohort at once.
+
+        The batched obfuscation path registers thousands of workers per
+        call; this is its accounting mirror. All-or-nothing: if *any*
+        principal would blow its cap the whole batch is rejected and
+        nothing is recorded, so the ledger can never drift out of sync
+        with a half-applied cohort.
+        """
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        principals = list(principals)
+        # count multiplicity so a principal repeated within the batch is
+        # checked against its *total* batch spend, not the pre-batch state
+        counts: dict[object, int] = {}
+        for p in principals:
+            counts[p] = counts.get(p, 0) + 1
+        for p, k in counts.items():
+            if self.spent(p) + k * epsilon > self.capacity + 1e-12:
+                raise BudgetExceededError(
+                    f"principal {p!r} has {self.remaining(p):.3f} of "
+                    f"{self.capacity} left; cannot spend {k} x {epsilon} "
+                    f"(batch of {len(principals)} rejected)"
+                )
+        for p in principals:
+            self._spent[p] = self.spent(p) + epsilon
+            self._history.append((p, epsilon))
+
     @property
     def history(self) -> list[tuple[object, float]]:
         """All recorded spends in order, as ``(principal, epsilon)``."""
         return list(self._history)
 
+    @property
+    def principals(self) -> int:
+        """Number of principals with at least one recorded spend."""
+        return len(self._spent)
+
     def total_spent(self) -> float:
         """Sum of all spends across principals (for dashboards)."""
         return sum(self._spent.values())
+
+    def min_remaining(self) -> float:
+        """Smallest remaining budget over all known principals.
+
+        The auditor's headline number: how close the most-exposed user is
+        to the cap. ``capacity`` when nobody has spent yet.
+        """
+        if not self._spent:
+            return self.capacity
+        return self.capacity - max(self._spent.values())
+
+    def mean_remaining(self) -> float:
+        """Average remaining budget over all known principals."""
+        if not self._spent:
+            return self.capacity
+        return self.capacity - sum(self._spent.values()) / len(self._spent)

@@ -208,6 +208,21 @@ class TreeMechanism:
         out[idx] = rows
         return out
 
+    def obfuscate_points_batch(self, point_indices, rng=None) -> np.ndarray:
+        """Vectorized obfuscation of real leaves by predefined-point index.
+
+        The cohort-registration convenience: looks up the ``(n, D)`` path
+        rows for ``point_indices`` in one fancy-indexing step and hands
+        them to :meth:`obfuscate_batch`, so the whole snap-to-report hot
+        path stays in numpy.
+        """
+        idx = np.asarray(point_indices, dtype=np.intp)
+        if idx.ndim != 1:
+            raise ValueError(f"expected a 1-d index array, got shape {idx.shape}")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.tree.n_points):
+            raise IndexError("point index out of range")
+        return self.obfuscate_batch(self.tree.paths[idx], rng)
+
     def obfuscate_walk(self, x: Path, rng=None) -> Path:
         """Paper Algorithm 3: the O(D) random-walk sampler."""
         x = self.tree.validate_path(x)

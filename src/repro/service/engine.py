@@ -1,0 +1,222 @@
+"""The sharded online assignment engine.
+
+:class:`ShardedAssignmentEngine` is the subsystem's front door. It owns a
+:class:`~repro.service.sharding.ShardMap` over the service region and one
+:class:`~repro.service.shard.ShardServer` per cell, and consumes timed
+worker/task events (usually via a
+:class:`~repro.service.events.RequestQueue`):
+
+* **worker arrivals** are routed to their shard and *buffered*; a shard's
+  buffer is flushed through the vectorized batch-obfuscation path when it
+  reaches ``batch_size``, when a task for that shard arrives (so no
+  matchable worker is ever invisible to a later task), or at end of
+  stream. Batching amortizes the per-report Python overhead — see
+  ``benchmarks/bench_service_throughput.py`` for the measured gap;
+* **task arrivals** flush their shard's pending cohort and are matched
+  immediately by the shard's Algorithm-4 server.
+
+The engine is deliberately synchronous and single-process: shards share
+nothing, so lifting them onto threads/processes/hosts later is a transport
+problem, not an algorithmic one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..geometry.box import Box
+from ..geometry.points import as_points
+from ..utils import ensure_rng, spawn_rng
+from .events import RequestQueue, TaskArrival, WorkerArrival
+from .metrics import ServiceReport, _percentile
+from .shard import ShardServer
+from .sharding import ShardMap
+
+__all__ = ["ShardedAssignmentEngine"]
+
+
+class ShardedAssignmentEngine:
+    """Partitioned online assignment over a whole service region.
+
+    Parameters
+    ----------
+    region:
+        The full service region.
+    shards:
+        ``(nx, ny)`` shard lattice shape.
+    grid_nx:
+        Predefined-point lattice side *per shard*.
+    epsilon:
+        Geo-I budget per report.
+    budget_capacity:
+        Per-worker cumulative epsilon cap on each shard's ledger.
+    batch_size:
+        Worker-cohort buffer size per shard; ``1`` degenerates to
+        per-worker (loop) obfuscation.
+    seed:
+        Root seed; each shard gets an independent child stream.
+    """
+
+    def __init__(
+        self,
+        region: Box,
+        shards: tuple[int, int] = (2, 2),
+        grid_nx: int = 16,
+        epsilon: float = 0.5,
+        budget_capacity: float = 2.0,
+        batch_size: int = 256,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.shard_map = ShardMap(region, *shards)
+        self.batch_size = batch_size
+        rngs = spawn_rng(ensure_rng(seed), self.shard_map.n_shards)
+        self.shards = [
+            ShardServer(
+                shard_id,
+                self.shard_map.shard_box(shard_id),
+                grid_nx=grid_nx,
+                epsilon=epsilon,
+                budget_capacity=budget_capacity,
+                seed=rng,
+            )
+            for shard_id, rng in enumerate(rngs)
+        ]
+        self._pending: list[tuple[list[int], list]] = [
+            ([], []) for _ in self.shards
+        ]
+        # engine-wide id registry: shards only see their own workers, so
+        # cross-shard duplicates must be caught here or one worker id
+        # could be assigned twice and budget-charged on two ledgers
+        self._known_workers: set[int] = set()
+        self._assignments: list[tuple[int, int]] = []
+        self.now = 0.0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def assignments(self) -> list[tuple[int, int]]:
+        """All ``(task_id, worker_id)`` pairs decided so far."""
+        return list(self._assignments)
+
+    # ------------------------------------------------------------------ #
+    # ingestion                                                           #
+    # ------------------------------------------------------------------ #
+
+    def register_worker(self, worker_id: int, location) -> None:
+        """Buffer one worker arrival on its shard's pending cohort."""
+        worker_id = int(worker_id)
+        self._claim_ids([worker_id])
+        shard_id = self.shard_map.shard_of(location)
+        ids, locs = self._pending[shard_id]
+        ids.append(worker_id)
+        locs.append(np.asarray(location, dtype=np.float64))
+        if len(ids) >= self.batch_size:
+            self.flush(shard_id)
+
+    def register_workers(self, worker_ids, locations) -> None:
+        """Route and buffer a whole worker wave (vectorized routing)."""
+        locs = as_points(locations)
+        ids = np.asarray(worker_ids, dtype=np.int64)
+        if len(ids) != len(locs):
+            raise ValueError("need one worker id per location")
+        self._claim_ids(int(w) for w in ids)
+        owners = self.shard_map.shard_of_many(locs)
+        for shard_id in np.unique(owners):
+            mask = owners == shard_id
+            pend_ids, pend_locs = self._pending[shard_id]
+            pend_ids.extend(int(w) for w in ids[mask])
+            pend_locs.extend(locs[mask])
+            if len(pend_ids) >= self.batch_size:
+                self.flush(int(shard_id))
+
+    def submit_task(self, task_id: int, location) -> int | None:
+        """Route and match one task; flushes its shard's pending cohort."""
+        shard_id = self.shard_map.shard_of(location)
+        self.flush(shard_id)
+        worker = self.shards[shard_id].submit_task(int(task_id), location)
+        if worker is not None:
+            self._assignments.append((int(task_id), worker))
+        return worker
+
+    def _claim_ids(self, worker_ids) -> None:
+        """Reserve worker ids engine-wide; rejects any already seen."""
+        ids = list(worker_ids)
+        dupes = [w for w in ids if w in self._known_workers]
+        if len(set(ids)) != len(ids):
+            dupes.extend([w for w in set(ids) if ids.count(w) > 1])
+        if dupes:
+            raise ValueError(
+                f"worker ids already registered with the engine: "
+                f"{sorted(set(dupes))[:5]}"
+            )
+        self._known_workers.update(ids)
+
+    def flush(self, shard_id: int | None = None) -> None:
+        """Push pending worker cohorts through batch obfuscation.
+
+        ``None`` flushes every shard (end of stream).
+        """
+        targets = range(self.n_shards) if shard_id is None else [shard_id]
+        for sid in targets:
+            ids, locs = self._pending[sid]
+            if not ids:
+                continue
+            self._pending[sid] = ([], [])
+            self.shards[sid].register_cohort(ids, locs)
+
+    # ------------------------------------------------------------------ #
+    # event-driven operation                                              #
+    # ------------------------------------------------------------------ #
+
+    def process(self, events) -> None:
+        """Drain an event stream, advancing the simulation clock.
+
+        Accepts any iterable of events — typically a
+        :class:`~repro.service.events.RequestQueue` — and dispatches each
+        to :meth:`register_worker` / :meth:`submit_task`. Remaining worker
+        buffers are flushed when the stream ends.
+        """
+        if not isinstance(events, RequestQueue):
+            events = RequestQueue(events)
+        for event in events:
+            self.now = event.time
+            if isinstance(event, WorkerArrival):
+                self.register_worker(event.worker_id, event.location)
+            else:
+                self.submit_task(event.task_id, event.location)
+        self.flush()
+
+    def run(self, events) -> ServiceReport:
+        """Process a stream and return the timed service report."""
+        start = time.perf_counter()
+        self.process(events)
+        wall = time.perf_counter() - start
+        return self.report(wall_seconds=wall)
+
+    # ------------------------------------------------------------------ #
+    # telemetry                                                           #
+    # ------------------------------------------------------------------ #
+
+    def report(self, wall_seconds: float = float("nan")) -> ServiceReport:
+        """Aggregate all shard metrics into one :class:`ServiceReport`."""
+        self.flush()
+        latencies = [v for s in self.shards for v in s.metrics.latencies_s]
+        distances = [
+            v for s in self.shards for v in s.metrics.reported_distances
+        ]
+        return ServiceReport(
+            shards=tuple(s.snapshot() for s in self.shards),
+            wall_seconds=wall_seconds,
+            sim_duration=self.now,
+            latency_p50_ms=_percentile(latencies, 50) * 1e3,
+            latency_p95_ms=_percentile(latencies, 95) * 1e3,
+            mean_reported_distance=(
+                float(np.mean(distances)) if distances else float("nan")
+            ),
+        )

@@ -1,0 +1,104 @@
+"""Timed worker/task events and the engine's request queue.
+
+The serving model is event-driven: a load generator (or a real gateway)
+produces a time-ordered stream of :class:`WorkerArrival` and
+:class:`TaskArrival` events, and the engine consumes them from a
+:class:`RequestQueue`, advancing its simulation clock to each event's
+timestamp. Workers sort before tasks at equal timestamps so a cohort that
+arrives "just in time" is matchable by the task that follows it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.points import as_point
+
+__all__ = ["WorkerArrival", "TaskArrival", "RequestQueue", "merge_event_streams"]
+
+
+@dataclass(frozen=True)
+class WorkerArrival:
+    """A worker coming online at ``time`` at a true location.
+
+    The true location never crosses the server boundary: the engine hands
+    it to the *client-side* encoder of the worker's shard, and only the
+    obfuscated report reaches the shard's matching server.
+    """
+
+    time: float
+    worker_id: int
+    location: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "location", as_point(self.location))
+
+
+@dataclass(frozen=True)
+class TaskArrival:
+    """A task requested at ``time`` at a true location."""
+
+    time: float
+    task_id: int
+    location: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "location", as_point(self.location))
+
+
+def _sort_key(event) -> tuple[float, int]:
+    # workers (kind 0) before tasks (kind 1) at equal timestamps
+    return (event.time, 0 if isinstance(event, WorkerArrival) else 1)
+
+
+def merge_event_streams(*streams) -> list:
+    """Merge event iterables into one time-ordered list.
+
+    A stable sort on ``(time, kind)``: ties keep generator order, and a
+    worker arriving at the same instant as a task is registered first.
+    """
+    merged = [e for stream in streams for e in stream]
+    merged.sort(key=_sort_key)
+    return merged
+
+
+class RequestQueue:
+    """FIFO request queue feeding the assignment engine.
+
+    The single-process stand-in for the ingress queue a deployed service
+    would put in front of its shards (Kafka topic, SQS, ...). Events must
+    be pushed in non-decreasing time order — the queue enforces it, since
+    an out-of-order event would silently corrupt the simulation clock.
+    """
+
+    def __init__(self, events=()) -> None:
+        self._events: deque = deque()
+        self._last_time = -np.inf
+        for event in events:
+            self.push(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        if not self._events:
+            raise StopIteration
+        return self._events.popleft()
+
+    def push(self, event) -> None:
+        """Enqueue one event; rejects timestamps that go backwards."""
+        if not isinstance(event, (WorkerArrival, TaskArrival)):
+            raise TypeError(f"not a service event: {event!r}")
+        if event.time < self._last_time:
+            raise ValueError(
+                f"event at t={event.time} arrives after t={self._last_time}; "
+                "merge streams with merge_event_streams first"
+            )
+        self._last_time = event.time
+        self._events.append(event)

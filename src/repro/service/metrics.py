@@ -1,0 +1,215 @@
+"""Serving telemetry: per-shard counters, latency quantiles, budget audit.
+
+Each :class:`~repro.service.shard.ShardServer` owns a mutable
+:class:`ShardMetrics` recorder; at the end of a run the engine freezes the
+recorders into :class:`ShardSnapshot` rows and one aggregate
+:class:`ServiceReport`. Aggregate latency quantiles are computed from the
+pooled raw samples, not from per-shard quantiles (quantiles don't average).
+
+Latencies are *measured wall-clock* seconds around the matching hot path —
+the quantity an SLO would track — while throughput is reported both
+against wall time (tasks/sec the Python engine sustains) and against the
+simulated clock (the offered rate the run replayed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ShardMetrics", "ShardSnapshot", "ServiceReport"]
+
+
+def _percentile(samples, q: float) -> float:
+    if not len(samples):
+        return float("nan")
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def _mean(samples) -> float:
+    if not len(samples):
+        return float("nan")
+    return float(np.mean(np.asarray(samples, dtype=np.float64)))
+
+
+@dataclass
+class ShardMetrics:
+    """Mutable per-shard recorder filled while the shard serves traffic."""
+
+    shard_id: int
+    workers_registered: int = 0
+    cohorts_flushed: int = 0
+    tasks_assigned: int = 0
+    tasks_unassigned: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    reported_distances: list[float] = field(default_factory=list)
+
+    def record_cohort(self, size: int) -> None:
+        self.workers_registered += size
+        self.cohorts_flushed += 1
+
+    def record_assignment(self, latency_s: float, reported_distance: float) -> None:
+        self.tasks_assigned += 1
+        self.latencies_s.append(latency_s)
+        self.reported_distances.append(reported_distance)
+
+    def record_unassigned(self, latency_s: float) -> None:
+        self.tasks_unassigned += 1
+        self.latencies_s.append(latency_s)
+
+    def snapshot(self, *, epsilon: float, ledger) -> "ShardSnapshot":
+        """Freeze the recorder, folding in the shard's budget ledger."""
+        return ShardSnapshot(
+            shard_id=self.shard_id,
+            epsilon=epsilon,
+            workers_registered=self.workers_registered,
+            cohorts_flushed=self.cohorts_flushed,
+            tasks_assigned=self.tasks_assigned,
+            tasks_unassigned=self.tasks_unassigned,
+            latency_p50_ms=_percentile(self.latencies_s, 50) * 1e3,
+            latency_p95_ms=_percentile(self.latencies_s, 95) * 1e3,
+            mean_reported_distance=_mean(self.reported_distances),
+            budget_capacity=ledger.capacity,
+            budget_min_remaining=ledger.min_remaining(),
+            budget_mean_remaining=ledger.mean_remaining(),
+        )
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """One shard's final counters and audit numbers."""
+
+    shard_id: int
+    epsilon: float
+    workers_registered: int
+    cohorts_flushed: int
+    tasks_assigned: int
+    tasks_unassigned: int
+    latency_p50_ms: float
+    latency_p95_ms: float
+    mean_reported_distance: float
+    budget_capacity: float
+    budget_min_remaining: float
+    budget_mean_remaining: float
+
+    @property
+    def tasks_seen(self) -> int:
+        return self.tasks_assigned + self.tasks_unassigned
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Aggregate outcome of one service run.
+
+    ``mean_true_distance`` is filled by the load generator, which — unlike
+    the server — knows the true coordinates; it stays NaN for runs driven
+    by obfuscated input only.
+    """
+
+    shards: tuple[ShardSnapshot, ...]
+    wall_seconds: float
+    sim_duration: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    mean_reported_distance: float
+    mean_true_distance: float = float("nan")
+
+    @property
+    def tasks_total(self) -> int:
+        return sum(s.tasks_seen for s in self.shards)
+
+    @property
+    def tasks_assigned(self) -> int:
+        return sum(s.tasks_assigned for s in self.shards)
+
+    @property
+    def tasks_unassigned(self) -> int:
+        return sum(s.tasks_unassigned for s in self.shards)
+
+    @property
+    def workers_registered(self) -> int:
+        return sum(s.workers_registered for s in self.shards)
+
+    @property
+    def throughput_tasks_per_s(self) -> float:
+        """Tasks matched per wall-clock second (the engine's real speed)."""
+        if self.wall_seconds <= 0:
+            return float("nan")
+        return self.tasks_total / self.wall_seconds
+
+    @property
+    def offered_rate(self) -> float:
+        """Tasks per simulated time unit the replayed stream offered."""
+        if self.sim_duration <= 0:
+            return float("nan")
+        return self.tasks_total / self.sim_duration
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (benchmarks and the CLI's ``--json``)."""
+        return {
+            "tasks_total": self.tasks_total,
+            "tasks_assigned": self.tasks_assigned,
+            "tasks_unassigned": self.tasks_unassigned,
+            "workers_registered": self.workers_registered,
+            "wall_seconds": self.wall_seconds,
+            "sim_duration": self.sim_duration,
+            "throughput_tasks_per_s": self.throughput_tasks_per_s,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "mean_reported_distance": self.mean_reported_distance,
+            "mean_true_distance": self.mean_true_distance,
+            "shards": [
+                {
+                    "shard_id": s.shard_id,
+                    "epsilon": s.epsilon,
+                    "workers": s.workers_registered,
+                    "cohorts": s.cohorts_flushed,
+                    "assigned": s.tasks_assigned,
+                    "unassigned": s.tasks_unassigned,
+                    "latency_p50_ms": s.latency_p50_ms,
+                    "latency_p95_ms": s.latency_p95_ms,
+                    "mean_reported_distance": s.mean_reported_distance,
+                    "budget_capacity": s.budget_capacity,
+                    "budget_min_remaining": s.budget_min_remaining,
+                    "budget_mean_remaining": s.budget_mean_remaining,
+                }
+                for s in self.shards
+            ],
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line summary (the CLI's default output)."""
+        lines = [
+            f"tasks          {self.tasks_total} "
+            f"({self.tasks_assigned} assigned, {self.tasks_unassigned} unassigned)",
+            f"workers        {self.workers_registered} across {len(self.shards)} shards",
+            f"throughput     {self.throughput_tasks_per_s:,.0f} tasks/s "
+            f"(wall {self.wall_seconds:.3f}s, offered rate "
+            f"{self.offered_rate:.1f} tasks/sim-time)",
+            f"latency        p50 {self.latency_p50_ms:.3f} ms, "
+            f"p95 {self.latency_p95_ms:.3f} ms",
+            f"assignment distance  reported {self.mean_reported_distance:.2f}"
+            + (
+                ""
+                if math.isnan(self.mean_true_distance)
+                else f", true {self.mean_true_distance:.2f}"
+            ),
+            "per-shard:",
+        ]
+        header = (
+            "  shard  workers  assigned  unassigned  p50ms   p95ms   "
+            "dist    eps-left(min/mean)"
+        )
+        lines.append(header)
+        for s in self.shards:
+            lines.append(
+                f"  {s.shard_id:>5}  {s.workers_registered:>7}  "
+                f"{s.tasks_assigned:>8}  {s.tasks_unassigned:>10}  "
+                f"{s.latency_p50_ms:>5.2f}  {s.latency_p95_ms:>6.2f}  "
+                f"{s.mean_reported_distance:>6.2f}  "
+                f"{s.budget_min_remaining:.2f}/{s.budget_mean_remaining:.2f} "
+                f"of {s.budget_capacity:.2f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""One shard: a published HST, its mechanism, ledger and matching server.
+
+A :class:`ShardServer` bundles everything one shard of the region needs to
+serve traffic end to end:
+
+* the *published* artifacts — its predefined-point HST
+  (:func:`~repro.crowdsourcing.server.publish_tree` over the shard's box);
+* the *client side* — a :class:`~repro.privacy.tree_mechanism.TreeMechanism`
+  that obfuscates snapped leaves before anything crosses the trust
+  boundary, with worker cohorts going through the vectorized
+  :meth:`~repro.privacy.tree_mechanism.TreeMechanism.obfuscate_points_batch`
+  path and every registration charged to a per-shard
+  :class:`~repro.privacy.budget.PrivacyBudgetLedger`;
+* the *server side* — a streaming
+  :class:`~repro.crowdsourcing.server.MatchingServer`
+  (``allow_late_registration=True``) running Algorithm 4 on reports only.
+
+The class structure mirrors the paper's trust boundary: ``server`` never
+sees a coordinate, only :class:`~repro.crowdsourcing.entities.WorkerReport`
+/ :class:`~repro.crowdsourcing.entities.TaskReport` payloads produced here.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..crowdsourcing.entities import TaskReport, WorkerReport
+from ..crowdsourcing.server import MatchingServer, publish_tree
+from ..geometry.box import Box
+from ..geometry.points import as_points
+from ..hst.paths import tree_distance_for_level
+from ..privacy.budget import PrivacyBudgetLedger
+from ..privacy.tree_mechanism import TreeMechanism
+from ..utils import ensure_rng
+from .metrics import ShardMetrics, ShardSnapshot
+
+__all__ = ["ShardServer"]
+
+
+class ShardServer:
+    """Self-contained assignment service for one shard cell.
+
+    Parameters
+    ----------
+    shard_id, box:
+        The shard's identity and its cell of the region.
+    grid_nx:
+        Side of the shard's predefined-point lattice (``grid_nx**2``
+        points; the HST is built over them at construction).
+    epsilon:
+        Geo-I budget spent per report on this shard's tree.
+    budget_capacity:
+        Cumulative epsilon cap per worker, enforced by the shard ledger.
+    seed:
+        Drives the HST build, the mechanism and task-report sampling.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        box: Box,
+        grid_nx: int = 16,
+        epsilon: float = 0.5,
+        budget_capacity: float = 2.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        rng = ensure_rng(seed)
+        self.shard_id = shard_id
+        self.box = box
+        self.tree = publish_tree(box, grid_nx, seed=rng)
+        self.mechanism = TreeMechanism(self.tree, epsilon, seed=rng)
+        self.ledger = PrivacyBudgetLedger(budget_capacity)
+        self.server = MatchingServer(self.tree, allow_late_registration=True)
+        self.metrics = ShardMetrics(shard_id)
+        self._rng = rng
+
+    @property
+    def epsilon(self) -> float:
+        return self.mechanism.epsilon
+
+    @property
+    def available_workers(self) -> int:
+        return self.server.available_workers
+
+    # ------------------------------------------------------------------ #
+    # registration (batched client side)                                  #
+    # ------------------------------------------------------------------ #
+
+    def register_cohort(self, worker_ids, locations) -> None:
+        """Register a worker cohort through the vectorized privacy path.
+
+        Snaps all true locations to predefined points in one KD-tree
+        query, obfuscates all leaves in one batched mechanism call, spends
+        ``epsilon`` per worker on the shard ledger (all-or-nothing), and
+        registers the resulting reports with the matching server.
+        """
+        locs = as_points(locations)
+        ids = [int(w) for w in worker_ids]
+        if len(ids) != len(locs):
+            raise ValueError("need one worker id per location")
+        if not ids:
+            return
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate worker ids within a cohort")
+        already = [w for w in ids if self.server.is_registered(w)]
+        if already:
+            # checked before the ledger spend so a rejected cohort cannot
+            # leave budget charged for registrations that never happened
+            raise ValueError(f"workers already registered: {already[:5]}")
+        snapped = self.tree.snap_index.snap_many(locs)
+        reports = self.mechanism.obfuscate_points_batch(snapped, self._rng)
+        self.ledger.spend_batch(ids, self.epsilon)
+        self.server.register_workers(
+            WorkerReport(worker_id=w, leaf=tuple(int(v) for v in leaf))
+            for w, leaf in zip(ids, reports)
+        )
+        self.metrics.record_cohort(len(ids))
+
+    def register_worker(self, worker_id: int, location) -> None:
+        """Single-worker convenience wrapper over :meth:`register_cohort`."""
+        self.register_cohort([worker_id], [location])
+
+    # ------------------------------------------------------------------ #
+    # serving                                                             #
+    # ------------------------------------------------------------------ #
+
+    def submit_task(self, task_id: int, location) -> int | None:
+        """Encode, obfuscate and match one arriving task.
+
+        Returns the assigned (global) worker id or ``None``; wall-clock
+        matching latency and the reported assignment distance go into
+        :attr:`metrics`.
+        """
+        leaf = self.tree.leaf_for_location(location)
+        report = TaskReport(
+            task_id=task_id, leaf=self.mechanism.obfuscate(leaf, self._rng)
+        )
+        start = time.perf_counter()
+        found = self.server.submit_task_detailed(report)
+        latency = time.perf_counter() - start
+        if found is None:
+            self.metrics.record_unassigned(latency)
+            return None
+        worker_id, level = found
+        reported = tree_distance_for_level(level) / self.tree.metric_scale
+        self.metrics.record_assignment(latency, reported)
+        return worker_id
+
+    def snapshot(self) -> ShardSnapshot:
+        """Freeze this shard's metrics, ledger audit included."""
+        return self.metrics.snapshot(epsilon=self.epsilon, ledger=self.ledger)

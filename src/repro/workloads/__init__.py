@@ -1,6 +1,12 @@
 """Workload generators (paper Sec. IV-A)."""
 
-from .arrival import random_arrival_order, shuffle_tasks
+from .arrival import (
+    bursty_arrival_times,
+    poisson_arrival_times,
+    random_arrival_order,
+    shuffle_tasks,
+    uniform_arrival_times,
+)
 from .synthetic import (
     DEFAULT_REGION,
     SyntheticConfig,
@@ -27,8 +33,11 @@ __all__ = [
     "SyntheticConfig",
     "TASKS_PER_DAY",
     "Workload",
+    "bursty_arrival_times",
     "gaussian_workload",
     "meters_to_units",
+    "poisson_arrival_times",
     "random_arrival_order",
     "shuffle_tasks",
+    "uniform_arrival_times",
 ]

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Several modules import shared helpers with ``from .conftest import ...``;
+the package marker makes those relative imports resolvable under plain
+``python -m pytest`` (rootdir import mode) instead of erroring at collection.
+"""

@@ -1,0 +1,376 @@
+"""Tests for repro.service: sharding, events, shard servers, engine, loadgen."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.privacy import BudgetExceededError, PrivacyBudgetLedger, TreeMechanism
+from repro.crowdsourcing.server import publish_tree
+from repro.service import (
+    LoadConfig,
+    LoadGenerator,
+    RequestQueue,
+    ShardMap,
+    ShardServer,
+    ShardedAssignmentEngine,
+    TaskArrival,
+    WorkerArrival,
+    merge_event_streams,
+)
+from repro.service.__main__ import main as service_main
+from repro.workloads import (
+    bursty_arrival_times,
+    poisson_arrival_times,
+    uniform_arrival_times,
+)
+
+REGION = Box.square(200.0)
+
+
+class TestShardMap:
+    def test_shard_count_and_boxes_tile_region(self):
+        smap = ShardMap(REGION, 3, 2)
+        assert smap.n_shards == 6
+        area = sum(
+            smap.shard_box(i).width * smap.shard_box(i).height
+            for i in range(smap.n_shards)
+        )
+        assert area == pytest.approx(REGION.width * REGION.height)
+
+    def test_routing_matches_containing_box(self):
+        smap = ShardMap(REGION, 2, 2)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 200, size=(300, 2))
+        owners = smap.shard_of_many(pts)
+        for p, owner in zip(pts, owners):
+            assert smap.shard_box(int(owner)).contains(p[None, :])[0]
+
+    def test_out_of_region_clamps_to_edge_shard(self):
+        smap = ShardMap(REGION, 2, 2)
+        assert smap.shard_of((-50.0, -50.0)) == 0
+        assert smap.shard_of((500.0, 500.0)) == smap.n_shards - 1
+
+    def test_scalar_and_vector_routing_agree(self):
+        smap = ShardMap(REGION, 4, 3)
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 200, size=(100, 2))
+        many = smap.shard_of_many(pts)
+        assert [smap.shard_of(p) for p in pts] == [int(v) for v in many]
+
+    def test_task_lands_in_shard_owning_its_snapped_point(self):
+        """Routing then snapping stays inside the routed shard: the shard's
+        predefined points tile exactly its own cell."""
+        engine = ShardedAssignmentEngine(REGION, shards=(2, 2), grid_nx=6, seed=0)
+        rng = np.random.default_rng(2)
+        for loc in rng.uniform(0, 200, size=(50, 2)):
+            sid = engine.shard_map.shard_of(loc)
+            shard = engine.shards[sid]
+            snapped = shard.tree.snap_index.snap(loc)
+            point = shard.tree.points[snapped]
+            assert engine.shard_map.shard_of(point) == sid
+
+
+class TestEvents:
+    def test_merge_orders_by_time_with_workers_first(self):
+        w = WorkerArrival(time=1.0, worker_id=0, location=(1.0, 1.0))
+        t = TaskArrival(time=1.0, task_id=0, location=(2.0, 2.0))
+        t_early = TaskArrival(time=0.5, task_id=1, location=(3.0, 3.0))
+        merged = merge_event_streams([t, t_early], [w])
+        assert merged == [t_early, w, t]
+
+    def test_queue_rejects_time_travel(self):
+        q = RequestQueue()
+        q.push(TaskArrival(time=2.0, task_id=0, location=(0.0, 0.0)))
+        with pytest.raises(ValueError):
+            q.push(TaskArrival(time=1.0, task_id=1, location=(0.0, 0.0)))
+
+    def test_queue_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            RequestQueue(["nope"])
+
+    def test_queue_is_fifo_iterable(self):
+        events = [
+            TaskArrival(time=float(i), task_id=i, location=(0.0, 0.0))
+            for i in range(3)
+        ]
+        assert list(RequestQueue(events)) == events
+
+
+class TestArrivalProcesses:
+    def test_poisson_monotone_and_sized(self):
+        times = poisson_arrival_times(100, rate=10.0, seed=0)
+        assert times.shape == (100,)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_uniform_sorted_within_horizon(self):
+        times = uniform_arrival_times(50, horizon=5.0, seed=0)
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0 and times[-1] < 5.0
+
+    def test_bursty_monotone_and_bursty(self):
+        times = bursty_arrival_times(400, rate=10.0, burst=5.0, seed=0)
+        assert np.all(np.diff(times) > 0)
+        gaps = np.diff(times)
+        # on/off modulation produces far more gap dispersion than Poisson
+        assert gaps.std() / gaps.mean() > 1.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            poisson_arrival_times(10, rate=0.0)
+        with pytest.raises(ValueError):
+            uniform_arrival_times(10, horizon=-1.0)
+        with pytest.raises(ValueError):
+            bursty_arrival_times(10, rate=1.0, duty=1.5)
+
+
+class TestBatchEquivalence:
+    def test_points_batch_matches_paths_batch_exactly(self):
+        """obfuscate_points_batch is obfuscate_batch plus index plumbing:
+        identical outputs under the same seed."""
+        tree = publish_tree(Box.square(100.0), grid_nx=6, seed=0)
+        mech = TreeMechanism(tree, epsilon=0.5, seed=1)
+        idx = np.arange(tree.n_points)
+        a = mech.obfuscate_points_batch(idx, np.random.default_rng(7))
+        b = mech.obfuscate_batch(tree.paths[idx], np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_batch_and_loop_same_level_law(self):
+        """Cohort (batch) and per-worker (loop) registration sample the
+        same Theorem-2 distribution: empirical LCA-level histograms agree."""
+        from repro.hst import lca_level
+
+        tree = publish_tree(Box.square(100.0), grid_nx=6, seed=0)
+        mech = TreeMechanism(tree, epsilon=0.3, seed=1)
+        n = 8000
+        idx = np.zeros(n, dtype=np.intp)
+        x = tree.path_of(0)
+        batch = mech.obfuscate_points_batch(idx, np.random.default_rng(8))
+        loop = mech.obfuscate_many([x] * n, np.random.default_rng(9))
+        batch_levels = [lca_level(x, tuple(int(v) for v in r)) for r in batch]
+        loop_levels = [lca_level(x, r) for r in loop]
+        for lvl in range(tree.depth + 1):
+            a = np.mean(np.asarray(batch_levels) == lvl)
+            b = np.mean(np.asarray(loop_levels) == lvl)
+            assert abs(a - b) < 0.03
+
+    def test_cohort_registration_deterministic_under_seed(self):
+        box = Box.square(100.0)
+        locs = np.random.default_rng(3).uniform(0, 100, size=(40, 2))
+        reports = []
+        for _ in range(2):
+            shard = ShardServer(0, box, grid_nx=6, seed=42)
+            shard.register_cohort(range(40), locs)
+            reports.append(
+                {w: r.leaf for w, r in shard.server._worker_reports.items()}
+            )
+        assert reports[0] == reports[1]
+
+
+class TestShardServer:
+    @pytest.fixture()
+    def shard(self):
+        return ShardServer(
+            0, Box.square(100.0), grid_nx=6, epsilon=0.5, budget_capacity=1.0, seed=0
+        )
+
+    def test_cohort_spends_budget(self, shard):
+        locs = np.random.default_rng(0).uniform(0, 100, size=(10, 2))
+        shard.register_cohort(range(10), locs)
+        assert shard.ledger.principals == 10
+        assert shard.ledger.remaining(3) == pytest.approx(0.5)
+        snap = shard.snapshot()
+        assert snap.budget_min_remaining == pytest.approx(0.5)
+        assert snap.workers_registered == 10
+
+    def test_budget_cap_rejects_whole_cohort(self):
+        # capacity below one report's epsilon: the cohort must be refused
+        # atomically, leaving neither ledger entries nor registrations
+        shard = ShardServer(
+            0, Box.square(100.0), grid_nx=6, epsilon=0.5, budget_capacity=0.4, seed=0
+        )
+        locs = np.random.default_rng(0).uniform(0, 100, size=(4, 2))
+        with pytest.raises(BudgetExceededError):
+            shard.register_cohort(range(4), locs)
+        assert shard.ledger.principals == 0
+        assert shard.server.registered_workers == 0
+
+    def test_duplicate_registration_rejected_before_spend(self, shard):
+        locs = np.random.default_rng(0).uniform(0, 100, size=(4, 2))
+        shard.register_cohort(range(4), locs)
+        with pytest.raises(ValueError):
+            shard.register_cohort([3, 4], locs[:2] + 1.0)
+        # the rejected cohort charged nobody — worker 3 still has one
+        # report's worth of budget spent, worker 4 none
+        assert shard.ledger.remaining(3) == pytest.approx(0.5)
+        assert shard.ledger.spent(4) == 0.0
+
+    def test_ledger_spend_batch_all_or_nothing(self):
+        ledger = PrivacyBudgetLedger(1.0)
+        ledger.spend("a", 0.8)
+        with pytest.raises(BudgetExceededError):
+            ledger.spend_batch(["b", "a"], 0.5)
+        assert ledger.spent("b") == 0.0
+        assert ledger.spent("a") == pytest.approx(0.8)
+        assert ledger.min_remaining() == pytest.approx(0.2)
+
+    def test_ledger_spend_batch_counts_duplicates(self):
+        # a principal repeated within one batch spends k * epsilon; the cap
+        # check must see the total, not each occurrence against old state
+        ledger = PrivacyBudgetLedger(1.0)
+        with pytest.raises(BudgetExceededError):
+            ledger.spend_batch(["u", "u", "u"], 0.5)
+        assert ledger.spent("u") == 0.0
+        ledger.spend_batch(["u", "u"], 0.5)
+        assert ledger.remaining("u") == pytest.approx(0.0)
+
+    def test_submit_records_latency_and_distance(self, shard):
+        locs = np.random.default_rng(1).uniform(0, 100, size=(5, 2))
+        shard.register_cohort(range(5), locs)
+        worker = shard.submit_task(0, (50.0, 50.0))
+        assert worker in range(5)
+        assert shard.metrics.tasks_assigned == 1
+        assert len(shard.metrics.latencies_s) == 1
+        assert shard.metrics.reported_distances[0] >= 0.0
+
+    def test_pool_exhaustion_counts_unassigned(self, shard):
+        shard.register_cohort([0], [(10.0, 10.0)])
+        assert shard.submit_task(0, (10.0, 10.0)) == 0
+        assert shard.submit_task(1, (10.0, 10.0)) is None
+        assert shard.metrics.tasks_unassigned == 1
+
+
+class TestEngine:
+    def test_streaming_registration_between_tasks(self):
+        engine = ShardedAssignmentEngine(
+            REGION, shards=(2, 1), grid_nx=6, batch_size=4, seed=0
+        )
+        events = merge_event_streams(
+            [
+                WorkerArrival(time=0.0, worker_id=0, location=(10.0, 100.0)),
+                WorkerArrival(time=2.0, worker_id=1, location=(12.0, 100.0)),
+            ],
+            [
+                TaskArrival(time=1.0, task_id=0, location=(11.0, 100.0)),
+                TaskArrival(time=3.0, task_id=1, location=(11.0, 100.0)),
+            ],
+        )
+        engine.process(events)
+        report = engine.report()
+        assert report.tasks_assigned == 2
+        assert {t for t, _ in engine.assignments} == {0, 1}
+        assert {w for _, w in engine.assignments} == {0, 1}
+
+    def test_task_flushes_pending_cohort(self):
+        engine = ShardedAssignmentEngine(
+            REGION, shards=(1, 1), grid_nx=6, batch_size=1000, seed=0
+        )
+        engine.register_worker(7, (50.0, 50.0))
+        # buffer below batch_size: the worker is pending, not registered
+        assert engine.shards[0].server.registered_workers == 0
+        assert engine.submit_task(0, (50.0, 50.0)) == 7
+
+    def test_batch_size_triggers_flush(self):
+        engine = ShardedAssignmentEngine(
+            REGION, shards=(1, 1), grid_nx=6, batch_size=3, seed=0
+        )
+        locs = np.random.default_rng(0).uniform(0, 200, size=(3, 2))
+        engine.register_workers(range(3), locs)
+        assert engine.shards[0].server.registered_workers == 3
+        assert engine.shards[0].metrics.cohorts_flushed == 1
+
+    def test_duplicate_worker_id_rejected_across_shards(self):
+        # shards only know their own workers; without the engine-wide
+        # registry one id registered in two shards could be assigned twice
+        engine = ShardedAssignmentEngine(REGION, shards=(2, 1), grid_nx=6, seed=0)
+        engine.register_worker(7, (10.0, 100.0))  # west shard (pending)
+        with pytest.raises(ValueError):
+            engine.register_worker(7, (190.0, 100.0))  # east shard
+        with pytest.raises(ValueError):
+            engine.register_workers([8, 8], [(10.0, 100.0), (190.0, 100.0)])
+
+    def test_workers_only_consumed_by_their_own_shard(self):
+        engine = ShardedAssignmentEngine(REGION, shards=(2, 1), grid_nx=6, seed=0)
+        engine.register_workers([0], [(10.0, 100.0)])  # west shard
+        engine.flush()
+        # a far-east task routes to the east shard, which has no workers
+        assert engine.submit_task(0, (190.0, 100.0)) is None
+        assert engine.submit_task(1, (10.0, 100.0)) == 0
+
+    def test_report_aggregates_shards(self):
+        engine = ShardedAssignmentEngine(REGION, shards=(2, 2), grid_nx=6, seed=0)
+        rng = np.random.default_rng(0)
+        engine.register_workers(range(100), rng.uniform(0, 200, size=(100, 2)))
+        for task_id in range(40):
+            engine.submit_task(task_id, rng.uniform(0, 200, size=2))
+        report = engine.report(wall_seconds=0.5)
+        assert report.workers_registered == 100
+        assert report.tasks_total == 40
+        assert report.throughput_tasks_per_s == pytest.approx(80.0)
+        assert len(report.shards) == 4
+        d = report.to_dict()
+        assert len(d["shards"]) == 4
+        assert d["tasks_total"] == 40
+
+
+class TestLoadGenerator:
+    def test_gaussian_end_to_end(self):
+        config = LoadConfig(
+            n_workers=300, n_tasks=120, shards=(2, 2), grid_nx=6, seed=0
+        )
+        report = LoadGenerator(config).run()
+        assert report.tasks_total == 120
+        assert report.tasks_assigned > 0
+        assert report.wall_seconds > 0
+        assert np.isfinite(report.latency_p50_ms)
+        assert np.isfinite(report.mean_true_distance)
+        assert report.mean_true_distance > 0
+
+    def test_taxi_end_to_end(self):
+        config = LoadConfig(
+            workload="taxi",
+            n_workers=300,
+            n_tasks=150,
+            shards=(2, 1),
+            grid_nx=6,
+            arrival="bursty",
+            seed=0,
+        )
+        report = LoadGenerator(config).run()
+        assert report.tasks_total == 150
+        assert report.tasks_assigned > 0
+
+    def test_reproducible_given_seed(self):
+        config = LoadConfig(n_workers=200, n_tasks=80, grid_nx=6, seed=5)
+        r1 = LoadGenerator(config).run()
+        r2 = LoadGenerator(config).run()
+        assert r1.tasks_assigned == r2.tasks_assigned
+        assert r1.mean_reported_distance == pytest.approx(r2.mean_reported_distance)
+        assert r1.mean_true_distance == pytest.approx(r2.mean_true_distance)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(workload="pigeon")
+        with pytest.raises(ValueError):
+            LoadConfig(arrival="sometimes")
+        with pytest.raises(ValueError):
+            LoadConfig(task_rate=0.0)
+
+
+class TestCli:
+    def test_smoke_flag_meets_acceptance_gates(self, capsys):
+        assert service_main(["--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "p95" in out
+        assert "eps-left" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = service_main(
+            ["--workers", "200", "--tasks", "50", "--grid", "6", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["tasks_total"] == 50
+        assert len(data["shards"]) == 4
