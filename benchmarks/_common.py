@@ -1,0 +1,34 @@
+"""Shared plumbing for the ``BENCH``-line benchmarks.
+
+The serving benchmarks (``bench_service_throughput.py``,
+``bench_cluster_scaling.py``) emit one machine-readable line per run:
+``BENCH {json}``. This module is the single implementation of that
+emission plus the best-of-N timing helper, so every benchmark reports
+identically shaped output.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+DEFAULT_REPEATS = 3
+
+
+def best_of(fn, repeats: int = DEFAULT_REPEATS) -> float:
+    """Best wall-clock seconds of ``repeats`` calls to ``fn``.
+
+    Best-of (not mean) is the standard micro-benchmark estimator: system
+    noise only ever adds time.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def emit_bench(payload: dict) -> None:
+    """Print the one-line machine-readable benchmark record."""
+    print("BENCH " + json.dumps(payload))

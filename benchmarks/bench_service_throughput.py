@@ -18,9 +18,6 @@ Also collectable by pytest (assertion-only, no pytest-benchmark fixture):
 
 from __future__ import annotations
 
-import json
-import time
-
 import numpy as np
 
 from repro.crowdsourcing.server import publish_tree
@@ -28,18 +25,15 @@ from repro.geometry.box import Box
 from repro.privacy.tree_mechanism import TreeMechanism
 from repro.service import LoadConfig, LoadGenerator
 
+try:  # package import under pytest, plain import as a script
+    from ._common import best_of as _best_of
+    from ._common import emit_bench
+except ImportError:
+    from _common import best_of as _best_of
+    from _common import emit_bench
+
 N_WORKERS = 5000
 GRID_NX = 16
-REPEATS = 3
-
-
-def _best_of(fn, repeats: int = REPEATS) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def bench_batch_vs_loop(n_workers: int = N_WORKERS) -> dict:
@@ -94,12 +88,13 @@ def test_batch_obfuscation_beats_loop():
 
 
 def main() -> int:
-    result = {
-        "benchmark": "service_throughput",
-        "obfuscation": bench_batch_vs_loop(),
-        "engine": [bench_engine((1, 1)), bench_engine((2, 2))],
-    }
-    print("BENCH " + json.dumps(result))
+    emit_bench(
+        {
+            "benchmark": "service_throughput",
+            "obfuscation": bench_batch_vs_loop(),
+            "engine": [bench_engine((1, 1)), bench_engine((2, 2))],
+        }
+    )
     return 0
 
 

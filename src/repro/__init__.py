@@ -16,6 +16,10 @@ Public API tour:
   engine with batched cohort obfuscation, a request queue, per-shard
   telemetry/budget audit and a load generator
   (``python -m repro.service --smoke``).
+* :mod:`repro.cluster` — the cluster layer: the same shards across a
+  pool of worker processes, with versioned shard snapshots, crash
+  failover, shard migration and hot-cell splitting
+  (``python -m repro.cluster --smoke``).
 * :mod:`repro.experiments` — per-figure sweeps; also a CLI
   (``python -m repro.experiments``).
 

@@ -1,0 +1,50 @@
+"""repro.cluster — parallel multi-worker runtime for the serving layer.
+
+Where :mod:`repro.service` runs every shard in one process, this package
+runs the same shards across a pool of ``multiprocessing`` workers:
+
+* :mod:`repro.cluster.snapshot` — versioned JSON snapshots of a shard's
+  full state (HST, privacy ledger, matcher, metrics, RNG stream, pending
+  cohort buffer) with a bit-exact replay guarantee;
+* :class:`ShardHost` / ``worker_main`` — the worker-process side: shards
+  behind a command queue;
+* :class:`ClusterRouter` — lattice routing with one level of hot-cell
+  refinement (split cells route to sub-shards, the parent drains);
+* :class:`HotShardBalancer` — throughput-driven shard migration and
+  hot-cell splitting;
+* :class:`ClusterCoordinator` — placement, chunked event routing,
+  checkpointing, crash failover and the aggregated
+  :class:`~repro.service.metrics.ServiceReport`.
+
+CLI::
+
+    python -m repro.cluster --smoke
+    python -m repro.cluster --procs 4 --tasks 4000 --balance --json
+"""
+
+from .balancer import BalancerConfig, ClusterRouter, HotShardBalancer
+from .coordinator import ClusterCoordinator, ClusterError
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    restore_shard,
+    snapshot_from_json,
+    snapshot_shard,
+    snapshot_to_json,
+)
+from .worker import ShardHost
+
+__all__ = [
+    "BalancerConfig",
+    "ClusterCoordinator",
+    "ClusterError",
+    "ClusterRouter",
+    "HotShardBalancer",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "ShardHost",
+    "restore_shard",
+    "snapshot_from_json",
+    "snapshot_shard",
+    "snapshot_to_json",
+]

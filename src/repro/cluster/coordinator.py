@@ -1,0 +1,654 @@
+"""The cluster coordinator: shard placement, routing, failover, balance.
+
+:class:`ClusterCoordinator` lifts the sharded assignment engine onto a
+pool of ``multiprocessing`` workers. It keeps the engine's event-driven
+contract (``process(events)`` / ``run(events)`` / ``report()``) while the
+shards themselves live in worker processes:
+
+* **placement** — shard *families* (a base lattice cell plus any split
+  sub-shards) are assigned round-robin to workers and always colocated,
+  so a task's whole fallback chain is served by one process;
+* **routing** — each event chunk is routed in one vectorized pass
+  (:class:`~repro.cluster.balancer.ClusterRouter`), consecutive worker
+  arrivals for a shard are merged into single cohort ops, and per-worker
+  op batches amortize queue/pickle overhead. Per-shard event order is
+  preserved; cross-shard order is irrelevant (shards share nothing);
+* **checkpoints & failover** — every ``checkpoint_every`` events the
+  coordinator snapshots all shards (:mod:`repro.cluster.snapshot`) and
+  truncates its per-family op journals. Replies travel over a dedicated
+  pipe per worker whose write end only that worker holds, so a dying
+  worker — however violently it goes — closes its pipe and the
+  coordinator sees ``EOFError`` instead of a hang. The replacement
+  process restores the dead worker's shards from their last snapshots
+  (or recreates them from spec), replays the journaled ops, and the
+  stream continues — no task is lost, and replay from a snapshot is
+  bit-deterministic;
+* **load balancing** — a :class:`~repro.cluster.balancer.HotShardBalancer`
+  watches per-family throughput and either migrates a hot family to the
+  coolest worker (snapshot → load → drop) or splits a hot cell into a
+  finer sub-lattice, rebuilding only that cell's HST.
+
+Replies are matched by worker *incarnation*: after a failover, barrier
+acks from the dead process are ignored, but its task results are still
+accepted (first write wins — replayed duplicates deduplicate).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import zlib
+from multiprocessing.connection import wait as conn_wait
+
+import numpy as np
+
+from ..geometry.box import Box
+from ..service.events import RequestQueue, TaskArrival, WorkerArrival
+from ..service.metrics import ServiceReport, build_report
+from ..utils import ensure_rng
+from .balancer import BalancerConfig, ClusterRouter, HotShardBalancer, family_of, key_order
+from .worker import worker_main
+
+__all__ = ["ClusterCoordinator", "ClusterError"]
+
+
+class ClusterError(RuntimeError):
+    """A worker reported an exception or the cluster stopped responding."""
+
+
+def _preferred_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else methods[0])
+
+
+class ClusterCoordinator:
+    """Parallel multi-worker runtime for the sharded assignment engine.
+
+    Parameters
+    ----------
+    region, shards, grid_nx, epsilon, budget_capacity, batch_size, seed:
+        Same meaning as on
+        :class:`~repro.service.engine.ShardedAssignmentEngine`; shard RNG
+        seeds are derived deterministically per routing key so a reseeded
+        rerun reproduces every shard's stream regardless of placement.
+    n_workers:
+        Worker process count. Shard families are spread round-robin.
+    chunk_size:
+        Events routed per dispatch batch (amortizes queue overhead).
+    checkpoint_every:
+        Events between cluster-wide snapshot barriers; ``0`` disables
+        periodic checkpoints (failover then replays from stream start).
+    balancer:
+        A :class:`~repro.cluster.balancer.BalancerConfig` to enable hot
+        shard splitting/migration, or ``None`` to leave placement static.
+    """
+
+    def __init__(
+        self,
+        region: Box,
+        shards: tuple[int, int] = (2, 2),
+        n_workers: int = 2,
+        *,
+        grid_nx: int = 12,
+        epsilon: float = 0.5,
+        budget_capacity: float = 2.0,
+        batch_size: int = 256,
+        chunk_size: int = 256,
+        checkpoint_every: int = 8192,
+        balancer: BalancerConfig | None = None,
+        seed: int = 0,
+        max_outstanding: int = 8,
+        poll_interval: float = 0.02,
+        liveness_timeout: float = 120.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 disables)")
+        from ..service.sharding import ShardMap
+
+        self.shard_map = ShardMap(region, *shards)
+        self.router = ClusterRouter(self.shard_map)
+        self.n_workers = n_workers
+        self.grid_nx = grid_nx
+        self.epsilon = epsilon
+        self.budget_capacity = budget_capacity
+        self.batch_size = batch_size
+        self.chunk_size = chunk_size
+        self.checkpoint_every = checkpoint_every
+        self.seed = int(ensure_rng(seed).integers(2**31)) if not isinstance(seed, int) else seed
+        self.max_outstanding = max_outstanding
+        self.poll_interval = poll_interval
+        self.liveness_timeout = liveness_timeout
+        self._balancer = HotShardBalancer(balancer) if balancer else None
+
+        # family id -> worker index; families are colocated by construction
+        self.ownership: dict[int, int] = {
+            fam: fam % n_workers for fam in range(self.shard_map.n_shards)
+        }
+        self._specs: dict[str, dict] = {}
+        self._checkpoints: dict[str, dict] = {}
+        # the journal is the single source of dispatched ops: normal flow
+        # and failover replay both send journal[fam][sent_idx[fam]:], so
+        # an op can never be delivered twice to one incarnation
+        self._journal: dict[int, list] = {
+            fam: [] for fam in range(self.shard_map.n_shards)
+        }
+        self._sent_idx: dict[int, int] = {
+            fam: 0 for fam in range(self.shard_map.n_shards)
+        }
+        self._results: dict[int, int | None] = {}
+        self._task_order: list[int] = []
+        self._known_workers: set[int] = set()
+        self.now = 0.0
+        self.failovers = 0
+        self.migrations = 0
+        self.cell_splits = 0
+
+        self._started = False
+        self._closed = False
+        self._ctx = _preferred_context()
+        self._procs: list = [None] * n_workers
+        self._cmd_qs: list = [None] * n_workers
+        self._res_conns: list = [None] * n_workers
+        self._inc = [0] * n_workers
+        self._outstanding = [0] * n_workers
+        self._seq = 0
+        # barrier inboxes
+        self._ready: set[str] = set()
+        self._snapshot_inbox: dict[str, dict] = {}
+        self._awaiting_snapshots: set[str] = set()
+        self._flushed: set[int] = set()
+        self._awaiting_flush: set[int] = set()
+        self._report_inbox: dict[int, dict] = {}
+        self._awaiting_report: set[int] = set()
+        self._events_since_checkpoint = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Spawn the worker pool and build every base shard (untimed setup)."""
+        if self._started:
+            return
+        if self._closed:
+            # in-memory shard state (splits, registrations) died with the
+            # worker pool; a restart would silently serve from empty shards
+            raise ClusterError(
+                "coordinator was closed; create a new ClusterCoordinator"
+            )
+        for widx in range(self.n_workers):
+            self._spawn(widx)
+        for fam in range(self.shard_map.n_shards):
+            key = f"s{fam}"
+            spec = self._spec_for(key)
+            self._specs[key] = spec
+            self._cmd_qs[self.ownership[fam]].put(("create", key, spec))
+        want = {f"s{fam}" for fam in range(self.shard_map.n_shards)}
+        self._wait(lambda: want <= self._ready, "initial shard builds")
+        self._started = True
+
+    def close(self) -> None:
+        """Stop all workers and reap the processes."""
+        for widx, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            try:
+                self._cmd_qs[widx].put(("stop",))
+            except (ValueError, OSError):
+                pass
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._res_conns:
+            if conn is not None:
+                conn.close()
+        self._procs = [None] * self.n_workers
+        self._res_conns = [None] * self.n_workers
+        self._started = False
+        self._closed = True
+
+    def __enter__(self) -> "ClusterCoordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _spawn(self, widx: int) -> None:
+        cmd_q = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(widx, self._inc[widx], cmd_q, send_conn, self.batch_size),
+            daemon=True,
+        )
+        proc.start()
+        # the worker now holds the only live write end: its death — even
+        # by SIGKILL — closes the pipe and surfaces as EOFError here
+        send_conn.close()
+        self._cmd_qs[widx] = cmd_q
+        self._res_conns[widx] = recv_conn
+        self._procs[widx] = proc
+
+    def _spec_for(self, key: str) -> dict:
+        box = self.router.shard_box(key)
+        # key-derived seeding: stable across runs, placement and restarts
+        entropy = np.random.SeedSequence([self.seed, zlib.crc32(key.encode())])
+        return {
+            "box": [box.xmin, box.ymin, box.xmax, box.ymax],
+            "grid_nx": self.grid_nx,
+            "epsilon": self.epsilon,
+            "budget_capacity": self.budget_capacity,
+            "seed": int(entropy.generate_state(1)[0]),
+        }
+
+    # ------------------------------------------------------------------ #
+    # event-driven operation                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def assignments(self) -> list[tuple[int, int]]:
+        """All ``(task_id, worker_id)`` pairs decided so far, stream order."""
+        return [
+            (tid, self._results[tid])
+            for tid in self._task_order
+            if self._results.get(tid) is not None
+        ]
+
+    @property
+    def tasks_answered(self) -> int:
+        """Tasks with a recorded outcome (assigned or definitively not)."""
+        return sum(1 for tid in self._task_order if tid in self._results)
+
+    def process(self, events) -> None:
+        """Drain an event stream through the worker pool."""
+        self.start()
+        if isinstance(events, RequestQueue):
+            events = iter(events)
+        chunk: list = []
+        for event in events:
+            if not isinstance(event, (WorkerArrival, TaskArrival)):
+                raise TypeError(f"not a service event: {event!r}")
+            self.now = max(self.now, float(event.time))
+            chunk.append(event)
+            if len(chunk) >= self.chunk_size:
+                self._dispatch(chunk)
+                chunk = []
+                self._maybe_rebalance_or_checkpoint()
+        if chunk:
+            self._dispatch(chunk)
+            self._maybe_rebalance_or_checkpoint()
+
+    def run(self, events) -> ServiceReport:
+        """Process a stream and return the timed service report.
+
+        Worker-pool spawn and HST construction happen in :meth:`start`,
+        outside the timed window — the clock measures serving, matching
+        the engine's (and the paper's) running-time discipline.
+        """
+        self.start()
+        t0 = time.perf_counter()
+        self.process(events)
+        self._flush_barrier()
+        wall = time.perf_counter() - t0
+        return self.report(wall_seconds=wall, flush=False)
+
+    def _dispatch(self, chunk: list) -> None:
+        locs = np.array([e.location for e in chunk], dtype=np.float64)
+        chains = self.router.chains_of_many(locs)
+        touched: set[int] = set()
+        open_w: dict[str, list] = {}
+        for event, chain in zip(chunk, chains):
+            primary = chain[0]
+            fam = family_of(primary)
+            touched.add(fam)
+            if isinstance(event, WorkerArrival):
+                wid = int(event.worker_id)
+                if wid in self._known_workers:
+                    raise ValueError(
+                        f"worker id already registered with the cluster: {wid}"
+                    )
+                self._known_workers.add(wid)
+                op = open_w.get(primary)
+                if op is None:
+                    # merged cohort op; stays open (and keeps absorbing
+                    # later arrivals) until a task touches this shard
+                    op = ["w", primary, [], []]
+                    open_w[primary] = op
+                    self._journal[fam].append(op)
+                op[2].append(wid)
+                op[3].append([float(event.location[0]), float(event.location[1])])
+                if self._balancer:
+                    self._balancer.observe(primary, is_task=False)
+            else:
+                # close cohort accumulation for every shard this task can
+                # read, so no later-arriving worker becomes visible to it
+                for key in chain:
+                    open_w.pop(key, None)
+                tid = int(event.task_id)
+                op = [
+                    "t",
+                    chain,
+                    tid,
+                    [float(event.location[0]), float(event.location[1])],
+                ]
+                self._journal[fam].append(op)
+                self._task_order.append(tid)
+                if self._balancer:
+                    self._balancer.observe(primary, is_task=True)
+        for fam in sorted(touched):
+            self._flush_family(fam)
+        self._events_since_checkpoint += len(chunk)
+
+    def _flush_family(self, fam: int) -> None:
+        """Send a family's journaled-but-unsent ops to its owner."""
+        start = self._sent_idx[fam]
+        ops = self._journal[fam][start:]
+        if not ops:
+            return
+        # advance the cursor first: a failover triggered while we pump
+        # below rewinds it and re-sends from the journal itself
+        self._sent_idx[fam] = start + len(ops)
+        self._send_events(self.ownership[fam], ops)
+
+    def _send_events(self, widx: int, ops: list) -> None:
+        inc = self._inc[widx]
+        deadline = time.monotonic() + self.liveness_timeout
+        while self._outstanding[widx] >= self.max_outstanding:
+            if self._pump(block=True):
+                deadline = time.monotonic() + self.liveness_timeout
+            elif time.monotonic() > deadline:
+                # alive but wedged (stopped container, runaway op): a dead
+                # worker would have EOFed; surface the stall like barriers do
+                raise ClusterError(
+                    f"worker {widx} stopped acknowledging events"
+                )
+            if self._inc[widx] != inc:
+                # the target died while we throttled; its failover already
+                # re-sent everything pending from the journal
+                return
+        self._seq += 1
+        self._outstanding[widx] += 1
+        self._cmd_qs[widx].put(("events", self._seq, ops))
+        self._pump(block=False)
+
+    # ------------------------------------------------------------------ #
+    # checkpoints and rebalancing                                         #
+    # ------------------------------------------------------------------ #
+
+    def _maybe_rebalance_or_checkpoint(self) -> None:
+        if (
+            self.checkpoint_every
+            and self._events_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+        if self._balancer and self._balancer.window_full:
+            for action in self._balancer.decide(
+                self.router, self.ownership, self.n_workers
+            ):
+                if action[0] == "split":
+                    self._apply_split(action[1])
+                else:
+                    self._apply_migrate(action[1], action[2])
+
+    def checkpoint(self) -> None:
+        """Snapshot every shard and truncate the op journals.
+
+        A barrier: commands are FIFO per worker, so each snapshot reflects
+        everything dispatched before it; journals are cleared only once
+        the snapshot actually arrived (a crash mid-checkpoint falls back
+        to the previous snapshot plus the untruncated journal).
+
+        Known cost: snapshots carry the shard's full state, including the
+        raw telemetry samples and assignment history, so checkpoint time
+        grows with stream length — size ``checkpoint_every`` to the run
+        (incremental/delta snapshots are a planned refinement).
+        """
+        keys = self.router.keys()
+        self._request_snapshots(keys)
+        for key in keys:
+            self._checkpoints[key] = self._snapshot_inbox.pop(key)
+        for fam in self._journal:
+            self._journal[fam].clear()
+            self._sent_idx[fam] = 0
+        self._events_since_checkpoint = 0
+
+    def _request_snapshots(self, keys: list[str]) -> None:
+        # drop any orphan replies from an earlier barrier (a failover can
+        # duplicate a snapshot reply): this barrier must only complete on
+        # snapshots requested *now*, like the flush/report barriers do
+        for key in keys:
+            self._snapshot_inbox.pop(key, None)
+        self._awaiting_snapshots.update(keys)
+        for key in keys:
+            owner = self.ownership[family_of(key)]
+            self._cmd_qs[owner].put(("snapshot", key))
+        self._wait(
+            lambda: all(k in self._snapshot_inbox for k in keys),
+            f"snapshots of {len(keys)} shards",
+        )
+        self._awaiting_snapshots.difference_update(keys)
+
+    def _apply_split(self, fam: int) -> None:
+        """Split a hot cell into a finer sub-lattice on the same worker."""
+        owner = self.ownership[fam]
+        child_keys = self.router.split(fam, self._balancer.config.split_nx)
+        for key in child_keys:
+            spec = self._spec_for(key)
+            self._specs[key] = spec
+            self._cmd_qs[owner].put(("create", key, spec))
+        self.cell_splits += 1
+
+    def _apply_migrate(self, fam: int, dst: int) -> None:
+        """Move a whole family to another worker via snapshot + restore."""
+        src = self.ownership[fam]
+        if src == dst:
+            return
+        self._flush_family(fam)
+        keys = self.router.family_keys(fam)
+        self._request_snapshots(keys)
+        for key in keys:
+            snap = self._snapshot_inbox.pop(key)
+            self._checkpoints[key] = snap
+            self._cmd_qs[dst].put(("load", key, snap))
+            self._cmd_qs[src].put(("drop", key))
+        self.ownership[fam] = dst
+        self._journal[fam].clear()
+        self._sent_idx[fam] = 0
+        self.migrations += 1
+
+    # ------------------------------------------------------------------ #
+    # failover                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _failover(self, widx: int) -> None:
+        """Restart a dead worker from snapshots and replay its journal."""
+        self.failovers += 1
+        self._inc[widx] += 1
+        old_q = self._cmd_qs[widx]
+        if old_q is not None:
+            old_q.cancel_join_thread()
+            old_q.close()
+        old_conn = self._res_conns[widx]
+        if old_conn is not None:
+            old_conn.close()
+        old_proc = self._procs[widx]
+        if old_proc is not None:
+            old_proc.join(timeout=5.0)
+        self._outstanding[widx] = 0
+        self._spawn(widx)
+        inc = self._inc[widx]
+        cmd_q = self._cmd_qs[widx]
+        owned = sorted(f for f, w in self.ownership.items() if w == widx)
+        for fam in owned:
+            if self._inc[widx] != inc:
+                # the replacement itself died while we replayed (a pump
+                # inside _flush_family noticed the EOF): the reentrant
+                # failover already restored and replayed everything for
+                # the newest incarnation — finishing this loop would
+                # deliver the journal twice
+                return
+            for key in self.router.family_keys(fam):
+                snap = self._checkpoints.get(key)
+                if snap is not None:
+                    cmd_q.put(("load", key, snap))
+                else:
+                    cmd_q.put(("create", key, self._specs[key]))
+            # rewind the journal cursor: everything since the checkpoint
+            # is replayed against the freshly restored state
+            self._sent_idx[fam] = 0
+            self._flush_family(fam)
+        if self._inc[widx] != inc:
+            return
+        # re-issue barrier requests the dead incarnation never answered
+        for key in sorted(self._awaiting_snapshots):
+            if self.ownership[family_of(key)] == widx:
+                cmd_q.put(("snapshot", key))
+        if widx in self._awaiting_flush:
+            cmd_q.put(("flush",))
+        if widx in self._awaiting_report:
+            cmd_q.put(("report",))
+
+    # ------------------------------------------------------------------ #
+    # reply pump                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _pump(self, block: bool) -> bool:
+        """Drain available replies; returns whether any arrived.
+
+        A dead worker's pipe polls readable and then raises ``EOFError``
+        on receive, which is the failover trigger — crash detection is
+        event-driven, not timeout-driven.
+        """
+        conns = [
+            (widx, conn)
+            for widx, conn in enumerate(self._res_conns)
+            if conn is not None
+        ]
+        ready = {
+            id(c)
+            for c in conn_wait(
+                [conn for _, conn in conns],
+                timeout=self.poll_interval if block else 0,
+            )
+        }
+        got = False
+        for widx, conn in conns:
+            if id(conn) not in ready:
+                continue
+            if self._res_conns[widx] is not conn:
+                # a reentrant failover (triggered while handling an
+                # earlier reply) already replaced this worker; the stale
+                # connection is closed — don't fail the replacement over
+                continue
+            try:
+                while conn.poll(0):
+                    self._handle(conn.recv())
+                    got = True
+            except (EOFError, OSError):
+                self._failover(widx)
+                got = True
+        return got
+
+    def _handle(self, msg) -> None:
+        kind, widx, inc = msg[0], msg[1], msg[2]
+        current = inc == self._inc[widx]
+        if kind == "done":
+            # results are valid whichever incarnation produced them; the
+            # ack only throttles the current one
+            for tid, wid, _key in msg[4]:
+                self._results.setdefault(tid, wid)
+            if current:
+                self._outstanding[widx] = max(0, self._outstanding[widx] - 1)
+        elif kind == "error":
+            raise ClusterError(
+                f"worker {widx} (incarnation {inc}) failed:\n{msg[3]}"
+            )
+        elif not current:
+            pass  # stale barrier ack from a crashed incarnation
+        elif kind == "ready":
+            self._ready.add(msg[3])
+        elif kind == "snapshot":
+            self._snapshot_inbox[msg[3]] = msg[4]
+        elif kind == "flushed":
+            self._flushed.add(widx)
+        elif kind == "report":
+            self._report_inbox[widx] = msg[3]
+
+    def _wait(self, predicate, what: str) -> None:
+        deadline = time.monotonic() + self.liveness_timeout
+        while not predicate():
+            if self._pump(block=True):
+                deadline = time.monotonic() + self.liveness_timeout
+            if time.monotonic() > deadline:
+                raise ClusterError(f"timed out waiting for {what}")
+
+    # ------------------------------------------------------------------ #
+    # telemetry                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _flush_barrier(self) -> None:
+        """Flush every pending cohort and wait until all workers confirm."""
+        self._flushed.clear()
+        self._awaiting_flush = set(range(self.n_workers))
+        for widx in range(self.n_workers):
+            self._cmd_qs[widx].put(("flush",))
+        self._wait(
+            lambda: self._flushed >= set(range(self.n_workers)),
+            "end-of-stream flush",
+        )
+        self._awaiting_flush = set()
+
+    def report(
+        self, wall_seconds: float = float("nan"), *, flush: bool = True
+    ) -> ServiceReport:
+        """Gather all shard metrics into one :class:`ServiceReport`.
+
+        Latency quantiles are computed from the pooled raw samples shipped
+        by the workers, exactly like the single-process engine's report.
+        ``flush=False`` skips the end-of-stream flush barrier for callers
+        (like :meth:`run`) that just completed one.
+        """
+        self.start()
+        if flush:
+            self._flush_barrier()
+        self._report_inbox.clear()
+        self._awaiting_report = set(range(self.n_workers))
+        for widx in range(self.n_workers):
+            self._cmd_qs[widx].put(("report",))
+        self._wait(
+            lambda: set(self._report_inbox) >= set(range(self.n_workers)),
+            "shard metric reports",
+        )
+        self._awaiting_report = set()
+        merged: dict[str, dict] = {}
+        for per_shard in self._report_inbox.values():
+            merged.update(per_shard)
+        keys = sorted(merged, key=key_order)
+        latencies = [v for k in keys for v in merged[k]["latencies_s"]]
+        distances = [
+            v for k in keys for v in merged[k]["reported_distances"]
+        ]
+        return build_report(
+            (merged[k]["snapshot"] for k in keys),
+            latencies,
+            distances,
+            wall_seconds=wall_seconds,
+            sim_duration=self.now,
+        )
+
+    # ------------------------------------------------------------------ #
+    # test hooks                                                          #
+    # ------------------------------------------------------------------ #
+
+    def inject_crash(self, widx: int) -> None:
+        """Make one worker process die abruptly (failover testing)."""
+        self._cmd_qs[widx].put(("crash",))

@@ -1,0 +1,110 @@
+"""Versioned shard-state snapshots: the cluster's checkpoint wire format.
+
+A snapshot is one JSON document capturing *everything* a shard is at a
+point in the event stream:
+
+* the published HST (via :func:`~repro.hst.serialize.hst_to_dict` — the
+  same round-trip-guaranteed format clients consume);
+* the per-worker privacy ledger balances
+  (:meth:`~repro.privacy.budget.PrivacyBudgetLedger.to_dict`);
+* the matcher state — registrations, slot table, consumed slots, and the
+  accumulated result
+  (:meth:`~repro.crowdsourcing.server.MatchingServer.export_state`);
+* the metrics recorder and the client-side RNG state
+  (:meth:`~repro.service.shard.ShardServer.export_state`);
+* the *pending cohort buffer* — worker arrivals batched but not yet
+  obfuscated. The buffer holds true locations that have not crossed the
+  privacy boundary, so it lives in the snapshot, never in a log a server
+  component could read.
+
+Round-trip guarantee (mirrors ``hst_to_dict``/``hst_from_dict``):
+restoring a snapshot taken mid-stream and replaying the remaining events
+produces byte-identical assignments to the uninterrupted run — the RNG
+state makes every subsequent obfuscation draw the same. This is what lets
+the coordinator checkpoint shards, restart a crashed worker from its last
+snapshot, and migrate shards between workers without replaying history
+from the start of the stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..service.shard import ShardServer
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "snapshot_shard",
+    "restore_shard",
+    "snapshot_to_json",
+    "snapshot_from_json",
+]
+
+SNAPSHOT_FORMAT = "repro-shard-snapshot"
+SNAPSHOT_VERSION = 1
+
+#: A shard with no buffered worker arrivals.
+_EMPTY_PENDING: tuple[list, list] = ([], [])
+
+
+def snapshot_shard(shard: ShardServer, pending=None) -> dict:
+    """Freeze one shard (and its pending cohort buffer) into a snapshot.
+
+    ``pending`` is the shard's un-flushed ``(worker_ids, locations)``
+    cohort buffer as kept by the engine or a cluster worker; ``None``
+    means the buffer is empty.
+    """
+    ids, locs = pending if pending is not None else _EMPTY_PENDING
+    ids = [int(w) for w in ids]
+    if len(ids) != len(locs):
+        raise ValueError("pending buffer needs one worker id per location")
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "state": shard.export_state(),
+        "pending": {
+            "worker_ids": ids,
+            "locations": [[float(p[0]), float(p[1])] for p in locs],
+        },
+    }
+
+
+def restore_shard(payload: dict) -> tuple[ShardServer, tuple[list[int], list]]:
+    """Reconstruct ``(shard, pending)`` from a snapshot document."""
+    if not isinstance(payload, dict):
+        raise ValueError("snapshot payload must be a dict")
+    if payload.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"not a {SNAPSHOT_FORMAT} document: {payload.get('format')!r}"
+        )
+    version = payload.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {version!r} "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    missing = {"state", "pending"} - set(payload)
+    if missing:
+        raise ValueError(f"snapshot missing fields: {sorted(missing)}")
+    shard = ShardServer.from_state(payload["state"])
+    buf = payload["pending"]
+    pending = (
+        [int(w) for w in buf["worker_ids"]],
+        [np.asarray(p, dtype=np.float64) for p in buf["locations"]],
+    )
+    if len(pending[0]) != len(pending[1]):
+        raise ValueError("pending buffer needs one worker id per location")
+    return shard, pending
+
+
+def snapshot_to_json(shard: ShardServer, pending=None, indent=None) -> str:
+    """Serialize a shard snapshot to a JSON string."""
+    return json.dumps(snapshot_shard(shard, pending), indent=indent)
+
+
+def snapshot_from_json(text: str) -> tuple[ShardServer, tuple[list[int], list]]:
+    """Restore ``(shard, pending)`` from a JSON snapshot string."""
+    return restore_shard(json.loads(text))

@@ -1,0 +1,244 @@
+"""Cluster worker process: a :class:`ShardHost` behind a command queue.
+
+Each worker process owns a disjoint set of shards (keyed by routing key,
+e.g. ``"s3"`` or the split sub-shard ``"s3/1"``) and drives them exactly
+like the single-process engine drives its shard list: worker arrivals are
+buffered per shard and flushed through the vectorized batch-obfuscation
+path; task arrivals flush their shard and match immediately.
+
+The process speaks a small pickled-tuple protocol: commands arrive on a
+queue, replies leave on a private pipe (whose closure doubles as the
+worker's death signal):
+
+===========  ======================================  =====================
+command      payload                                 reply
+===========  ======================================  =====================
+``create``   ``(key, spec)``                         ``("ready", ...)``
+``load``     ``(key, snapshot)``                     ``("ready", ...)``
+``drop``     ``(key,)``                              —
+``events``   ``(seq, ops)``                          ``("done", ..., results)``
+``snapshot`` ``(key,)``                              ``("snapshot", ...)``
+``flush``    ``()``                                  ``("flushed", ...)``
+``report``   ``()``                                  ``("report", ...)``
+``crash``    ``()``                                  *process exits* (tests)
+``stop``     ``()``                                  *process exits*
+===========  ======================================  =====================
+
+``ops`` entries are either a merged worker-cohort op
+``("w", key, ids, locations)`` or a task op
+``("t", keys, task_id, location)`` whose ``keys`` is the routing
+fallback chain (sub-shard first, then its split parent). Any exception
+escapes as an ``("error", ...)`` reply so the coordinator can surface it
+instead of hanging on a silent worker death.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+
+from ..geometry.box import Box
+from ..service.shard import ShardServer
+from .snapshot import restore_shard, snapshot_shard
+
+__all__ = ["ShardHost", "worker_main"]
+
+
+class ShardHost:
+    """In-process container for the shards one cluster worker serves.
+
+    This is the cluster-side mirror of the engine's shard list + pending
+    buffers; it is also usable standalone (the smoke CLI with one worker
+    degenerates to a ``ShardHost`` behind a queue).
+    """
+
+    def __init__(self, batch_size: int = 256) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self.shards: dict[str, ShardServer] = {}
+        self.pending: dict[str, tuple[list[int], list]] = {}
+
+    # ------------------------------------------------------------------ #
+    # shard lifecycle                                                     #
+    # ------------------------------------------------------------------ #
+
+    def create(self, key: str, spec: dict) -> None:
+        """Build a fresh shard from its creation spec (box, knobs, seed)."""
+        if key in self.shards:
+            raise ValueError(f"shard {key!r} already hosted")
+        self.shards[key] = ShardServer(
+            key,
+            Box(*(float(v) for v in spec["box"])),
+            grid_nx=int(spec["grid_nx"]),
+            epsilon=float(spec["epsilon"]),
+            budget_capacity=float(spec["budget_capacity"]),
+            seed=int(spec["seed"]),
+        )
+        self.pending[key] = ([], [])
+
+    def load(self, key: str, snapshot: dict) -> None:
+        """Install a shard restored from a checkpoint snapshot."""
+        if key in self.shards:
+            raise ValueError(f"shard {key!r} already hosted")
+        shard, pending = restore_shard(snapshot)
+        if shard.shard_id != key:
+            raise ValueError(
+                f"snapshot is for shard {shard.shard_id!r}, not {key!r}"
+            )
+        self.shards[key] = shard
+        self.pending[key] = pending
+
+    def drop(self, key: str) -> None:
+        """Forget a shard (it has been migrated elsewhere)."""
+        del self.shards[key]
+        del self.pending[key]
+
+    def snapshot(self, key: str) -> dict:
+        """Snapshot a shard *including* its un-flushed pending buffer."""
+        return snapshot_shard(self.shards[key], self.pending[key])
+
+    # ------------------------------------------------------------------ #
+    # serving                                                             #
+    # ------------------------------------------------------------------ #
+
+    def register(self, key: str, worker_ids, locations) -> None:
+        """Buffer a worker cohort on its shard; flush at ``batch_size``."""
+        ids, locs = self.pending[key]
+        ids.extend(int(w) for w in worker_ids)
+        locs.extend(locations)
+        if len(ids) >= self.batch_size:
+            self.flush(key)
+
+    def flush(self, key: str | None = None) -> None:
+        """Push pending cohorts through batch obfuscation (``None`` = all)."""
+        targets = list(self.shards) if key is None else [key]
+        for k in targets:
+            ids, locs = self.pending[k]
+            if not ids:
+                continue
+            self.pending[k] = ([], [])
+            self.shards[k].register_cohort(ids, locs)
+
+    def task(self, keys, task_id: int, location) -> tuple[int | None, str]:
+        """Match one task along its routing chain.
+
+        ``keys`` lists the shards to try in order — the owning sub-shard
+        first, then (after a hot-shard split) the parent shard that still
+        holds the pre-split worker pool. Returns ``(worker_id, key)`` for
+        the shard that served it; on a full miss the unassigned metric is
+        recorded once, on the primary shard.
+        """
+        # flush before the clock starts: the engine, too, registers the
+        # pending cohort outside the measured matching latency, keeping
+        # the two runtimes' latency quantiles comparable
+        for key in keys:
+            self.flush(key)
+        start = time.perf_counter()
+        for key in keys:
+            worker = self.shards[key].submit_task(
+                task_id,
+                location,
+                record_miss=False,
+                # time already burnt probing earlier shards in the chain
+                latency_offset=time.perf_counter() - start,
+            )
+            if worker is not None:
+                return worker, key
+        primary = keys[0]
+        self.shards[primary].metrics.record_unassigned(
+            time.perf_counter() - start
+        )
+        return None, primary
+
+    def apply(self, ops) -> list[tuple[int, int | None, str]]:
+        """Apply one dispatched op batch; returns per-task results."""
+        results: list[tuple[int, int | None, str]] = []
+        for op in ops:
+            if op[0] == "w":
+                _, key, ids, locs = op
+                self.register(key, ids, locs)
+            else:
+                _, keys, task_id, loc = op
+                worker, key = self.task(keys, int(task_id), loc)
+                results.append((int(task_id), worker, key))
+        return results
+
+    def report(self) -> dict:
+        """Frozen metrics per hosted shard, with pooled raw samples.
+
+        Raw latency/distance samples ride along so the coordinator can
+        compute cluster-wide quantiles from the pooled samples rather
+        than averaging per-shard quantiles.
+        """
+        return {
+            key: {
+                "snapshot": shard.snapshot(),
+                "latencies_s": list(shard.metrics.latencies_s),
+                "reported_distances": list(shard.metrics.reported_distances),
+                "pending": len(self.pending[key][0]),
+            }
+            for key, shard in self.shards.items()
+        }
+
+
+def worker_main(
+    worker_idx: int, incarnation: int, cmd_q, res_conn, batch_size: int
+) -> None:
+    """Entry point of one cluster worker process.
+
+    ``res_conn`` is this worker's private reply pipe; sends happen in the
+    command loop itself (no feeder thread), so a crash between commands
+    can never leave a half-written frame, and the pipe's write end dying
+    with the process is what tells the coordinator this worker is gone.
+
+    ``incarnation`` counts restarts of this worker slot; every reply
+    carries it so the coordinator can tell replies of a crashed process
+    apart from those of its replacement (task results are accepted from
+    either — they are deduplicated — but barrier acknowledgements only
+    count from the current incarnation).
+    """
+    host = ShardHost(batch_size)
+    me = (worker_idx, incarnation)
+    while True:
+        msg = cmd_q.get()
+        op = msg[0]
+        try:
+            if op == "events":
+                _, seq, ops = msg
+                results = host.apply(ops)
+                res_conn.send(("done", *me, seq, results))
+            elif op == "create":
+                _, key, spec = msg
+                host.create(key, spec)
+                res_conn.send(("ready", *me, key))
+            elif op == "load":
+                _, key, snapshot = msg
+                host.load(key, snapshot)
+                res_conn.send(("ready", *me, key))
+            elif op == "drop":
+                host.drop(msg[1])
+            elif op == "snapshot":
+                key = msg[1]
+                res_conn.send(("snapshot", *me, key, host.snapshot(key)))
+            elif op == "flush":
+                host.flush()
+                res_conn.send(("flushed", *me))
+            elif op == "report":
+                res_conn.send(("report", *me, host.report()))
+            elif op == "crash":
+                # test hook: die the hard way, exactly like a SIGKILLed
+                # container — no cleanup, no goodbye message
+                os._exit(17)
+            elif op == "stop":
+                res_conn.close()
+                return
+            else:
+                raise ValueError(f"unknown command {op!r}")
+        except Exception:
+            try:
+                res_conn.send(("error", *me, traceback.format_exc()))
+            finally:
+                res_conn.close()
+            return

@@ -98,6 +98,11 @@ class MatchingServer:
     def registered_workers(self) -> int:
         return len(self._worker_reports)
 
+    @property
+    def registered_ids(self) -> list[int]:
+        """Worker ids with a registration on record, registration-ordered."""
+        return list(self._worker_reports)
+
     def is_registered(self, worker_id: int) -> bool:
         """Whether ``worker_id`` has a registration on record."""
         return worker_id in self._worker_reports
@@ -117,6 +122,83 @@ class MatchingServer:
         """
         found = self.submit_task_detailed(report)
         return None if found is None else found[0]
+
+    # ------------------------------------------------------------------ #
+    # checkpointing                                                       #
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> dict:
+        """JSON-ready matcher state for shard snapshots.
+
+        Captures registrations (in registration order), the slot-id table
+        and consumed slots of the live matcher trie, and the accumulated
+        result — everything :meth:`from_state` needs to resume serving
+        with identical assignment decisions (the trie's tie-breaking is
+        insertion-ordered, and slots are inserted in increasing order, so
+        rebuilding all slots and removing the consumed ones reproduces the
+        exact structure).
+        """
+        consumed: list[int] = []
+        if self._matcher is not None:
+            live = set(self._matcher.available_ids)
+            consumed = [s for s in range(len(self._ids)) if s not in live]
+        return {
+            "allow_late_registration": self.allow_late_registration,
+            "reports": [
+                [r.worker_id, list(r.leaf)]
+                for r in self._worker_reports.values()
+            ],
+            "slot_ids": None if self._matcher is None else list(self._ids),
+            "consumed_slots": consumed,
+            "assignments": [
+                [a.task, a.worker] for a in self.result.assignments
+            ],
+            "unassigned_tasks": list(self.result.unassigned_tasks),
+        }
+
+    @classmethod
+    def from_state(cls, tree: HST, payload: dict) -> "MatchingServer":
+        """Rebuild a server exported by :meth:`export_state` over ``tree``."""
+        missing = {
+            "allow_late_registration",
+            "reports",
+            "slot_ids",
+            "consumed_slots",
+            "assignments",
+            "unassigned_tasks",
+        } - set(payload)
+        if missing:
+            raise ValueError(f"server payload missing fields: {sorted(missing)}")
+        server = cls(
+            tree,
+            allow_late_registration=bool(payload["allow_late_registration"]),
+        )
+        for wid, leaf in payload["reports"]:
+            wid = int(wid)
+            server._worker_reports[wid] = WorkerReport(
+                worker_id=wid, leaf=tuple(int(v) for v in leaf)
+            )
+        slot_ids = payload["slot_ids"]
+        if slot_ids is not None:
+            ids = [int(i) for i in slot_ids]
+            if set(ids) != set(server._worker_reports):
+                raise ValueError("slot table inconsistent with registrations")
+            server._ids = ids
+            server._matcher = HSTGreedyMatcher(
+                tree.depth,
+                tree.branching,
+                [server._worker_reports[i].leaf for i in ids],
+            )
+            for slot in payload["consumed_slots"]:
+                server._matcher.remove_worker(int(slot))
+        server.result = MatchingResult(
+            assignments=[
+                Assignment(task=int(t), worker=int(w))
+                for t, w in payload["assignments"]
+            ],
+            unassigned_tasks=[int(t) for t in payload["unassigned_tasks"]],
+        )
+        return server
 
     def submit_task_detailed(self, report: TaskReport) -> tuple[int, int] | None:
         """Like :meth:`submit_task`, but returns ``(worker_id, lca_level)``.

@@ -41,8 +41,14 @@ def hst_to_dict(tree: HST) -> dict:
     }
 
 
-def hst_from_dict(payload: dict) -> HST:
-    """Reconstruct a published tree; validates structure and ranges."""
+def hst_from_dict(payload: dict, *, validate: bool = True) -> HST:
+    """Reconstruct a published tree; validates structure and ranges.
+
+    ``validate=False`` skips the O(N) leaf-uniqueness re-check for trusted
+    payloads — the cluster failover path restores shard snapshots this
+    process wrote itself and cannot afford the re-validation per restore.
+    Structure/range checks in ``HST.__post_init__`` always run.
+    """
     if not isinstance(payload, dict):
         raise ValueError("payload must be a dict")
     if payload.get("format") != _FORMAT:
@@ -72,7 +78,9 @@ def hst_from_dict(payload: dict) -> HST:
     )
     # HST.__post_init__ validates shapes/ranges; additionally confirm the
     # leaves are one-per-point, which the constructor cannot know.
-    if len({tree.path_of(i) for i in range(tree.n_points)}) != tree.n_points:
+    if validate and len(
+        {tree.path_of(i) for i in range(tree.n_points)}
+    ) != tree.n_points:
         raise ValueError("paths are not unique per point")
     return tree
 

@@ -70,6 +70,24 @@ class HSTGreedyMatcher:
         """Number of workers not yet consumed."""
         return len(self._trie)
 
+    @property
+    def available_ids(self) -> list[int]:
+        """Sorted slot ids of the workers not yet consumed.
+
+        Checkpointing hook: a matcher restore rebuilds the trie from all
+        registered workers and then consumes exactly the slots missing
+        from this list (see :mod:`repro.cluster.snapshot`).
+        """
+        return sorted(self._trie.items())
+
+    def remove_worker(self, slot: int) -> None:
+        """Consume a specific worker slot without an assignment.
+
+        Used when replaying consumed slots during a snapshot restore;
+        raises ``KeyError`` if the slot is not available.
+        """
+        self._trie.remove(slot)
+
     def add_worker(self, path: Path) -> int:
         """Admit a worker that arrived after construction.
 

@@ -59,6 +59,10 @@ class LeafTrie:
         """Leaf path under which ``item`` is stored."""
         return self._paths[item]
 
+    def items(self) -> list[int]:
+        """All stored item ids, in no particular order."""
+        return list(self._paths)
+
     # ------------------------------------------------------------------ #
     # updates                                                             #
     # ------------------------------------------------------------------ #

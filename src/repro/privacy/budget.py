@@ -130,3 +130,50 @@ class PrivacyBudgetLedger:
         if not self._spent:
             return self.capacity
         return self.capacity - sum(self._spent.values()) / len(self._spent)
+
+    # ------------------------------------------------------------------ #
+    # serialization                                                       #
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """JSON-ready export of the full ledger (audits, shard snapshots).
+
+        Balances and history are emitted as ``[principal, epsilon]`` pairs
+        rather than a mapping so integer principals survive a JSON
+        round-trip (JSON object keys are always strings).
+        """
+        return {
+            "capacity": self.capacity,
+            "spent": [[p, v] for p, v in self._spent.items()],
+            "history": [[p, e] for p, e in self._history],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PrivacyBudgetLedger":
+        """Rebuild a ledger exported by :meth:`to_dict`; validates totals."""
+        if not isinstance(payload, dict):
+            raise ValueError("ledger payload must be a dict")
+        missing = {"capacity", "spent", "history"} - set(payload)
+        if missing:
+            raise ValueError(f"ledger payload missing fields: {sorted(missing)}")
+        ledger = cls(float(payload["capacity"]))
+        for entry in payload["spent"]:
+            principal, value = entry
+            value = float(value)
+            if value <= 0 or value > ledger.capacity + 1e-12:
+                raise ValueError(
+                    f"spent balance {value} for {principal!r} outside "
+                    f"(0, {ledger.capacity}]"
+                )
+            ledger._spent[principal] = value
+        ledger._history = [(p, float(e)) for p, e in payload["history"]]
+        totals: dict[object, float] = {}
+        for p, e in ledger._history:
+            totals[p] = totals.get(p, 0.0) + e
+        for p in set(totals) | set(ledger._spent):
+            if abs(totals.get(p, 0.0) - ledger._spent.get(p, 0.0)) > 1e-9:
+                raise ValueError(
+                    f"ledger history sums to {totals.get(p, 0.0)} for {p!r} "
+                    f"but the balance says {ledger._spent.get(p, 0.0)}"
+                )
+        return ledger

@@ -17,7 +17,9 @@ worker/task events (usually via a
 
 The engine is deliberately synchronous and single-process: shards share
 nothing, so lifting them onto threads/processes/hosts later is a transport
-problem, not an algorithmic one.
+problem, not an algorithmic one — :mod:`repro.cluster` is exactly that
+lift, running the same shards across worker processes with snapshot
+checkpoints, crash failover and hot-shard balancing.
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ from ..geometry.box import Box
 from ..geometry.points import as_points
 from ..utils import ensure_rng, spawn_rng
 from .events import RequestQueue, TaskArrival, WorkerArrival
-from .metrics import ServiceReport, _percentile
+from .metrics import ServiceReport, build_report
 from .shard import ShardServer
 from .sharding import ShardMap
 
@@ -171,6 +173,42 @@ class ShardedAssignmentEngine:
             self.shards[sid].register_cohort(ids, locs)
 
     # ------------------------------------------------------------------ #
+    # checkpointing hooks                                                 #
+    # ------------------------------------------------------------------ #
+
+    def export_pending(self, shard_id: int) -> tuple[list[int], list]:
+        """Copy of a shard's un-flushed cohort buffer ``(ids, locations)``.
+
+        Part of a shard's checkpointable state: the buffer holds true
+        locations that have not crossed the privacy boundary yet, so a
+        snapshot that dropped it would silently lose registrations on
+        restore. The versioned wire format wrapping this lives in
+        :mod:`repro.cluster.snapshot`.
+        """
+        ids, locs = self._pending[shard_id]
+        return list(ids), [np.array(loc, dtype=np.float64) for loc in locs]
+
+    def install_shard(
+        self, shard_id: int, shard: ShardServer, pending=None
+    ) -> None:
+        """Replace one shard in place with a restored :class:`ShardServer`.
+
+        The restored shard's registered worker ids are folded into the
+        engine-wide registry so duplicate detection keeps working across
+        the restore.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise IndexError(f"shard {shard_id} outside [0, {self.n_shards})")
+        self.shards[shard_id] = shard
+        ids, locs = pending if pending is not None else ([], [])
+        self._pending[shard_id] = (
+            [int(w) for w in ids],
+            [np.asarray(loc, dtype=np.float64) for loc in locs],
+        )
+        self._known_workers.update(int(w) for w in ids)
+        self._known_workers.update(int(w) for w in shard.server.registered_ids)
+
+    # ------------------------------------------------------------------ #
     # event-driven operation                                              #
     # ------------------------------------------------------------------ #
 
@@ -210,13 +248,10 @@ class ShardedAssignmentEngine:
         distances = [
             v for s in self.shards for v in s.metrics.reported_distances
         ]
-        return ServiceReport(
-            shards=tuple(s.snapshot() for s in self.shards),
+        return build_report(
+            (s.snapshot() for s in self.shards),
+            latencies,
+            distances,
             wall_seconds=wall_seconds,
             sim_duration=self.now,
-            latency_p50_ms=_percentile(latencies, 50) * 1e3,
-            latency_p95_ms=_percentile(latencies, 95) * 1e3,
-            mean_reported_distance=(
-                float(np.mean(distances)) if distances else float("nan")
-            ),
         )

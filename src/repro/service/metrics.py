@@ -19,10 +19,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ShardMetrics", "ShardSnapshot", "ServiceReport"]
+__all__ = [
+    "ShardMetrics",
+    "ShardSnapshot",
+    "ServiceReport",
+    "build_report",
+    "percentile",
+]
 
 
-def _percentile(samples, q: float) -> float:
+def percentile(samples, q: float) -> float:
+    """``q``-th percentile of ``samples``; NaN when there are none.
+
+    The quantile helper every aggregator in the serving stack shares
+    (engine report, cluster report). Quantiles must always be computed
+    from pooled raw samples — per-shard quantiles don't average.
+    """
     if not len(samples):
         return float("nan")
     return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
@@ -36,9 +48,14 @@ def _mean(samples) -> float:
 
 @dataclass
 class ShardMetrics:
-    """Mutable per-shard recorder filled while the shard serves traffic."""
+    """Mutable per-shard recorder filled while the shard serves traffic.
 
-    shard_id: int
+    ``shard_id`` is an ``int`` for the single-process engine's lattice
+    cells and a ``str`` key (e.g. ``"s3/1"``) for cluster shards, which can
+    be split into sub-shards at runtime.
+    """
+
+    shard_id: int | str
     workers_registered: int = 0
     cohorts_flushed: int = 0
     tasks_assigned: int = 0
@@ -59,6 +76,42 @@ class ShardMetrics:
         self.tasks_unassigned += 1
         self.latencies_s.append(latency_s)
 
+    def to_dict(self) -> dict:
+        """JSON-ready raw state (part of a shard's checkpoint snapshot)."""
+        return {
+            "shard_id": self.shard_id,
+            "workers_registered": self.workers_registered,
+            "cohorts_flushed": self.cohorts_flushed,
+            "tasks_assigned": self.tasks_assigned,
+            "tasks_unassigned": self.tasks_unassigned,
+            "latencies_s": [float(v) for v in self.latencies_s],
+            "reported_distances": [float(v) for v in self.reported_distances],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardMetrics":
+        """Rebuild a recorder exported by :meth:`to_dict`."""
+        missing = {
+            "shard_id",
+            "workers_registered",
+            "cohorts_flushed",
+            "tasks_assigned",
+            "tasks_unassigned",
+            "latencies_s",
+            "reported_distances",
+        } - set(payload)
+        if missing:
+            raise ValueError(f"metrics payload missing fields: {sorted(missing)}")
+        return cls(
+            shard_id=payload["shard_id"],
+            workers_registered=int(payload["workers_registered"]),
+            cohorts_flushed=int(payload["cohorts_flushed"]),
+            tasks_assigned=int(payload["tasks_assigned"]),
+            tasks_unassigned=int(payload["tasks_unassigned"]),
+            latencies_s=[float(v) for v in payload["latencies_s"]],
+            reported_distances=[float(v) for v in payload["reported_distances"]],
+        )
+
     def snapshot(self, *, epsilon: float, ledger) -> "ShardSnapshot":
         """Freeze the recorder, folding in the shard's budget ledger."""
         return ShardSnapshot(
@@ -68,8 +121,8 @@ class ShardMetrics:
             cohorts_flushed=self.cohorts_flushed,
             tasks_assigned=self.tasks_assigned,
             tasks_unassigned=self.tasks_unassigned,
-            latency_p50_ms=_percentile(self.latencies_s, 50) * 1e3,
-            latency_p95_ms=_percentile(self.latencies_s, 95) * 1e3,
+            latency_p50_ms=percentile(self.latencies_s, 50) * 1e3,
+            latency_p95_ms=percentile(self.latencies_s, 95) * 1e3,
             mean_reported_distance=_mean(self.reported_distances),
             budget_capacity=ledger.capacity,
             budget_min_remaining=ledger.min_remaining(),
@@ -81,7 +134,7 @@ class ShardMetrics:
 class ShardSnapshot:
     """One shard's final counters and audit numbers."""
 
-    shard_id: int
+    shard_id: int | str
     epsilon: float
     workers_registered: int
     cohorts_flushed: int
@@ -213,3 +266,31 @@ class ServiceReport:
                 f"of {s.budget_capacity:.2f}"
             )
         return "\n".join(lines)
+
+
+def build_report(
+    shards,
+    latencies,
+    distances,
+    *,
+    wall_seconds: float = float("nan"),
+    sim_duration: float = 0.0,
+) -> ServiceReport:
+    """Assemble a :class:`ServiceReport` from frozen shard rows and pooled
+    raw samples.
+
+    The one aggregation path shared by the single-process engine and the
+    cluster coordinator, so both report identical quantile semantics.
+    """
+    return ServiceReport(
+        shards=tuple(shards),
+        wall_seconds=wall_seconds,
+        sim_duration=sim_duration,
+        latency_p50_ms=percentile(latencies, 50) * 1e3,
+        latency_p95_ms=percentile(latencies, 95) * 1e3,
+        mean_reported_distance=(
+            float(np.mean(np.asarray(distances, dtype=np.float64)))
+            if len(distances)
+            else float("nan")
+        ),
+    )

@@ -31,6 +31,7 @@ from ..crowdsourcing.server import MatchingServer, publish_tree
 from ..geometry.box import Box
 from ..geometry.points import as_points
 from ..hst.paths import tree_distance_for_level
+from ..hst.serialize import hst_from_dict, hst_to_dict
 from ..privacy.budget import PrivacyBudgetLedger
 from ..privacy.tree_mechanism import TreeMechanism
 from ..utils import ensure_rng
@@ -59,7 +60,7 @@ class ShardServer:
 
     def __init__(
         self,
-        shard_id: int,
+        shard_id: int | str,
         box: Box,
         grid_nx: int = 16,
         epsilon: float = 0.5,
@@ -126,12 +127,25 @@ class ShardServer:
     # serving                                                             #
     # ------------------------------------------------------------------ #
 
-    def submit_task(self, task_id: int, location) -> int | None:
+    def submit_task(
+        self,
+        task_id: int,
+        location,
+        *,
+        record_miss: bool = True,
+        latency_offset: float = 0.0,
+    ) -> int | None:
         """Encode, obfuscate and match one arriving task.
 
         Returns the assigned (global) worker id or ``None``; wall-clock
         matching latency and the reported assignment distance go into
-        :attr:`metrics`.
+        :attr:`metrics`. Two knobs serve the cluster's split-shard
+        fallback chain, which tries several shards for one task:
+        ``record_miss=False`` suppresses the unassigned metric on an
+        empty pool (the miss is recorded once, on the primary, only when
+        the whole chain fails), and ``latency_offset`` adds the time
+        already spent probing earlier shards in the chain, so the
+        recorded latency covers the task's full serving time.
         """
         leaf = self.tree.leaf_for_location(location)
         report = TaskReport(
@@ -139,9 +153,10 @@ class ShardServer:
         )
         start = time.perf_counter()
         found = self.server.submit_task_detailed(report)
-        latency = time.perf_counter() - start
+        latency = time.perf_counter() - start + latency_offset
         if found is None:
-            self.metrics.record_unassigned(latency)
+            if record_miss:
+                self.metrics.record_unassigned(latency)
             return None
         worker_id, level = found
         reported = tree_distance_for_level(level) / self.tree.metric_scale
@@ -151,3 +166,71 @@ class ShardServer:
     def snapshot(self) -> ShardSnapshot:
         """Freeze this shard's metrics, ledger audit included."""
         return self.metrics.snapshot(epsilon=self.epsilon, ledger=self.ledger)
+
+    # ------------------------------------------------------------------ #
+    # checkpointing                                                       #
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> dict:
+        """JSON-ready dump of everything this shard is.
+
+        The raw parts behind the cluster's versioned snapshot wire format
+        (:mod:`repro.cluster.snapshot`): the published tree (via
+        :func:`~repro.hst.serialize.hst_to_dict`), the privacy ledger, the
+        matcher state, the metrics recorder, and the client-side RNG
+        state. Restoring via :meth:`from_state` and replaying the same
+        event suffix reproduces the exact assignments of an uninterrupted
+        run — the RNG state makes the obfuscation draws bit-identical.
+        """
+        return {
+            "shard_id": self.shard_id,
+            "box": [self.box.xmin, self.box.ymin, self.box.xmax, self.box.ymax],
+            "epsilon": self.epsilon,
+            "tree": hst_to_dict(self.tree),
+            "ledger": self.ledger.to_dict(),
+            "server": self.server.export_state(),
+            "metrics": self.metrics.to_dict(),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "ShardServer":
+        """Reassemble a shard from :meth:`export_state` output.
+
+        Unlike the constructor this never rebuilds the HST — the published
+        tree is part of the state — so a restore is cheap enough for the
+        failover hot path.
+        """
+        missing = {
+            "shard_id",
+            "box",
+            "epsilon",
+            "tree",
+            "ledger",
+            "server",
+            "metrics",
+            "rng_state",
+        } - set(payload)
+        if missing:
+            raise ValueError(f"shard payload missing fields: {sorted(missing)}")
+        shard = cls.__new__(cls)
+        shard.shard_id = payload["shard_id"]
+        shard.box = Box(*(float(v) for v in payload["box"]))
+        shard.tree = hst_from_dict(payload["tree"], validate=False)
+        rng = np.random.default_rng()
+        state = dict(payload["rng_state"])
+        expected = rng.bit_generator.state["bit_generator"]
+        if state.get("bit_generator") != expected:
+            raise ValueError(
+                f"snapshot RNG is {state.get('bit_generator')!r}; this "
+                f"runtime restores only {expected!r} streams"
+            )
+        rng.bit_generator.state = state
+        shard._rng = rng
+        shard.mechanism = TreeMechanism(
+            shard.tree, float(payload["epsilon"]), seed=rng
+        )
+        shard.ledger = PrivacyBudgetLedger.from_dict(payload["ledger"])
+        shard.server = MatchingServer.from_state(shard.tree, payload["server"])
+        shard.metrics = ShardMetrics.from_dict(payload["metrics"])
+        return shard

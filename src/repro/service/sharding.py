@@ -78,6 +78,17 @@ class ShardMap:
             self.region.ymin + (iy + 1) * h,
         )
 
+    def subdivide(self, shard_id: int, nx: int, ny: int | None = None) -> "ShardMap":
+        """A finer ``nx x ny`` sub-lattice over one cell of this map.
+
+        The incremental-routing hook behind hot-shard splitting
+        (:mod:`repro.cluster.balancer`): the returned map tiles exactly
+        ``shard_box(shard_id)``, so a router can delegate any location that
+        falls in the hot cell to the sub-lattice while every other cell
+        keeps its existing routing.
+        """
+        return ShardMap(self.shard_box(shard_id), nx, nx if ny is None else ny)
+
     def shard_of(self, location) -> int:
         """Shard id owning ``location`` (out-of-region snaps to the edge)."""
         return int(self.shard_of_many(np.asarray(location)[None, :])[0])

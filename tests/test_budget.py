@@ -60,6 +60,53 @@ class TestLedger:
             ledger.can_spend("w", -0.1)
 
 
+class TestLedgerRoundTrip:
+    def test_to_dict_from_dict_preserves_everything(self):
+        ledger = PrivacyBudgetLedger(capacity=2.0)
+        ledger.spend("w1", 0.5)
+        ledger.spend(7, 0.3)
+        ledger.spend("w1", 0.25)
+        restored = PrivacyBudgetLedger.from_dict(ledger.to_dict())
+        assert restored.capacity == ledger.capacity
+        assert restored.spent("w1") == pytest.approx(0.75)
+        assert restored.spent(7) == pytest.approx(0.3)
+        assert restored.history == ledger.history
+        assert restored.min_remaining() == pytest.approx(ledger.min_remaining())
+
+    def test_json_round_trip_keeps_integer_principals(self):
+        import json
+
+        ledger = PrivacyBudgetLedger(capacity=1.0)
+        ledger.spend(42, 0.5)
+        restored = PrivacyBudgetLedger.from_dict(
+            json.loads(json.dumps(ledger.to_dict()))
+        )
+        # pair-list encoding: 42 stays an int (a dict key would become "42")
+        assert restored.spent(42) == pytest.approx(0.5)
+        assert restored.spent("42") == 0.0
+
+    def test_restored_ledger_keeps_enforcing_the_cap(self):
+        ledger = PrivacyBudgetLedger(capacity=1.0)
+        ledger.spend("w", 0.8)
+        restored = PrivacyBudgetLedger.from_dict(ledger.to_dict())
+        with pytest.raises(BudgetExceededError):
+            restored.spend("w", 0.3)
+        restored.spend("w", 0.2)
+
+    def test_rejects_malformed_payloads(self):
+        ledger = PrivacyBudgetLedger(capacity=1.0)
+        ledger.spend("w", 0.4)
+        good = ledger.to_dict()
+        with pytest.raises(ValueError, match="missing"):
+            PrivacyBudgetLedger.from_dict({"capacity": 1.0})
+        with pytest.raises(ValueError, match="outside"):
+            PrivacyBudgetLedger.from_dict(
+                {**good, "spent": [["w", 5.0]]}
+            )
+        with pytest.raises(ValueError, match="history"):
+            PrivacyBudgetLedger.from_dict({**good, "history": []})
+
+
 class TestWithMechanism:
     def test_repeated_reports_respect_cap(self, example1_tree):
         """A worker re-reporting its leaf spends its budget down and is cut

@@ -1,0 +1,501 @@
+"""Tests for repro.cluster: snapshots, router, balancer, coordinator."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BalancerConfig,
+    ClusterCoordinator,
+    ClusterRouter,
+    HotShardBalancer,
+    ShardHost,
+    restore_shard,
+    snapshot_from_json,
+    snapshot_shard,
+    snapshot_to_json,
+)
+from repro.cluster.__main__ import main as cluster_main
+from repro.geometry import Box
+from repro.service import LoadConfig, LoadGenerator, ShardMap, ShardServer
+from repro.service.events import (
+    TaskArrival,
+    WorkerArrival,
+    merge_event_streams,
+)
+
+REGION = Box.square(200.0)
+
+
+def _fresh_shard(seed: int = 42) -> ShardServer:
+    return ShardServer("s0", Box.square(100.0), grid_nx=6, seed=seed)
+
+
+class TestSnapshotRoundTrip:
+    def test_mid_stream_restore_replays_identically(self):
+        """Acceptance gate: snapshot mid-stream, restore, replay the rest —
+        byte-identical assignments and end state vs the uninterrupted run."""
+        rng = np.random.default_rng(0)
+        locs = rng.uniform(0, 100, size=(60, 2))
+        tasks = rng.uniform(0, 100, size=(40, 2))
+
+        def drive_prefix(shard):
+            shard.register_cohort(range(30), locs[:30])
+            for i in range(20):
+                shard.submit_task(i, tasks[i])
+
+        def drive_suffix(shard):
+            shard.register_cohort(range(30, 60), locs[30:])
+            for i in range(20, 40):
+                shard.submit_task(i, tasks[i])
+
+        uninterrupted = _fresh_shard()
+        drive_prefix(uninterrupted)
+        drive_suffix(uninterrupted)
+
+        interrupted = _fresh_shard()
+        drive_prefix(interrupted)
+        # wire-format round trip, exactly what failover ships
+        payload = json.loads(json.dumps(snapshot_shard(interrupted)))
+        restored, pending = restore_shard(payload)
+        assert pending == ([], [])
+        drive_suffix(restored)
+
+        assert (
+            restored.server.result.assignments
+            == uninterrupted.server.result.assignments
+        )
+        a = uninterrupted.export_state()
+        b = restored.export_state()
+        # metrics carry measured wall-clock latencies, which legitimately
+        # differ run to run; everything else must match exactly
+        a.pop("metrics")
+        b.pop("metrics")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_pending_buffer_survives(self):
+        shard = _fresh_shard()
+        pending = ([7, 8], [np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        restored, out = snapshot_from_json(snapshot_to_json(shard, pending))
+        assert out[0] == [7, 8]
+        assert [list(p) for p in out[1]] == [[1.0, 2.0], [3.0, 4.0]]
+        restored.register_cohort(out[0], out[1])
+        assert restored.server.registered_workers == 2
+
+    def test_ledger_and_metrics_survive(self):
+        shard = _fresh_shard()
+        shard.register_cohort(range(5), np.random.default_rng(1).uniform(0, 100, (5, 2)))
+        shard.submit_task(0, (50.0, 50.0))
+        restored, _ = restore_shard(snapshot_shard(shard))
+        assert restored.ledger.to_dict() == shard.ledger.to_dict()
+        assert restored.metrics.workers_registered == 5
+        assert restored.metrics.tasks_assigned == 1
+        assert restored.snapshot() == shard.snapshot()
+
+    def test_rejects_bad_documents(self):
+        shard = _fresh_shard()
+        good = snapshot_shard(shard)
+        with pytest.raises(ValueError, match="document"):
+            restore_shard({**good, "format": "nope"})
+        with pytest.raises(ValueError, match="version"):
+            restore_shard({**good, "version": 99})
+        with pytest.raises(ValueError, match="missing"):
+            restore_shard({"format": good["format"], "version": good["version"]})
+
+    def test_engine_shard_checkpoint_round_trip(self):
+        """The single-process engine can checkpoint too: export a shard
+        (pending cohort buffer included, via the engine hooks), restore it
+        into a fresh engine, and the replays stay identical."""
+        from repro.service import ShardedAssignmentEngine
+
+        rng = np.random.default_rng(2)
+        locs = rng.uniform(0, 200, size=(40, 2))
+        tasks = rng.uniform(0, 200, size=(20, 2))
+
+        def build():
+            engine = ShardedAssignmentEngine(
+                REGION, shards=(2, 1), grid_nx=6, batch_size=16, seed=8
+            )
+            engine.register_workers(range(40), locs)
+            for i in range(10):
+                engine.submit_task(i, tasks[i])
+            engine.register_worker(99, (5.0, 5.0))  # left buffered
+            return engine
+
+        original = build()
+        donor = build()
+        clone = ShardedAssignmentEngine(
+            REGION, shards=(2, 1), grid_nx=6, batch_size=16, seed=0
+        )
+        for sid in range(donor.n_shards):
+            pending = donor.export_pending(sid)
+            payload = json.loads(
+                json.dumps(snapshot_shard(donor.shards[sid], pending))
+            )
+            shard, restored_pending = restore_shard(payload)
+            clone.install_shard(sid, shard, restored_pending)
+        # the buffered worker survived the round trip and still dedups
+        assert clone.export_pending(0)[0] == [99]
+        with pytest.raises(ValueError, match="already registered"):
+            clone.register_worker(99, (6.0, 6.0))
+        for i in range(10, 20):
+            assert original.submit_task(i, tasks[i]) == clone.submit_task(
+                i, tasks[i]
+            )
+        for a, b in zip(original.shards, clone.shards):
+            assert a.server.result.assignments == b.server.result.assignments
+            assert a.ledger.to_dict() == b.ledger.to_dict()
+            assert a.available_workers == b.available_workers
+
+    def test_rejects_foreign_rng_stream(self):
+        shard = _fresh_shard()
+        payload = snapshot_shard(shard)
+        payload["state"]["rng_state"] = {
+            **payload["state"]["rng_state"],
+            "bit_generator": "MT19937",
+        }
+        with pytest.raises(ValueError, match="MT19937"):
+            restore_shard(payload)
+
+
+class TestShardHost:
+    def _host_with_family(self):
+        host = ShardHost(batch_size=4)
+        box = Box.square(100.0)
+        spec = {
+            "grid_nx": 6,
+            "epsilon": 0.5,
+            "budget_capacity": 2.0,
+        }
+        host.create("s0", {**spec, "box": [0, 0, 100, 100], "seed": 1})
+        host.create("s0/0", {**spec, "box": [0, 0, 50, 50], "seed": 2})
+        assert host.shards["s0"].box == box
+        return host
+
+    def test_task_chain_falls_back_to_parent(self):
+        """Post-split tasks drain the parent's pre-split worker pool."""
+        host = self._host_with_family()
+        host.register("s0", [1, 2], [(10.0, 10.0), (20.0, 20.0)])
+        host.flush()
+        worker, key = host.task(["s0/0", "s0"], 0, (15.0, 15.0))
+        assert worker in (1, 2)
+        assert key == "s0"
+        assert host.shards["s0"].metrics.tasks_assigned == 1
+
+    def test_full_miss_recorded_once_on_primary(self):
+        host = self._host_with_family()
+        worker, key = host.task(["s0/0", "s0"], 0, (15.0, 15.0))
+        assert worker is None
+        assert key == "s0/0"
+        assert host.shards["s0/0"].metrics.tasks_unassigned == 1
+        assert host.shards["s0"].metrics.tasks_unassigned == 0
+
+    def test_batch_size_flushes_pending(self):
+        host = self._host_with_family()
+        locs = np.random.default_rng(0).uniform(0, 50, size=(4, 2))
+        host.register("s0/0", range(4), list(locs))
+        assert host.shards["s0/0"].server.registered_workers == 4
+        assert host.pending["s0/0"] == ([], [])
+
+
+class TestClusterRouter:
+    def test_unsplit_routing_matches_shard_map(self):
+        smap = ShardMap(REGION, 2, 2)
+        router = ClusterRouter(smap)
+        pts = np.random.default_rng(0).uniform(0, 200, size=(50, 2))
+        chains = router.chains_of_many(pts)
+        owners = smap.shard_of_many(pts)
+        assert [c[0] for c in chains] == [f"s{int(o)}" for o in owners]
+        assert all(len(c) == 1 for c in chains)
+
+    def test_split_adds_fallback_chain(self):
+        router = ClusterRouter(ShardMap(REGION, 2, 2))
+        children = router.split(0, 2)
+        assert children == ["s0/0", "s0/1", "s0/2", "s0/3"]
+        # a point in the split cell routes to its sub-shard, parent second
+        chain = router.chain_of((10.0, 10.0))
+        assert chain[0].startswith("s0/") and chain[1] == "s0"
+        # other cells are untouched
+        assert router.chain_of((150.0, 150.0)) == ["s3"]
+        # sub-boxes tile the parent cell
+        area = sum(
+            router.shard_box(k).width * router.shard_box(k).height
+            for k in children
+        )
+        parent = router.shard_box("s0")
+        assert area == pytest.approx(parent.width * parent.height)
+
+    def test_double_split_rejected(self):
+        router = ClusterRouter(ShardMap(REGION, 2, 2))
+        router.split(1, 2)
+        with pytest.raises(ValueError):
+            router.split(1, 2)
+
+
+class TestHotShardBalancer:
+    def _observe(self, balancer, key, n):
+        for _ in range(n):
+            balancer.observe(key, is_task=True)
+
+    def test_hot_cell_split_decision(self):
+        router = ClusterRouter(ShardMap(REGION, 2, 2))
+        balancer = HotShardBalancer(
+            BalancerConfig(window=100, min_tasks=10, split_share=0.5)
+        )
+        self._observe(balancer, "s2", 80)
+        self._observe(balancer, "s1", 20)
+        assert balancer.decide(router, {0: 0, 1: 1, 2: 0, 3: 1}, 2) == [
+            ("split", 2)
+        ]
+
+    def test_migrate_decision_moves_hot_family_to_coolest(self):
+        router = ClusterRouter(ShardMap(REGION, 2, 2))
+        balancer = HotShardBalancer(
+            BalancerConfig(
+                window=100, min_tasks=10, split_share=0.99, migrate_imbalance=1.3
+            )
+        )
+        ownership = {0: 0, 1: 1, 2: 0, 3: 1}
+        self._observe(balancer, "s0", 45)
+        self._observe(balancer, "s2", 40)
+        self._observe(balancer, "s1", 15)
+        actions = balancer.decide(router, ownership, 2)
+        assert actions == [("migrate", 0, 1)]
+
+    def test_quiet_window_decides_nothing(self):
+        router = ClusterRouter(ShardMap(REGION, 2, 2))
+        balancer = HotShardBalancer(BalancerConfig(window=100, min_tasks=50))
+        self._observe(balancer, "s0", 10)
+        assert balancer.decide(router, {0: 0, 1: 0, 2: 0, 3: 0}, 1) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="min_tasks"):
+            BalancerConfig(min_tasks=0)
+        with pytest.raises(ValueError, match="window"):
+            BalancerConfig(window=0)
+        with pytest.raises(ValueError, match="split_share"):
+            BalancerConfig(split_share=1.5)
+        with pytest.raises(ValueError, match="migrate_imbalance"):
+            BalancerConfig(migrate_imbalance=1.0)
+
+    def test_window_resets_after_decision(self):
+        balancer = HotShardBalancer(BalancerConfig(window=10, min_tasks=5))
+        self._observe(balancer, "s0", 10)
+        assert balancer.window_full
+        balancer.decide(ClusterRouter(ShardMap(REGION, 2, 2)), {0: 0}, 1)
+        assert not balancer.window_full
+
+
+def _small_stream(seed=3, n_workers=600, n_tasks=300):
+    config = LoadConfig(
+        n_workers=n_workers, n_tasks=n_tasks, shards=(2, 2), grid_nx=6, seed=seed
+    )
+    region, events, workers, tasks = LoadGenerator(config).build_events()
+    return config, region, events
+
+
+class TestCoordinator:
+    def test_end_to_end_accounts_for_every_event(self):
+        config, region, events = _small_stream()
+        coordinator = ClusterCoordinator(
+            region, shards=(2, 2), n_workers=2, grid_nx=6, seed=7
+        )
+        with coordinator:
+            report = coordinator.run(events)
+            pairs = coordinator.assignments
+        assert report.tasks_total == config.n_tasks
+        assert coordinator.tasks_answered == config.n_tasks
+        assert report.workers_registered == config.n_workers
+        assert report.tasks_assigned == len(pairs) > 0
+        # no worker consumed twice, cluster-wide
+        assigned_workers = [w for _, w in pairs]
+        assert len(set(assigned_workers)) == len(assigned_workers)
+
+    def test_crash_failover_completes_with_no_lost_tasks(self):
+        """Acceptance gate: a worker crash mid-stream triggers a
+        restore-from-snapshot and the stream still answers every task."""
+        config, region, events = _small_stream(seed=11)
+        half = len(events) // 2
+        coordinator = ClusterCoordinator(
+            region,
+            shards=(2, 2),
+            n_workers=2,
+            grid_nx=6,
+            chunk_size=64,
+            checkpoint_every=128,
+            seed=5,
+        )
+        with coordinator:
+            coordinator.process(events[:half])
+            coordinator.checkpoint()
+            coordinator.inject_crash(0)
+            coordinator.process(events[half:])
+            report = coordinator.report()
+        assert coordinator.failovers >= 1
+        assert coordinator.tasks_answered == config.n_tasks
+        assert report.tasks_total == config.n_tasks
+        assert report.workers_registered == config.n_workers
+
+    def test_concurrent_crashes_fail_over_exactly_once_each(self):
+        """Both workers dying in one poll window must produce exactly two
+        failovers — a reentrant failover must not re-kill the replacement
+        whose connection replaced the stale one mid-iteration."""
+        config, region, events = _small_stream(seed=21)
+        half = len(events) // 2
+        coordinator = ClusterCoordinator(
+            region,
+            shards=(2, 2),
+            n_workers=2,
+            grid_nx=6,
+            chunk_size=64,
+            checkpoint_every=128,
+            seed=13,
+        )
+        with coordinator:
+            coordinator.process(events[:half])
+            coordinator.checkpoint()
+            coordinator.inject_crash(0)
+            coordinator.inject_crash(1)
+            coordinator.process(events[half:])
+            report = coordinator.report()
+        assert coordinator.failovers == 2
+        assert coordinator.tasks_answered == config.n_tasks
+        assert report.tasks_total == config.n_tasks
+
+    def test_closed_coordinator_refuses_to_restart(self):
+        """Shard state dies with the pool — using a closed coordinator
+        must fail loudly, not silently serve from fresh empty shards."""
+        from repro.cluster import ClusterError
+
+        _, region, events = _small_stream(n_workers=100, n_tasks=40)
+        coordinator = ClusterCoordinator(
+            region, shards=(2, 2), n_workers=1, grid_nx=6, seed=0
+        )
+        with coordinator:
+            report = coordinator.run(events)
+        assert report.tasks_total == 40
+        assert coordinator.tasks_answered == 40  # plain reads still fine
+        with pytest.raises(ClusterError, match="closed"):
+            coordinator.report()
+        with pytest.raises(ClusterError, match="closed"):
+            coordinator.process(events)
+
+    def test_duplicate_worker_ids_rejected_cluster_wide(self):
+        _, region, _ = _small_stream()
+        coordinator = ClusterCoordinator(
+            region, shards=(2, 2), n_workers=1, grid_nx=6, seed=0
+        )
+        events = [
+            WorkerArrival(time=0.0, worker_id=1, location=(10.0, 10.0)),
+            WorkerArrival(time=1.0, worker_id=1, location=(190.0, 190.0)),
+        ]
+        with coordinator:
+            with pytest.raises(ValueError, match="already registered"):
+                coordinator.process(events)
+
+    def test_hot_cell_split_serves_parent_pool(self):
+        """All traffic in one cell: the cell splits, new registrations go
+        to sub-shards, and tasks still drain the pre-split parent pool."""
+        rng = np.random.default_rng(0)
+        n_w, n_t = 400, 300
+        w = rng.uniform(0, 100, size=(n_w, 2)) * [0.5, 0.5]  # all in s0
+        t = rng.uniform(0, 100, size=(n_t, 2)) * [0.5, 0.5]
+        events = merge_event_streams(
+            [
+                WorkerArrival(time=0.0, worker_id=i, location=l)
+                for i, l in enumerate(w)
+            ],
+            [
+                TaskArrival(time=1.0 + 0.01 * i, task_id=i, location=l)
+                for i, l in enumerate(t)
+            ],
+        )
+        coordinator = ClusterCoordinator(
+            REGION,
+            shards=(2, 2),
+            n_workers=2,
+            grid_nx=6,
+            chunk_size=64,
+            checkpoint_every=0,
+            balancer=BalancerConfig(window=128, min_tasks=32, split_share=0.5),
+            seed=1,
+        )
+        with coordinator:
+            report = coordinator.run(events)
+        assert coordinator.cell_splits >= 1
+        assert coordinator.tasks_answered == n_t
+        assert report.tasks_assigned == n_t  # parent pool kept serving
+        keys = {s.shard_id for s in report.shards}
+        assert any("/" in str(k) for k in keys)
+
+    def test_imbalance_triggers_migration(self):
+        rng = np.random.default_rng(0)
+        # traffic only on the west cells (s0, s2) — both on worker 0
+        w = np.column_stack(
+            [rng.uniform(0, 100, 500), rng.uniform(0, 200, 500)]
+        )
+        t = np.column_stack(
+            [rng.uniform(0, 100, 400), rng.uniform(0, 200, 400)]
+        )
+        events = merge_event_streams(
+            [
+                WorkerArrival(time=0.0, worker_id=i, location=l)
+                for i, l in enumerate(w)
+            ],
+            [
+                TaskArrival(time=1.0 + 0.01 * i, task_id=i, location=l)
+                for i, l in enumerate(t)
+            ],
+        )
+        coordinator = ClusterCoordinator(
+            REGION,
+            shards=(2, 2),
+            n_workers=2,
+            grid_nx=6,
+            chunk_size=64,
+            checkpoint_every=0,
+            balancer=BalancerConfig(
+                window=128, min_tasks=32, split_share=0.95, migrate_imbalance=1.3
+            ),
+            seed=1,
+        )
+        with coordinator:
+            report = coordinator.run(events)
+        assert coordinator.migrations >= 1
+        assert coordinator.tasks_answered == 400
+        assert report.tasks_total == 400
+        # the two hot families no longer share a worker
+        assert coordinator.ownership[0] != coordinator.ownership[2]
+
+
+class TestClusterCli:
+    def test_smoke_flag_meets_acceptance_gates(self, capsys):
+        code = cluster_main(
+            ["--smoke", "--workers", "400", "--tasks", "150", "--grid", "6"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "throughput" in captured.out
+        assert "cluster" in captured.out
+        assert "OK" in captured.err
+
+    def test_json_output_carries_cluster_block(self, capsys):
+        code = cluster_main(
+            [
+                "--workers",
+                "300",
+                "--tasks",
+                "100",
+                "--grid",
+                "6",
+                "--procs",
+                "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["tasks_total"] == 100
+        assert data["cluster"]["n_workers"] == 1
+        assert data["cluster"]["failovers"] == 0

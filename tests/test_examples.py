@@ -75,6 +75,13 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "POI tree" in proc.stdout
 
+    def test_cluster_failover_small(self):
+        proc = _run("cluster_failover.py", "--workers", "400", "--tasks", "200")
+        assert proc.returncode == 0, proc.stderr
+        assert "failovers=1" in proc.stdout
+        assert "no task lost" in proc.stdout
+        assert "cell splits=1" in proc.stdout
+
     def test_all_examples_have_docstrings_and_main(self):
         for script in sorted(EXAMPLES.glob("*.py")):
             text = script.read_text()

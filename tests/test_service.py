@@ -57,6 +57,63 @@ class TestShardMap:
         many = smap.shard_of_many(pts)
         assert [smap.shard_of(p) for p in pts] == [int(v) for v in many]
 
+    def test_on_boundary_points_route_to_a_containing_cell(self):
+        """A point exactly on an internal lattice edge belongs to both
+        closed cells; routing must pick one of them, deterministically."""
+        smap = ShardMap(REGION, 2, 2)
+        boundary = [
+            (100.0, 50.0),  # vertical internal edge
+            (50.0, 100.0),  # horizontal internal edge
+            (100.0, 100.0),  # the four-corner point
+            (0.0, 0.0),  # region corner
+            (200.0, 200.0),
+        ]
+        for p in boundary:
+            owner = smap.shard_of(p)
+            assert smap.shard_box(owner).contains(np.asarray(p)[None, :])[0]
+            # deterministic: the same point always routes identically
+            assert owner == smap.shard_of(p)
+
+    def test_out_of_region_clamps_like_nearest_cell(self):
+        smap = ShardMap(REGION, 3, 3)
+        # clamping maps each outside point to the nearest region point,
+        # so the owner must equal the owner of the clamped location
+        rng = np.random.default_rng(3)
+        outside = rng.uniform(-300, 500, size=(200, 2))
+        outside = outside[~REGION.contains(outside)]
+        assert len(outside) > 0
+        clamped = REGION.clamp(outside)
+        assert list(smap.shard_of_many(outside)) == list(
+            smap.shard_of_many(clamped)
+        )
+
+    @pytest.mark.parametrize("nx,ny", [(1, 5), (5, 1), (1, 1)])
+    def test_degenerate_lattices_route_by_the_long_axis(self, nx, ny):
+        smap = ShardMap(REGION, nx, ny)
+        assert smap.n_shards == nx * ny
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 200, size=(100, 2))
+        owners = smap.shard_of_many(pts)
+        assert set(int(o) for o in owners) <= set(range(nx * ny))
+        for p, owner in zip(pts, owners):
+            assert smap.shard_box(int(owner)).contains(p[None, :])[0]
+        # every cell center routes to itself
+        assert list(smap.shard_of_many(smap.centers)) == list(
+            range(nx * ny)
+        )
+
+    def test_subdivide_tiles_the_parent_cell(self):
+        smap = ShardMap(REGION, 2, 2)
+        sub = smap.subdivide(3, 2, 3)
+        parent = smap.shard_box(3)
+        assert sub.n_shards == 6
+        assert sub.region == parent
+        area = sum(
+            sub.shard_box(i).width * sub.shard_box(i).height
+            for i in range(sub.n_shards)
+        )
+        assert area == pytest.approx(parent.width * parent.height)
+
     def test_task_lands_in_shard_owning_its_snapped_point(self):
         """Routing then snapping stays inside the routed shard: the shard's
         predefined points tile exactly its own cell."""
@@ -68,6 +125,25 @@ class TestShardMap:
             snapped = shard.tree.snap_index.snap(loc)
             point = shard.tree.points[snapped]
             assert engine.shard_map.shard_of(point) == sid
+
+
+class TestMetricsHelpers:
+    def test_percentile_is_public_and_nan_safe(self):
+        from repro.service.metrics import percentile
+
+        assert percentile([], 50) != percentile([], 50)  # NaN
+        assert percentile([1.0, 2.0, 3.0], 50) == pytest.approx(2.0)
+        assert percentile(np.arange(101), 95) == pytest.approx(95.0)
+
+    def test_shard_metrics_round_trip(self):
+        from repro.service.metrics import ShardMetrics
+
+        metrics = ShardMetrics("s1/2")
+        metrics.record_cohort(5)
+        metrics.record_assignment(0.001, 3.5)
+        metrics.record_unassigned(0.002)
+        restored = ShardMetrics.from_dict(metrics.to_dict())
+        assert restored == metrics
 
 
 class TestEvents:
