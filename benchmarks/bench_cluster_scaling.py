@@ -56,8 +56,17 @@ def _build_stream(config: LoadConfig = CONFIG):
 
 
 def bench_engine(region, events, config: LoadConfig = CONFIG) -> dict:
-    """Single-process baseline on the exact same event list."""
-    engine = LoadGenerator(config).make_engine(region)
+    """Single-process baseline on the exact same event list.
+
+    Built through the API's sharded backend (keyed seeding, same as the
+    cluster runs below) but timed on the raw engine, so the number stays
+    pure routing + matching throughput without client-layer overhead.
+    """
+    from repro.api import make_backend
+
+    backend = make_backend("sharded", LoadGenerator(config).service_spec(region))
+    backend.open()
+    engine = backend.engine
     start = time.perf_counter()
     engine.process(RequestQueue(events))
     wall = time.perf_counter() - start

@@ -1,6 +1,8 @@
 """Cluster demo: snapshots, a mid-stream worker crash, and hot splitting.
 
-Runs the multi-worker cluster runtime through a Gaussian workload twice:
+Drives the multi-worker cluster runtime *through the versioned API
+client* — the same :class:`repro.api.AssignmentClient` surface the other
+backends use — twice:
 
 1. **Failover** — a worker process is killed half way through the stream;
    the coordinator restores its shards from their last checkpoint
@@ -21,7 +23,14 @@ import argparse
 
 import numpy as np
 
-from repro.cluster import BalancerConfig, ClusterCoordinator
+from repro.api import (
+    AssignmentClient,
+    ClusterBackend,
+    ServiceSpec,
+    TaskDecision,
+    requests_from_events,
+)
+from repro.cluster import BalancerConfig
 from repro.geometry import Box
 from repro.service import LoadConfig, LoadGenerator
 from repro.service.events import TaskArrival, WorkerArrival, merge_event_streams
@@ -33,24 +42,23 @@ def failover_demo(n_workers: int, n_tasks: int) -> None:
     )
     region, events, _, _ = LoadGenerator(config).build_events()
     half = len(events) // 2
-    coordinator = ClusterCoordinator(
-        region,
-        shards=(2, 2),
-        n_workers=2,
-        grid_nx=8,
-        chunk_size=128,
-        checkpoint_every=256,
-        seed=5,
+    spec = ServiceSpec(region=region, shards=(2, 2), grid_nx=8, seed=5)
+    backend = ClusterBackend(
+        spec, n_procs=2, chunk_size=128, checkpoint_every=256
     )
-    with coordinator:
-        coordinator.process(events[:half])
+    answered = 0
+    with AssignmentClient(backend) as client:
+        for response in client.stream(requests_from_events(events[:half])):
+            answered += isinstance(response, TaskDecision)
         print(f"  ... killing worker process 0 at event {half}/{len(events)}")
-        coordinator.inject_crash(0)
-        coordinator.process(events[half:])
-        report = coordinator.report()
+        backend.coordinator.inject_crash(0)
+        for response in client.stream(requests_from_events(events[half:])):
+            answered += isinstance(response, TaskDecision)
+        report = client.report()
+        failovers = backend.coordinator.failovers
     print(
-        f"  failovers={coordinator.failovers}  answered="
-        f"{coordinator.tasks_answered}/{config.n_tasks}  assigned="
+        f"  failovers={failovers}  answered="
+        f"{answered}/{config.n_tasks}  assigned="
         f"{report.tasks_assigned}  (no task lost)"
     )
 
@@ -68,24 +76,28 @@ def hot_split_demo(n_workers: int, n_tasks: int) -> None:
             for i, l in enumerate(t)
         ],
     )
-    coordinator = ClusterCoordinator(
-        region,
-        shards=(2, 2),
-        n_workers=2,
-        grid_nx=8,
+    spec = ServiceSpec(region=region, shards=(2, 2), grid_nx=8, seed=1)
+    backend = ClusterBackend(
+        spec,
+        n_procs=2,
         chunk_size=128,
         checkpoint_every=0,
         balancer=BalancerConfig(
             window=max(64, n_tasks // 2), min_tasks=32, split_share=0.5
         ),
-        seed=1,
     )
-    with coordinator:
-        report = coordinator.run(events)
+    with AssignmentClient(backend) as client:
+        assigned = sum(
+            1
+            for response in client.replay_events(events)
+            if isinstance(response, TaskDecision) and response.assigned
+        )
+        report = client.report()
+        splits = backend.coordinator.cell_splits
     sub_shards = [s.shard_id for s in report.shards if "/" in str(s.shard_id)]
     print(
-        f"  cell splits={coordinator.cell_splits}  sub-shards={sub_shards}  "
-        f"assigned={report.tasks_assigned}/{n_tasks}"
+        f"  cell splits={splits}  sub-shards={sub_shards}  "
+        f"assigned={assigned}/{n_tasks}"
     )
 
 

@@ -1,17 +1,28 @@
-"""Streaming service demo: a 4-shard fleet under bursty demand.
+"""Streaming service demo: a 4-shard fleet behind the versioned API.
 
 The sharded engine partitions a 200x200 region into a 2x2 shard lattice;
 each shard publishes its own HST and runs its own mechanism, budget ledger
-and Algorithm-4 matcher. Half the fleet registers before the run (one
-batched, vectorized obfuscation call per shard); the other half comes
-online mid-traffic. Tasks arrive on an on/off bursty clock — the stress
-shape real ride-hailing demand has — and are matched immediately.
+and Algorithm-4 matcher. The demo drives it the way every caller now
+does — through a :class:`repro.api.AssignmentClient` with the full
+middleware chain installed: request validation, token-bucket admission
+control, per-method latency metrics and structured error mapping. Half
+the fleet registers before the run; the other half comes online
+mid-traffic. Tasks arrive on an on/off bursty clock — the stress shape
+real ride-hailing demand has — and are matched immediately.
 
 Run:  python examples/streaming_service.py [--tasks N] [--workers N]
 """
 
 import argparse
 
+from repro.api import (
+    AssignmentClient,
+    ErrorMapper,
+    LatencyMetrics,
+    RequestValidator,
+    TokenBucket,
+    make_backend,
+)
 from repro.service import LoadConfig, LoadGenerator
 
 
@@ -43,12 +54,31 @@ def main() -> None:
         f"{config.shards[0]}x{config.shards[1]} shard fleet "
         f"(eps = {config.epsilon} per report)\n"
     )
-    report = LoadGenerator(config).run()
+    generator = LoadGenerator(config)
+    plan = generator.build_events()
+
+    metrics = LatencyMetrics()
+    admission = TokenBucket(rate=1e6, burst=args.workers + args.tasks)
+    middleware = [RequestValidator(), admission, metrics, ErrorMapper()]
+    backend = make_backend("sharded", generator.service_spec(plan[0]))
+    with AssignmentClient(backend, middleware) as client:
+        report = generator.replay(client, plan)
+
     print(report.format())
     print(
         f"\nburst stress: p95 latency {report.latency_p95_ms:.3f} ms vs "
         f"p50 {report.latency_p50_ms:.3f} ms at "
         f"{report.throughput_tasks_per_s:,.0f} tasks/s sustained"
+    )
+    print("\nAPI middleware telemetry (per method):")
+    for kind, row in metrics.snapshot().items():
+        print(
+            f"  {kind:<12} calls {row['calls']:>6}  failures "
+            f"{row['failures']:>3}  p95 {row['latency_p95_ms']:.3f} ms"
+        )
+    print(
+        f"admission control: {admission.admitted} requests admitted, "
+        f"{admission.rejected} rejected"
     )
     print(
         "every report crossed the trust boundary obfuscated; the per-shard "

@@ -1,0 +1,129 @@
+"""repro.api — one versioned client API over every assignment backend.
+
+The repo grew three front doors to the paper's single online-assignment
+mechanism — :class:`~repro.crowdsourcing.server.MatchingServer`
+(per-report calls), :class:`~repro.service.engine.ShardedAssignmentEngine`
+(event streams) and :class:`~repro.cluster.coordinator.ClusterCoordinator`
+(process pool) — each with its own registration, submit and report
+conventions. This package is the one stable surface over all of them:
+
+* **messages** — typed request/response dataclasses
+  (:class:`RegisterWorker`, :class:`SubmitTask`, :class:`Flush`,
+  :class:`GetReport`, batch/stream envelopes) with a schema-versioned
+  dict wire form (:func:`to_wire`/:func:`from_wire`);
+* **backends** — a common contract with three adapters
+  (:class:`InProcessBackend`, :class:`ShardedBackend`,
+  :class:`ClusterBackend`) that pass one conformance suite: same spec,
+  same stream, bit-identical assignments;
+* **client** — the :class:`AssignmentClient` facade with sync, batched
+  and iterator-streaming modes plus context-manager lifecycle;
+* **middleware** — a composable chain (request validation, token-bucket
+  admission control, per-method latency metrics, structured error
+  mapping) between client and backend.
+
+Quick start::
+
+    from repro.api import AssignmentClient, ServiceSpec, make_backend
+    from repro.geometry import Box
+
+    spec = ServiceSpec(region=Box.square(200.0), shards=(2, 2), seed=0)
+    with AssignmentClient(make_backend("sharded", spec)) as client:
+        client.register_worker(0, (10.0, 20.0))
+        worker = client.submit_task(0, (12.0, 21.0))
+        report = client.report()
+
+CLI::
+
+    python -m repro.api --smoke   # cross-backend parity gate (CI)
+"""
+
+from .backends import (
+    BACKEND_KINDS,
+    Backend,
+    BackendBase,
+    ClusterBackend,
+    InProcessBackend,
+    ServiceSpec,
+    ShardedBackend,
+    make_backend,
+)
+from .client import AssignmentClient, requests_from_events
+from .conformance import run_conformance
+from .errors import (
+    AdmissionRejected,
+    ApiError,
+    BackendUnavailable,
+    InternalError,
+    RequestRejected,
+    UnsupportedVersion,
+    ValidationFailed,
+)
+from .messages import (
+    WIRE_SCHEMA,
+    WIRE_VERSION,
+    Batch,
+    BatchResult,
+    ErrorInfo,
+    Flush,
+    Flushed,
+    GetReport,
+    RegisterWorker,
+    ReportResult,
+    StreamEnvelope,
+    StreamItemResult,
+    SubmitTask,
+    TaskDecision,
+    WorkerRegistered,
+    from_wire,
+    to_wire,
+)
+from .middleware import (
+    ErrorMapper,
+    LatencyMetrics,
+    RequestValidator,
+    TokenBucket,
+    build_stack,
+)
+
+__all__ = [
+    "AssignmentClient",
+    "AdmissionRejected",
+    "ApiError",
+    "BACKEND_KINDS",
+    "Backend",
+    "BackendBase",
+    "BackendUnavailable",
+    "Batch",
+    "BatchResult",
+    "ClusterBackend",
+    "ErrorInfo",
+    "ErrorMapper",
+    "Flush",
+    "Flushed",
+    "GetReport",
+    "InProcessBackend",
+    "InternalError",
+    "LatencyMetrics",
+    "RegisterWorker",
+    "ReportResult",
+    "RequestRejected",
+    "RequestValidator",
+    "ServiceSpec",
+    "ShardedBackend",
+    "StreamEnvelope",
+    "StreamItemResult",
+    "SubmitTask",
+    "TaskDecision",
+    "TokenBucket",
+    "UnsupportedVersion",
+    "ValidationFailed",
+    "WIRE_SCHEMA",
+    "WIRE_VERSION",
+    "WorkerRegistered",
+    "build_stack",
+    "from_wire",
+    "make_backend",
+    "requests_from_events",
+    "run_conformance",
+    "to_wire",
+]

@@ -1,0 +1,463 @@
+"""The ``Backend`` contract and its three adapters.
+
+A *backend* is anything that can serve the four API verbs behind
+:meth:`BackendBase.handle`. The three adapters cover every runtime the
+repo has grown, behind one seeding convention
+(:func:`~repro.utils.keyed_shard_seed`) so that, given the same
+:class:`ServiceSpec` and the same request stream, all of them produce
+**bit-identical assignments** — the property the conformance suite
+(:mod:`repro.api.conformance`) asserts:
+
+* :class:`InProcessBackend` — the single-tree reference: one published
+  HST over the whole region, a
+  :class:`~repro.crowdsourcing.server.MatchingServer` behind the
+  client-side mechanism/ledger bundle, no sharding. Simplest, and the
+  ground truth the others are checked against;
+* :class:`ShardedBackend` — the single-process
+  :class:`~repro.service.engine.ShardedAssignmentEngine` in keyed-seed
+  mode;
+* :class:`ClusterBackend` — the multiprocess
+  :class:`~repro.cluster.coordinator.ClusterCoordinator`; batches
+  dispatch contiguous register/submit runs as single event chunks.
+
+Backends are cheap to construct and expensive to ``open()`` (HST builds,
+process spawns) — the :class:`~repro.api.client.AssignmentClient` context
+manager drives that lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry.box import Box
+from ..service.metrics import build_report
+from ..service.sharding import ShardMap
+from ..utils import keyed_shard_seed
+from .errors import BackendUnavailable, ValidationFailed
+from .messages import (
+    Batch,
+    BatchResult,
+    Flush,
+    Flushed,
+    GetReport,
+    RegisterWorker,
+    ReportResult,
+    StreamEnvelope,
+    StreamItemResult,
+    SubmitTask,
+    TaskDecision,
+    WorkerRegistered,
+)
+
+__all__ = [
+    "ServiceSpec",
+    "Backend",
+    "BackendBase",
+    "InProcessBackend",
+    "ShardedBackend",
+    "ClusterBackend",
+    "BACKEND_KINDS",
+    "make_backend",
+]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Everything needed to stand up an assignment service, backend-agnostic.
+
+    One spec drives all three backends (the cluster adds transport knobs
+    of its own); given equal specs and equal input they serve equal
+    assignments.
+    """
+
+    region: Box
+    shards: tuple[int, int] = (1, 1)
+    grid_nx: int = 12
+    epsilon: float = 0.5
+    budget_capacity: float = 2.0
+    batch_size: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shards", tuple(self.shards))
+        if len(self.shards) != 2 or min(self.shards) < 1:
+            raise ValueError(f"shards must be (nx, ny) >= (1, 1), got {self.shards}")
+        if self.grid_nx < 1:
+            raise ValueError(f"grid_nx must be >= 1, got {self.grid_nx}")
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.budget_capacity < self.epsilon:
+            raise ValueError(
+                "budget_capacity must cover at least one report's epsilon"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not isinstance(self.seed, int):
+            raise ValueError("spec seed must be an int (keyed shard seeding)")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (run-config files, wire transport)."""
+        r = self.region
+        return {
+            "region": [r.xmin, r.ymin, r.xmax, r.ymax],
+            "shards": list(self.shards),
+            "grid_nx": self.grid_nx,
+            "epsilon": self.epsilon,
+            "budget_capacity": self.budget_capacity,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceSpec":
+        return cls(
+            region=Box(*(float(v) for v in payload["region"])),
+            shards=tuple(int(v) for v in payload["shards"]),
+            grid_nx=int(payload["grid_nx"]),
+            epsilon=float(payload["epsilon"]),
+            budget_capacity=float(payload["budget_capacity"]),
+            batch_size=int(payload["batch_size"]),
+            seed=int(payload["seed"]),
+        )
+
+
+class BackendBase:
+    """Shared lifecycle + request dispatch for every backend.
+
+    Subclasses implement the four verb methods; ``batch`` defaults to the
+    equivalent call sequence and may be overridden for transport-level
+    batching. ``open()``/``close()`` bracket the expensive state.
+    """
+
+    name = "abstract"
+
+    def __init__(self, spec: ServiceSpec) -> None:
+        self.spec = spec
+        self._opened = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def open(self) -> None:
+        if self._closed:
+            raise BackendUnavailable(f"{self.name} backend was closed")
+        if not self._opened:
+            self._open()
+            self._opened = True
+
+    def close(self) -> None:
+        if self._opened and not self._closed:
+            self._close()
+        self._closed = True
+
+    def _open(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def _close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise BackendUnavailable(f"{self.name} backend was closed")
+        if not self._opened:
+            self.open()
+
+    # -- dispatch ------------------------------------------------------ #
+
+    def handle(self, request):
+        """Serve one request; the single entry point middleware wraps."""
+        self._ensure_open()
+        if isinstance(request, RegisterWorker):
+            return self.register_worker(request)
+        if isinstance(request, SubmitTask):
+            return self.submit_task(request)
+        if isinstance(request, Flush):
+            return self.flush(request)
+        if isinstance(request, GetReport):
+            return self.get_report(request)
+        if isinstance(request, Batch):
+            return self.batch(request)
+        if isinstance(request, StreamEnvelope):
+            return StreamItemResult(seq=request.seq, item=self.handle(request.item))
+        raise ValidationFailed(f"unhandled request type: {request!r}")
+
+    def batch(self, request: Batch) -> BatchResult:
+        """Default batch: the equivalent sequential call sequence."""
+        return BatchResult(items=tuple(self.handle(item) for item in request.items))
+
+
+#: The duck-typed contract middleware and the client program against.
+Backend = BackendBase
+
+
+class InProcessBackend(BackendBase):
+    """One published HST over the whole region, matched in-process.
+
+    The reference implementation: a
+    :class:`~repro.crowdsourcing.server.MatchingServer` running
+    Algorithm 4 behind the client-side obfuscation bundle (wrapped as the
+    single-region :class:`~repro.service.shard.ShardServer`), with the
+    same cohort buffering discipline as the engine. Requires a
+    ``(1, 1)`` lattice spec — this backend *is* the unsharded case.
+    """
+
+    name = "inprocess"
+
+    def __init__(self, spec: ServiceSpec) -> None:
+        if tuple(spec.shards) != (1, 1):
+            raise ValueError(
+                "InProcessBackend is the single-tree case; it needs "
+                f"shards=(1, 1), got {spec.shards}"
+            )
+        super().__init__(spec)
+
+    def _open(self) -> None:
+        from ..service.shard import ShardServer
+
+        spec = self.spec
+        # the box goes through the same 1x1 lattice arithmetic as the
+        # engine's shard 0, keeping the published trees bit-identical
+        box = ShardMap(spec.region, 1, 1).shard_box(0)
+        self._shard = ShardServer(
+            "s0",
+            box,
+            grid_nx=spec.grid_nx,
+            epsilon=spec.epsilon,
+            budget_capacity=spec.budget_capacity,
+            seed=keyed_shard_seed(spec.seed, "s0"),
+        )
+        self._pending: tuple[list[int], list] = ([], [])
+        self._known: set[int] = set()
+        self.now = 0.0
+
+    def register_worker(self, req: RegisterWorker) -> WorkerRegistered:
+        wid = int(req.worker_id)
+        if wid in self._known:
+            raise ValueError(f"worker id already registered: {wid}")
+        self._known.add(wid)
+        self.now = max(self.now, float(req.time))
+        ids, locs = self._pending
+        ids.append(wid)
+        locs.append(req.location)
+        if len(ids) >= self.spec.batch_size:
+            self._flush_pending()
+        return WorkerRegistered(worker_id=wid)
+
+    def _flush_pending(self) -> None:
+        ids, locs = self._pending
+        if not ids:
+            return
+        self._pending = ([], [])
+        self._shard.register_cohort(ids, locs)
+
+    def submit_task(self, req: SubmitTask) -> TaskDecision:
+        self.now = max(self.now, float(req.time))
+        self._flush_pending()
+        worker = self._shard.submit_task(int(req.task_id), req.location)
+        return TaskDecision(task_id=int(req.task_id), worker_id=worker)
+
+    def flush(self, req: Flush) -> Flushed:
+        self._flush_pending()
+        return Flushed()
+
+    def get_report(self, req: GetReport) -> ReportResult:
+        self._flush_pending()
+        metrics = self._shard.metrics
+        report = build_report(
+            [self._shard.snapshot()],
+            list(metrics.latencies_s),
+            (),
+            wall_seconds=req.wall_seconds,
+            sim_duration=self.now,
+            distance_stats=(
+                metrics.reported_distances.total,
+                metrics.reported_distances.count,
+            ),
+        )
+        return ReportResult(report=report)
+
+
+class ShardedBackend(BackendBase):
+    """The single-process sharded engine behind the API contract."""
+
+    name = "sharded"
+
+    def _open(self) -> None:
+        from ..service.engine import ShardedAssignmentEngine
+
+        spec = self.spec
+        self.engine = ShardedAssignmentEngine(
+            spec.region,
+            shards=spec.shards,
+            grid_nx=spec.grid_nx,
+            epsilon=spec.epsilon,
+            budget_capacity=spec.budget_capacity,
+            batch_size=spec.batch_size,
+            seed=spec.seed,
+            seeding="keyed",
+        )
+
+    def register_worker(self, req: RegisterWorker) -> WorkerRegistered:
+        self.engine.now = max(self.engine.now, float(req.time))
+        self.engine.register_worker(req.worker_id, req.location)
+        return WorkerRegistered(worker_id=int(req.worker_id))
+
+    def submit_task(self, req: SubmitTask) -> TaskDecision:
+        self.engine.now = max(self.engine.now, float(req.time))
+        worker = self.engine.submit_task(req.task_id, req.location)
+        return TaskDecision(task_id=int(req.task_id), worker_id=worker)
+
+    def flush(self, req: Flush) -> Flushed:
+        self.engine.flush()
+        return Flushed()
+
+    def get_report(self, req: GetReport) -> ReportResult:
+        return ReportResult(report=self.engine.report(wall_seconds=req.wall_seconds))
+
+
+class ClusterBackend(BackendBase):
+    """The multiprocess cluster runtime behind the API contract.
+
+    Per-call mode works (each submit rendezvouses on its result), but the
+    adapter earns its keep in batch/stream mode: contiguous
+    register/submit runs inside a :class:`~repro.api.messages.Batch` are
+    dispatched as single event chunks through the coordinator's
+    vectorized router, and task outcomes are collected once per batch.
+
+    Extra knobs beyond the spec are transport-level only (process count,
+    chunking, checkpoint cadence, balancer) — they shift *where* work
+    runs, never *what* gets assigned.
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        *,
+        n_procs: int = 2,
+        chunk_size: int = 256,
+        checkpoint_every: int = 8192,
+        balancer=None,
+    ) -> None:
+        super().__init__(spec)
+        self.n_procs = int(n_procs)
+        self.chunk_size = int(chunk_size)
+        self.checkpoint_every = int(checkpoint_every)
+        self.balancer = balancer
+
+    def _open(self) -> None:
+        from ..cluster.coordinator import ClusterCoordinator
+
+        spec = self.spec
+        self.coordinator = ClusterCoordinator(
+            spec.region,
+            shards=spec.shards,
+            n_workers=self.n_procs,
+            grid_nx=spec.grid_nx,
+            epsilon=spec.epsilon,
+            budget_capacity=spec.budget_capacity,
+            batch_size=spec.batch_size,
+            chunk_size=self.chunk_size,
+            checkpoint_every=self.checkpoint_every,
+            balancer=self.balancer,
+            seed=spec.seed,
+        )
+        self.coordinator.start()
+
+    def _close(self) -> None:
+        self.coordinator.close()
+
+    @staticmethod
+    def _event(req):
+        from ..service.events import TaskArrival, WorkerArrival
+
+        if isinstance(req, RegisterWorker):
+            return WorkerArrival(
+                time=req.time, worker_id=req.worker_id, location=req.location
+            )
+        return TaskArrival(time=req.time, task_id=req.task_id, location=req.location)
+
+    def register_worker(self, req: RegisterWorker) -> WorkerRegistered:
+        self.coordinator.process([self._event(req)])
+        return WorkerRegistered(worker_id=int(req.worker_id))
+
+    def submit_task(self, req: SubmitTask) -> TaskDecision:
+        self.coordinator.process([self._event(req)])
+        worker = self.coordinator.result_of(req.task_id)
+        return TaskDecision(task_id=int(req.task_id), worker_id=worker)
+
+    def flush(self, req: Flush) -> Flushed:
+        self.coordinator.flush()
+        return Flushed()
+
+    def get_report(self, req: GetReport) -> ReportResult:
+        return ReportResult(
+            report=self.coordinator.report(wall_seconds=req.wall_seconds)
+        )
+
+    def batch(self, request: Batch) -> BatchResult:
+        """Dispatch contiguous register/submit runs as single event chunks.
+
+        Stream envelopes are unwrapped for dispatch and their responses
+        re-wrapped with the same ``seq``, so streaming windows get the
+        chunked fast path too.
+        """
+        responses: list = []
+        pending_events: list = []
+        task_slots: dict[int, tuple[int, int | None]] = {}
+
+        def dispatch_run() -> None:
+            if pending_events:
+                self.coordinator.process(list(pending_events))
+                pending_events.clear()
+
+        for item in request.items:
+            seq = None
+            verb = item
+            if isinstance(item, StreamEnvelope):
+                seq, verb = item.seq, item.item
+            if isinstance(verb, (RegisterWorker, SubmitTask)):
+                pending_events.append(self._event(verb))
+                if isinstance(verb, RegisterWorker):
+                    response = WorkerRegistered(worker_id=int(verb.worker_id))
+                else:
+                    task_slots[len(responses)] = (int(verb.task_id), seq)
+                    responses.append(None)  # resolved after dispatch
+                    continue
+            else:
+                # barrier verbs split the run: everything before them must
+                # be on the wire before the barrier executes
+                dispatch_run()
+                response = self.handle(verb)
+            if seq is not None:
+                response = StreamItemResult(seq=seq, item=response)
+            responses.append(response)
+        dispatch_run()
+        for slot, (task_id, seq) in task_slots.items():
+            decision = TaskDecision(
+                task_id=task_id, worker_id=self.coordinator.result_of(task_id)
+            )
+            responses[slot] = (
+                decision if seq is None else StreamItemResult(seq=seq, item=decision)
+            )
+        return BatchResult(items=tuple(responses))
+
+
+BACKEND_KINDS = ("inprocess", "sharded", "cluster")
+
+
+def make_backend(kind: str, spec: ServiceSpec, **kwargs) -> BackendBase:
+    """Construct a backend by kind name (``inprocess``/``sharded``/``cluster``).
+
+    ``kwargs`` are forwarded to the backend constructor (only the cluster
+    takes any: ``n_procs``, ``chunk_size``, ``checkpoint_every``,
+    ``balancer``).
+    """
+    if kind == "inprocess":
+        return InProcessBackend(spec, **kwargs)
+    if kind == "sharded":
+        return ShardedBackend(spec, **kwargs)
+    if kind == "cluster":
+        return ClusterBackend(spec, **kwargs)
+    raise ValueError(f"unknown backend kind {kind!r}; expected one of {BACKEND_KINDS}")

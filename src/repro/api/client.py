@@ -1,0 +1,221 @@
+"""The client facade: one typed surface over every assignment backend.
+
+:class:`AssignmentClient` is what callers (load generators, CLIs,
+examples, a future network frontend) program against. It owns:
+
+* the **middleware chain** — requests pass through validation, optional
+  admission control and latency metrics, and structured error mapping
+  before reaching the backend (see :mod:`repro.api.middleware`);
+* the **backend lifecycle** — ``with AssignmentClient(backend) as c:``
+  opens the backend (HST builds, process spawns) on entry and closes it
+  (reaping cluster workers) on exit;
+* three **calling modes**:
+
+  - *sync*: :meth:`register_worker` / :meth:`submit_task` /
+    :meth:`flush` / :meth:`report` — one request, one response;
+  - *batched*: :meth:`call_batch` — one
+    :class:`~repro.api.messages.Batch` through the chain, per-item
+    responses in order (the cluster turns contiguous runs into single
+    dispatch chunks);
+  - *streaming*: :meth:`stream` — wraps an arbitrary request iterable in
+    sequence-numbered envelopes, windows them into batches, and yields
+    responses lazily in stream order.
+"""
+
+from __future__ import annotations
+
+from .backends import BackendBase
+from .errors import ValidationFailed
+from .messages import (
+    Batch,
+    BatchResult,
+    Flush,
+    GetReport,
+    RegisterWorker,
+    StreamEnvelope,
+    StreamItemResult,
+    SubmitTask,
+)
+from .middleware import ErrorMapper, RequestValidator, build_stack
+
+__all__ = ["AssignmentClient", "DEFAULT_STREAM_WINDOW", "requests_from_events"]
+
+#: Requests per streaming window; amortizes per-call overhead without
+#: unbounded buffering.
+DEFAULT_STREAM_WINDOW = 256
+
+
+class AssignmentClient:
+    """Versioned client for an assignment :class:`~repro.api.backends.Backend`.
+
+    Parameters
+    ----------
+    backend:
+        Any object satisfying the backend contract (``open``/``close``/
+        ``handle``).
+    middleware:
+        Ordered middleware list, outermost first. ``None`` installs the
+        default stack — request validation, then error mapping. Pass your
+        own list to add admission control or latency metrics; include
+        ``RequestValidator()``/``ErrorMapper()`` yourself if you still
+        want them (the client does not inject duplicates).
+    stream_window:
+        Requests per batch in :meth:`stream`.
+    """
+
+    def __init__(
+        self,
+        backend: BackendBase,
+        middleware=None,
+        *,
+        stream_window: int = DEFAULT_STREAM_WINDOW,
+    ) -> None:
+        if stream_window < 1:
+            raise ValueError(f"stream_window must be >= 1, got {stream_window}")
+        if middleware is None:
+            middleware = [RequestValidator(), ErrorMapper()]
+        self.backend = backend
+        self.middleware = list(middleware)
+        self.stream_window = int(stream_window)
+        self._handler = build_stack(backend.handle, self.middleware)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def open(self) -> "AssignmentClient":
+        self.backend.open()
+        return self
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "AssignmentClient":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # sync mode                                                           #
+    # ------------------------------------------------------------------ #
+
+    def call(self, request):
+        """Send one request through the middleware chain; returns the
+        response or raises a structured :class:`~repro.api.errors.ApiError`."""
+        return self._handler(request)
+
+    def register_worker(self, worker_id: int, location, *, time: float = 0.0):
+        """Register one worker; returns its acknowledgement."""
+        return self.call(
+            RegisterWorker(worker_id=worker_id, location=location, time=time)
+        )
+
+    def submit_task(self, task_id: int, location, *, time: float = 0.0) -> int | None:
+        """Submit one task; returns the assigned worker id or ``None``."""
+        decision = self.call(SubmitTask(task_id=task_id, location=location, time=time))
+        return decision.worker_id
+
+    def flush(self) -> None:
+        """Flush buffered worker cohorts on every shard."""
+        self.call(Flush())
+
+    def report(self, *, wall_seconds: float = float("nan")):
+        """Fetch the aggregated :class:`~repro.service.metrics.ServiceReport`."""
+        return self.call(GetReport(wall_seconds=wall_seconds)).report
+
+    # ------------------------------------------------------------------ #
+    # batched mode                                                        #
+    # ------------------------------------------------------------------ #
+
+    def call_batch(self, requests) -> tuple:
+        """Send requests as one :class:`Batch`; per-item responses in order."""
+        result = self.call(Batch(items=tuple(requests)))
+        if not isinstance(result, BatchResult):
+            raise ValidationFailed(
+                f"backend answered a batch with {type(result).__name__}"
+            )
+        return result.items
+
+    # ------------------------------------------------------------------ #
+    # streaming mode                                                      #
+    # ------------------------------------------------------------------ #
+
+    def stream(self, requests, *, window: int | None = None):
+        """Replay a request iterable; yields responses in stream order.
+
+        Requests are wrapped in sequence-numbered
+        :class:`~repro.api.messages.StreamEnvelope`\\ s and shipped in
+        windows of ``window`` (default :attr:`stream_window`) as batches,
+        so backends with transport-level batching (the cluster) see
+        chunks, not single calls. Responses are unwrapped from their
+        result envelopes, reordered by ``seq`` if a backend answered out
+        of order, and yielded as each window completes — the stream needs
+        only ``O(window)`` memory.
+        """
+        window = self.stream_window if window is None else int(window)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        seq = 0
+        buffer: list[StreamEnvelope] = []
+        for request in requests:
+            buffer.append(StreamEnvelope(seq=seq, item=request))
+            seq += 1
+            if len(buffer) >= window:
+                yield from self._drain(buffer)
+                buffer = []
+        if buffer:
+            yield from self._drain(buffer)
+
+    def _drain(self, envelopes: list) -> list:
+        results = self.call_batch(envelopes)
+        by_seq = {}
+        for result in results:
+            if not isinstance(result, StreamItemResult):
+                raise ValidationFailed(
+                    f"backend answered an envelope with {type(result).__name__}"
+                )
+            by_seq[result.seq] = result.item
+        want = [env.seq for env in envelopes]
+        missing = [s for s in want if s not in by_seq]
+        if missing:
+            raise ValidationFailed(
+                f"stream window lost responses for seq {missing[:5]}"
+            )
+        return [by_seq[s] for s in want]
+
+    # ------------------------------------------------------------------ #
+    # convenience                                                         #
+    # ------------------------------------------------------------------ #
+
+    def replay_events(self, events, *, window: int | None = None):
+        """Stream service-layer timed events; yields the responses.
+
+        Accepts :class:`~repro.service.events.WorkerArrival` /
+        :class:`~repro.service.events.TaskArrival` iterables (or a
+        :class:`~repro.service.events.RequestQueue`) and maps them onto
+        API requests, preserving timestamps — the bridge from the repo's
+        existing event streams onto the versioned API.
+        """
+        yield from self.stream(requests_from_events(events), window=window)
+
+
+def requests_from_events(events):
+    """Translate service-layer timed events into API requests lazily."""
+    from ..service.events import TaskArrival, WorkerArrival
+
+    for event in events:
+        if isinstance(event, WorkerArrival):
+            yield RegisterWorker(
+                worker_id=event.worker_id,
+                location=event.location,
+                time=event.time,
+            )
+        elif isinstance(event, TaskArrival):
+            yield SubmitTask(
+                task_id=event.task_id,
+                location=event.location,
+                time=event.time,
+            )
+        else:
+            raise ValidationFailed(f"not a service event: {event!r}")

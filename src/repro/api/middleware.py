@@ -1,0 +1,224 @@
+"""Composable middleware between the client facade and any backend.
+
+A middleware is any callable ``(request, call_next) -> response``;
+:func:`build_stack` folds an ordered list of them around a backend
+handler, outermost first — the same onion model as WSGI/ASGI stacks, so
+a future network frontend can reuse the exact chain server-side.
+
+Provided middleware:
+
+* :class:`RequestValidator` — structural checks (ids, finite
+  coordinates, batch/envelope nesting) before anything reaches a
+  backend, so malformed input fails fast with ``invalid-request``;
+* :class:`TokenBucket` — admission control: a classic token bucket,
+  batches charged per contained item, with an injectable clock so tests
+  (and simulations) drive it deterministically;
+* :class:`LatencyMetrics` — per-method call counts, structured-failure
+  counts and latency quantiles over a bounded
+  :class:`~repro.service.metrics.SampleReservoir` per method;
+* :class:`ErrorMapper` — catches raw backend exceptions and re-raises
+  them as structured :class:`~repro.api.errors.ApiError`\\ s (see
+  :func:`~repro.api.errors.map_exception`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from ..service.metrics import SampleReservoir, percentile
+from .errors import AdmissionRejected, ValidationFailed, map_exception
+from .messages import (
+    Batch,
+    Flush,
+    GetReport,
+    RegisterWorker,
+    Request,
+    StreamEnvelope,
+    SubmitTask,
+)
+
+__all__ = [
+    "build_stack",
+    "RequestValidator",
+    "TokenBucket",
+    "LatencyMetrics",
+    "ErrorMapper",
+]
+
+
+def build_stack(handler, middleware):
+    """Fold ``middleware`` (outermost first) around a backend handler."""
+    for layer in reversed(list(middleware)):
+        handler = _wrap(layer, handler)
+    return handler
+
+
+def _wrap(layer, call_next):
+    def handler(request):
+        return layer(request, call_next)
+
+    return handler
+
+
+class RequestValidator:
+    """Reject structurally invalid requests before they reach a backend."""
+
+    def __call__(self, request, call_next):
+        self.validate(request)
+        return call_next(request)
+
+    def validate(self, request) -> None:
+        if not isinstance(request, Request):
+            raise ValidationFailed(f"not an API request: {request!r}")
+        if isinstance(request, RegisterWorker):
+            self._check_id("worker_id", request.worker_id)
+            self._check_point(request.location)
+            self._check_time(request.time)
+        elif isinstance(request, SubmitTask):
+            self._check_id("task_id", request.task_id)
+            self._check_point(request.location)
+            self._check_time(request.time)
+        elif isinstance(request, Batch):
+            # a batch may carry verbs or stream envelopes, never batches:
+            # one level of grouping keeps backend dispatch loop-free
+            for item in request.items:
+                if isinstance(item, Batch):
+                    raise ValidationFailed("batches may not nest")
+                self.validate(item)
+        elif isinstance(request, StreamEnvelope):
+            if request.seq < 0:
+                raise ValidationFailed(f"negative stream seq {request.seq}")
+            if isinstance(request.item, (Batch, StreamEnvelope)):
+                raise ValidationFailed(
+                    "stream envelopes wrap single verbs, not groups"
+                )
+            self.validate(request.item)
+        # Flush/GetReport carry nothing checkable beyond their type
+
+    @staticmethod
+    def _check_id(name: str, value) -> None:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValidationFailed(f"{name} must be a non-negative int, got {value!r}")
+
+    @staticmethod
+    def _check_point(location) -> None:
+        x, y = location
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise ValidationFailed(f"location must be finite, got {location!r}")
+
+    @staticmethod
+    def _check_time(value) -> None:
+        if not math.isfinite(value) or value < 0:
+            raise ValidationFailed(f"event time must be finite and >= 0, got {value!r}")
+
+
+class TokenBucket:
+    """Token-bucket admission control.
+
+    ``rate`` tokens refill per second up to ``burst``; each request costs
+    one token (a batch costs one per contained item — flushes and report
+    fetches ride free, they relieve pressure rather than add it). When
+    the bucket runs dry the request fails with a retryable
+    ``rate-limited`` error carrying the earliest useful retry delay.
+    """
+
+    def __init__(self, rate: float, burst: int, clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = float(clock())
+        self.admitted = 0
+        self.rejected = 0
+
+    @staticmethod
+    def cost_of(request) -> int:
+        if isinstance(request, Batch):
+            return sum(TokenBucket.cost_of(item) for item in request.items)
+        if isinstance(request, StreamEnvelope):
+            return TokenBucket.cost_of(request.item)
+        if isinstance(request, (Flush, GetReport)):
+            return 0
+        return 1
+
+    def _refill(self) -> None:
+        now = float(self._clock())
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def __call__(self, request, call_next):
+        cost = self.cost_of(request)
+        if cost:
+            self._refill()
+            if self._tokens < cost:
+                self.rejected += cost
+                missing = cost - self._tokens
+                raise AdmissionRejected(
+                    f"admission control: request costs {cost} tokens, "
+                    f"{self._tokens:.2f} available",
+                    retry_after_s=missing / self.rate,
+                )
+            self._tokens -= cost
+            self.admitted += cost
+        return call_next(request)
+
+
+class LatencyMetrics:
+    """Per-method latency and outcome telemetry around the backend call.
+
+    Latencies land in one bounded reservoir per request kind, so the
+    middleware itself obeys the serving stack's bounded-retention rule.
+    ``snapshot()`` freezes counts and p50/p95 (milliseconds) per method.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = int(capacity)
+        self.calls: dict[str, int] = {}
+        self.failures: dict[str, int] = {}
+        self.latencies: dict[str, SampleReservoir] = {}
+
+    def __call__(self, request, call_next):
+        kind = type(request).kind
+        start = time.perf_counter()
+        try:
+            response = call_next(request)
+        except Exception:
+            self.failures[kind] = self.failures.get(kind, 0) + 1
+            raise
+        finally:
+            elapsed = time.perf_counter() - start
+            self.calls[kind] = self.calls.get(kind, 0) + 1
+            series = self.latencies.get(kind)
+            if series is None:
+                series = self.latencies[kind] = SampleReservoir(
+                    capacity=self.capacity
+                )
+            series.record(elapsed)
+        return response
+
+    def snapshot(self) -> dict:
+        """Frozen per-method stats: calls, failures, latency p50/p95 ms."""
+        return {
+            kind: {
+                "calls": self.calls.get(kind, 0),
+                "failures": self.failures.get(kind, 0),
+                "latency_p50_ms": percentile(self.latencies[kind], 50) * 1e3,
+                "latency_p95_ms": percentile(self.latencies[kind], 95) * 1e3,
+            }
+            for kind in sorted(self.calls)
+        }
+
+
+class ErrorMapper:
+    """Translate raw backend exceptions into structured API errors."""
+
+    def __call__(self, request, call_next):
+        try:
+            return call_next(request)
+        except Exception as exc:
+            raise map_exception(exc) from exc

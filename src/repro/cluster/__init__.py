@@ -27,6 +27,7 @@ from .coordinator import ClusterCoordinator, ClusterError
 from .snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
+    SUPPORTED_SNAPSHOT_VERSIONS,
     restore_shard,
     snapshot_from_json,
     snapshot_shard,
@@ -42,6 +43,7 @@ __all__ = [
     "HotShardBalancer",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "SUPPORTED_SNAPSHOT_VERSIONS",
     "ShardHost",
     "restore_shard",
     "snapshot_from_json",

@@ -1,5 +1,10 @@
 """Command-line load generator for the multi-worker cluster runtime.
 
+Replays a timed workload through the versioned client API
+(:mod:`repro.api`) against the cluster backend — the same
+:class:`~repro.service.loadgen.LoadGenerator` replay the service CLI
+uses, pointed at a pool of worker processes.
+
 Examples::
 
     python -m repro.cluster --smoke
@@ -14,11 +19,9 @@ import argparse
 import json
 import sys
 
-import numpy as np
-
+from ..api import AssignmentClient, ClusterBackend
 from ..service.loadgen import LoadConfig, LoadGenerator
 from .balancer import BalancerConfig
-from .coordinator import ClusterCoordinator
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -113,30 +116,18 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(exc))
 
     generator = LoadGenerator(config)
-    region, events, workers, tasks = generator.build_events()
-    coordinator = ClusterCoordinator(
-        region,
-        shards=config.shards,
-        n_workers=args.procs,
-        grid_nx=config.grid_nx,
-        epsilon=config.epsilon,
-        budget_capacity=config.budget_capacity,
-        batch_size=config.batch_size,
+    plan = generator.build_events()
+    backend = ClusterBackend(
+        generator.service_spec(plan[0]),
+        n_procs=args.procs,
         chunk_size=args.chunk,
         checkpoint_every=args.checkpoint_every,
         balancer=BalancerConfig() if args.balance else None,
-        seed=config.seed + 2,
     )
-    with coordinator:
-        report = coordinator.run(events)
-        pairs = coordinator.assignments
-    if pairs:
-        t_idx = np.array([t for t, _ in pairs])
-        w_idx = np.array([w for _, w in pairs])
-        true_d = np.hypot(*(tasks[t_idx] - workers[w_idx]).T)
-        from dataclasses import replace
-
-        report = replace(report, mean_true_distance=float(true_d.mean()))
+    with AssignmentClient(backend) as client:
+        report = generator.replay(client, plan)
+        coordinator = backend.coordinator
+        answered = coordinator.tasks_answered
 
     if args.json:
         doc = report.to_dict()
@@ -168,7 +159,7 @@ def main(argv: list[str] | None = None) -> int:
             len(report.shards) >= 2
             and report.tasks_total == config.n_tasks
             and report.tasks_assigned > 0
-            and coordinator.tasks_answered == config.n_tasks
+            and answered == config.n_tasks
         )
         if not ok:
             print("[repro.cluster smoke] FAILED acceptance gates", file=sys.stderr)

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
-import zlib
 from multiprocessing.connection import wait as conn_wait
 
 import numpy as np
@@ -45,7 +44,7 @@ import numpy as np
 from ..geometry.box import Box
 from ..service.events import RequestQueue, TaskArrival, WorkerArrival
 from ..service.metrics import ServiceReport, build_report
-from ..utils import ensure_rng
+from ..utils import ensure_rng, keyed_shard_seed
 from .balancer import BalancerConfig, ClusterRouter, HotShardBalancer, family_of, key_order
 from .worker import worker_main
 
@@ -240,14 +239,15 @@ class ClusterCoordinator:
 
     def _spec_for(self, key: str) -> dict:
         box = self.router.shard_box(key)
-        # key-derived seeding: stable across runs, placement and restarts
-        entropy = np.random.SeedSequence([self.seed, zlib.crc32(key.encode())])
+        # key-derived seeding: stable across runs, placement and restarts,
+        # and shared with the engine's "keyed" mode so the two backends
+        # grow bit-identical shard streams from one root seed
         return {
             "box": [box.xmin, box.ymin, box.xmax, box.ymax],
             "grid_nx": self.grid_nx,
             "epsilon": self.epsilon,
             "budget_capacity": self.budget_capacity,
-            "seed": int(entropy.generate_state(1)[0]),
+            "seed": keyed_shard_seed(self.seed, key),
         }
 
     # ------------------------------------------------------------------ #
@@ -267,6 +267,31 @@ class ClusterCoordinator:
     def tasks_answered(self) -> int:
         """Tasks with a recorded outcome (assigned or definitively not)."""
         return sum(1 for tid in self._task_order if tid in self._results)
+
+    def result_of(self, task_id: int) -> int | None:
+        """Block until ``task_id`` has an outcome; the assigned worker id
+        or ``None``.
+
+        Task results normally stream back asynchronously (the coordinator
+        only reads replies when it pumps); this is the synchronous rendezvous
+        the API layer's per-call mode uses.
+        """
+        task_id = int(task_id)
+        self._wait(
+            lambda: task_id in self._results, f"result of task {task_id}"
+        )
+        return self._results[task_id]
+
+    def flush(self) -> None:
+        """Flush every shard's pending worker cohort (a cluster barrier).
+
+        The cluster counterpart of
+        :meth:`~repro.service.engine.ShardedAssignmentEngine.flush`:
+        returns once every worker confirms its buffered cohorts crossed
+        the obfuscation path.
+        """
+        self.start()
+        self._flush_barrier()
 
     def process(self, events) -> None:
         """Drain an event stream through the worker pool."""
@@ -634,15 +659,16 @@ class ClusterCoordinator:
             merged.update(per_shard)
         keys = sorted(merged, key=key_order)
         latencies = [v for k in keys for v in merged[k]["latencies_s"]]
-        distances = [
-            v for k in keys for v in merged[k]["reported_distances"]
-        ]
         return build_report(
             (merged[k]["snapshot"] for k in keys),
             latencies,
-            distances,
+            (),
             wall_seconds=wall_seconds,
             sim_duration=self.now,
+            distance_stats=(
+                sum(merged[k]["distance_total"] for k in keys),
+                sum(merged[k]["distance_count"] for k in keys),
+            ),
         )
 
     # ------------------------------------------------------------------ #

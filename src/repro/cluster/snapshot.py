@@ -37,6 +37,7 @@ from ..service.shard import ShardServer
 __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "SUPPORTED_SNAPSHOT_VERSIONS",
     "snapshot_shard",
     "restore_shard",
     "snapshot_to_json",
@@ -44,7 +45,12 @@ __all__ = [
 ]
 
 SNAPSHOT_FORMAT = "repro-shard-snapshot"
-SNAPSHOT_VERSION = 1
+#: Current write version. v2 stores bounded telemetry reservoirs (with
+#: their sampler state) instead of v1's unbounded raw sample lists.
+SNAPSHOT_VERSION = 2
+#: Versions this runtime can restore. v1 documents load with their raw
+#: sample lists folded into fresh reservoirs.
+SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
 
 #: A shard with no buffered worker arrivals.
 _EMPTY_PENDING: tuple[list, list] = ([], [])
@@ -81,10 +87,10 @@ def restore_shard(payload: dict) -> tuple[ShardServer, tuple[list[int], list]]:
             f"not a {SNAPSHOT_FORMAT} document: {payload.get('format')!r}"
         )
     version = payload.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version not in SUPPORTED_SNAPSHOT_VERSIONS:
         raise ValueError(
             f"unsupported snapshot version {version!r} "
-            f"(expected {SNAPSHOT_VERSION})"
+            f"(supported: {SUPPORTED_SNAPSHOT_VERSIONS})"
         )
     missing = {"state", "pending"} - set(payload)
     if missing:

@@ -104,12 +104,19 @@ class ShardHost:
     # ------------------------------------------------------------------ #
 
     def register(self, key: str, worker_ids, locations) -> None:
-        """Buffer a worker cohort on its shard; flush at ``batch_size``."""
-        ids, locs = self.pending[key]
-        ids.extend(int(w) for w in worker_ids)
-        locs.extend(locations)
-        if len(ids) >= self.batch_size:
-            self.flush(key)
+        """Buffer a worker cohort on its shard; flush at ``batch_size``.
+
+        Workers are appended (and the threshold checked) one at a time,
+        exactly like the engine's per-event path — not per transport op —
+        so both runtimes cut cohorts at identical points in the stream
+        and their obfuscation draws stay bit-identical.
+        """
+        for wid, loc in zip(worker_ids, locations):
+            ids, locs = self.pending[key]
+            ids.append(int(wid))
+            locs.append(loc)
+            if len(ids) >= self.batch_size:
+                self.flush(key)
 
     def flush(self, key: str | None = None) -> None:
         """Push pending cohorts through batch obfuscation (``None`` = all)."""
@@ -168,15 +175,18 @@ class ShardHost:
     def report(self) -> dict:
         """Frozen metrics per hosted shard, with pooled raw samples.
 
-        Raw latency/distance samples ride along so the coordinator can
-        compute cluster-wide quantiles from the pooled samples rather
-        than averaging per-shard quantiles.
+        Raw latency samples ride along so the coordinator can compute
+        cluster-wide quantiles from the pooled samples rather than
+        averaging per-shard quantiles; distances travel as exact
+        ``(total, count)`` aggregates only — the cluster-wide mean needs
+        nothing more.
         """
         return {
             key: {
                 "snapshot": shard.snapshot(),
                 "latencies_s": list(shard.metrics.latencies_s),
-                "reported_distances": list(shard.metrics.reported_distances),
+                "distance_total": shard.metrics.reported_distances.total,
+                "distance_count": shard.metrics.reported_distances.count,
                 "pending": len(self.pending[key][0]),
             }
             for key, shard in self.shards.items()

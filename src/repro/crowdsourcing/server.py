@@ -114,14 +114,53 @@ class MatchingServer:
             return len(self._worker_reports)
         return self._matcher.available
 
+    # ------------------------------------------------------------------ #
+    # serving (Algorithm 4)                                               #
+    # ------------------------------------------------------------------ #
+
     def submit_task(self, report: TaskReport) -> int | None:
         """Match an arriving task to the nearest available worker's report.
 
         Returns the assigned worker id (or ``None`` if the pool is empty)
-        and records the pair in :attr:`result`.
+        and records the pair in :attr:`result`. A thin wrapper: the whole
+        matching path — validation, lazy matcher build, assignment and
+        result bookkeeping — lives in :meth:`submit_task_detailed`, which
+        is the single implementation.
         """
         found = self.submit_task_detailed(report)
         return None if found is None else found[0]
+
+    def submit_task_detailed(self, report: TaskReport) -> tuple[int, int] | None:
+        """Like :meth:`submit_task`, but returns ``(worker_id, lca_level)``.
+
+        The one and only submission path (:meth:`submit_task` delegates
+        here). The LCA level of the matched pair determines the *reported*
+        tree distance — the only distance signal the server legitimately
+        has — which the serving layer converts to metric units for its
+        assignment-distance telemetry.
+        """
+        if not isinstance(report, TaskReport):
+            raise TypeError("server only accepts TaskReport payloads")
+        if report.leaf is None:
+            raise ValueError("the HST server needs leaf-encoded reports")
+        if self._matcher is None:
+            ids = sorted(self._worker_reports)
+            self._ids = ids
+            self._matcher = HSTGreedyMatcher(
+                self.tree.depth,
+                self.tree.branching,
+                [self._worker_reports[i].leaf for i in ids],
+            )
+        found = self._matcher.assign(report.leaf)
+        if found is None:
+            self.result.unassigned_tasks.append(report.task_id)
+            return None
+        slot, level = found
+        worker_id = self._ids[slot]
+        self.result.assignments.append(
+            Assignment(task=report.task_id, worker=worker_id)
+        )
+        return worker_id, level
 
     # ------------------------------------------------------------------ #
     # checkpointing                                                       #
@@ -200,33 +239,3 @@ class MatchingServer:
         )
         return server
 
-    def submit_task_detailed(self, report: TaskReport) -> tuple[int, int] | None:
-        """Like :meth:`submit_task`, but returns ``(worker_id, lca_level)``.
-
-        The LCA level of the matched pair determines the *reported* tree
-        distance — the only distance signal the server legitimately has —
-        which the serving layer converts to metric units for its
-        assignment-distance telemetry.
-        """
-        if not isinstance(report, TaskReport):
-            raise TypeError("server only accepts TaskReport payloads")
-        if report.leaf is None:
-            raise ValueError("the HST server needs leaf-encoded reports")
-        if self._matcher is None:
-            ids = sorted(self._worker_reports)
-            self._ids = ids
-            self._matcher = HSTGreedyMatcher(
-                self.tree.depth,
-                self.tree.branching,
-                [self._worker_reports[i].leaf for i in ids],
-            )
-        found = self._matcher.assign(report.leaf)
-        if found is None:
-            self.result.unassigned_tasks.append(report.task_id)
-            return None
-        slot, level = found
-        worker_id = self._ids[slot]
-        self.result.assignments.append(
-            Assignment(task=report.task_id, worker=worker_id)
-        )
-        return worker_id, level

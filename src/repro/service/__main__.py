@@ -1,11 +1,15 @@
-"""Command-line load generator for the sharded assignment engine.
+"""Command-line load generator for the serving layer.
+
+Replays a timed workload through the versioned client API
+(:mod:`repro.api`) against the in-process or sharded-engine backend
+(``python -m repro.cluster`` is the cluster counterpart).
 
 Examples::
 
     python -m repro.service --smoke
     python -m repro.service --workload taxi --shards 3 3 --workers 4000 \
         --tasks 2000 --rate 100 --arrival bursty
-    python -m repro.service --tasks 5000 --json
+    python -m repro.service --backend inprocess --shards 1 1 --json
 """
 
 from __future__ import annotations
@@ -26,6 +30,13 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="quick sharded end-to-end run (2x2 shards, 600 tasks) for CI",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("sharded", "inprocess"),
+        default="sharded",
+        help="assignment backend behind the API client (default sharded; "
+        "inprocess needs --shards 1 1)",
     )
     parser.add_argument(
         "--workload", choices=("gaussian", "taxi"), default="gaussian"
@@ -86,16 +97,21 @@ def main(argv: list[str] | None = None) -> int:
             taxi_day=args.taxi_day,
             seed=args.seed,
         )
+        if args.backend == "inprocess" and tuple(args.shards) != (1, 1):
+            raise ValueError(
+                "the inprocess backend is single-tree; use --shards 1 1"
+            )
     except ValueError as exc:
         parser.error(str(exc))
-    report = LoadGenerator(config).run()
+    report = LoadGenerator(config).run(backend=args.backend)
 
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         label = "smoke" if args.smoke else "run"
         print(
-            f"[repro.service {label}] workload={config.workload} "
+            f"[repro.service {label}] backend={args.backend} "
+            f"workload={config.workload} "
             f"shards={config.shards[0]}x{config.shards[1]} "
             f"workers={config.n_workers} tasks={config.n_tasks} "
             f"arrival={config.arrival}",

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..geometry.box import Box
 from ..geometry.points import as_points
-from ..utils import ensure_rng, spawn_rng
+from ..utils import ensure_rng, keyed_shard_seed, spawn_rng
 from .events import RequestQueue, TaskArrival, WorkerArrival
 from .metrics import ServiceReport, build_report
 from .shard import ShardServer
@@ -59,6 +59,14 @@ class ShardedAssignmentEngine:
         per-worker (loop) obfuscation.
     seed:
         Root seed; each shard gets an independent child stream.
+    seeding:
+        How per-shard streams derive from ``seed``: ``"spawn"`` (default,
+        sequential child generators — the engine's historical behavior)
+        or ``"keyed"`` (``keyed_shard_seed(seed, f"s{i}")``, the cluster
+        coordinator's convention). Keyed seeding makes a ``(1,1)``-or-any
+        lattice engine grow bit-identical shard streams to a cluster run
+        with the same root seed, which the API layer's backend
+        conformance suite relies on; it requires an integer ``seed``.
     """
 
     def __init__(
@@ -70,12 +78,23 @@ class ShardedAssignmentEngine:
         budget_capacity: float = 2.0,
         batch_size: int = 256,
         seed: int | np.random.Generator | None = None,
+        seeding: str = "spawn",
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if seeding not in ("spawn", "keyed"):
+            raise ValueError(f"seeding must be 'spawn' or 'keyed', got {seeding!r}")
         self.shard_map = ShardMap(region, *shards)
         self.batch_size = batch_size
-        rngs = spawn_rng(ensure_rng(seed), self.shard_map.n_shards)
+        if seeding == "keyed":
+            if not isinstance(seed, int):
+                raise ValueError("keyed seeding needs an integer root seed")
+            shard_seeds = [
+                keyed_shard_seed(seed, f"s{i}")
+                for i in range(self.shard_map.n_shards)
+            ]
+        else:
+            shard_seeds = spawn_rng(ensure_rng(seed), self.shard_map.n_shards)
         self.shards = [
             ShardServer(
                 shard_id,
@@ -83,9 +102,9 @@ class ShardedAssignmentEngine:
                 grid_nx=grid_nx,
                 epsilon=epsilon,
                 budget_capacity=budget_capacity,
-                seed=rng,
+                seed=shard_seed,
             )
-            for shard_id, rng in enumerate(rngs)
+            for shard_id, shard_seed in enumerate(shard_seeds)
         ]
         self._pending: list[tuple[list[int], list]] = [
             ([], []) for _ in self.shards
@@ -245,13 +264,14 @@ class ShardedAssignmentEngine:
         """Aggregate all shard metrics into one :class:`ServiceReport`."""
         self.flush()
         latencies = [v for s in self.shards for v in s.metrics.latencies_s]
-        distances = [
-            v for s in self.shards for v in s.metrics.reported_distances
-        ]
         return build_report(
             (s.snapshot() for s in self.shards),
             latencies,
-            distances,
+            (),
             wall_seconds=wall_seconds,
             sim_duration=self.now,
+            distance_stats=(
+                sum(s.metrics.reported_distances.total for s in self.shards),
+                sum(s.metrics.reported_distances.count for s in self.shards),
+            ),
         )

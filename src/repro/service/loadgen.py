@@ -1,4 +1,4 @@
-"""Load generation: replay synthetic workloads against the sharded engine.
+"""Load generation: replay synthetic workloads through the client API.
 
 The generator turns the repo's workload models into *timed* event streams:
 
@@ -9,18 +9,24 @@ The generator turns the repo's workload models into *timed* event streams:
 
 A ``warm_fraction`` of the workers registers before traffic starts (the
 overnight fleet); the rest come online during the run, interleaved with
-tasks, exercising the engine's streaming-registration path. Task arrival
-times come from the :mod:`repro.workloads.arrival` processes (``poisson``,
+tasks, exercising the streaming-registration path. Task arrival times
+come from the :mod:`repro.workloads.arrival` processes (``poisson``,
 ``uniform`` or ``bursty``).
 
-Because the generator — unlike the server — knows every true coordinate,
-it closes the loop on quality: after the replay it joins the engine's
-``(task, worker)`` assignments back to the true locations and adds the
-mean *true* assignment distance to the report.
+Replays go through :class:`repro.api.AssignmentClient`, so one generator
+drives any backend — in-process, sharded engine, or cluster — and the
+assignment outcomes come back as typed responses. Because the generator —
+unlike the server — knows every true coordinate, it closes the loop on
+quality: it joins the replied ``(task, worker)`` decisions back to the
+true locations and adds the mean *true* assignment distance to the
+report. The pre-API entry points (``run(engine=...)``,
+:meth:`LoadGenerator.make_engine`) survive as deprecation shims.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -90,8 +96,25 @@ class LoadConfig:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
 
+def _audit_true_distance(
+    report: ServiceReport, pairs, workers, tasks
+) -> ServiceReport:
+    """Join ``(task, worker)`` pairs back to true coordinates.
+
+    The generator-side quality audit: the server only ever sees reported
+    distances, so the mean *true* assignment distance must be computed
+    here, where the true coordinate arrays live.
+    """
+    if not pairs:
+        return report
+    t_idx = np.array([t for t, _ in pairs])
+    w_idx = np.array([w for _, w in pairs])
+    true_d = np.hypot(*(tasks[t_idx] - workers[w_idx]).T)
+    return replace(report, mean_true_distance=float(true_d.mean()))
+
+
 class LoadGenerator:
-    """Build timed event streams and drive an engine through them."""
+    """Build timed event streams and drive a backend through them."""
 
     def __init__(self, config: LoadConfig | None = None) -> None:
         self.config = config or LoadConfig()
@@ -161,10 +184,17 @@ class LoadGenerator:
     # replay                                                              #
     # ------------------------------------------------------------------ #
 
-    def make_engine(self, region: Box) -> ShardedAssignmentEngine:
+    def service_spec(self, region: Box):
+        """This run's :class:`repro.api.ServiceSpec` (backend-agnostic).
+
+        The root seed is offset exactly like the historical engine seed,
+        so reseeded comparisons across repo versions stay meaningful.
+        """
+        from ..api import ServiceSpec
+
         cfg = self.config
-        return ShardedAssignmentEngine(
-            region,
+        return ServiceSpec(
+            region=region,
             shards=cfg.shards,
             grid_nx=cfg.grid_nx,
             epsilon=cfg.epsilon,
@@ -173,23 +203,90 @@ class LoadGenerator:
             seed=cfg.seed + 2,
         )
 
-    def run(self, engine: ShardedAssignmentEngine | None = None) -> ServiceReport:
+    def replay(self, client, plan=None) -> ServiceReport:
+        """Replay the stream through an API client; quality-audited report.
+
+        ``plan`` is a prebuilt :meth:`build_events` tuple (so callers who
+        needed the region to construct their backend don't synthesize the
+        workload twice). The wall clock covers serving — streaming the
+        requests plus the final flush — never backend setup, mirroring
+        the paper's running-time discipline. Every assignment decision
+        arrives as a typed response, which is what lets the generator
+        audit true distances without reaching into backend internals.
+        """
+        from ..api import TaskDecision, requests_from_events
+
+        region, events, workers, tasks = plan if plan is not None else self.build_events()
+        pairs: list[tuple[int, int]] = []
+        start = time.perf_counter()
+        for response in client.stream(requests_from_events(events)):
+            if isinstance(response, TaskDecision) and response.worker_id is not None:
+                pairs.append((response.task_id, response.worker_id))
+        client.flush()
+        wall = time.perf_counter() - start
+        report = client.report(wall_seconds=wall)
+        return _audit_true_distance(report, pairs, workers, tasks)
+
+    def _build_engine(self, region: Box) -> ShardedAssignmentEngine:
+        spec = self.service_spec(region)
+        return ShardedAssignmentEngine(
+            region,
+            shards=spec.shards,
+            grid_nx=spec.grid_nx,
+            epsilon=spec.epsilon,
+            budget_capacity=spec.budget_capacity,
+            batch_size=spec.batch_size,
+            seed=spec.seed,
+            seeding="keyed",
+        )
+
+    def make_engine(self, region: Box) -> ShardedAssignmentEngine:
+        """Deprecated: construct backends via :func:`repro.api.make_backend`."""
+        warnings.warn(
+            "LoadGenerator.make_engine is deprecated; build a backend with "
+            "repro.api.make_backend('sharded', generator.service_spec(region)) "
+            "and drive it through an AssignmentClient",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._build_engine(region)
+
+    def run(
+        self,
+        engine: ShardedAssignmentEngine | None = None,
+        *,
+        backend: str = "sharded",
+        backend_kwargs: dict | None = None,
+    ) -> ServiceReport:
         """Replay the stream and return a quality-audited report.
 
-        Engine construction (HST builds) happens *outside* the timed
-        window, mirroring the paper's running-time discipline: the clock
-        measures serving, not setup.
+        The replay goes through :class:`repro.api.AssignmentClient` over
+        a freshly built backend of ``backend`` kind (``"inprocess"``,
+        ``"sharded"`` or ``"cluster"``; ``backend_kwargs`` reach the
+        backend constructor). Backend construction (HST builds, process
+        spawns) happens *outside* the timed window, mirroring the paper's
+        running-time discipline: the clock measures serving, not setup.
+
+        Passing an explicit ``engine`` is the deprecated pre-API calling
+        convention; it still works but warns.
         """
-        region, events, workers, tasks = self.build_events()
-        if engine is None:
-            engine = self.make_engine(region)
-        report = engine.run(RequestQueue(events))
-        pairs = engine.assignments
-        if pairs:
-            t_idx = np.array([t for t, _ in pairs])
-            w_idx = np.array([w for _, w in pairs])
-            true_d = np.hypot(
-                *(tasks[t_idx] - workers[w_idx]).T
+        if engine is not None:
+            warnings.warn(
+                "LoadGenerator.run(engine=...) is deprecated; pass "
+                "backend='sharded' (or use LoadGenerator.replay with an "
+                "AssignmentClient over any backend) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-            report = replace(report, mean_true_distance=float(true_d.mean()))
-        return report
+            region, events, workers, tasks = self.build_events()
+            report = engine.run(RequestQueue(events))
+            return _audit_true_distance(report, engine.assignments, workers, tasks)
+
+        from ..api import AssignmentClient, make_backend
+
+        plan = self.build_events()
+        backend_obj = make_backend(
+            backend, self.service_spec(plan[0]), **(backend_kwargs or {})
+        )
+        with AssignmentClient(backend_obj) as client:
+            return self.replay(client, plan)

@@ -15,17 +15,141 @@ simulated clock (the offered rate the run replayed).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass
 
 import numpy as np
 
 __all__ = [
+    "RESERVOIR_CAPACITY",
+    "SampleReservoir",
     "ShardMetrics",
     "ShardSnapshot",
     "ServiceReport",
     "build_report",
     "percentile",
 ]
+
+#: Default per-series sample cap. Below this many recordings a reservoir
+#: holds every sample (quantiles are exact); beyond it, a uniform sample.
+RESERVOIR_CAPACITY = 4096
+
+
+class SampleReservoir:
+    """Bounded uniform sample of a float stream (Vitter's Algorithm R).
+
+    Telemetry series used to grow one float per task for the whole stream,
+    which made shard checkpoints (and coordinator reply payloads) scale
+    with stream length. A reservoir caps retention at ``capacity`` samples
+    while keeping every sample until the cap is hit — so short runs lose
+    nothing — and keeps *exact* ``count``/``total`` aggregates forever, so
+    means never degrade to estimates.
+
+    Replacement draws come from an internal splitmix64 counter rather than
+    a shared RNG: the state is one integer, trivially serialized, and a
+    restored reservoir replays the same replacement decisions — the
+    property the cluster's bit-exact snapshot/replay guarantee needs.
+    """
+
+    __slots__ = ("capacity", "count", "total", "values", "_state")
+
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, capacity: int = RESERVOIR_CAPACITY, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.count = 0
+        self.total = 0.0
+        self.values: list[float] = []
+        self._state = int(seed) & self._MASK
+
+    def _next_rand(self) -> int:
+        # splitmix64: full-period, one-int state, good enough for sampling
+        self._state = (self._state + 0x9E3779B97F4A7C15) & self._MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & self._MASK
+        return z ^ (z >> 31)
+
+    def record(self, value: float) -> None:
+        """Add one sample; evicts a uniform victim once at capacity."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if len(self.values) < self.capacity:
+            self.values.append(value)
+            return
+        slot = self._next_rand() % self.count
+        if slot < self.capacity:
+            self.values[slot] = value
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of *all* recorded samples, retained or not."""
+        return self.total / self.count if self.count else float("nan")
+
+    # sequence protocol: aggregators treat a reservoir like the raw list
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, index):
+        return self.values[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SampleReservoir):
+            return NotImplemented
+        return (
+            self.capacity == other.capacity
+            and self.count == other.count
+            and self.total == other.total
+            and self.values == other.values
+            and self._state == other._state
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SampleReservoir(capacity={self.capacity}, count={self.count}, "
+            f"held={len(self.values)})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready state (part of a shard's checkpoint snapshot)."""
+        return {
+            "capacity": self.capacity,
+            "count": self.count,
+            "total": float(self.total),
+            "values": [float(v) for v in self.values],
+            "state": self._state,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "SampleReservoir":
+        """Rebuild from :meth:`to_dict` output — or from the raw sample
+        list older (v1) shard snapshots carried, which becomes a reservoir
+        holding exactly those samples."""
+        if isinstance(payload, list):
+            res = cls()
+            res.extend(float(v) for v in payload)
+            return res
+        missing = {"capacity", "count", "total", "values", "state"} - set(payload)
+        if missing:
+            raise ValueError(f"reservoir payload missing fields: {sorted(missing)}")
+        res = cls(capacity=int(payload["capacity"]))
+        res.count = int(payload["count"])
+        res.total = float(payload["total"])
+        res.values = [float(v) for v in payload["values"]]
+        res._state = int(payload["state"]) & cls._MASK
+        if len(res.values) > res.capacity or len(res.values) > res.count:
+            raise ValueError("reservoir payload holds more samples than allowed")
+        return res
 
 
 def percentile(samples, q: float) -> float:
@@ -40,12 +164,6 @@ def percentile(samples, q: float) -> float:
     return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
 
 
-def _mean(samples) -> float:
-    if not len(samples):
-        return float("nan")
-    return float(np.mean(np.asarray(samples, dtype=np.float64)))
-
-
 @dataclass
 class ShardMetrics:
     """Mutable per-shard recorder filled while the shard serves traffic.
@@ -53,6 +171,12 @@ class ShardMetrics:
     ``shard_id`` is an ``int`` for the single-process engine's lattice
     cells and a ``str`` key (e.g. ``"s3/1"``) for cluster shards, which can
     be split into sub-shards at runtime.
+
+    Raw latency/distance samples live in bounded
+    :class:`SampleReservoir` series (seeded from the shard id, so a
+    reseeded rerun keeps the same retained sample set), which caps
+    checkpoint size and reply payloads on unbounded streams. Counters and
+    means stay exact regardless of stream length.
     """
 
     shard_id: int | str
@@ -60,8 +184,18 @@ class ShardMetrics:
     cohorts_flushed: int = 0
     tasks_assigned: int = 0
     tasks_unassigned: int = 0
-    latencies_s: list[float] = field(default_factory=list)
-    reported_distances: list[float] = field(default_factory=list)
+    latencies_s: SampleReservoir = None
+    reported_distances: SampleReservoir = None
+
+    def __post_init__(self) -> None:
+        if self.latencies_s is None:
+            self.latencies_s = SampleReservoir(
+                seed=zlib.crc32(f"lat:{self.shard_id}".encode())
+            )
+        if self.reported_distances is None:
+            self.reported_distances = SampleReservoir(
+                seed=zlib.crc32(f"dist:{self.shard_id}".encode())
+            )
 
     def record_cohort(self, size: int) -> None:
         self.workers_registered += size
@@ -69,12 +203,12 @@ class ShardMetrics:
 
     def record_assignment(self, latency_s: float, reported_distance: float) -> None:
         self.tasks_assigned += 1
-        self.latencies_s.append(latency_s)
-        self.reported_distances.append(reported_distance)
+        self.latencies_s.record(latency_s)
+        self.reported_distances.record(reported_distance)
 
     def record_unassigned(self, latency_s: float) -> None:
         self.tasks_unassigned += 1
-        self.latencies_s.append(latency_s)
+        self.latencies_s.record(latency_s)
 
     def to_dict(self) -> dict:
         """JSON-ready raw state (part of a shard's checkpoint snapshot)."""
@@ -84,8 +218,8 @@ class ShardMetrics:
             "cohorts_flushed": self.cohorts_flushed,
             "tasks_assigned": self.tasks_assigned,
             "tasks_unassigned": self.tasks_unassigned,
-            "latencies_s": [float(v) for v in self.latencies_s],
-            "reported_distances": [float(v) for v in self.reported_distances],
+            "latencies_s": self.latencies_s.to_dict(),
+            "reported_distances": self.reported_distances.to_dict(),
         }
 
     @classmethod
@@ -108,8 +242,8 @@ class ShardMetrics:
             cohorts_flushed=int(payload["cohorts_flushed"]),
             tasks_assigned=int(payload["tasks_assigned"]),
             tasks_unassigned=int(payload["tasks_unassigned"]),
-            latencies_s=[float(v) for v in payload["latencies_s"]],
-            reported_distances=[float(v) for v in payload["reported_distances"]],
+            latencies_s=SampleReservoir.from_dict(payload["latencies_s"]),
+            reported_distances=SampleReservoir.from_dict(payload["reported_distances"]),
         )
 
     def snapshot(self, *, epsilon: float, ledger) -> "ShardSnapshot":
@@ -123,7 +257,7 @@ class ShardMetrics:
             tasks_unassigned=self.tasks_unassigned,
             latency_p50_ms=percentile(self.latencies_s, 50) * 1e3,
             latency_p95_ms=percentile(self.latencies_s, 95) * 1e3,
-            mean_reported_distance=_mean(self.reported_distances),
+            mean_reported_distance=self.reported_distances.mean,
             budget_capacity=ledger.capacity,
             budget_min_remaining=ledger.min_remaining(),
             budget_mean_remaining=ledger.mean_remaining(),
@@ -275,22 +409,30 @@ def build_report(
     *,
     wall_seconds: float = float("nan"),
     sim_duration: float = 0.0,
+    distance_stats: tuple[float, int] | None = None,
 ) -> ServiceReport:
     """Assemble a :class:`ServiceReport` from frozen shard rows and pooled
     raw samples.
 
     The one aggregation path shared by the single-process engine and the
     cluster coordinator, so both report identical quantile semantics.
+    ``distance_stats`` is an optional exact ``(total, count)`` over *all*
+    reported distances; when given, the mean comes from it rather than
+    from the (reservoir-retained) pooled samples, so the aggregate mean
+    stays exact even past the retention cap.
     """
+    if distance_stats is not None:
+        total, count = distance_stats
+        mean_distance = float(total) / count if count else float("nan")
+    elif len(distances):
+        mean_distance = float(np.mean(np.asarray(distances, dtype=np.float64)))
+    else:
+        mean_distance = float("nan")
     return ServiceReport(
         shards=tuple(shards),
         wall_seconds=wall_seconds,
         sim_duration=sim_duration,
         latency_p50_ms=percentile(latencies, 50) * 1e3,
         latency_p95_ms=percentile(latencies, 95) * 1e3,
-        mean_reported_distance=(
-            float(np.mean(np.asarray(distances, dtype=np.float64)))
-            if len(distances)
-            else float("nan")
-        ),
+        mean_reported_distance=mean_distance,
     )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import time
 import tracemalloc
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -17,6 +18,7 @@ import numpy as np
 
 __all__ = [
     "ensure_rng",
+    "keyed_shard_seed",
     "spawn_rng",
     "Stopwatch",
     "measure_peak_memory",
@@ -33,6 +35,23 @@ def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Gener
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def keyed_shard_seed(seed: int, key: str) -> int:
+    """Deterministic per-shard seed derived from a root seed and a routing
+    key (``"s3"``, ``"s3/1"``, ...).
+
+    The one seeding convention every assignment backend shares: the
+    cluster coordinator derives worker-process shard specs with it, the
+    sharded engine's ``seeding="keyed"`` mode matches it, and the API
+    layer's in-process backend seeds its single region tree with
+    ``keyed_shard_seed(seed, "s0")``. Because the seed depends only on
+    ``(root seed, key)`` — not placement, shard count or build order —
+    any two backends given the same root seed grow bit-identical shard
+    streams, which is what the backend conformance suite asserts.
+    """
+    entropy = np.random.SeedSequence([int(seed), zlib.crc32(key.encode())])
+    return int(entropy.generate_state(1)[0])
 
 
 def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:

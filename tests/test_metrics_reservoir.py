@@ -1,0 +1,128 @@
+"""Tests for bounded telemetry retention (SampleReservoir + ShardMetrics)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service.metrics import (
+    RESERVOIR_CAPACITY,
+    SampleReservoir,
+    ShardMetrics,
+    build_report,
+    percentile,
+)
+
+
+class TestSampleReservoir:
+    def test_exact_below_capacity(self):
+        res = SampleReservoir(capacity=10)
+        res.extend(float(v) for v in range(7))
+        assert list(res) == [float(v) for v in range(7)]
+        assert res.count == 7
+        assert res.mean == pytest.approx(3.0)
+
+    def test_caps_retention_but_keeps_exact_aggregates(self):
+        res = SampleReservoir(capacity=50, seed=1)
+        values = np.arange(10_000, dtype=np.float64)
+        res.extend(values)
+        assert len(res) == 50
+        assert res.count == 10_000
+        assert res.mean == pytest.approx(values.mean())
+        assert set(res.values) <= set(values)
+
+    def test_retained_sample_is_roughly_uniform(self):
+        # the retained set should span the stream, not hug its head/tail
+        res = SampleReservoir(capacity=500, seed=3)
+        res.extend(float(v) for v in range(20_000))
+        assert 6_000 < np.mean(res.values) < 14_000
+        assert percentile(res, 50) == pytest.approx(10_000, rel=0.2)
+
+    def test_deterministic_given_seed(self):
+        a = SampleReservoir(capacity=8, seed=5)
+        b = SampleReservoir(capacity=8, seed=5)
+        for v in range(1000):
+            a.record(float(v))
+            b.record(float(v))
+        assert a == b
+        c = SampleReservoir(capacity=8, seed=6)
+        c.extend(float(v) for v in range(1000))
+        assert c.values != a.values  # different seed, different victims
+
+    def test_round_trip_is_bit_exact_and_resumes_identically(self):
+        a = SampleReservoir(capacity=16, seed=9)
+        a.extend(float(v) for v in range(300))
+        b = SampleReservoir.from_dict(json.loads(json.dumps(a.to_dict())))
+        assert a == b
+        for v in range(300, 600):
+            a.record(float(v))
+            b.record(float(v))
+        assert a == b  # replacement decisions replay identically
+
+    def test_accepts_legacy_raw_lists(self):
+        res = SampleReservoir.from_dict([1.0, 2.0, 3.0])
+        assert list(res) == [1.0, 2.0, 3.0]
+        assert res.count == 3
+
+    def test_rejects_bad_payloads(self):
+        with pytest.raises(ValueError):
+            SampleReservoir(capacity=0)
+        with pytest.raises(ValueError):
+            SampleReservoir.from_dict({"capacity": 4})
+        with pytest.raises(ValueError):
+            SampleReservoir.from_dict(
+                {"capacity": 1, "count": 1, "total": 3.0, "values": [1.0, 2.0], "state": 0}
+            )
+
+
+class TestShardMetricsRetention:
+    def test_series_are_bounded(self):
+        metrics = ShardMetrics(0)
+        for i in range(RESERVOIR_CAPACITY + 500):
+            metrics.record_assignment(0.001, float(i % 17))
+        assert metrics.tasks_assigned == RESERVOIR_CAPACITY + 500
+        assert len(metrics.latencies_s) == RESERVOIR_CAPACITY
+        assert len(metrics.reported_distances) == RESERVOIR_CAPACITY
+        # the snapshot mean is exact even though retention is capped
+        snap = metrics.snapshot(epsilon=0.5, ledger=_StubLedger())
+        expected = np.mean([float(i % 17) for i in range(RESERVOIR_CAPACITY + 500)])
+        assert snap.mean_reported_distance == pytest.approx(expected)
+
+    def test_round_trip_preserves_reservoir_state(self):
+        metrics = ShardMetrics("s1/2")
+        for i in range(100):
+            metrics.record_assignment(0.001 * i, float(i))
+        metrics.record_unassigned(0.5)
+        restored = ShardMetrics.from_dict(json.loads(json.dumps(metrics.to_dict())))
+        assert restored == metrics
+
+    def test_checkpoint_size_is_bounded(self):
+        short = ShardMetrics(3)
+        long = ShardMetrics(3)
+        for i in range(RESERVOIR_CAPACITY):
+            short.record_assignment(0.001, 1.0)
+        for i in range(RESERVOIR_CAPACITY * 4):
+            long.record_assignment(0.001, 1.0)
+        short_doc = len(json.dumps(short.to_dict()))
+        long_doc = len(json.dumps(long.to_dict()))
+        # 4x the stream must not mean 4x the checkpoint
+        assert long_doc < short_doc * 1.1
+
+    def test_build_report_uses_exact_distance_stats(self):
+        report = build_report(
+            [],
+            [0.001, 0.002],
+            [1.0, 2.0],  # retained samples say mean 1.5 ...
+            distance_stats=(300.0, 100),  # ... but the exact stats say 3.0
+        )
+        assert report.mean_reported_distance == pytest.approx(3.0)
+
+
+class _StubLedger:
+    capacity = 2.0
+
+    def min_remaining(self):
+        return 1.0
+
+    def mean_remaining(self):
+        return 1.5
