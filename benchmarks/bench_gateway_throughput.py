@@ -1,0 +1,155 @@
+"""Gateway throughput benchmark: the cost of putting a socket in the path.
+
+Replays one timed Gaussian workload (identical event list, identical
+shard lattice and keyed seeds) through the API client twice:
+
+* **direct** — the sharded backend in-process (the PR-3 baseline);
+* **remote** — the same backend behind the asyncio TCP gateway over
+  loopback, every stream window a framed JSON round trip.
+
+Both runs use the same streaming window, so the delta is pure transport:
+framing, JSON, syscalls, and the gateway's dispatch hop. The emitted
+``BENCH`` JSON records both throughputs, the overhead ratio, and the
+window size — tune ``--window`` against your deployment's RTT (bigger
+windows amortize the round trip, at the price of per-window latency).
+
+Run:  PYTHONPATH=src python benchmarks/bench_gateway_throughput.py
+Also collectable by pytest (correctness gates on a scaled-down stream):
+      PYTHONPATH=src python -m pytest benchmarks/bench_gateway_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import AssignmentClient, TaskDecision, make_backend, requests_from_events
+from repro.gateway import GatewayConfig, RemoteBackend, serve_gateway
+from repro.service import LoadConfig, LoadGenerator
+
+try:  # package import under pytest, plain import as a script
+    from ._common import emit_bench
+except ImportError:
+    from _common import emit_bench
+
+WINDOW = 256
+CONFIG = LoadConfig(
+    workload="gaussian",
+    n_workers=4000,
+    n_tasks=2000,
+    task_rate=400.0,
+    shards=(2, 2),
+    grid_nx=12,
+    batch_size=256,
+    seed=0,
+)
+
+
+def _plan(config: LoadConfig = CONFIG):
+    generator = LoadGenerator(config)
+    region, events, _, _ = generator.build_events()
+    return generator.service_spec(region), events
+
+
+def _replay(client: AssignmentClient, events, window: int) -> dict:
+    """Stream the events; wall clock covers serving + final flush only."""
+    requests = list(requests_from_events(events))
+    start = time.perf_counter()
+    decisions = [
+        r
+        for r in client.stream(requests, window=window)
+        if isinstance(r, TaskDecision)
+    ]
+    client.flush()
+    wall = time.perf_counter() - start
+    report = client.report(wall_seconds=wall)
+    return {
+        "tasks": len(decisions),
+        "assigned": report.tasks_assigned,
+        "wall_seconds": wall,
+        "throughput_tasks_per_s": len(decisions) / wall if wall > 0 else 0.0,
+        "pairs": [(d.task_id, d.worker_id) for d in decisions],
+    }
+
+
+def bench_direct(spec, events, window: int = WINDOW) -> dict:
+    with AssignmentClient(make_backend("sharded", spec)) as client:
+        row = _replay(client, events, window)
+    return {"runtime": "direct", **row}
+
+
+def bench_remote(spec, events, window: int = WINDOW) -> dict:
+    config = GatewayConfig(spec=spec, backend="sharded")
+    with serve_gateway(config) as server:
+        with AssignmentClient(RemoteBackend(spec, address=server.address)) as client:
+            row = _replay(client, events, window)
+        frames = server.stats["frames"]
+    return {"runtime": "remote", "frames": frames, **row}
+
+
+def run_benchmark(config: LoadConfig = CONFIG, window: int = WINDOW) -> dict:
+    spec, events = _plan(config)
+    direct = bench_direct(spec, events, window)
+    remote = bench_remote(spec, events, window)
+    parity = direct.pop("pairs") == remote.pop("pairs")
+    return {
+        "benchmark": "gateway_throughput",
+        "workload": {
+            "n_workers": config.n_workers,
+            "n_tasks": config.n_tasks,
+            "shards": f"{config.shards[0]}x{config.shards[1]}",
+            "grid_nx": config.grid_nx,
+            "window": window,
+        },
+        "parity": parity,
+        "direct": direct,
+        "remote": remote,
+        "gateway_overhead_ratio": (
+            direct["throughput_tasks_per_s"] / remote["throughput_tasks_per_s"]
+            if remote["throughput_tasks_per_s"] > 0
+            else float("inf")
+        ),
+    }
+
+
+_SMALL = LoadConfig(
+    workload="gaussian",
+    n_workers=800,
+    n_tasks=400,
+    task_rate=100.0,
+    shards=(2, 2),
+    grid_nx=8,
+    seed=0,
+)
+
+
+def test_remote_replay_is_bit_identical_to_direct():
+    """The benchmark's own parity gate: the socket changes latency, not
+    a single assignment."""
+    spec, events = _plan(_SMALL)
+    direct = bench_direct(spec, events, window=64)
+    remote = bench_remote(spec, events, window=64)
+    assert direct.pop("pairs") == remote.pop("pairs")
+    assert direct["tasks"] == _SMALL.n_tasks
+    assert remote["tasks"] == _SMALL.n_tasks
+    assert remote["assigned"] == direct["assigned"] > 0
+
+
+def test_remote_frames_scale_with_windows_not_events():
+    """Stream windows ride one frame each way: the frame count must be
+    near the window count, nowhere near the event count."""
+    spec, events = _plan(_SMALL)
+    remote = bench_remote(spec, events, window=64)
+    n_events = _SMALL.n_workers + _SMALL.n_tasks
+    windows = -(-n_events // 64)  # ceil
+    # hello + windows + flush + report, with slack for rounding
+    assert remote["frames"] <= windows + 8
+    assert remote["frames"] < n_events / 4
+
+
+def main() -> int:
+    emit_bench(run_benchmark())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,6 +57,7 @@ from .errors import (
     RequestRejected,
     UnsupportedVersion,
     ValidationFailed,
+    error_from_info,
 )
 from .messages import (
     WIRE_SCHEMA,
@@ -121,6 +122,7 @@ __all__ = [
     "WIRE_VERSION",
     "WorkerRegistered",
     "build_stack",
+    "error_from_info",
     "from_wire",
     "make_backend",
     "requests_from_events",

@@ -3,8 +3,9 @@
 Runs one deterministic request stream through every backend behind the
 versioned client API and checks that assignments and reports agree
 bit-for-bit — first on the unsharded ``(1, 1)`` case (in-process
-reference vs engine vs cluster), then on a ``(2, 2)`` lattice (engine vs
-cluster). Also exercises the full middleware chain (validation, token
+reference vs engine vs cluster vs a remote client over a loopback
+gateway socket), then on a ``(2, 2)`` lattice (engine vs cluster vs
+remote). Also exercises the full middleware chain (validation, token
 bucket, latency metrics, error mapping) on the way.
 
 Examples::
@@ -58,7 +59,10 @@ def main(argv: list[str] | None = None) -> int:
             "n_procs": max(1, args.procs),
             "chunk_size": 21,  # deliberately odd: chunk joints must not matter
             "checkpoint_every": 64,  # parity must survive checkpoint barriers
-        }
+        },
+        # the remote run serves the engine over a real loopback socket,
+        # so the parity gate also covers the framed wire path
+        "remote": {"backend": "sharded"},
     }
     outcomes = []
     for shards in ((1, 1), (2, 2)):

@@ -23,6 +23,10 @@ repo has grown, behind one seeding convention
 Backends are cheap to construct and expensive to ``open()`` (HST builds,
 process spawns) — the :class:`~repro.api.client.AssignmentClient` context
 manager drives that lifecycle.
+
+A fourth adapter lives with its transport:
+:class:`~repro.gateway.RemoteBackend` (kind ``"remote"``) speaks the
+wire form over a TCP gateway and joins the same conformance matrix.
 """
 
 from __future__ import annotations
@@ -444,15 +448,17 @@ class ClusterBackend(BackendBase):
         return BatchResult(items=tuple(responses))
 
 
-BACKEND_KINDS = ("inprocess", "sharded", "cluster")
+BACKEND_KINDS = ("inprocess", "sharded", "cluster", "remote")
 
 
 def make_backend(kind: str, spec: ServiceSpec, **kwargs) -> BackendBase:
-    """Construct a backend by kind name (``inprocess``/``sharded``/``cluster``).
+    """Construct a backend by kind name.
 
-    ``kwargs`` are forwarded to the backend constructor (only the cluster
-    takes any: ``n_procs``, ``chunk_size``, ``checkpoint_every``,
-    ``balancer``).
+    ``kwargs`` are forwarded to the backend constructor: the cluster
+    takes ``n_procs``/``chunk_size``/``checkpoint_every``/``balancer``,
+    ``remote`` requires ``address=(host, port)`` of a running
+    :class:`~repro.gateway.GatewayServer` (plus optional timeouts); the
+    others take none.
     """
     if kind == "inprocess":
         return InProcessBackend(spec, **kwargs)
@@ -460,4 +466,8 @@ def make_backend(kind: str, spec: ServiceSpec, **kwargs) -> BackendBase:
         return ShardedBackend(spec, **kwargs)
     if kind == "cluster":
         return ClusterBackend(spec, **kwargs)
+    if kind == "remote":
+        from ..gateway.remote import RemoteBackend
+
+        return RemoteBackend(spec, **kwargs)
     raise ValueError(f"unknown backend kind {kind!r}; expected one of {BACKEND_KINDS}")

@@ -30,6 +30,7 @@ __all__ = [
     "ConformanceReport",
     "build_conformance_stream",
     "run_backend",
+    "run_remote_backend",
     "check_parity",
     "run_conformance",
 ]
@@ -102,6 +103,34 @@ def run_backend(backend, requests, *, window: int = 32) -> BackendRun:
         unassigned=tuple(misses),
         report=report,
     )
+
+
+def run_remote_backend(
+    spec: ServiceSpec,
+    requests,
+    *,
+    window: int = 32,
+    backend: str = "sharded",
+    backend_kwargs: dict | None = None,
+) -> BackendRun:
+    """Drive the stream through a real loopback gateway socket.
+
+    Stands up an asyncio :class:`~repro.gateway.GatewayServer` over a
+    fresh ``backend`` built for ``spec``, connects a
+    :class:`~repro.gateway.RemoteBackend`, and runs the exact
+    :func:`run_backend` loop the in-process backends get — so the
+    parity check covers the full framed wire path: handshake, JSON
+    round trips, batched stream windows, report transport.
+    """
+    from ..gateway import GatewayConfig, RemoteBackend, serve_gateway
+
+    config = GatewayConfig(
+        spec=spec, backend=backend, backend_kwargs=dict(backend_kwargs or {})
+    )
+    with serve_gateway(config) as server:
+        return run_backend(
+            RemoteBackend(spec, address=server.address), requests, window=window
+        )
 
 
 def _shard_key(shard_id) -> str:
@@ -204,7 +233,7 @@ class ConformanceReport:
 
 def run_conformance(
     spec: ServiceSpec,
-    backend_kinds=("inprocess", "sharded", "cluster"),
+    backend_kinds=("inprocess", "sharded", "cluster", "remote"),
     *,
     requests=None,
     window: int = 32,
@@ -213,9 +242,11 @@ def run_conformance(
     """Run the same stream through each backend kind and check parity.
 
     ``inprocess`` is silently skipped for non-``(1,1)`` lattices (it has
-    no sharded counterpart by construction). ``backend_kwargs`` maps a
-    backend kind to extra constructor arguments (e.g. cluster
-    ``n_procs``/``chunk_size``).
+    no sharded counterpart by construction). ``remote`` runs over a real
+    loopback gateway socket (see :func:`run_remote_backend`); its kwargs
+    name the *server-side* backend and knobs rather than constructor
+    arguments. ``backend_kwargs`` maps any backend kind to its extras
+    (e.g. cluster ``n_procs``/``chunk_size``).
     """
     if requests is None:
         requests = build_conformance_stream(spec.region)
@@ -224,6 +255,13 @@ def run_conformance(
     result = ConformanceReport()
     for kind in backend_kinds:
         if kind == "inprocess" and tuple(spec.shards) != (1, 1):
+            continue
+        if kind == "remote":
+            result.runs.append(
+                run_remote_backend(
+                    spec, requests, window=window, **backend_kwargs.get(kind, {})
+                )
+            )
             continue
         backend = make_backend(kind, spec, **backend_kwargs.get(kind, {}))
         result.runs.append(run_backend(backend, requests, window=window))

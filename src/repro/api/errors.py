@@ -26,6 +26,7 @@ __all__ = [
     "UNAVAILABLE",
     "INTERNAL",
     "map_exception",
+    "error_from_info",
 ]
 
 #: Stable error codes — the values are wire-format, do not rename.
@@ -123,3 +124,30 @@ def map_exception(exc: Exception) -> ApiError:
     if isinstance(exc, RuntimeError):
         return RequestRejected(str(exc), detail=detail)
     return InternalError(str(exc), detail=detail)
+
+
+#: Wire code -> exception class; the inverse of each class's ``code``.
+_CODE_TO_ERROR = {
+    INVALID_REQUEST: ValidationFailed,
+    UNSUPPORTED_VERSION: UnsupportedVersion,
+    RATE_LIMITED: AdmissionRejected,
+    REJECTED: RequestRejected,
+    UNAVAILABLE: BackendUnavailable,
+    INTERNAL: InternalError,
+}
+
+
+def error_from_info(info) -> ApiError:
+    """Rehydrate a transported :class:`~repro.api.messages.ErrorInfo`.
+
+    The inverse of :meth:`ApiError.info`, used by network transports
+    (:class:`~repro.gateway.RemoteBackend`) so a structured failure
+    raised server-side re-raises client-side as the *same* exception
+    class with the same code and ``retryable`` hint. Unknown codes — a
+    newer server's taxonomy — degrade to :class:`InternalError` rather
+    than being dropped.
+    """
+    cls = _CODE_TO_ERROR.get(info.code, InternalError)
+    exc = cls(info.message)
+    exc.detail = info.detail
+    return exc

@@ -423,7 +423,8 @@ def from_wire(doc: dict):
             f"wire version {version!r} outside supported range 1..{WIRE_VERSION}"
         )
     kind = doc.get("kind")
-    cls = _KINDS.get(kind)
+    # kind may be any JSON value here, including unhashable ones
+    cls = _KINDS.get(kind) if isinstance(kind, str) else None
     if cls is None:
         raise ValidationFailed(f"unknown message kind {kind!r}")
     body = doc.get("body")

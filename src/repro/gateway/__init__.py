@@ -1,0 +1,76 @@
+"""repro.gateway — the assignment service over a TCP socket.
+
+The network layer the API package was built for: :mod:`repro.api`'s
+schema-versioned wire form (``to_wire``/``from_wire``) framed as
+length-prefixed JSON over asyncio TCP, with any backend — in-process,
+sharded engine, or multiprocess cluster — behind it. Nothing backend
+changes; the conformance suite proves a remote client gets bit-identical
+assignments to an in-process one.
+
+* **protocol** — sans-IO framing (4-byte big-endian length + UTF-8 JSON,
+  8 MiB ceiling), the ``hello``/``welcome``/``goodbye`` handshake with
+  api-version negotiation, and stable error codes for every kind of
+  damage (junk, truncation, oversize, version skew);
+* **server** — :class:`GatewayServer`: per-connection sessions behind a
+  handshake, all backend calls serialized on one dispatch thread,
+  bounded in-flight work with TCP backpressure, optional token-bucket
+  admission, structured errors over the wire, graceful drain; plus
+  :func:`serve_gateway` to run one on a daemon thread from sync code;
+* **remote** — :class:`RemoteBackend`: the gateway connection as a
+  regular :class:`~repro.api.backends.Backend`, so an unmodified
+  :class:`~repro.api.client.AssignmentClient` talks to a remote service.
+
+Quick start::
+
+    from repro.api import AssignmentClient, ServiceSpec
+    from repro.gateway import GatewayConfig, RemoteBackend, serve_gateway
+    from repro.geometry import Box
+
+    spec = ServiceSpec(region=Box.square(200.0), shards=(2, 2), seed=0)
+    with serve_gateway(GatewayConfig(spec=spec, backend="sharded")) as gw:
+        with AssignmentClient(RemoteBackend(spec, address=gw.address)) as c:
+            c.register_worker(0, (10.0, 20.0))
+            worker = c.submit_task(0, (12.0, 21.0))
+
+CLI::
+
+    python -m repro.gateway --smoke             # remote-parity gate (CI)
+    python -m repro.gateway --serve --port 7713 # real server, Ctrl-C to stop
+"""
+
+from .protocol import (
+    GATEWAY_SCHEMA,
+    GATEWAY_VERSION,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    encode_frame,
+    decode_payload,
+    goodbye_doc,
+    hello_doc,
+    negotiate_version,
+    parse_hello,
+    parse_welcome,
+    welcome_doc,
+)
+from .remote import RemoteBackend
+from .server import GatewayConfig, GatewayServer, Session, serve_gateway
+
+__all__ = [
+    "GATEWAY_SCHEMA",
+    "GATEWAY_VERSION",
+    "MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "GatewayConfig",
+    "GatewayServer",
+    "RemoteBackend",
+    "Session",
+    "decode_payload",
+    "encode_frame",
+    "goodbye_doc",
+    "hello_doc",
+    "negotiate_version",
+    "parse_hello",
+    "parse_welcome",
+    "serve_gateway",
+    "welcome_doc",
+]

@@ -1,0 +1,279 @@
+"""The gateway wire protocol: framing and handshake, sans-IO.
+
+Everything that crosses a gateway socket is a *frame*: a 4-byte
+big-endian unsigned payload length followed by that many bytes of UTF-8
+JSON encoding one ``dict`` document. Two document schemas travel inside
+frames:
+
+* ``repro.gateway`` v1 — connection lifecycle: the client's ``hello``
+  (advertising the :mod:`repro.api` wire versions it speaks), the
+  server's ``welcome`` (the negotiated version plus a session id), and
+  ``goodbye`` in either direction;
+* ``repro.api`` v1 — every request/response after the handshake is the
+  unmodified :func:`repro.api.to_wire` document; failures come back as
+  the api ``error`` kind (:class:`~repro.api.messages.ErrorInfo`), so
+  the error envelope *is* the existing structured error taxonomy.
+
+This module is deliberately socket-free: :func:`encode_frame`,
+:class:`FrameDecoder` and the handshake builders/parsers operate on
+bytes and dicts only, which is what lets the fuzz suite drive them with
+junk, truncated and oversized input without a running server. Every
+malformed input maps to a stable :mod:`repro.api.errors` code —
+``invalid-request`` for framing/structure damage, ``unsupported-version``
+for version skew — never a bare ``KeyError``/``UnicodeDecodeError``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from ..api.errors import UnsupportedVersion, ValidationFailed
+from ..api.messages import WIRE_VERSION
+
+__all__ = [
+    "GATEWAY_SCHEMA",
+    "GATEWAY_VERSION",
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "check_frame_length",
+    "encode_frame",
+    "decode_payload",
+    "FrameDecoder",
+    "hello_doc",
+    "welcome_doc",
+    "goodbye_doc",
+    "is_gateway_doc",
+    "parse_hello",
+    "parse_welcome",
+    "negotiate_version",
+]
+
+GATEWAY_SCHEMA = "repro.gateway"
+GATEWAY_VERSION = 1
+
+#: Frame header: one big-endian u32 payload length.
+HEADER = struct.Struct(">I")
+
+#: Hard frame ceiling. Reports for thousands of shards fit in well under
+#: a megabyte; anything near this limit is a protocol error or an attack.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def check_frame_length(length: int, *, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Validate a decoded length prefix — the one copy of the rule.
+
+    Every reader of the length header (the sans-IO decoder, the server's
+    stream reader, the client transport) funnels through here, so the
+    valid range cannot drift between them.
+    """
+    if length == 0 or length > max_frame_bytes:
+        raise ValidationFailed(
+            f"frame of {length} bytes outside the valid range "
+            f"1..{max_frame_bytes}"
+        )
+
+
+def encode_frame(doc: dict, *, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one document to a length-prefixed JSON frame."""
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame_bytes:
+        raise ValidationFailed(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame limit"
+        )
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame payload; structured failure on any damage."""
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ValidationFailed(
+            f"frame payload is not valid JSON: {type(exc).__name__}: {exc}"
+        ) from exc
+    if not isinstance(doc, dict):
+        raise ValidationFailed(
+            f"frame payload must encode an object, got {type(doc).__name__}"
+        )
+    return doc
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte-chunk stream.
+
+    Feed it whatever the transport produced — half a header, three frames
+    at once — and it yields complete documents as they close. Length
+    damage (zero or oversized prefixes) and payload damage (junk bytes,
+    invalid JSON) raise :class:`~repro.api.errors.ValidationFailed`; a
+    raising decoder is poisoned and the connection it served cannot be
+    resynchronized (the length prefix that framed the stream is the thing
+    that lied).
+    """
+
+    def __init__(self, *, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buf = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet closing a frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb ``data``; return every frame it completed, in order."""
+        self._buf += data
+        frames: list[dict] = []
+        while len(self._buf) >= HEADER.size:
+            (length,) = HEADER.unpack_from(self._buf)
+            check_frame_length(length, max_frame_bytes=self.max_frame_bytes)
+            if len(self._buf) < HEADER.size + length:
+                break
+            payload = bytes(self._buf[HEADER.size : HEADER.size + length])
+            del self._buf[: HEADER.size + length]
+            frames.append(decode_payload(payload))
+        return frames
+
+    def check_eof(self) -> None:
+        """Assert the stream ended on a frame boundary.
+
+        Call when the transport reports EOF: leftover buffered bytes mean
+        the peer died (or was cut) mid-frame — a truncated frame, which
+        must surface as a structured error, not silence.
+        """
+        if self._buf:
+            raise ValidationFailed(
+                f"connection ended mid-frame with {len(self._buf)} "
+                "buffered bytes"
+            )
+
+
+# --------------------------------------------------------------------- #
+# handshake documents                                                    #
+# --------------------------------------------------------------------- #
+
+
+def _gateway_doc(kind: str, body: dict) -> dict:
+    return {
+        "schema": GATEWAY_SCHEMA,
+        "version": GATEWAY_VERSION,
+        "kind": kind,
+        "body": body,
+    }
+
+
+def hello_doc(
+    api_versions=(WIRE_VERSION,), client: str = "repro.gateway.remote"
+) -> dict:
+    """The client's opening frame: the api wire versions it can speak."""
+    return _gateway_doc(
+        "hello",
+        {"api_versions": [int(v) for v in api_versions], "client": str(client)},
+    )
+
+
+def welcome_doc(api_version: int, backend: str, session: int) -> dict:
+    """The server's handshake answer: negotiated version + session id."""
+    return _gateway_doc(
+        "welcome",
+        {
+            "api_version": int(api_version),
+            "backend": str(backend),
+            "session": int(session),
+        },
+    )
+
+
+def goodbye_doc(reason: str = "") -> dict:
+    """A polite close, sent by either side (server: on graceful drain)."""
+    return _gateway_doc("goodbye", {"reason": str(reason)})
+
+
+def is_gateway_doc(doc) -> bool:
+    """Whether ``doc`` belongs to the gateway (vs api) schema."""
+    return isinstance(doc, dict) and doc.get("schema") == GATEWAY_SCHEMA
+
+
+def _check_gateway_envelope(doc: dict, kind: str) -> dict:
+    if not isinstance(doc, dict):
+        raise ValidationFailed(
+            f"handshake document must be an object, got {type(doc).__name__}"
+        )
+    schema = doc.get("schema")
+    if schema != GATEWAY_SCHEMA:
+        raise UnsupportedVersion(
+            f"foreign handshake schema {schema!r} "
+            f"(this gateway speaks {GATEWAY_SCHEMA!r})"
+        )
+    version = doc.get("version")
+    if not isinstance(version, int) or version < 1 or version > GATEWAY_VERSION:
+        raise UnsupportedVersion(
+            f"gateway protocol version {version!r} outside supported "
+            f"range 1..{GATEWAY_VERSION}"
+        )
+    if doc.get("kind") != kind:
+        raise ValidationFailed(
+            f"expected a {kind!r} handshake frame, got {doc.get('kind')!r}"
+        )
+    body = doc.get("body")
+    if not isinstance(body, dict):
+        raise ValidationFailed("handshake body must be an object")
+    return body
+
+
+def negotiate_version(client_versions) -> int:
+    """Pick the highest api wire version both sides speak.
+
+    The server side of schema-version negotiation: the client advertises
+    everything it can parse, the server owns the decision. No overlap is
+    an ``unsupported-version`` failure, answered before any api document
+    is interpreted.
+    """
+    # strings are iterable and would "negotiate" from their digit
+    # characters; only genuine collections of ints are an offer
+    if isinstance(client_versions, (str, bytes, dict)):
+        raise ValidationFailed(
+            f"api_versions must be a list of ints, got {client_versions!r}"
+        )
+    try:
+        offered = {int(v) for v in client_versions}
+    except (TypeError, ValueError):
+        raise ValidationFailed(
+            f"api_versions must be a list of ints, got {client_versions!r}"
+        ) from None
+    supported = set(range(1, WIRE_VERSION + 1))
+    common = offered & supported
+    if not common:
+        raise UnsupportedVersion(
+            f"client speaks api versions {sorted(offered)}, server "
+            f"supports {sorted(supported)}: no common version"
+        )
+    return max(common)
+
+
+def parse_hello(doc: dict) -> tuple[int, str]:
+    """Validate a ``hello``; returns ``(negotiated api version, client)``."""
+    body = _check_gateway_envelope(doc, "hello")
+    if "api_versions" not in body:
+        raise ValidationFailed("hello body is missing api_versions")
+    return negotiate_version(body["api_versions"]), str(body.get("client", ""))
+
+
+def parse_welcome(doc: dict) -> tuple[int, str, int]:
+    """Validate a ``welcome``; returns ``(api version, backend, session)``."""
+    body = _check_gateway_envelope(doc, "welcome")
+    try:
+        version = int(body["api_version"])
+        backend = str(body["backend"])
+        session = int(body["session"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationFailed(
+            f"malformed welcome body: {type(exc).__name__}: {exc}"
+        ) from exc
+    if version < 1 or version > WIRE_VERSION:
+        raise UnsupportedVersion(
+            f"server negotiated api version {version}, this client "
+            f"supports 1..{WIRE_VERSION}"
+        )
+    return version, backend, session

@@ -1,0 +1,211 @@
+"""The client-side transport: a gateway connection as a ``Backend``.
+
+:class:`RemoteBackend` satisfies the :class:`~repro.api.backends.Backend`
+contract over a TCP connection, so an unmodified
+:class:`~repro.api.client.AssignmentClient` — sync calls, batches,
+streaming windows, middleware and all — gains network access just by
+being handed one. ``open()`` connects and handshakes (schema-version
+negotiation included), ``handle()`` writes one frame and blocks for one
+response frame, ``close()`` says goodbye.
+
+Error discipline: a structured error answered by the server (the api
+``error`` kind) is re-raised locally as the matching
+:class:`~repro.api.errors.ApiError` subclass — same codes, same
+``retryable`` hints as in-process. Transport failures (refused, reset,
+timed out, server draining) raise the retryable
+:class:`~repro.api.errors.BackendUnavailable`.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..api.backends import BackendBase, ServiceSpec
+from ..api.errors import BackendUnavailable, ValidationFailed, error_from_info
+from ..api.messages import ErrorInfo, WIRE_VERSION, from_wire, to_wire
+from .protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    check_frame_length,
+    decode_payload,
+    encode_frame,
+    goodbye_doc,
+    hello_doc,
+    is_gateway_doc,
+    parse_welcome,
+)
+
+__all__ = ["RemoteBackend"]
+
+
+class RemoteBackend(BackendBase):
+    """A remote gateway behind the in-process backend contract.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.api.backends.ServiceSpec` the *server* was
+        configured with, or ``None``. The spec never crosses the wire —
+        the server owns its backend — but carrying it keeps remote and
+        in-process backends interchangeable in code that reads
+        ``backend.spec``.
+    address:
+        The gateway's ``(host, port)``.
+    connect_timeout / call_timeout:
+        Socket deadlines for connecting and for each request round trip.
+        A cluster-served flush barrier can legitimately take a while, so
+        the call deadline is generous by default.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        spec: ServiceSpec | None = None,
+        *,
+        address: tuple[str, int],
+        connect_timeout: float = 10.0,
+        call_timeout: float = 300.0,
+        client_name: str = "repro.gateway.remote",
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        super().__init__(spec)
+        self.address = (str(address[0]), int(address[1]))
+        self.connect_timeout = float(connect_timeout)
+        self.call_timeout = float(call_timeout)
+        self.client_name = str(client_name)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.api_version: int | None = None
+        self.session: int | None = None
+        self.server_backend: str | None = None
+        self._sock: socket.socket | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _open(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                self.address, timeout=self.connect_timeout
+            )
+            self._sock.settimeout(self.call_timeout)
+            self._send_doc(
+                hello_doc(
+                    api_versions=range(1, WIRE_VERSION + 1),
+                    client=self.client_name,
+                )
+            )
+            doc = self._recv_doc()
+            if not is_gateway_doc(doc):
+                # the server refused the handshake with a structured error
+                response = from_wire(doc)
+                if isinstance(response, ErrorInfo):
+                    raise error_from_info(response)
+                raise BackendUnavailable(
+                    f"gateway answered the handshake with {doc.get('kind')!r}"
+                )
+            self.api_version, self.server_backend, self.session = parse_welcome(doc)
+        except OSError as exc:
+            self._drop()
+            raise BackendUnavailable(
+                f"cannot reach gateway at {self.address[0]}:{self.address[1]}: {exc}"
+            ) from exc
+        except Exception:
+            # a malformed/version-skewed welcome must not leak the socket
+            self._drop()
+            raise
+
+    def _close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._send_doc(goodbye_doc("client closing"))
+            except OSError:
+                pass
+            self._drop()
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    # ------------------------------------------------------------------ #
+    # dispatch                                                            #
+    # ------------------------------------------------------------------ #
+
+    def handle(self, request):
+        """One request frame out, one response frame back.
+
+        Overrides the verb-method dispatch of :class:`BackendBase`
+        wholesale: every request — batches and stream envelopes included
+        — is a single ``to_wire`` document on the socket, and the
+        server's backend applies its own transport-level batching (a
+        cluster-served batch still gets chunked dispatch).
+
+        Once the connection has been lost (reset, drain, frame damage)
+        every further call fails with the same retryable
+        :class:`BackendUnavailable` — the session's server-side state is
+        gone, so "retry" means a fresh ``RemoteBackend``, never a silent
+        reconnect that would hide the discontinuity.
+        """
+        self._ensure_open()
+        if self._sock is None:
+            raise BackendUnavailable(
+                "gateway connection was lost; open a new RemoteBackend"
+            )
+        try:
+            self._send_doc(to_wire(request))
+            doc = self._recv_doc()
+        except OSError as exc:
+            self._drop()
+            raise BackendUnavailable(
+                f"gateway connection lost mid-call: {exc}"
+            ) from exc
+        if is_gateway_doc(doc):
+            self._drop()
+            reason = ""
+            if isinstance(doc.get("body"), dict):
+                reason = str(doc["body"].get("reason", ""))
+            raise BackendUnavailable(
+                f"gateway closed the session ({reason or 'no reason given'})"
+            )
+        response = from_wire(doc)
+        if isinstance(response, ErrorInfo):
+            raise error_from_info(response)
+        return response
+
+    # ------------------------------------------------------------------ #
+    # frame IO                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _send_doc(self, doc: dict) -> None:
+        self._sock.sendall(
+            encode_frame(doc, max_frame_bytes=self.max_frame_bytes)
+        )
+
+    def _recv_doc(self) -> dict:
+        header = self._recv_exact(HEADER.size)
+        (length,) = HEADER.unpack(header)
+        try:
+            check_frame_length(length, max_frame_bytes=self.max_frame_bytes)
+        except ValidationFailed as exc:
+            # a server that misframes is unusable, not merely wrong
+            self._drop()
+            raise BackendUnavailable(
+                f"gateway sent an invalid frame: {exc}"
+            ) from exc
+        return decode_payload(self._recv_exact(length))
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < n:
+            chunk = self._sock.recv(n - len(chunks))
+            if not chunk:
+                raise ConnectionError(
+                    f"gateway closed the connection mid-frame "
+                    f"({len(chunks)}/{n} bytes)"
+                )
+            chunks += chunk
+        return bytes(chunks)

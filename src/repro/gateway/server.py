@@ -1,0 +1,456 @@
+"""The asyncio TCP gateway: many remote clients, one assignment backend.
+
+:class:`GatewayServer` listens on a TCP socket, performs the
+:mod:`~repro.gateway.protocol` handshake per connection, and serves
+framed :mod:`repro.api` wire documents against any configured backend —
+in-process, sharded or cluster — through the same middleware chain the
+in-process :class:`~repro.api.client.AssignmentClient` uses. Design
+points:
+
+* **one dispatch thread** — backends are synchronous and not
+  thread-safe, so every backend call runs on a single-worker executor;
+  the event loop stays free to read/write frames for all connections
+  while one request executes. Request order *within* a connection is
+  the arrival order (a connection reads its next frame only after
+  answering the previous one — the request/response discipline the
+  conformance suite's bit-identical guarantee rides on);
+* **bounded in-flight work** — an :class:`asyncio.Semaphore` caps
+  requests queued for the dispatch thread across all connections; a
+  connection over the cap simply isn't read from, so backpressure
+  propagates to the client through TCP. An optional server-side
+  :class:`~repro.api.middleware.TokenBucket` adds admission control on
+  top (rejections travel back as retryable ``rate-limited`` errors);
+* **structured failure** — anything a request provokes, from malformed
+  JSON to a backend exception, is answered as the api ``error`` kind
+  with its stable code. Only framing damage (a lying length prefix)
+  closes the connection, because a byte stream behind a broken frame
+  cannot be resynchronized;
+* **graceful drain** — :meth:`GatewayServer.stop` stops accepting,
+  lets every in-flight request finish, sends ``goodbye`` to idle
+  connections and closes the backend last.
+
+:func:`serve_gateway` runs the whole thing on a daemon thread with its
+own event loop — the bridge that lets synchronous tests, benchmarks and
+examples stand up a loopback gateway in one ``with`` statement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..api.backends import ServiceSpec, make_backend
+from ..api.errors import ApiError, map_exception
+from ..api.messages import from_wire, to_wire
+from ..api.middleware import (
+    ErrorMapper,
+    LatencyMetrics,
+    RequestValidator,
+    TokenBucket,
+    build_stack,
+)
+from .protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    check_frame_length,
+    decode_payload,
+    encode_frame,
+    goodbye_doc,
+    is_gateway_doc,
+    parse_hello,
+    welcome_doc,
+)
+
+__all__ = ["GatewayConfig", "GatewayServer", "Session", "serve_gateway"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Everything needed to stand up a gateway over one backend.
+
+    ``backend``/``backend_kwargs`` name what the gateway serves (any
+    :func:`~repro.api.backends.make_backend` kind plus its transport
+    knobs — e.g. ``{"n_procs": 4}`` for a cluster). ``rate``/``burst``
+    enable server-side token-bucket admission control when ``rate`` is
+    set. ``port=0`` binds an ephemeral port, published as
+    :attr:`GatewayServer.address` once the listener is up.
+    """
+
+    spec: ServiceSpec
+    backend: str = "sharded"
+    backend_kwargs: dict = field(default_factory=dict)
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 32
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    rate: float | None = None
+    burst: int = 256
+    handshake_timeout: float = 10.0
+    drain_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_frame_bytes < HEADER.size:
+            raise ValueError("max_frame_bytes is too small to frame anything")
+
+    def build_backend(self):
+        return make_backend(self.backend, self.spec, **self.backend_kwargs)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (deployment/run-config files).
+
+        ``backend_kwargs`` must hold JSON-pure values for this to round
+        trip (the cluster's numeric knobs do; a live ``balancer`` object
+        does not and belongs to code-constructed configs only).
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "backend": self.backend,
+            "backend_kwargs": dict(self.backend_kwargs),
+            "host": self.host,
+            "port": self.port,
+            "max_inflight": self.max_inflight,
+            "max_frame_bytes": self.max_frame_bytes,
+            "rate": self.rate,
+            "burst": self.burst,
+            "handshake_timeout": self.handshake_timeout,
+            "drain_timeout": self.drain_timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GatewayConfig":
+        data = dict(payload)
+        data["spec"] = ServiceSpec.from_dict(data["spec"])
+        return cls(**data)
+
+
+@dataclass
+class Session:
+    """Per-connection state, created at ``welcome``, dropped at close."""
+
+    id: int
+    peer: tuple
+    api_version: int = 0
+    client: str = ""
+    requests: int = 0
+    errors: int = 0
+
+
+class _Disconnect(Exception):
+    """The peer went away; ``clean`` is False for a mid-frame cut."""
+
+    def __init__(self, clean: bool) -> None:
+        super().__init__("client disconnected")
+        self.clean = clean
+
+
+class GatewayServer:
+    """One TCP listener multiplexing remote clients onto one backend.
+
+    Parameters
+    ----------
+    config:
+        The :class:`GatewayConfig`; names the backend to build unless an
+        already-constructed ``backend`` is supplied.
+    backend:
+        An optional prebuilt backend instance (tests hand the server a
+        :class:`~repro.api.backends.ClusterBackend` they keep a handle
+        on for fault injection). The server owns its lifecycle either
+        way: ``open()`` on start, ``close()`` on stop.
+    middleware:
+        Override the server-side chain. The default is validation →
+        optional token bucket → latency metrics → error mapping, i.e.
+        the same onion an in-process client builds, now applied once at
+        the server so every remote client shares one admission budget.
+    """
+
+    def __init__(self, config: GatewayConfig, *, backend=None, middleware=None):
+        self.config = config
+        self.backend = backend if backend is not None else config.build_backend()
+        self.metrics = LatencyMetrics()
+        self.bucket = (
+            TokenBucket(config.rate, config.burst)
+            if config.rate is not None
+            else None
+        )
+        if middleware is None:
+            middleware = [RequestValidator()]
+            if self.bucket is not None:
+                middleware.append(self.bucket)
+            middleware += [self.metrics, ErrorMapper()]
+        self._handler = build_stack(self.backend.handle, list(middleware))
+        self.sessions: dict[int, Session] = {}
+        self.stats = {
+            "sessions": 0,
+            "frames": 0,
+            "responses": 0,
+            "errors": 0,
+            "truncated": 0,
+            "rejected_handshakes": 0,
+        }
+        self.address: tuple[str, int] | None = None
+        self._session_ids = itertools.count(1)
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._inflight: asyncio.Semaphore | None = None
+        self._drain_event: asyncio.Event | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="gateway-backend"
+        )
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Open the backend (HST builds, process spawns) and listen."""
+        self._loop = asyncio.get_running_loop()
+        self._inflight = asyncio.Semaphore(self.config.max_inflight)
+        self._drain_event = asyncio.Event()
+        # the backend lives on the dispatch thread from first breath:
+        # open() there too, so thread-affine state (cluster pipes) never
+        # crosses threads
+        await self._loop.run_in_executor(self._executor, self.backend.open)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self) -> None:
+        """Graceful drain: finish in-flight work, close everything.
+
+        Safe to call whether or not :meth:`start` completed — a server
+        whose startup failed (or never ran) must still close its backend
+        (a half-opened cluster holds worker processes) and reap the
+        dispatch executor.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._drain_event is not None:
+            self._drain_event.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = list(self._conn_tasks)
+        if tasks:
+            done, pending = await asyncio.wait(
+                tasks, timeout=self.config.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self.backend.close)
+        self._executor.shutdown(wait=True)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``--serve`` CLI path)."""
+        await self.start()
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # connection handling                                                 #
+    # ------------------------------------------------------------------ #
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            await self._session(reader, writer)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # a broken connection must never take the server down; the
+            # stats record that something non-protocol went wrong
+            self.stats["errors"] += 1
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _session(self, reader, writer) -> None:
+        session = Session(
+            id=next(self._session_ids),
+            peer=tuple(writer.get_extra_info("peername") or ())[:2],
+        )
+        # -- handshake -------------------------------------------------- #
+        try:
+            doc = await asyncio.wait_for(
+                self._read_frame(reader), self.config.handshake_timeout
+            )
+            session.api_version, session.client = parse_hello(doc)
+        except (_Disconnect, asyncio.TimeoutError):
+            self.stats["rejected_handshakes"] += 1
+            return
+        except ApiError as exc:
+            self.stats["rejected_handshakes"] += 1
+            await self._write(writer, to_wire(exc.info()))
+            return
+        self.stats["sessions"] += 1
+        self.sessions[session.id] = session
+        await self._write(
+            writer, welcome_doc(session.api_version, self.backend.name, session.id)
+        )
+        # -- request loop ----------------------------------------------- #
+        drain_wait = asyncio.ensure_future(self._drain_event.wait())
+        try:
+            while True:
+                read = asyncio.ensure_future(self._read_frame(reader))
+                await asyncio.wait(
+                    {read, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not read.done():
+                    # draining while this connection sat idle: no request
+                    # is in flight, so it can be told goodbye and closed
+                    read.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await read
+                    await self._write(writer, goodbye_doc("gateway draining"))
+                    return
+                try:
+                    doc = read.result()
+                except _Disconnect as exc:
+                    if not exc.clean:
+                        self.stats["truncated"] += 1
+                    return
+                except ApiError as exc:
+                    # framing damage: answer with the structured error,
+                    # then close — the stream cannot be resynchronized
+                    self.stats["errors"] += 1
+                    session.errors += 1
+                    await self._write(writer, to_wire(exc.info()))
+                    return
+                if is_gateway_doc(doc):
+                    if doc.get("kind") == "goodbye":
+                        return
+                    self.stats["errors"] += 1
+                    await self._write(
+                        writer,
+                        to_wire(
+                            map_exception(
+                                ValueError(
+                                    "handshake already complete; expected an "
+                                    "api document"
+                                )
+                            ).info()
+                        ),
+                    )
+                    continue
+                await self._write(writer, await self._dispatch(doc, session))
+                if self._drain_event.is_set():
+                    await self._write(writer, goodbye_doc("gateway draining"))
+                    return
+        finally:
+            drain_wait.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await drain_wait
+            self.sessions.pop(session.id, None)
+
+    async def _dispatch(self, doc: dict, session: Session) -> dict:
+        """Serve one api wire document; always returns a response doc."""
+        try:
+            request = from_wire(doc)
+        except ApiError as exc:
+            self.stats["errors"] += 1
+            session.errors += 1
+            return to_wire(exc.info())
+        async with self._inflight:
+            try:
+                response = await self._loop.run_in_executor(
+                    self._executor, self._handler, request
+                )
+            except ApiError as exc:
+                self.stats["errors"] += 1
+                session.errors += 1
+                return to_wire(exc.info())
+            except Exception as exc:  # pragma: no cover - ErrorMapper's job
+                self.stats["errors"] += 1
+                session.errors += 1
+                return to_wire(map_exception(exc).info())
+        session.requests += 1
+        self.stats["responses"] += 1
+        return to_wire(response)
+
+    # ------------------------------------------------------------------ #
+    # frame IO                                                            #
+    # ------------------------------------------------------------------ #
+
+    async def _read_frame(self, reader) -> dict:
+        try:
+            header = await reader.readexactly(HEADER.size)
+        except (asyncio.IncompleteReadError, ConnectionError) as exc:
+            partial = getattr(exc, "partial", b"")
+            raise _Disconnect(clean=not partial) from None
+        (length,) = HEADER.unpack(header)
+        check_frame_length(length, max_frame_bytes=self.config.max_frame_bytes)
+        try:
+            payload = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            raise _Disconnect(clean=False) from None
+        self.stats["frames"] += 1
+        return decode_payload(payload)
+
+    async def _write(self, writer, doc: dict) -> None:
+        writer.write(
+            encode_frame(doc, max_frame_bytes=self.config.max_frame_bytes)
+        )
+        with contextlib.suppress(ConnectionError):
+            await writer.drain()
+
+
+@contextlib.contextmanager
+def serve_gateway(
+    config: GatewayConfig | None = None,
+    *,
+    backend=None,
+    server: GatewayServer | None = None,
+    startup_timeout: float = 120.0,
+):
+    """Run a gateway on a daemon thread; yields the started server.
+
+    The synchronous world's door into the asyncio gateway: spins up a
+    private event loop thread, starts the server (backend open included),
+    yields it with :attr:`~GatewayServer.address` resolved, and on exit
+    drains and stops it — server teardown survives exceptions in the
+    body. Used by the conformance suite, the fault-injection tests, the
+    smoke CLI and the throughput benchmark.
+    """
+    if server is None:
+        server = GatewayServer(config, backend=backend)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=_run_loop, args=(loop,), name="repro-gateway", daemon=True
+    )
+    thread.start()
+    try:
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(
+            timeout=startup_timeout
+        )
+        yield server
+    finally:
+        with contextlib.suppress(Exception):
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result(
+                timeout=server.config.drain_timeout + startup_timeout
+            )
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10.0)
+        loop.close()
+
+
+def _run_loop(loop: asyncio.AbstractEventLoop) -> None:
+    asyncio.set_event_loop(loop)
+    loop.run_forever()

@@ -4,6 +4,21 @@ Everything in this repository that consumes randomness accepts a ``seed``
 argument which may be ``None`` (fresh entropy), an ``int`` (reproducible),
 or an already-constructed :class:`numpy.random.Generator` (shared stream).
 :func:`ensure_rng` normalizes all three cases.
+
+**The "keyed" seeding convention.** Distributed pieces of one logical
+service must not derive their randomness from placement, spawn order or
+shard count — otherwise two deployments of the same spec diverge.
+:func:`keyed_shard_seed` is the repo-wide convention: a shard's RNG seed
+is a pure function of ``(root seed, routing key)`` and nothing else. The
+cluster coordinator, the engine's ``seeding="keyed"`` mode, the API's
+in-process backend and any gateway-served deployment all call it with
+the same keys (``"s0"``, ``"s3"``, split sub-shards ``"s3/1"``, ...),
+which is what makes cross-backend — and cross-*process*, over a socket —
+assignment parity possible. Its exact outputs are part of the
+compatibility surface (snapshots and journals recorded by one version
+must replay identically on the next), so they are pinned by a
+regression test; changing the derivation is a breaking change to every
+stored snapshot and must come with a version bump.
 """
 
 from __future__ import annotations

@@ -4,8 +4,9 @@ The acceptance gate of the API redesign: the same
 :class:`~repro.api.ServiceSpec` and request stream must produce
 bit-identical ``(task, worker)`` assignments — and matching report
 counters/audit values — whether served by the in-process reference, the
-sharded engine, or the multiprocess cluster (including across cluster
-checkpoint barriers and odd dispatch-chunk boundaries).
+sharded engine, the multiprocess cluster (including across cluster
+checkpoint barriers and odd dispatch-chunk boundaries), or a remote
+client speaking the framed wire protocol over a real loopback socket.
 """
 
 import pytest
@@ -16,6 +17,7 @@ from repro.api.conformance import (
     check_parity,
     run_backend,
     run_conformance,
+    run_remote_backend,
 )
 from repro.geometry import Box
 
@@ -39,7 +41,7 @@ def spec_for(shards) -> ServiceSpec:
 
 
 class TestConformance:
-    def test_all_three_backends_agree_unsharded(self):
+    def test_all_four_backends_agree_unsharded(self):
         result = run_conformance(
             spec_for((1, 1)),
             requests=build_conformance_stream(REGION, 60, 45, seed=7),
@@ -49,18 +51,41 @@ class TestConformance:
             "inprocess",
             "sharded",
             "cluster",
+            "remote",
         ]
         assert result.ok, "\n".join(result.problems)
         assert len(result.runs[0].assignments) > 0
 
-    def test_sharded_and_cluster_agree_on_lattice(self):
+    def test_lattice_backends_agree_including_remote(self):
         result = run_conformance(
             spec_for((2, 2)),
             requests=build_conformance_stream(REGION, 80, 60, seed=3),
             backend_kwargs=CLUSTER_KWARGS,
         )
-        assert [run.name for run in result.runs] == ["sharded", "cluster"]
+        assert [run.name for run in result.runs] == [
+            "sharded",
+            "cluster",
+            "remote",
+        ]
         assert result.ok, "\n".join(result.problems)
+
+    def test_remote_over_cluster_matches_with_barriers(self):
+        """The hardest deployment shape: a remote client over loopback,
+        the gateway serving the multiprocess cluster with odd chunk
+        joints and frequent checkpoint barriers. Still bit-identical."""
+        spec = spec_for((2, 2))
+        stream = build_conformance_stream(REGION, 60, 45, seed=13)
+        local = run_backend(
+            make_backend("sharded", spec), stream, window=16
+        )
+        remote = run_remote_backend(
+            spec,
+            stream,
+            window=16,
+            backend="cluster",
+            backend_kwargs=CLUSTER_KWARGS["cluster"],
+        )
+        assert check_parity([local, remote]) == [], "remote-over-cluster diverged"
 
     def test_inprocess_skipped_on_lattice_specs(self):
         result = run_conformance(

@@ -1,0 +1,568 @@
+"""Gateway hardening: protocol, lifecycle, faults, remote parity.
+
+The seam this suite covers only exists once bytes cross a socket: frame
+damage, version skew, half-dead clients, a SIGKILLed cluster worker
+*behind* the gateway. Everything must surface as stable
+:mod:`repro.api.errors` codes over the wire — never as a wedged server —
+and assignments must stay bit-identical to the in-process backends.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.api import (
+    AdmissionRejected,
+    AssignmentClient,
+    BackendUnavailable,
+    Batch,
+    ClusterBackend,
+    RegisterWorker,
+    RequestRejected,
+    ServiceSpec,
+    SubmitTask,
+    TaskDecision,
+    UnsupportedVersion,
+    ValidationFailed,
+    to_wire,
+)
+from repro.api.conformance import build_conformance_stream, run_backend
+from repro.api.errors import error_from_info
+from repro.api.messages import ErrorInfo
+from repro.gateway import (
+    GATEWAY_SCHEMA,
+    FrameDecoder,
+    GatewayConfig,
+    RemoteBackend,
+    encode_frame,
+    hello_doc,
+    negotiate_version,
+    parse_hello,
+    parse_welcome,
+    serve_gateway,
+    welcome_doc,
+)
+from repro.gateway.protocol import HEADER
+from repro.geometry import Box
+
+REGION = Box.square(200.0)
+
+
+def small_spec(shards=(2, 2), seed=11) -> ServiceSpec:
+    return ServiceSpec(
+        region=REGION, shards=shards, grid_nx=6, batch_size=8, seed=seed
+    )
+
+
+# --------------------------------------------------------------------- #
+# raw-socket helpers (deliberately not RemoteBackend: these tests need   #
+# to misbehave in ways the well-mannered transport never would)          #
+# --------------------------------------------------------------------- #
+
+
+def send_frame(sock: socket.socket, doc: dict) -> None:
+    sock.sendall(encode_frame(doc))
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    from repro.gateway import decode_payload
+
+    def read_exact(n: int) -> bytes:
+        buf = bytearray()
+        while len(buf) < n:
+            chunk = sock.recv(n - len(buf))
+            assert chunk, f"server closed mid-frame ({len(buf)}/{n})"
+            buf += chunk
+        return bytes(buf)
+
+    (length,) = HEADER.unpack(read_exact(HEADER.size))
+    return decode_payload(read_exact(length))
+
+
+def raw_handshake(address) -> socket.socket:
+    sock = socket.create_connection(address, timeout=10.0)
+    sock.settimeout(10.0)
+    send_frame(sock, hello_doc())
+    welcome = recv_frame(sock)
+    assert welcome["kind"] == "welcome"
+    return sock
+
+
+def wait_until(predicate, timeout: float = 10.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {what}")
+        time.sleep(0.01)
+
+
+# --------------------------------------------------------------------- #
+# protocol (sans-IO)                                                     #
+# --------------------------------------------------------------------- #
+
+
+class TestFraming:
+    def test_frame_round_trip_through_decoder(self):
+        docs = [to_wire(RegisterWorker(worker_id=i, location=(1.0, 2.0))) for i in range(3)]
+        blob = b"".join(encode_frame(d) for d in docs)
+        decoder = FrameDecoder()
+        assert decoder.feed(blob) == docs
+        assert decoder.buffered == 0
+        decoder.check_eof()  # boundary: no complaint
+
+    def test_byte_at_a_time_feeding(self):
+        doc = to_wire(SubmitTask(task_id=9, location=(3.0, 4.0), time=1.5))
+        frames = []
+        decoder = FrameDecoder()
+        for byte in encode_frame(doc):
+            frames += decoder.feed(bytes([byte]))
+        assert frames == [doc]
+
+    def test_zero_length_frame_is_invalid_request(self):
+        with pytest.raises(ValidationFailed) as err:
+            FrameDecoder().feed(HEADER.pack(0))
+        assert err.value.code == "invalid-request"
+
+    def test_oversized_frame_is_invalid_request(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        with pytest.raises(ValidationFailed):
+            decoder.feed(HEADER.pack(65))
+        with pytest.raises(ValidationFailed):
+            encode_frame({"pad": "x" * 128}, max_frame_bytes=64)
+
+    def test_junk_payload_is_invalid_request(self):
+        junk = b"\xff\xfe not json at all"
+        with pytest.raises(ValidationFailed):
+            FrameDecoder().feed(HEADER.pack(len(junk)) + junk)
+
+    def test_non_object_payload_is_invalid_request(self):
+        payload = b"[1,2,3]"
+        with pytest.raises(ValidationFailed):
+            FrameDecoder().feed(HEADER.pack(len(payload)) + payload)
+
+    def test_truncated_frame_detected_at_eof(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(hello_doc())[:-3]) == []
+        assert decoder.buffered > 0
+        with pytest.raises(ValidationFailed):
+            decoder.check_eof()
+
+
+class TestHandshake:
+    def test_hello_welcome_round_trip(self):
+        version, client = parse_hello(hello_doc(client="t"))
+        assert version == 1 and client == "t"
+        assert parse_welcome(welcome_doc(version, "sharded", 3)) == (
+            1,
+            "sharded",
+            3,
+        )
+
+    def test_negotiation_picks_highest_common(self):
+        assert negotiate_version([1, 7, 99]) == 1
+
+    def test_no_common_version_is_unsupported(self):
+        with pytest.raises(UnsupportedVersion) as err:
+            negotiate_version([99])
+        assert err.value.code == "unsupported-version"
+
+    def test_string_offer_is_rejected_not_iterated(self):
+        # "19" must not negotiate v1 from its digit characters
+        for bad in ("19", b"\x01", {"1": 1}):
+            with pytest.raises(ValidationFailed):
+                negotiate_version(bad)
+
+    def test_foreign_schema_is_unsupported(self):
+        doc = hello_doc()
+        doc["schema"] = "acme.rpc"
+        with pytest.raises(UnsupportedVersion):
+            parse_hello(doc)
+
+    def test_malformed_hello_is_invalid_request(self):
+        doc = hello_doc()
+        del doc["body"]["api_versions"]
+        with pytest.raises(ValidationFailed):
+            parse_hello(doc)
+
+
+class TestErrorInfoRoundTrip:
+    def test_every_code_rehydrates_to_its_class(self):
+        cases = [
+            ("invalid-request", ValidationFailed),
+            ("unsupported-version", UnsupportedVersion),
+            ("rate-limited", AdmissionRejected),
+            ("rejected", RequestRejected),
+            ("unavailable", BackendUnavailable),
+        ]
+        for code, cls in cases:
+            info = ErrorInfo(code=code, message="m", retryable=cls.retryable, detail="d")
+            exc = error_from_info(info)
+            assert type(exc) is cls
+            assert exc.code == code
+            assert exc.detail == "d"
+
+    def test_unknown_code_degrades_to_internal(self):
+        exc = error_from_info(ErrorInfo(code="from-the-future", message="m"))
+        assert exc.code == "internal"
+
+
+# --------------------------------------------------------------------- #
+# server + remote transport                                              #
+# --------------------------------------------------------------------- #
+
+
+class TestGatewayServing:
+    def test_remote_backend_matches_inprocess_assignments(self):
+        spec = small_spec(shards=(1, 1))
+        stream = build_conformance_stream(REGION, 40, 30, seed=5)
+        with serve_gateway(GatewayConfig(spec=spec, backend="inprocess")) as gw:
+            remote = run_backend(
+                RemoteBackend(spec, address=gw.address), stream, window=16
+            )
+        from repro.api import make_backend
+        from repro.api.conformance import check_parity
+
+        local = run_backend(make_backend("inprocess", spec), stream, window=16)
+        assert check_parity([local, remote]) == []
+        assert remote.assignments
+
+    def test_structured_error_crosses_the_wire(self):
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            with AssignmentClient(RemoteBackend(spec, address=gw.address)) as client:
+                client.register_worker(7, (10.0, 10.0))
+                with pytest.raises(RequestRejected) as err:
+                    client.register_worker(7, (10.0, 10.0))  # duplicate id
+                assert err.value.code == "rejected"
+                assert err.value.detail  # server-side traceback context rode along
+                # the session survives a request-level error
+                assert client.submit_task(0, (10.0, 10.0)) == 7
+
+    def test_client_side_validation_never_reaches_the_socket(self):
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            with AssignmentClient(RemoteBackend(spec, address=gw.address)) as client:
+                with pytest.raises(ValidationFailed):
+                    client.register_worker(-1, (0.0, 0.0))
+            assert gw.stats["errors"] == 0
+
+    def test_unknown_wire_version_gets_stable_code(self):
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            sock = raw_handshake(gw.address)
+            doc = to_wire(RegisterWorker(worker_id=1, location=(1.0, 1.0)))
+            doc["version"] = 99  # a future producer
+            send_frame(sock, doc)
+            reply = recv_frame(sock)
+            assert reply["kind"] == "error"
+            assert reply["body"]["code"] == "unsupported-version"
+            # connection still serves properly-versioned requests
+            send_frame(sock, to_wire(RegisterWorker(worker_id=1, location=(1.0, 1.0))))
+            assert recv_frame(sock)["kind"] == "worker_registered"
+            sock.close()
+
+    def test_junk_frame_answers_error_then_closes(self):
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            sock = raw_handshake(gw.address)
+            sock.sendall(HEADER.pack(0))  # lying length prefix
+            reply = recv_frame(sock)
+            assert reply["kind"] == "error"
+            assert reply["body"]["code"] == "invalid-request"
+            wait_until(lambda: sock.recv(1) == b"", what="server close")
+            sock.close()
+
+    def test_handshake_rejected_for_foreign_schema(self):
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            sock = socket.create_connection(gw.address, timeout=10.0)
+            sock.settimeout(10.0)
+            bad = hello_doc()
+            bad["schema"] = "acme.rpc"
+            send_frame(sock, bad)
+            reply = recv_frame(sock)
+            assert reply["kind"] == "error"
+            assert reply["body"]["code"] == "unsupported-version"
+            sock.close()
+            wait_until(
+                lambda: gw.stats["rejected_handshakes"] == 1,
+                what="handshake rejection count",
+            )
+            # a well-behaved client is unaffected
+            with AssignmentClient(RemoteBackend(spec, address=gw.address)) as c:
+                c.register_worker(0, (1.0, 1.0))
+
+    def test_request_before_handshake_is_refused(self):
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            sock = socket.create_connection(gw.address, timeout=10.0)
+            sock.settimeout(10.0)
+            send_frame(sock, to_wire(RegisterWorker(worker_id=1, location=(1.0, 1.0))))
+            reply = recv_frame(sock)
+            assert reply["kind"] == "error"
+            sock.close()
+
+    def test_token_bucket_rejections_are_retryable_over_the_wire(self):
+        spec = small_spec()
+        config = GatewayConfig(spec=spec, rate=1e-3, burst=2)
+        with serve_gateway(config) as gw:
+            with AssignmentClient(RemoteBackend(spec, address=gw.address)) as client:
+                client.register_worker(0, (1.0, 1.0))
+                client.register_worker(1, (2.0, 2.0))
+                with pytest.raises(AdmissionRejected) as err:
+                    client.register_worker(2, (3.0, 3.0))
+                assert err.value.code == "rate-limited"
+                assert err.value.retryable
+                client.flush()  # flushes ride free: the session still works
+
+    def test_two_clients_multiplex_one_backend(self):
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            a = AssignmentClient(RemoteBackend(spec, address=gw.address)).open()
+            b = AssignmentClient(RemoteBackend(spec, address=gw.address)).open()
+            try:
+                a.register_worker(0, (10.0, 10.0))
+                b.register_worker(1, (150.0, 150.0))
+                assert a.submit_task(0, (10.0, 10.0)) == 0
+                assert b.submit_task(1, (150.0, 150.0)) == 1
+                assert a.report().workers_registered == 2
+                assert len(gw.sessions) == 2
+            finally:
+                a.close()
+                b.close()
+            assert gw.backend.name == "sharded"
+
+    def test_sessions_get_distinct_ids(self):
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            backends = [RemoteBackend(spec, address=gw.address) for _ in range(3)]
+            for backend in backends:
+                backend.open()
+            try:
+                assert len({b.session for b in backends}) == 3
+                assert all(b.api_version == 1 for b in backends)
+                assert all(b.server_backend == "sharded" for b in backends)
+            finally:
+                for backend in backends:
+                    backend.close()
+
+
+class TestConnectionFaults:
+    def test_disconnect_mid_frame_leaves_backend_clean(self):
+        """A client cut off mid-frame must execute nothing and leave the
+        next session a working backend with no partial state."""
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            sock = raw_handshake(gw.address)
+            # half a register frame: header promises more than is sent
+            frame = encode_frame(to_wire(RegisterWorker(worker_id=0, location=(1.0, 1.0))))
+            sock.sendall(frame[: len(frame) // 2])
+            sock.close()
+            wait_until(lambda: gw.stats["truncated"] == 1, what="truncation count")
+            wait_until(lambda: not gw.sessions, what="session teardown")
+            with AssignmentClient(RemoteBackend(spec, address=gw.address)) as client:
+                client.register_worker(0, (1.0, 1.0))  # same id: nothing was burned
+                assert client.report().workers_registered == 1
+
+    def test_disconnect_after_batch_executes_it_exactly_once(self):
+        """A fully received batch executes even if the client vanishes
+        before reading the reply — and the next client sees exactly that
+        state, no more, no less."""
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            sock = raw_handshake(gw.address)
+            batch = Batch(
+                items=tuple(
+                    RegisterWorker(worker_id=i, location=(10.0 * i + 5.0, 20.0))
+                    for i in range(3)
+                )
+            )
+            send_frame(sock, to_wire(batch))
+            sock.close()  # gone before the BatchResult comes back
+            wait_until(lambda: gw.stats["responses"] == 1, what="batch completion")
+            wait_until(lambda: not gw.sessions, what="session teardown")
+            with AssignmentClient(RemoteBackend(spec, address=gw.address)) as client:
+                with pytest.raises(RequestRejected):
+                    client.register_worker(1, (5.0, 5.0))  # burned by client A
+                client.register_worker(10, (99.0, 99.0))
+                assert client.report().workers_registered == 4
+
+    def test_drain_tells_idle_clients_goodbye(self):
+        spec = small_spec()
+        gw_config = GatewayConfig(spec=spec, drain_timeout=5.0)
+        remote = RemoteBackend(spec, address=("127.0.0.1", 0))
+        with serve_gateway(gw_config) as gw:
+            remote = RemoteBackend(spec, address=gw.address)
+            remote.open()
+            remote_addr = gw.address
+        # the context exit drained the server: the idle connection was
+        # told goodbye, so the next call fails unavailable, not by hang
+        with pytest.raises(BackendUnavailable):
+            remote.handle(RegisterWorker(worker_id=0, location=(1.0, 1.0)))
+        remote.close()
+        with pytest.raises(BackendUnavailable):
+            RemoteBackend(spec, address=remote_addr, connect_timeout=2.0).open()
+
+    def test_connect_to_dead_port_is_unavailable(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nobody listens here anymore
+        backend = RemoteBackend(address=("127.0.0.1", port), connect_timeout=2.0)
+        with pytest.raises(BackendUnavailable) as err:
+            backend.open()
+        assert err.value.retryable
+
+    def test_calls_after_lost_connection_stay_unavailable(self):
+        """Every call after a drop must keep raising the structured
+        BackendUnavailable — never an AttributeError on a dead socket."""
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            remote = RemoteBackend(spec, address=gw.address)
+            remote.open()
+        req = RegisterWorker(worker_id=0, location=(1.0, 1.0))
+        for _ in range(3):
+            with pytest.raises(BackendUnavailable):
+                remote.handle(req)
+        remote.close()
+
+    def test_malformed_welcome_does_not_leak_the_socket(self):
+        """A server whose welcome fails to parse must leave the client
+        fully closed (no dangling socket, no half-open state)."""
+        import threading
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def bad_server():
+            conn, _ = listener.accept()
+            recv_frame(conn)  # swallow the hello
+            conn.sendall(encode_frame(welcome_doc(1, "sharded", 1) | {"body": {}}))
+            conn.close()
+
+        thread = threading.Thread(target=bad_server, daemon=True)
+        thread.start()
+        backend = RemoteBackend(address=listener.getsockname(), connect_timeout=2.0)
+        with pytest.raises(ValidationFailed):
+            backend.open()
+        assert backend._sock is None  # dropped, not leaked
+        thread.join(timeout=5.0)
+        listener.close()
+
+
+class TestClusterBehindGateway:
+    def test_sigkill_worker_behind_gateway_recovers_bit_exact(self):
+        """SIGKILL a cluster worker mid-stream *behind* the gateway: the
+        PR-2 restore+replay path must kick in and the remote client's
+        total answer stream must stay bit-identical to a clean sharded
+        run — no lost tasks, no duplicated replies."""
+        spec = small_spec(seed=11)
+        stream = build_conformance_stream(REGION, 60, 45, seed=7)
+        half = len(stream) // 2
+        backend = ClusterBackend(spec, n_procs=2, chunk_size=7, checkpoint_every=32)
+        config = GatewayConfig(spec=spec, backend="cluster")
+        decisions = []
+        with serve_gateway(config, backend=backend) as gw:
+            remote = RemoteBackend(spec, address=gw.address)
+            with AssignmentClient(remote) as client:
+                decisions += [
+                    r for r in client.stream(stream[:half], window=16)
+                    if isinstance(r, TaskDecision)
+                ]
+                backend.coordinator.inject_crash(0)
+                decisions += [
+                    r for r in client.stream(stream[half:], window=16)
+                    if isinstance(r, TaskDecision)
+                ]
+                client.flush()
+                report = client.report()
+                failovers = backend.coordinator.failovers
+        assert failovers >= 1
+        pairs = [(d.task_id, d.worker_id) for d in decisions if d.worker_id is not None]
+        misses = [d.task_id for d in decisions if d.worker_id is None]
+        # no duplicated replies either way
+        assert len({d.task_id for d in decisions}) == len(decisions)
+
+        from repro.api import make_backend
+
+        with AssignmentClient(make_backend("sharded", spec)) as ref_client:
+            ref = [
+                r for r in ref_client.stream(stream, window=16)
+                if isinstance(r, TaskDecision)
+            ]
+            ref_client.flush()
+            ref_report = ref_client.report()
+        assert pairs == [
+            (d.task_id, d.worker_id) for d in ref if d.worker_id is not None
+        ]
+        assert misses == [d.task_id for d in ref if d.worker_id is None]
+        assert report.workers_registered == ref_report.workers_registered
+        assert report.tasks_assigned == ref_report.tasks_assigned
+
+
+class TestGatewayConfig:
+    def test_json_round_trip(self):
+        import json
+
+        config = GatewayConfig(
+            spec=small_spec(),
+            backend="cluster",
+            backend_kwargs={"n_procs": 2, "chunk_size": 7},
+            port=7713,
+            rate=500.0,
+            burst=64,
+        )
+        hydrated = GatewayConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert hydrated == config
+
+    def test_invalid_inflight_rejected(self):
+        with pytest.raises(ValueError):
+            GatewayConfig(spec=small_spec(), max_inflight=0)
+
+    def test_stop_before_start_still_closes_backend(self):
+        """stop() on a never-started server must not crash and must
+        close the backend — a half-started cluster holds real worker
+        processes that would otherwise leak."""
+        import asyncio
+
+        from repro.gateway import GatewayServer
+
+        server = GatewayServer(GatewayConfig(spec=small_spec()))
+        asyncio.run(server.stop())
+        assert server.backend._closed
+
+
+class TestSmokeCli:
+    def test_gateway_smoke_passes(self, capsys):
+        from repro.gateway.__main__ import main
+
+        assert main(["--smoke", "--workers", "40", "--tasks", "30"]) == 0
+        out = capsys.readouterr()
+        assert "PARITY OK" in out.out
+        assert "OK" in out.err
+
+    def test_gateway_smoke_json_over_inprocess(self, capsys):
+        import json
+
+        from repro.gateway.__main__ import main
+
+        assert (
+            main(
+                [
+                    "--smoke",
+                    "--backend",
+                    "inprocess",
+                    "--workers",
+                    "30",
+                    "--tasks",
+                    "20",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["cases"][0]["backends"] == ["inprocess", "sharded", "remote"]

@@ -1,0 +1,285 @@
+"""Property/fuzz tests for the framed wire layer.
+
+Two invariants, checked over hundreds of randomized cases:
+
+1. **Lossless transport** — any valid API message survives
+   ``to_wire`` → frame bytes → arbitrary chunking → ``FrameDecoder`` →
+   ``from_wire`` bit-exactly (dataclass equality, which for frozen
+   messages is field-exact);
+2. **Total error mapping** — whatever damage the bytes or documents
+   carry (junk, truncation, oversize, mutated envelopes, foreign
+   versions), the wire layer answers with a structured
+   :class:`~repro.api.errors.ApiError` bearing a stable code — never a
+   ``KeyError``/``UnicodeDecodeError``/``struct.error`` leaking through
+   a server loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.errors import ApiError
+from repro.api.messages import (
+    Batch,
+    BatchResult,
+    ErrorInfo,
+    Flush,
+    Flushed,
+    GetReport,
+    RegisterWorker,
+    ReportResult,
+    StreamEnvelope,
+    StreamItemResult,
+    SubmitTask,
+    TaskDecision,
+    WorkerRegistered,
+    from_wire,
+    to_wire,
+)
+from repro.gateway import FrameDecoder, encode_frame
+from repro.gateway.protocol import HEADER
+from repro.service.metrics import ServiceReport, ShardSnapshot
+
+STABLE_CODES = {
+    "invalid-request",
+    "unsupported-version",
+    "rate-limited",
+    "rejected",
+    "unavailable",
+    "internal",
+}
+
+
+def random_point(rng) -> tuple[float, float]:
+    return (float(rng.uniform(-500, 500)), float(rng.uniform(-500, 500)))
+
+
+def random_verb(rng):
+    roll = rng.integers(4)
+    if roll == 0:
+        return RegisterWorker(
+            worker_id=int(rng.integers(1_000_000)),
+            location=random_point(rng),
+            time=float(rng.uniform(0, 1e4)),
+        )
+    if roll == 1:
+        return SubmitTask(
+            task_id=int(rng.integers(1_000_000)),
+            location=random_point(rng),
+            time=float(rng.uniform(0, 1e4)),
+        )
+    if roll == 2:
+        return Flush()
+    return GetReport(wall_seconds=float(rng.uniform(0, 1e3)))
+
+
+def random_snapshot(rng, i: int) -> ShardSnapshot:
+    return ShardSnapshot(
+        shard_id=f"s{i}" if rng.integers(2) else i,
+        epsilon=float(rng.uniform(0.1, 2.0)),
+        workers_registered=int(rng.integers(1000)),
+        cohorts_flushed=int(rng.integers(100)),
+        tasks_assigned=int(rng.integers(1000)),
+        tasks_unassigned=int(rng.integers(100)),
+        latency_p50_ms=float(rng.uniform(0, 50)),
+        latency_p95_ms=float(rng.uniform(0, 200)),
+        mean_reported_distance=float(rng.uniform(0, 300)),
+        budget_capacity=float(rng.uniform(1, 4)),
+        budget_min_remaining=float(rng.uniform(0, 1)),
+        budget_mean_remaining=float(rng.uniform(0, 2)),
+    )
+
+
+def random_response(rng):
+    roll = rng.integers(6)
+    if roll == 0:
+        return WorkerRegistered(worker_id=int(rng.integers(1_000_000)))
+    if roll == 1:
+        return TaskDecision(
+            task_id=int(rng.integers(1_000_000)),
+            worker_id=None if rng.integers(4) == 0 else int(rng.integers(1_000_000)),
+        )
+    if roll == 2:
+        return Flushed()
+    if roll == 3:
+        return ErrorInfo(
+            code=str(rng.choice(sorted(STABLE_CODES))),
+            message="m" * int(rng.integers(1, 40)),
+            retryable=bool(rng.integers(2)),
+            detail="d" * int(rng.integers(0, 20)),
+        )
+    if roll == 4:
+        return StreamItemResult(seq=int(rng.integers(10_000)), item=random_response_leaf(rng))
+    return ReportResult(
+        report=ServiceReport(
+            shards=tuple(
+                random_snapshot(rng, i) for i in range(int(rng.integers(1, 5)))
+            ),
+            wall_seconds=float(rng.uniform(0, 100)),
+            sim_duration=float(rng.uniform(0, 1e4)),
+            latency_p50_ms=float(rng.uniform(0, 50)),
+            latency_p95_ms=float(rng.uniform(0, 200)),
+            mean_reported_distance=float(rng.uniform(0, 300)),
+            mean_true_distance=float(rng.uniform(0, 300)),
+        )
+    )
+
+
+def random_response_leaf(rng):
+    return WorkerRegistered(worker_id=int(rng.integers(1_000_000)))
+
+
+def random_message(rng):
+    roll = rng.integers(8)
+    if roll <= 3:
+        return random_verb(rng)
+    if roll == 4:
+        return StreamEnvelope(seq=int(rng.integers(100_000)), item=random_verb(rng))
+    if roll == 5:
+        return Batch(
+            items=tuple(random_verb(rng) for _ in range(int(rng.integers(0, 6))))
+        )
+    if roll == 6:
+        return BatchResult(
+            items=tuple(random_response(rng) for _ in range(int(rng.integers(0, 4))))
+        )
+    return random_response(rng)
+
+
+def chunked(blob: bytes, rng) -> list[bytes]:
+    """Cut a byte string at random points, single bytes included."""
+    cuts = sorted(
+        int(c) for c in rng.integers(0, len(blob) + 1, size=int(rng.integers(0, 8)))
+    )
+    bounds = [0] + cuts + [len(blob)]
+    return [blob[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+class TestLosslessRoundTrip:
+    def test_random_messages_survive_the_full_wire_path(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(300):
+            message = random_message(rng)
+            blob = encode_frame(to_wire(message))
+            decoder = FrameDecoder()
+            frames = []
+            for piece in chunked(blob, rng):
+                frames += decoder.feed(piece)
+            decoder.check_eof()
+            assert len(frames) == 1
+            assert from_wire(frames[0]) == message
+
+    def test_many_messages_share_one_stream(self):
+        rng = np.random.default_rng(99)
+        messages = [random_message(rng) for _ in range(40)]
+        blob = b"".join(encode_frame(to_wire(m)) for m in messages)
+        decoder = FrameDecoder()
+        frames = []
+        for piece in chunked(blob, rng):
+            frames += decoder.feed(piece)
+        decoder.check_eof()
+        assert [from_wire(f) for f in frames] == messages
+
+    def test_wire_form_is_json_pure(self):
+        """The wire dict of any message survives a JSON round trip
+        unchanged — no tuples, sets, numpy scalars or NaNs hiding in
+        bodies destined for the socket."""
+        import json
+
+        rng = np.random.default_rng(7)
+        for _ in range(100):
+            doc = to_wire(random_message(rng))
+            assert json.loads(json.dumps(doc)) == json.loads(
+                json.dumps(json.loads(json.dumps(doc)))
+            )
+
+
+class TestDamageMapsToStableCodes:
+    def test_truncation_at_every_boundary(self):
+        rng = np.random.default_rng(5)
+        blob = encode_frame(to_wire(random_message(rng)))
+        for cut in range(len(blob)):
+            decoder = FrameDecoder()
+            frames = decoder.feed(blob[:cut])
+            assert frames == []  # nothing closed
+            if cut == 0:
+                decoder.check_eof()  # clean EOF at a boundary
+            else:
+                with pytest.raises(ApiError) as err:
+                    decoder.check_eof()
+                assert err.value.code == "invalid-request"
+
+    def test_random_junk_never_escapes_the_taxonomy(self):
+        rng = np.random.default_rng(31337)
+        survived = 0
+        for _ in range(200):
+            junk = rng.integers(0, 256, size=int(rng.integers(1, 200))).astype(
+                np.uint8
+            ).tobytes()
+            decoder = FrameDecoder(max_frame_bytes=1 << 16)
+            try:
+                for piece in chunked(junk, rng):
+                    decoder.feed(piece)
+                decoder.check_eof()
+                survived += 1  # astronomically unlikely, but legal
+            except ApiError as exc:
+                assert exc.code in STABLE_CODES
+        assert survived < 200  # the damage was actually exercised
+
+    def test_mutated_documents_fail_structurally(self):
+        """Random single-field mutations of valid wire docs must raise
+        ApiError (stable code), never a raw KeyError/TypeError."""
+        rng = np.random.default_rng(42)
+        poisons = [None, 99, -1, "xyzzy", [], {}, "repro.api2", 1.5, True]
+        fields = ["schema", "version", "kind", "body"]
+        for _ in range(300):
+            doc = to_wire(random_message(rng))
+            field = fields[int(rng.integers(len(fields)))]
+            poison = poisons[int(rng.integers(len(poisons)))]
+            mutated = dict(doc)
+            if rng.integers(3) == 0:
+                mutated.pop(field, None)
+            else:
+                mutated[field] = poison
+            try:
+                reparsed = from_wire(mutated)
+            except ApiError as exc:
+                assert exc.code in {"invalid-request", "unsupported-version"}
+            else:
+                # the mutation happened to keep the doc valid (e.g. body
+                # replaced by {} on a Flush): it must decode to a message
+                assert type(reparsed).kind == mutated["kind"]
+
+    def test_body_field_damage_fails_structurally(self):
+        rng = np.random.default_rng(2718)
+        for _ in range(200):
+            message = random_message(rng)
+            doc = to_wire(message)
+            if not doc["body"]:
+                continue
+            keys = sorted(doc["body"])
+            key = keys[int(rng.integers(len(keys)))]
+            mutated = dict(doc, body=dict(doc["body"]))
+            if rng.integers(2) == 0:
+                del mutated["body"][key]
+            else:
+                mutated["body"][key] = object  # not even JSON
+            try:
+                from_wire(mutated)
+            except ApiError as exc:
+                assert exc.code == "invalid-request"
+            except Exception as exc:  # pragma: no cover - the bug this hunts
+                pytest.fail(f"raw {type(exc).__name__} escaped from_wire: {exc}")
+
+    def test_future_version_is_unsupported_not_keyerror(self):
+        rng = np.random.default_rng(17)
+        for version in (2, 99, "2", None, -1):
+            doc = to_wire(random_message(rng))
+            doc["version"] = version
+            with pytest.raises(ApiError) as err:
+                from_wire(doc)
+            assert err.value.code == "unsupported-version"
+
+    def test_header_is_big_endian_u32(self):
+        # the frame layout is wire-frozen: 4 bytes, network byte order
+        assert HEADER.size == 4
+        assert HEADER.pack(1) == b"\x00\x00\x00\x01"
