@@ -8,15 +8,20 @@ talks to it exactly the way an in-process caller would — the same
 
 1. **Sync calls** — register a worker, submit a task, observe the
    structured error a duplicate registration earns *across the wire*;
-2. **Streaming replay** — a full timed workload streamed through the
-   framed wire protocol in batched windows, with the final report
-   fetched remotely;
-3. **Parity** — the same stream replayed in-process, asserting the
-   remote deployment changed *nothing* about who got assigned to whom.
+2. **Pipelined streaming replay** — a full timed workload streamed
+   through the framed wire protocol with several windows in flight
+   (the session negotiated the ``pipeline`` capability, so the gateway
+   schedules shard-aware and may answer out of order; the client
+   re-sequences by envelope ``seq``), with the final report fetched
+   remotely;
+3. **Parity** — the same stream replayed in-process and serially,
+   asserting that neither the socket nor the pipelining changed
+   *anything* about who got assigned to whom.
 
 Usage::
 
     python examples/remote_client.py [--workers 400] [--tasks 200]
+    python examples/remote_client.py --pipeline 8   # deeper window
 """
 
 from __future__ import annotations
@@ -35,10 +40,10 @@ from repro.gateway import GatewayConfig, RemoteBackend, serve_gateway
 from repro.service import LoadConfig, LoadGenerator
 
 
-def replay(client: AssignmentClient, events) -> tuple[list, object]:
+def replay(client: AssignmentClient, events, *, pipeline: int = 1) -> tuple[list, object]:
     decisions = [
         r
-        for r in client.replay_events(events)
+        for r in client.replay_events(events, pipeline=pipeline)
         if isinstance(r, TaskDecision)
     ]
     client.flush()
@@ -51,6 +56,12 @@ def main() -> int:
     parser.add_argument("--tasks", type=int, default=200)
     parser.add_argument(
         "--backend", choices=("sharded", "cluster"), default="sharded"
+    )
+    parser.add_argument(
+        "--pipeline",
+        type=int,
+        default=4,
+        help="stream windows kept in flight on the remote replay",
     )
     args = parser.parse_args()
 
@@ -72,7 +83,8 @@ def main() -> int:
             print(
                 f"  handshake: api v{client.backend.api_version}, "
                 f"session #{client.backend.session}, "
-                f"server backend {client.backend.server_backend!r}"
+                f"server backend {client.backend.server_backend!r}, "
+                f"features {list(client.backend.server_features)}"
             )
             client.register_worker(10_000, (10.0, 10.0))
             try:
@@ -83,16 +95,23 @@ def main() -> int:
             print(f"  sync submit over the wire -> worker {assigned}")
 
     # a fresh gateway (and so a fresh backend) for the streamed replay
-    print(f"[2/3] streaming {len(events)} timed events through the socket")
+    print(
+        f"[2/3] streaming {len(events)} timed events through the socket "
+        f"with a pipelined window of {args.pipeline}"
+    )
     with serve_gateway(
         GatewayConfig(spec=spec, backend=args.backend, backend_kwargs=backend_kwargs)
     ) as server:
         with AssignmentClient(RemoteBackend(spec, address=server.address)) as client:
-            remote_decisions, remote_report = replay(client, events)
+            assert client.backend.supports_pipeline
+            remote_decisions, remote_report = replay(
+                client, events, pipeline=args.pipeline
+            )
         print(
             f"  remote: assigned={remote_report.tasks_assigned}"
             f"/{len(remote_decisions)}  p95="
-            f"{remote_report.latency_p95_ms:.2f}ms"
+            f"{remote_report.latency_p95_ms:.2f}ms "
+            f"(windows in flight: {args.pipeline})"
         )
 
         print("[3/3] replaying the same stream in-process for parity")

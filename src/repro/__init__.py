@@ -20,6 +20,11 @@ Public API tour:
   pool of worker processes, with versioned shard snapshots, crash
   failover, shard migration and hot-cell splitting
   (``python -m repro.cluster --smoke``).
+* :mod:`repro.runtime` — the execution core: the shard-aware
+  :class:`~repro.runtime.PipelineScheduler` (ordering keys from shard
+  routing, FIFO per key, global barriers) and stream-window
+  re-sequencing, shared by the gateway, the API client and the cluster
+  backend so pipelined serving stays bit-identical to serial replay.
 * :mod:`repro.experiments` — per-figure sweeps; also a CLI
   (``python -m repro.experiments``).
 

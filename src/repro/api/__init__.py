@@ -14,9 +14,13 @@ conventions. This package is the one stable surface over all of them:
 * **backends** — a common contract with three adapters
   (:class:`InProcessBackend`, :class:`ShardedBackend`,
   :class:`ClusterBackend`) that pass one conformance suite: same spec,
-  same stream, bit-identical assignments;
+  same stream, bit-identical assignments. Every backend also answers
+  :meth:`~repro.api.backends.BackendBase.ordering_key`, the shard-derived
+  scheduling contract the :mod:`repro.runtime` pipeline executes under;
 * **client** — the :class:`AssignmentClient` facade with sync, batched
-  and iterator-streaming modes plus context-manager lifecycle;
+  and iterator-streaming modes (including pipelined stream windows over
+  transports that negotiated the capability) plus context-manager
+  lifecycle;
 * **middleware** — a composable chain (request validation, token-bucket
   admission control, per-method latency metrics, structured error
   mapping) between client and backend.
@@ -39,6 +43,7 @@ CLI::
 
 from .backends import (
     BACKEND_KINDS,
+    GLOBAL_ORDERING_KEY,
     Backend,
     BackendBase,
     ClusterBackend,
@@ -98,6 +103,7 @@ __all__ = [
     "BatchResult",
     "ClusterBackend",
     "ErrorInfo",
+    "GLOBAL_ORDERING_KEY",
     "ErrorMapper",
     "Flush",
     "Flushed",

@@ -12,6 +12,8 @@ Examples::
 
     python -m repro.api --smoke
     python -m repro.api --smoke --json
+    python -m repro.api --smoke --pipeline 4   # windows in flight on the
+                                               # remote run; parity must hold
     python -m repro.api --workers 200 --tasks 120 --procs 4
 """
 
@@ -49,6 +51,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch-size", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--pipeline",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "stream windows kept in flight on the remote run (the gateway "
+            "then schedules shard-aware and answers out of order; parity "
+            "must still hold bit for bit)"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the outcome as JSON"
     )
     args = parser.parse_args(argv)
@@ -78,7 +91,10 @@ def main(argv: list[str] | None = None) -> int:
             region, n_workers=args.workers, n_tasks=args.tasks, seed=args.seed + 7
         )
         result = run_conformance(
-            spec, requests=stream, backend_kwargs=cluster_kwargs
+            spec,
+            requests=stream,
+            pipeline=max(1, args.pipeline),
+            backend_kwargs=cluster_kwargs,
         )
         outcomes.append((shards, result))
 

@@ -27,13 +27,34 @@ manager drives that lifecycle.
 A fourth adapter lives with its transport:
 :class:`~repro.gateway.RemoteBackend` (kind ``"remote"``) speaks the
 wire form over a TCP gateway and joins the same conformance matrix.
+
+**Ordering keys.** Every backend answers
+:meth:`BackendBase.ordering_key`, the contract the
+:class:`~repro.runtime.PipelineScheduler` executes against: requests
+with different keys may run concurrently, requests with equal keys stay
+FIFO, and ``None`` is a global barrier. The key *is* the backend's shard
+routing — in-process serves one tree so everything shares one key; the
+sharded engine and the cluster key by lattice cell (cluster: shard
+*family*, the colocation unit) — which is what makes pipelined execution
+bit-identical to serial dispatch: a shard can never observe its own
+requests out of order, and barrier verbs (``Flush``/``GetReport``)
+still see a quiesced world. Backends that hand out concurrent keys are
+correspondingly safe to *call* concurrently under that discipline: the
+sharded engine guards its cross-shard registry/clock internally, and the
+cluster adapter serializes coordinator access on an internal lock while
+rendezvous for different shards' results interleave.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..geometry.box import Box
+from ..runtime.window import rewrap, unwrap
 from ..service.metrics import build_report
 from ..service.sharding import ShardMap
 from ..utils import keyed_shard_seed
@@ -57,12 +78,18 @@ __all__ = [
     "ServiceSpec",
     "Backend",
     "BackendBase",
+    "GLOBAL_ORDERING_KEY",
     "InProcessBackend",
     "ShardedBackend",
     "ClusterBackend",
     "BACKEND_KINDS",
     "make_backend",
 ]
+
+#: Ordering key of backends with no internal partitioning: one key for
+#: every routable verb, so a scheduler serializes them — correct by
+#: default for any backend that never claims per-shard safety.
+GLOBAL_ORDERING_KEY = "global"
 
 
 @dataclass(frozen=True)
@@ -135,10 +162,69 @@ class BackendBase:
 
     name = "abstract"
 
+    #: Routing lattice behind :meth:`request_key`; subclasses that shard
+    #: set one, everything else keeps the single global key.
+    _route_map: ShardMap | None = None
+
+    #: Whether the transport can hold several requests in flight
+    #: (``send_request``/``recv_response`` split). In-process backends
+    #: answer synchronously, so only network transports override this.
+    supports_pipeline = False
+
     def __init__(self, spec: ServiceSpec) -> None:
         self.spec = spec
         self._opened = False
         self._closed = False
+
+    # -- ordering contract ---------------------------------------------- #
+
+    def ordering_key(self, request):
+        """The scheduler key this request executes under.
+
+        Contract (see :class:`repro.runtime.PipelineScheduler`): requests
+        whose keys differ may execute concurrently; equal keys execute
+        FIFO in submission order; ``None`` is a global barrier that
+        observes (and is observed by) everything. Keys derive from shard
+        routing, so same-key FIFO *is* per-shard stream order and the
+        pipelined schedule replays each shard's serial history exactly.
+        ``Flush``/``GetReport`` (and anything unrecognized) are barriers.
+        """
+        _seq, request = unwrap(request)
+        if isinstance(request, (RegisterWorker, SubmitTask)):
+            return self.request_key(request)
+        if isinstance(request, Batch):
+            return self.batch_key(request)
+        return None
+
+    def request_key(self, request) -> str:
+        """Key of one routable verb (register/submit)."""
+        if self._route_map is None:
+            return GLOBAL_ORDERING_KEY
+        return f"s{self._route_map.shard_of(request.location)}"
+
+    def batch_key(self, batch: Batch):
+        """Key of a whole batch: the single shard all items route to,
+        or ``None`` (barrier) for mixed/empty/barrier-carrying batches.
+
+        One vectorized routing pass, so keying a stream window costs one
+        lattice snap, not one per item.
+        """
+        locations = []
+        for item in batch.items:
+            _seq, verb = unwrap(item)
+            if not isinstance(verb, (RegisterWorker, SubmitTask)):
+                return None
+            locations.append(verb.location)
+        if not locations:
+            return None
+        if self._route_map is None:
+            return GLOBAL_ORDERING_KEY
+        owners = np.unique(
+            self._route_map.shard_of_many(np.asarray(locations, dtype=np.float64))
+        )
+        if len(owners) == 1:
+            return f"s{int(owners[0])}"
+        return None
 
     # -- lifecycle ----------------------------------------------------- #
 
@@ -282,9 +368,24 @@ class InProcessBackend(BackendBase):
 
 
 class ShardedBackend(BackendBase):
-    """The single-process sharded engine behind the API contract."""
+    """The single-process sharded engine behind the API contract.
+
+    Hands out per-shard ordering keys: shards share nothing but the
+    engine's id registry and clock (both internally locked, both
+    commutative), so a scheduler may run different shards' requests on
+    different threads and every shard still consumes its exact serial
+    subsequence.
+    """
 
     name = "sharded"
+
+    def __init__(self, spec: ServiceSpec) -> None:
+        super().__init__(spec)
+        # the same lattice arithmetic the engine builds at open(), so
+        # ordering keys and engine routing can never disagree; priming
+        # the router here keeps its lazy caches off concurrent paths
+        self._route_map = ShardMap(spec.region, *spec.shards)
+        self._route_map.shard_of((spec.region.xmin, spec.region.ymin))
 
     def _open(self) -> None:
         from ..service.engine import ShardedAssignmentEngine
@@ -300,14 +401,17 @@ class ShardedBackend(BackendBase):
             seed=spec.seed,
             seeding="keyed",
         )
+        # from here on, ordering keys come from the engine's own router —
+        # agreement by identity, not by two constructors staying in sync
+        self._route_map = self.engine.shard_map
 
     def register_worker(self, req: RegisterWorker) -> WorkerRegistered:
-        self.engine.now = max(self.engine.now, float(req.time))
+        self.engine.observe_time(req.time)
         self.engine.register_worker(req.worker_id, req.location)
         return WorkerRegistered(worker_id=int(req.worker_id))
 
     def submit_task(self, req: SubmitTask) -> TaskDecision:
-        self.engine.now = max(self.engine.now, float(req.time))
+        self.engine.observe_time(req.time)
         worker = self.engine.submit_task(req.task_id, req.location)
         return TaskDecision(task_id=int(req.task_id), worker_id=worker)
 
@@ -331,6 +435,15 @@ class ClusterBackend(BackendBase):
     Extra knobs beyond the spec are transport-level only (process count,
     chunking, checkpoint cadence, balancer) — they shift *where* work
     runs, never *what* gets assigned.
+
+    Ordering keys are shard *families* (base lattice cells — the
+    coordinator's colocation and journal unit, stable across hot-cell
+    splits), and the adapter is safe to call concurrently under the
+    scheduler's per-key FIFO: the single-threaded coordinator only ever
+    runs under ``_lock``, held for dispatch and short reply-pump steps —
+    never across a result rendezvous — so while one shard's tasks wait
+    on their worker process, other shards keep dispatching and the pool
+    genuinely works in parallel.
     """
 
     name = "cluster"
@@ -349,6 +462,13 @@ class ClusterBackend(BackendBase):
         self.chunk_size = int(chunk_size)
         self.checkpoint_every = int(checkpoint_every)
         self.balancer = balancer
+        # held only for bounded coordinator steps — dispatch, one pump
+        # round (a sole waiter's blocking pump is capped at
+        # _SOLE_WAIT_S) — never across a whole rendezvous
+        self._lock = threading.Lock()
+        self._waiters = 0  # rendezvous in progress; guarded by _lock
+        self._route_map = ShardMap(spec.region, *spec.shards)
+        self._route_map.shard_of((spec.region.xmin, spec.region.ymin))
 
     def _open(self) -> None:
         from ..cluster.coordinator import ClusterCoordinator
@@ -367,6 +487,9 @@ class ClusterBackend(BackendBase):
             balancer=self.balancer,
             seed=spec.seed,
         )
+        # family keys come from the coordinator's own base lattice (the
+        # colocation/journal unit, stable across hot-cell splits)
+        self._route_map = self.coordinator.shard_map
         self.coordinator.start()
 
     def _close(self) -> None:
@@ -383,29 +506,81 @@ class ClusterBackend(BackendBase):
         return TaskArrival(time=req.time, task_id=req.task_id, location=req.location)
 
     def register_worker(self, req: RegisterWorker) -> WorkerRegistered:
-        self.coordinator.process([self._event(req)])
+        with self._lock:
+            self.coordinator.process([self._event(req)])
         return WorkerRegistered(worker_id=int(req.worker_id))
 
     def submit_task(self, req: SubmitTask) -> TaskDecision:
-        self.coordinator.process([self._event(req)])
-        worker = self.coordinator.result_of(req.task_id)
+        with self._lock:
+            self.coordinator.process([self._event(req)])
+        worker = self._await_result(req.task_id)
         return TaskDecision(task_id=int(req.task_id), worker_id=worker)
 
     def flush(self, req: Flush) -> Flushed:
-        self.coordinator.flush()
+        with self._lock:
+            self.coordinator.flush()
         return Flushed()
 
     def get_report(self, req: GetReport) -> ReportResult:
-        return ReportResult(
-            report=self.coordinator.report(wall_seconds=req.wall_seconds)
-        )
+        with self._lock:
+            return ReportResult(
+                report=self.coordinator.report(wall_seconds=req.wall_seconds)
+            )
+
+    #: Sole-waiter pipe wait per lock hold: long enough to be
+    #: event-driven (a reply wakes it instantly), short enough that a
+    #: dispatcher arriving for another shard stalls at most this long.
+    _SOLE_WAIT_S = 0.002
+
+    def _await_result(self, task_id: int) -> int | None:
+        """Rendezvous on one task outcome without monopolizing the lock.
+
+        A *sole* waiter parks on the reply pipes like the coordinator's
+        own blocking :meth:`~repro.cluster.coordinator
+        .ClusterCoordinator.result_of` — event-driven, no polling
+        latency for the plain serial client — but in lock holds capped
+        at :attr:`_SOLE_WAIT_S` so a dispatcher for another shard is
+        never stalled a whole pump interval. When several threads wait
+        at once (the pipelined gateway) each takes non-blocking pump
+        steps with the lock released between them, so rendezvous for
+        different shards interleave instead of queueing behind one long
+        pipe wait.
+        """
+        task_id = int(task_id)
+        coord = self.coordinator
+        deadline = time.monotonic() + coord.liveness_timeout
+        with self._lock:
+            self._waiters += 1
+        try:
+            while True:
+                with self._lock:
+                    if coord.result_ready(task_id):
+                        return coord.result_of(task_id)
+                    sole = self._waiters == 1
+                    if coord.poll(block=sole, timeout=self._SOLE_WAIT_S):
+                        deadline = time.monotonic() + coord.liveness_timeout
+                        continue
+                if time.monotonic() > deadline:
+                    from ..cluster.coordinator import ClusterError
+
+                    raise ClusterError(
+                        f"timed out waiting for result of task {task_id}"
+                    )
+                if not sole:
+                    time.sleep(0.0005)
+        finally:
+            with self._lock:
+                self._waiters -= 1
 
     def batch(self, request: Batch) -> BatchResult:
         """Dispatch contiguous register/submit runs as single event chunks.
 
         Stream envelopes are unwrapped for dispatch and their responses
-        re-wrapped with the same ``seq``, so streaming windows get the
-        chunked fast path too.
+        re-wrapped with the same ``seq`` (the :mod:`repro.runtime`
+        envelope plumbing), so streaming windows get the chunked fast
+        path too. The lock brackets each dispatch run; task rendezvous
+        happen through :meth:`_await_result` so concurrent batches for
+        other shards keep flowing while this one waits on its workers.
         """
         responses: list = []
         pending_events: list = []
@@ -413,14 +588,12 @@ class ClusterBackend(BackendBase):
 
         def dispatch_run() -> None:
             if pending_events:
-                self.coordinator.process(list(pending_events))
+                with self._lock:
+                    self.coordinator.process(list(pending_events))
                 pending_events.clear()
 
         for item in request.items:
-            seq = None
-            verb = item
-            if isinstance(item, StreamEnvelope):
-                seq, verb = item.seq, item.item
+            seq, verb = unwrap(item)
             if isinstance(verb, (RegisterWorker, SubmitTask)):
                 pending_events.append(self._event(verb))
                 if isinstance(verb, RegisterWorker):
@@ -434,17 +607,13 @@ class ClusterBackend(BackendBase):
                 # be on the wire before the barrier executes
                 dispatch_run()
                 response = self.handle(verb)
-            if seq is not None:
-                response = StreamItemResult(seq=seq, item=response)
-            responses.append(response)
+            responses.append(rewrap(seq, response))
         dispatch_run()
         for slot, (task_id, seq) in task_slots.items():
             decision = TaskDecision(
-                task_id=task_id, worker_id=self.coordinator.result_of(task_id)
+                task_id=task_id, worker_id=self._await_result(task_id)
             )
-            responses[slot] = (
-                decision if seq is None else StreamItemResult(seq=seq, item=decision)
-            )
+            responses[slot] = rewrap(seq, decision)
         return BatchResult(items=tuple(responses))
 
 

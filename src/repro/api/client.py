@@ -19,13 +19,20 @@ examples, a future network frontend) program against. It owns:
     dispatch chunks);
   - *streaming*: :meth:`stream` — wraps an arbitrary request iterable in
     sequence-numbered envelopes, windows them into batches, and yields
-    responses lazily in stream order.
+    responses lazily in stream order. Over a transport that supports it
+    (a pipelined gateway session), ``pipeline=N`` keeps up to ``N``
+    windows in flight at once: windows are sent without waiting for the
+    previous response, responses are accepted in whatever order the
+    server finished them, and the :class:`~repro.runtime.window
+    .SequenceReorderer` restores stream order before anything is
+    yielded — so pipelining changes latency, never results.
 """
 
 from __future__ import annotations
 
+from ..runtime.window import SequenceReorderer
 from .backends import BackendBase
-from .errors import ValidationFailed
+from .errors import BackendUnavailable, ValidationFailed
 from .messages import (
     Batch,
     BatchResult,
@@ -33,7 +40,6 @@ from .messages import (
     GetReport,
     RegisterWorker,
     StreamEnvelope,
-    StreamItemResult,
     SubmitTask,
 )
 from .middleware import ErrorMapper, RequestValidator, build_stack
@@ -61,6 +67,9 @@ class AssignmentClient:
         want them (the client does not inject duplicates).
     stream_window:
         Requests per batch in :meth:`stream`.
+    pipeline:
+        Default stream windows kept in flight (see :meth:`stream`);
+        ``1`` is the classic send-then-wait discipline.
     """
 
     def __init__(
@@ -69,14 +78,18 @@ class AssignmentClient:
         middleware=None,
         *,
         stream_window: int = DEFAULT_STREAM_WINDOW,
+        pipeline: int = 1,
     ) -> None:
         if stream_window < 1:
             raise ValueError(f"stream_window must be >= 1, got {stream_window}")
+        if pipeline < 1:
+            raise ValueError(f"pipeline must be >= 1, got {pipeline}")
         if middleware is None:
             middleware = [RequestValidator(), ErrorMapper()]
         self.backend = backend
         self.middleware = list(middleware)
         self.stream_window = int(stream_window)
+        self.pipeline = int(pipeline)
         self._handler = build_stack(backend.handle, self.middleware)
 
     # ------------------------------------------------------------------ #
@@ -141,7 +154,7 @@ class AssignmentClient:
     # streaming mode                                                      #
     # ------------------------------------------------------------------ #
 
-    def stream(self, requests, *, window: int | None = None):
+    def stream(self, requests, *, window: int | None = None, pipeline: int | None = None):
         """Replay a request iterable; yields responses in stream order.
 
         Requests are wrapped in sequence-numbered
@@ -152,10 +165,34 @@ class AssignmentClient:
         result envelopes, reordered by ``seq`` if a backend answered out
         of order, and yielded as each window completes — the stream needs
         only ``O(window)`` memory.
+
+        ``pipeline`` (default :attr:`pipeline`) is the number of windows
+        kept in flight. Above ``1`` it engages the pipelined path when
+        the backend's transport supports it (a
+        :class:`~repro.gateway.RemoteBackend` whose session negotiated
+        the ``pipeline`` capability): windows go out back to back and the
+        stream holds ``O(pipeline x window)`` memory while the
+        :class:`~repro.runtime.SequenceReorderer` restores order. On
+        transports without the capability the value is ignored and the
+        stream degrades to the serial window discipline. One semantic
+        difference is inherent to pipelining: when a window fails, later
+        windows were already on the wire and the server executed them
+        even though this stream raises at the failure.
         """
         window = self.stream_window if window is None else int(window)
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
+        depth = self.pipeline if pipeline is None else int(pipeline)
+        if depth < 1:
+            raise ValueError(f"pipeline must be >= 1, got {depth}")
+        if depth > 1:
+            # capability is negotiated at open (lazy transports handshake
+            # on first use): open now so asking for a pipelined window
+            # never silently degrades just because the stream came first
+            self.backend.open()
+            if getattr(self.backend, "supports_pipeline", False):
+                yield from self._stream_pipelined(requests, window, depth)
+                return
         seq = 0
         buffer: list[StreamEnvelope] = []
         for request in requests:
@@ -168,36 +205,103 @@ class AssignmentClient:
             yield from self._drain(buffer)
 
     def _drain(self, envelopes: list) -> list:
-        results = self.call_batch(envelopes)
-        by_seq = {}
-        for result in results:
-            if not isinstance(result, StreamItemResult):
+        """Ship one window, give back its responses in stream order."""
+        reorder = SequenceReorderer(start=envelopes[0].seq)
+        for result in self.call_batch(envelopes):
+            reorder.absorb(result)
+        ready = reorder.take_ready()
+        reorder.finish(envelopes[-1].seq + 1)
+        return ready
+
+    def _stream_pipelined(self, requests, window: int, depth: int):
+        """The in-flight-window stream loop over a pipelined transport.
+
+        Every window still traverses the middleware chain (validation,
+        admission, metrics, error mapping) around the transport *send*
+        only — with windows decoupled from their responses there is no
+        single call for response-side middleware to wrap, so latency
+        metrics record send cost rather than round trips and
+        recv failures surface as raised errors, not middleware failure
+        counts (the serial path keeps round-trip semantics). Responses
+        are collected out of order and re-sequenced. On any failure the
+        transport's outstanding responses are drained first, so the
+        connection is not left holding frames a later call would
+        misread as its own.
+        """
+        backend = self.backend
+        send = build_stack(self._send_window, self.middleware)
+        reorder = SequenceReorderer()
+        in_flight = 0
+        seq = 0
+
+        def absorb_one():
+            nonlocal in_flight
+            in_flight -= 1
+            result = backend.recv_response()
+            if not isinstance(result, BatchResult):
                 raise ValidationFailed(
-                    f"backend answered an envelope with {type(result).__name__}"
+                    f"backend answered a window with {type(result).__name__}"
                 )
-            by_seq[result.seq] = result.item
-        want = [env.seq for env in envelopes]
-        missing = [s for s in want if s not in by_seq]
-        if missing:
-            raise ValidationFailed(
-                f"stream window lost responses for seq {missing[:5]}"
-            )
-        return [by_seq[s] for s in want]
+            reorder.absorb(result)
+
+        try:
+            buffer: list[StreamEnvelope] = []
+            for request in requests:
+                buffer.append(StreamEnvelope(seq=seq, item=request))
+                seq += 1
+                if len(buffer) >= window:
+                    if in_flight >= depth:
+                        absorb_one()
+                        yield from reorder.take_ready()
+                    send(Batch(items=tuple(buffer)))
+                    in_flight += 1
+                    buffer = []
+            if buffer:
+                if in_flight >= depth:
+                    absorb_one()
+                    yield from reorder.take_ready()
+                send(Batch(items=tuple(buffer)))
+                in_flight += 1
+            while in_flight:
+                absorb_one()
+                yield from reorder.take_ready()
+            reorder.finish(seq)
+        except BaseException:
+            # every outstanding window still owes the socket one frame; a
+            # structured error *is* that frame (consumed — keep going),
+            # only a dead transport means the frames will never come
+            for _ in range(in_flight):
+                try:
+                    backend.recv_response()
+                except BackendUnavailable:
+                    break
+                except Exception:
+                    continue
+            raise
+
+    def _send_window(self, batch: Batch) -> None:
+        """Innermost handler of the pipelined send chain."""
+        self.backend.send_request(batch)
 
     # ------------------------------------------------------------------ #
     # convenience                                                         #
     # ------------------------------------------------------------------ #
 
-    def replay_events(self, events, *, window: int | None = None):
+    def replay_events(
+        self, events, *, window: int | None = None, pipeline: int | None = None
+    ):
         """Stream service-layer timed events; yields the responses.
 
         Accepts :class:`~repro.service.events.WorkerArrival` /
         :class:`~repro.service.events.TaskArrival` iterables (or a
         :class:`~repro.service.events.RequestQueue`) and maps them onto
         API requests, preserving timestamps — the bridge from the repo's
-        existing event streams onto the versioned API.
+        existing event streams onto the versioned API. ``window`` and
+        ``pipeline`` pass through to :meth:`stream`.
         """
-        yield from self.stream(requests_from_events(events), window=window)
+        yield from self.stream(
+            requests_from_events(events), window=window, pipeline=pipeline
+        )
 
 
 def requests_from_events(events):

@@ -84,12 +84,17 @@ class BackendRun:
     report: object
 
 
-def run_backend(backend, requests, *, window: int = 32) -> BackendRun:
-    """Drive one backend through the stream via a client; collect answers."""
+def run_backend(backend, requests, *, window: int = 32, pipeline: int = 1) -> BackendRun:
+    """Drive one backend through the stream via a client; collect answers.
+
+    ``pipeline`` windows are kept in flight on transports that negotiated
+    the capability; backends without it fall back to serial windows, so
+    the same call drives every matrix cell.
+    """
     with AssignmentClient(backend) as client:
         pairs = []
         misses = []
-        for response in client.stream(requests, window=window):
+        for response in client.stream(requests, window=window, pipeline=pipeline):
             if isinstance(response, TaskDecision):
                 if response.worker_id is None:
                     misses.append(response.task_id)
@@ -110,6 +115,7 @@ def run_remote_backend(
     requests,
     *,
     window: int = 32,
+    pipeline: int = 1,
     backend: str = "sharded",
     backend_kwargs: dict | None = None,
 ) -> BackendRun:
@@ -120,7 +126,10 @@ def run_remote_backend(
     :class:`~repro.gateway.RemoteBackend`, and runs the exact
     :func:`run_backend` loop the in-process backends get — so the
     parity check covers the full framed wire path: handshake, JSON
-    round trips, batched stream windows, report transport.
+    round trips, batched stream windows, report transport. With
+    ``pipeline > 1`` the client keeps that many windows in flight and
+    the gateway schedules them shard-aware and answers out of order —
+    the matrix then asserts that pipelining changed *nothing*.
     """
     from ..gateway import GatewayConfig, RemoteBackend, serve_gateway
 
@@ -129,7 +138,10 @@ def run_remote_backend(
     )
     with serve_gateway(config) as server:
         return run_backend(
-            RemoteBackend(spec, address=server.address), requests, window=window
+            RemoteBackend(spec, address=server.address),
+            requests,
+            window=window,
+            pipeline=pipeline,
         )
 
 
@@ -237,6 +249,7 @@ def run_conformance(
     *,
     requests=None,
     window: int = 32,
+    pipeline: int = 1,
     backend_kwargs: dict | None = None,
 ) -> ConformanceReport:
     """Run the same stream through each backend kind and check parity.
@@ -246,7 +259,9 @@ def run_conformance(
     loopback gateway socket (see :func:`run_remote_backend`); its kwargs
     name the *server-side* backend and knobs rather than constructor
     arguments. ``backend_kwargs`` maps any backend kind to its extras
-    (e.g. cluster ``n_procs``/``chunk_size``).
+    (e.g. cluster ``n_procs``/``chunk_size``). ``pipeline`` applies to
+    every run — only transports that negotiated the capability actually
+    pipeline (the remote cell), everything else is its serial control.
     """
     if requests is None:
         requests = build_conformance_stream(spec.region)
@@ -259,11 +274,17 @@ def run_conformance(
         if kind == "remote":
             result.runs.append(
                 run_remote_backend(
-                    spec, requests, window=window, **backend_kwargs.get(kind, {})
+                    spec,
+                    requests,
+                    window=window,
+                    pipeline=pipeline,
+                    **backend_kwargs.get(kind, {}),
                 )
             )
             continue
         backend = make_backend(kind, spec, **backend_kwargs.get(kind, {}))
-        result.runs.append(run_backend(backend, requests, window=window))
+        result.runs.append(
+            run_backend(backend, requests, window=window, pipeline=pipeline)
+        )
     result.problems = check_parity(result.runs)
     return result

@@ -19,11 +19,20 @@ Provided middleware:
 * :class:`ErrorMapper` — catches raw backend exceptions and re-raises
   them as structured :class:`~repro.api.errors.ApiError`\\ s (see
   :func:`~repro.api.errors.map_exception`).
+
+Every middleware here is **thread-safe**: since the gateway runs its
+chain on the :class:`~repro.runtime.PipelineScheduler`'s pool, the
+stateful ones (bucket level, latency reservoirs) sit on a genuinely
+parallel path and guard their mutable state with a lock, keeping their
+count/total invariants exact under any interleaving. The handlers they
+wrap are *not* serialized — only the bookkeeping is — so the chain adds
+no head-of-line blocking.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
 
 from ..service.metrics import SampleReservoir, percentile
@@ -133,6 +142,7 @@ class TokenBucket:
         self._clock = clock
         self._tokens = float(burst)
         self._last = float(clock())
+        self._lock = threading.Lock()
         self.admitted = 0
         self.rejected = 0
 
@@ -154,17 +164,21 @@ class TokenBucket:
     def __call__(self, request, call_next):
         cost = self.cost_of(request)
         if cost:
-            self._refill()
-            if self._tokens < cost:
-                self.rejected += cost
-                missing = cost - self._tokens
-                raise AdmissionRejected(
-                    f"admission control: request costs {cost} tokens, "
-                    f"{self._tokens:.2f} available",
-                    retry_after_s=missing / self.rate,
-                )
-            self._tokens -= cost
-            self.admitted += cost
+            # refill-check-charge must be one atomic step: two pipelined
+            # requests racing it could both spend the same tokens and
+            # break the admitted+rejected == offered-cost invariant
+            with self._lock:
+                self._refill()
+                if self._tokens < cost:
+                    self.rejected += cost
+                    missing = cost - self._tokens
+                    raise AdmissionRejected(
+                        f"admission control: request costs {cost} tokens, "
+                        f"{self._tokens:.2f} available",
+                        retry_after_s=missing / self.rate,
+                    )
+                self._tokens -= cost
+                self.admitted += cost
         return call_next(request)
 
 
@@ -181,6 +195,7 @@ class LatencyMetrics:
         self.calls: dict[str, int] = {}
         self.failures: dict[str, int] = {}
         self.latencies: dict[str, SampleReservoir] = {}
+        self._lock = threading.Lock()
 
     def __call__(self, request, call_next):
         kind = type(request).kind
@@ -188,30 +203,35 @@ class LatencyMetrics:
         try:
             response = call_next(request)
         except Exception:
-            self.failures[kind] = self.failures.get(kind, 0) + 1
+            with self._lock:
+                self.failures[kind] = self.failures.get(kind, 0) + 1
             raise
         finally:
+            # the timed call runs unlocked; only the bookkeeping is
+            # atomic (dict upsert + reservoir state update)
             elapsed = time.perf_counter() - start
-            self.calls[kind] = self.calls.get(kind, 0) + 1
-            series = self.latencies.get(kind)
-            if series is None:
-                series = self.latencies[kind] = SampleReservoir(
-                    capacity=self.capacity
-                )
-            series.record(elapsed)
+            with self._lock:
+                self.calls[kind] = self.calls.get(kind, 0) + 1
+                series = self.latencies.get(kind)
+                if series is None:
+                    series = self.latencies[kind] = SampleReservoir(
+                        capacity=self.capacity
+                    )
+                series.record(elapsed)
         return response
 
     def snapshot(self) -> dict:
         """Frozen per-method stats: calls, failures, latency p50/p95 ms."""
-        return {
-            kind: {
-                "calls": self.calls.get(kind, 0),
-                "failures": self.failures.get(kind, 0),
-                "latency_p50_ms": percentile(self.latencies[kind], 50) * 1e3,
-                "latency_p95_ms": percentile(self.latencies[kind], 95) * 1e3,
+        with self._lock:
+            return {
+                kind: {
+                    "calls": self.calls.get(kind, 0),
+                    "failures": self.failures.get(kind, 0),
+                    "latency_p50_ms": percentile(self.latencies[kind], 50) * 1e3,
+                    "latency_p95_ms": percentile(self.latencies[kind], 95) * 1e3,
+                }
+                for kind in sorted(self.calls)
             }
-            for kind in sorted(self.calls)
-        }
 
 
 class ErrorMapper:

@@ -268,6 +268,29 @@ class ClusterCoordinator:
         """Tasks with a recorded outcome (assigned or definitively not)."""
         return sum(1 for tid in self._task_order if tid in self._results)
 
+    def result_ready(self, task_id: int) -> bool:
+        """Whether ``task_id`` already has a recorded outcome.
+
+        Non-blocking companion to :meth:`result_of`: together with
+        :meth:`poll` it lets a caller that must not hold a rendezvous
+        (e.g. the API layer's pipelined cluster backend, which
+        interleaves rendezvous for many shards under one lock) drive the
+        reply pump in small, lock-friendly steps.
+        """
+        return int(task_id) in self._results
+
+    def poll(self, block: bool = False, timeout: float | None = None) -> bool:
+        """Drain any replies waiting on the worker pipes.
+
+        Returns whether anything arrived. ``block=True`` parks on the
+        pipes (waking immediately when a reply lands — the event-driven
+        wait :meth:`result_of` uses) for up to ``timeout`` seconds,
+        default ``poll_interval``; ``block=False`` never waits. Crash
+        detection (EOF on a worker pipe) triggers failover exactly as
+        the blocking paths do.
+        """
+        return self._pump(block=block, timeout=timeout)
+
     def result_of(self, task_id: int) -> int | None:
         """Block until ``task_id`` has an outcome; the assigned worker id
         or ``None``.
@@ -546,7 +569,7 @@ class ClusterCoordinator:
     # reply pump                                                          #
     # ------------------------------------------------------------------ #
 
-    def _pump(self, block: bool) -> bool:
+    def _pump(self, block: bool, timeout: float | None = None) -> bool:
         """Drain available replies; returns whether any arrived.
 
         A dead worker's pipe polls readable and then raises ``EOFError``
@@ -558,11 +581,13 @@ class ClusterCoordinator:
             for widx, conn in enumerate(self._res_conns)
             if conn is not None
         ]
+        if timeout is None:
+            timeout = self.poll_interval
         ready = {
             id(c)
             for c in conn_wait(
                 [conn for _, conn in conns],
-                timeout=self.poll_interval if block else 0,
+                timeout=timeout if block else 0,
             )
         }
         got = False

@@ -9,16 +9,24 @@ assignments to an in-process one.
 
 * **protocol** — sans-IO framing (4-byte big-endian length + UTF-8 JSON,
   8 MiB ceiling), the ``hello``/``welcome``/``goodbye`` handshake with
-  api-version negotiation, and stable error codes for every kind of
-  damage (junk, truncation, oversize, version skew);
+  api-version negotiation and feature bits (``"pipeline"`` = the client
+  accepts out-of-order responses), and stable error codes for every
+  kind of damage (junk, truncation, oversize, version skew);
 * **server** — :class:`GatewayServer`: per-connection sessions behind a
-  handshake, all backend calls serialized on one dispatch thread,
-  bounded in-flight work with TCP backpressure, optional token-bucket
-  admission, structured errors over the wire, graceful drain; plus
+  handshake, backend calls scheduled on the shard-aware
+  :class:`~repro.runtime.PipelineScheduler` (different shards run
+  concurrently, same-shard requests stay FIFO, ``Flush``/``GetReport``
+  are global barriers — bit-identical to serial dispatch by
+  construction), out-of-order answers for sessions that negotiated
+  ``pipeline``, bounded in-flight work with TCP backpressure, optional
+  token-bucket admission, structured errors over the wire, graceful
+  drain that flushes pipelined windows before goodbye; plus
   :func:`serve_gateway` to run one on a daemon thread from sync code;
 * **remote** — :class:`RemoteBackend`: the gateway connection as a
   regular :class:`~repro.api.backends.Backend`, so an unmodified
-  :class:`~repro.api.client.AssignmentClient` talks to a remote service.
+  :class:`~repro.api.client.AssignmentClient` talks to a remote service
+  — including pipelined stream windows (``client.stream(...,
+  pipeline=N)``) over sessions that negotiated the feature.
 
 Quick start::
 
@@ -42,12 +50,14 @@ from .protocol import (
     GATEWAY_SCHEMA,
     GATEWAY_VERSION,
     MAX_FRAME_BYTES,
+    PIPELINE_FEATURE,
     FrameDecoder,
     encode_frame,
     decode_payload,
     goodbye_doc,
     hello_doc,
     negotiate_version,
+    parse_features,
     parse_hello,
     parse_welcome,
     welcome_doc,
@@ -59,6 +69,7 @@ __all__ = [
     "GATEWAY_SCHEMA",
     "GATEWAY_VERSION",
     "MAX_FRAME_BYTES",
+    "PIPELINE_FEATURE",
     "FrameDecoder",
     "GatewayConfig",
     "GatewayServer",
@@ -69,6 +80,7 @@ __all__ = [
     "goodbye_doc",
     "hello_doc",
     "negotiate_version",
+    "parse_features",
     "parse_hello",
     "parse_welcome",
     "serve_gateway",

@@ -12,6 +12,7 @@ Examples::
     python -m repro.gateway --smoke
     python -m repro.gateway --smoke --backend cluster --procs 2 --json
     python -m repro.gateway --serve --port 7713 --shards 2 2
+    python -m repro.gateway --serve --no-pipeline --max-in-flight 8
 """
 
 from __future__ import annotations
@@ -61,6 +62,9 @@ def _smoke(args) -> int:
             spec,
             backend_kinds=("inprocess", "sharded", "remote"),
             requests=stream,
+            # a pipelined smoke keeps several windows in flight so the
+            # parity gate covers out-of-order answering on a real socket
+            pipeline=4 if args.pipeline else 1,
             backend_kwargs={
                 "remote": {
                     "backend": args.backend,
@@ -115,6 +119,9 @@ def _serve(args) -> int:
         port=args.port,
         rate=args.rate,
         burst=args.burst,
+        pipeline=args.pipeline,
+        pipeline_workers=args.pipeline_workers,
+        max_inflight=args.max_in_flight,
     )
     server = GatewayServer(config)
 
@@ -172,6 +179,28 @@ def main(argv: list[str] | None = None) -> int:
         "--rate", type=float, default=None, help="token-bucket admission rate"
     )
     parser.add_argument("--burst", type=int, default=256)
+    parser.add_argument(
+        "--pipeline",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "shard-aware pipelined dispatch (--no-pipeline serves the "
+            "strictly serial gateway; smoke then streams serial windows)"
+        ),
+    )
+    parser.add_argument(
+        "--pipeline-workers",
+        type=int,
+        default=0,
+        help="scheduler pool threads (0 = auto)",
+    )
+    parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=32,
+        dest="max_in_flight",
+        help="in-flight request cap (global and per pipelined connection)",
+    )
     parser.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
 

@@ -6,9 +6,11 @@ JSON encoding one ``dict`` document. Two document schemas travel inside
 frames:
 
 * ``repro.gateway`` v1 — connection lifecycle: the client's ``hello``
-  (advertising the :mod:`repro.api` wire versions it speaks), the
-  server's ``welcome`` (the negotiated version plus a session id), and
-  ``goodbye`` in either direction;
+  (advertising the :mod:`repro.api` wire versions it speaks, plus any
+  optional *features* it can handle — today ``"pipeline"``, the
+  capability bit for out-of-order responses), the server's ``welcome``
+  (the negotiated version, the accepted feature subset and a session
+  id), and ``goodbye`` in either direction;
 * ``repro.api`` v1 — every request/response after the handshake is the
   unmodified :func:`repro.api.to_wire` document; failures come back as
   the api ``error`` kind (:class:`~repro.api.messages.ErrorInfo`), so
@@ -36,6 +38,7 @@ __all__ = [
     "GATEWAY_VERSION",
     "HEADER",
     "MAX_FRAME_BYTES",
+    "PIPELINE_FEATURE",
     "check_frame_length",
     "encode_frame",
     "decode_payload",
@@ -44,6 +47,7 @@ __all__ = [
     "welcome_doc",
     "goodbye_doc",
     "is_gateway_doc",
+    "parse_features",
     "parse_hello",
     "parse_welcome",
     "negotiate_version",
@@ -51,6 +55,12 @@ __all__ = [
 
 GATEWAY_SCHEMA = "repro.gateway"
 GATEWAY_VERSION = 1
+
+#: Session feature: the client accepts responses in completion order
+#: (it matches them back by stream-envelope ``seq``), so the server may
+#: read ahead and answer frames out of order. Off means the strict
+#: request/response discipline of protocol v1 without features.
+PIPELINE_FEATURE = "pipeline"
 
 #: Frame header: one big-endian u32 payload length.
 HEADER = struct.Struct(">I")
@@ -164,23 +174,33 @@ def _gateway_doc(kind: str, body: dict) -> dict:
 
 
 def hello_doc(
-    api_versions=(WIRE_VERSION,), client: str = "repro.gateway.remote"
+    api_versions=(WIRE_VERSION,),
+    client: str = "repro.gateway.remote",
+    features=(),
 ) -> dict:
-    """The client's opening frame: the api wire versions it can speak."""
+    """The client's opening frame: api wire versions + optional features."""
     return _gateway_doc(
         "hello",
-        {"api_versions": [int(v) for v in api_versions], "client": str(client)},
+        {
+            "api_versions": [int(v) for v in api_versions],
+            "client": str(client),
+            "features": [str(f) for f in features],
+        },
     )
 
 
-def welcome_doc(api_version: int, backend: str, session: int) -> dict:
-    """The server's handshake answer: negotiated version + session id."""
+def welcome_doc(
+    api_version: int, backend: str, session: int, features=()
+) -> dict:
+    """The server's handshake answer: negotiated version + accepted
+    features + session id."""
     return _gateway_doc(
         "welcome",
         {
             "api_version": int(api_version),
             "backend": str(backend),
             "session": int(session),
+            "features": [str(f) for f in features],
         },
     )
 
@@ -252,16 +272,39 @@ def negotiate_version(client_versions) -> int:
     return max(common)
 
 
-def parse_hello(doc: dict) -> tuple[int, str]:
-    """Validate a ``hello``; returns ``(negotiated api version, client)``."""
+def parse_features(body: dict) -> tuple[str, ...]:
+    """The ``features`` list of a handshake body, validated.
+
+    Absent means none (every pre-feature peer), and *unknown* feature
+    names pass through untouched — a feature set only ever grows by
+    intersection (each side acts on the names it knows), which is what
+    keeps old and new peers interoperable without version bumps.
+    """
+    features = body.get("features", [])
+    if not isinstance(features, list) or not all(
+        isinstance(f, str) for f in features
+    ):
+        raise ValidationFailed(
+            f"handshake features must be a list of strings, got {features!r}"
+        )
+    return tuple(features)
+
+
+def parse_hello(doc: dict) -> tuple[int, str, tuple[str, ...]]:
+    """Validate a ``hello``; returns ``(api version, client, features)``."""
     body = _check_gateway_envelope(doc, "hello")
     if "api_versions" not in body:
         raise ValidationFailed("hello body is missing api_versions")
-    return negotiate_version(body["api_versions"]), str(body.get("client", ""))
+    return (
+        negotiate_version(body["api_versions"]),
+        str(body.get("client", "")),
+        parse_features(body),
+    )
 
 
-def parse_welcome(doc: dict) -> tuple[int, str, int]:
-    """Validate a ``welcome``; returns ``(api version, backend, session)``."""
+def parse_welcome(doc: dict) -> tuple[int, str, int, tuple[str, ...]]:
+    """Validate a ``welcome``; returns ``(api version, backend, session,
+    features)``."""
     body = _check_gateway_envelope(doc, "welcome")
     try:
         version = int(body["api_version"])
@@ -276,4 +319,4 @@ def parse_welcome(doc: dict) -> tuple[int, str, int]:
             f"server negotiated api version {version}, this client "
             f"supports 1..{WIRE_VERSION}"
         )
-    return version, backend, session
+    return version, backend, session, parse_features(body)

@@ -8,6 +8,16 @@ being handed one. ``open()`` connects and handshakes (schema-version
 negotiation included), ``handle()`` writes one frame and blocks for one
 response frame, ``close()`` says goodbye.
 
+The handshake also offers the ``pipeline`` feature: when the server
+accepts it (:attr:`RemoteBackend.supports_pipeline` turns true), the
+transport additionally exposes the split :meth:`RemoteBackend
+.send_request` / :meth:`RemoteBackend.recv_response` pair, letting the
+client keep several stream windows in flight and accept their responses
+in whatever order the gateway finished them (the envelopes' ``seq``
+restores stream order client-side). Against a pre-feature server the
+attribute stays false and everything degrades to strict
+request/response.
+
 Error discipline: a structured error answered by the server (the api
 ``error`` kind) is re-raised locally as the matching
 :class:`~repro.api.errors.ApiError` subclass — same codes, same
@@ -26,6 +36,7 @@ from ..api.messages import ErrorInfo, WIRE_VERSION, from_wire, to_wire
 from .protocol import (
     HEADER,
     MAX_FRAME_BYTES,
+    PIPELINE_FEATURE,
     check_frame_length,
     decode_payload,
     encode_frame,
@@ -55,6 +66,11 @@ class RemoteBackend(BackendBase):
         Socket deadlines for connecting and for each request round trip.
         A cluster-served flush barrier can legitimately take a while, so
         the call deadline is generous by default.
+    pipeline:
+        Whether to *offer* the ``pipeline`` feature in the handshake.
+        The negotiated outcome lands in :attr:`supports_pipeline`; the
+        offer itself is harmless against any server (pre-feature servers
+        ignore unknown body fields).
     """
 
     name = "remote"
@@ -68,6 +84,7 @@ class RemoteBackend(BackendBase):
         call_timeout: float = 300.0,
         client_name: str = "repro.gateway.remote",
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        pipeline: bool = True,
     ) -> None:
         super().__init__(spec)
         self.address = (str(address[0]), int(address[1]))
@@ -75,10 +92,18 @@ class RemoteBackend(BackendBase):
         self.call_timeout = float(call_timeout)
         self.client_name = str(client_name)
         self.max_frame_bytes = int(max_frame_bytes)
+        self.pipeline = bool(pipeline)
         self.api_version: int | None = None
         self.session: int | None = None
         self.server_backend: str | None = None
+        self.server_features: tuple[str, ...] = ()
         self._sock: socket.socket | None = None
+        self._outstanding = 0
+
+    @property
+    def supports_pipeline(self) -> bool:
+        """Whether this session negotiated out-of-order responses."""
+        return PIPELINE_FEATURE in self.server_features
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                           #
@@ -94,6 +119,7 @@ class RemoteBackend(BackendBase):
                 hello_doc(
                     api_versions=range(1, WIRE_VERSION + 1),
                     client=self.client_name,
+                    features=(PIPELINE_FEATURE,) if self.pipeline else (),
                 )
             )
             doc = self._recv_doc()
@@ -105,7 +131,12 @@ class RemoteBackend(BackendBase):
                 raise BackendUnavailable(
                     f"gateway answered the handshake with {doc.get('kind')!r}"
                 )
-            self.api_version, self.server_backend, self.session = parse_welcome(doc)
+            (
+                self.api_version,
+                self.server_backend,
+                self.session,
+                self.server_features,
+            ) = parse_welcome(doc)
         except OSError as exc:
             self._drop()
             raise BackendUnavailable(
@@ -130,6 +161,11 @@ class RemoteBackend(BackendBase):
                 self._sock.close()
             finally:
                 self._sock = None
+        # a dead socket owes nothing: without this reset, a sync call
+        # after a lost pipelined stream would fail the in-flight guard
+        # (caller-bug ValidationFailed) instead of the documented
+        # retryable BackendUnavailable
+        self._outstanding = 0
 
     # ------------------------------------------------------------------ #
     # dispatch                                                            #
@@ -149,6 +185,29 @@ class RemoteBackend(BackendBase):
         :class:`BackendUnavailable` — the session's server-side state is
         gone, so "retry" means a fresh ``RemoteBackend``, never a silent
         reconnect that would hide the discontinuity.
+
+        While a pipelined stream still has windows in flight the
+        connection's next frames belong to *those* windows, so a sync
+        call would steal one as its own answer; it is refused
+        structurally instead (finish or drain the stream first).
+        """
+        if self._outstanding > 0:
+            raise ValidationFailed(
+                f"sync call with {self._outstanding} pipelined responses "
+                "still in flight; drain the stream before mixing in "
+                "request/response calls"
+            )
+        self.send_request(request)
+        return self.recv_response()
+
+    def send_request(self, request) -> None:
+        """Put one request frame on the wire without waiting for it.
+
+        Half of the pipelined transport: callers that keep several
+        requests in flight owe the socket exactly one
+        :meth:`recv_response` per successful send, in any order they
+        like. :meth:`handle` is simply a send immediately followed by
+        its receive.
         """
         self._ensure_open()
         if self._sock is None:
@@ -157,12 +216,41 @@ class RemoteBackend(BackendBase):
             )
         try:
             self._send_doc(to_wire(request))
+        except OSError as exc:
+            self._drop()
+            raise BackendUnavailable(
+                f"gateway connection lost mid-send: {exc}"
+            ) from exc
+        self._outstanding += 1
+
+    def recv_response(self):
+        """Take the next response frame off the wire.
+
+        Responses arrive in the server's completion order when the
+        session is pipelined (match them by envelope ``seq``); a
+        structured error frame re-raises as its
+        :class:`~repro.api.errors.ApiError` class and *consumes* the
+        response slot — the session itself survives request errors.
+        Calling with no request in flight is a caller bug and fails
+        structurally instead of blocking on a frame that will never come.
+        """
+        if self._sock is None:
+            raise BackendUnavailable(
+                "gateway connection was lost; open a new RemoteBackend"
+            )
+        if self._outstanding <= 0:
+            raise ValidationFailed(
+                "recv_response with no request in flight; every receive "
+                "must be owed by a prior send_request"
+            )
+        try:
             doc = self._recv_doc()
         except OSError as exc:
             self._drop()
             raise BackendUnavailable(
                 f"gateway connection lost mid-call: {exc}"
             ) from exc
+        self._outstanding -= 1
         if is_gateway_doc(doc):
             self._drop()
             reason = ""

@@ -7,17 +7,27 @@ in-process, sharded or cluster — through the same middleware chain the
 in-process :class:`~repro.api.client.AssignmentClient` uses. Design
 points:
 
-* **one dispatch thread** — backends are synchronous and not
-  thread-safe, so every backend call runs on a single-worker executor;
-  the event loop stays free to read/write frames for all connections
-  while one request executes. Request order *within* a connection is
-  the arrival order (a connection reads its next frame only after
-  answering the previous one — the request/response discipline the
-  conformance suite's bit-identical guarantee rides on);
+* **shard-aware pipelined dispatch** — every backend call is scheduled
+  on the shared :class:`~repro.runtime.PipelineScheduler` under the
+  backend's :meth:`~repro.api.backends.BackendBase.ordering_key`:
+  requests for different shards execute concurrently on a bounded pool,
+  same-shard requests stay FIFO, and barrier verbs (``Flush``/
+  ``GetReport``) quiesce the world — which is exactly why assignments
+  stay bit-identical to the serial dispatch loop this replaced. Setting
+  ``pipeline=False`` in the config keys everything as a barrier on a
+  one-thread pool, i.e. the strict serial gateway, byte for byte;
+* **per-connection pipelining, opt-in** — a client that offered the
+  ``pipeline`` feature in its hello may have many frames in flight; the
+  gateway reads ahead and answers in *completion* order (stream
+  envelopes carry the ``seq`` that lets the client re-sequence).
+  Clients that didn't opt in keep protocol v1's strict
+  request/response discipline: one frame in, its answer out, regardless
+  of how the backend is scheduled underneath;
 * **bounded in-flight work** — an :class:`asyncio.Semaphore` caps
-  requests queued for the dispatch thread across all connections; a
-  connection over the cap simply isn't read from, so backpressure
-  propagates to the client through TCP. An optional server-side
+  requests queued for the scheduler across all connections (and bounds
+  each pipelined connection's read-ahead); a connection over the cap
+  simply isn't read from, so backpressure propagates to the client
+  through TCP. An optional server-side
   :class:`~repro.api.middleware.TokenBucket` adds admission control on
   top (rejections travel back as retryable ``rate-limited`` errors);
 * **structured failure** — anything a request provokes, from malformed
@@ -26,8 +36,9 @@ points:
   closes the connection, because a byte stream behind a broken frame
   cannot be resynchronized;
 * **graceful drain** — :meth:`GatewayServer.stop` stops accepting,
-  lets every in-flight request finish, sends ``goodbye`` to idle
-  connections and closes the backend last.
+  lets every in-flight request finish — pipelined connections get all
+  outstanding responses flushed to them first — then sends ``goodbye``
+  and closes the backend last.
 
 :func:`serve_gateway` runs the whole thing on a daemon thread with its
 own event loop — the bridge that lets synchronous tests, benchmarks and
@@ -40,7 +51,6 @@ import asyncio
 import contextlib
 import itertools
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..api.backends import ServiceSpec, make_backend
@@ -53,9 +63,11 @@ from ..api.middleware import (
     TokenBucket,
     build_stack,
 )
+from ..runtime import PipelineScheduler, default_worker_count
 from .protocol import (
     HEADER,
     MAX_FRAME_BYTES,
+    PIPELINE_FEATURE,
     check_frame_length,
     decode_payload,
     encode_frame,
@@ -78,6 +90,16 @@ class GatewayConfig:
     enable server-side token-bucket admission control when ``rate`` is
     set. ``port=0`` binds an ephemeral port, published as
     :attr:`GatewayServer.address` once the listener is up.
+
+    ``pipeline`` turns shard-aware pipelined dispatch on (the default):
+    requests execute concurrently per ordering key on
+    ``pipeline_workers`` threads (``0`` sizes the pool automatically),
+    and clients offering the ``pipeline`` feature get out-of-order
+    responses. ``pipeline=False`` reproduces the strictly serial
+    dispatch gateway: one worker thread, every request a barrier, no
+    session ever granted the feature. ``max_inflight`` bounds scheduled
+    work across all connections *and* each pipelined connection's
+    read-ahead window.
     """
 
     spec: ServiceSpec
@@ -91,6 +113,8 @@ class GatewayConfig:
     burst: int = 256
     handshake_timeout: float = 10.0
     drain_timeout: float = 30.0
+    pipeline: bool = True
+    pipeline_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -99,6 +123,11 @@ class GatewayConfig:
             )
         if self.max_frame_bytes < HEADER.size:
             raise ValueError("max_frame_bytes is too small to frame anything")
+        if self.pipeline_workers < 0:
+            raise ValueError(
+                f"pipeline_workers must be >= 0 (0 = auto), got "
+                f"{self.pipeline_workers}"
+            )
 
     def build_backend(self):
         return make_backend(self.backend, self.spec, **self.backend_kwargs)
@@ -122,6 +151,8 @@ class GatewayConfig:
             "burst": self.burst,
             "handshake_timeout": self.handshake_timeout,
             "drain_timeout": self.drain_timeout,
+            "pipeline": self.pipeline,
+            "pipeline_workers": self.pipeline_workers,
         }
 
     @classmethod
@@ -139,6 +170,7 @@ class Session:
     peer: tuple
     api_version: int = 0
     client: str = ""
+    pipelined: bool = False
     requests: int = 0
     errors: int = 0
 
@@ -194,6 +226,7 @@ class GatewayServer:
             "errors": 0,
             "truncated": 0,
             "rejected_handshakes": 0,
+            "pipelined_sessions": 0,
         }
         self.address: tuple[str, int] | None = None
         self._session_ids = itertools.count(1)
@@ -202,8 +235,15 @@ class GatewayServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._inflight: asyncio.Semaphore | None = None
         self._drain_event: asyncio.Event | None = None
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="gateway-backend"
+        # the execution core: pipelined dispatch schedules per ordering
+        # key; the serial config degrades to one worker + all barriers
+        self._scheduler = PipelineScheduler(
+            max_workers=(
+                (config.pipeline_workers or default_worker_count())
+                if config.pipeline
+                else 1
+            ),
+            name="gateway-backend",
         )
         self._stopped = False
 
@@ -216,10 +256,11 @@ class GatewayServer:
         self._loop = asyncio.get_running_loop()
         self._inflight = asyncio.Semaphore(self.config.max_inflight)
         self._drain_event = asyncio.Event()
-        # the backend lives on the dispatch thread from first breath:
-        # open() there too, so thread-affine state (cluster pipes) never
-        # crosses threads
-        await self._loop.run_in_executor(self._executor, self.backend.open)
+        # open() rides the scheduler as a barrier: it runs alone, before
+        # any request the scheduler will ever execute
+        await asyncio.wrap_future(
+            self._scheduler.submit(None, self.backend.open)
+        )
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port
         )
@@ -228,10 +269,11 @@ class GatewayServer:
     async def stop(self) -> None:
         """Graceful drain: finish in-flight work, close everything.
 
-        Safe to call whether or not :meth:`start` completed — a server
-        whose startup failed (or never ran) must still close its backend
-        (a half-opened cluster holds worker processes) and reap the
-        dispatch executor.
+        Pipelined connections flush every outstanding response before
+        their goodbye (see the session loops). Safe to call whether or
+        not :meth:`start` completed — a server whose startup failed (or
+        never ran) must still close its backend (a half-opened cluster
+        holds worker processes) and reap the scheduler pool.
         """
         if self._stopped:
             return
@@ -249,9 +291,12 @@ class GatewayServer:
             for task in pending:
                 task.cancel()
             await asyncio.gather(*pending, return_exceptions=True)
-        loop = asyncio.get_running_loop()
-        await loop.run_in_executor(self._executor, self.backend.close)
-        self._executor.shutdown(wait=True)
+        # close() is the final barrier: it waits out whatever stragglers
+        # the connection drain abandoned, then the pool is reaped
+        await asyncio.wrap_future(
+            self._scheduler.submit(None, self.backend.close)
+        )
+        self._scheduler.shutdown(wait=True)
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the ``--serve`` CLI path)."""
@@ -292,7 +337,7 @@ class GatewayServer:
             doc = await asyncio.wait_for(
                 self._read_frame(reader), self.config.handshake_timeout
             )
-            session.api_version, session.client = parse_hello(doc)
+            session.api_version, session.client, features = parse_hello(doc)
         except (_Disconnect, asyncio.TimeoutError):
             self.stats["rejected_handshakes"] += 1
             return
@@ -300,65 +345,153 @@ class GatewayServer:
             self.stats["rejected_handshakes"] += 1
             await self._write(writer, to_wire(exc.info()))
             return
+        # grant only what both sides speak: the feature set shrinks by
+        # intersection, never errors on names from the future
+        session.pipelined = self.config.pipeline and PIPELINE_FEATURE in features
+        granted = (PIPELINE_FEATURE,) if session.pipelined else ()
         self.stats["sessions"] += 1
+        if session.pipelined:
+            self.stats["pipelined_sessions"] += 1
         self.sessions[session.id] = session
         await self._write(
-            writer, welcome_doc(session.api_version, self.backend.name, session.id)
+            writer,
+            welcome_doc(
+                session.api_version, self.backend.name, session.id, granted
+            ),
         )
         # -- request loop ----------------------------------------------- #
         drain_wait = asyncio.ensure_future(self._drain_event.wait())
         try:
-            while True:
-                read = asyncio.ensure_future(self._read_frame(reader))
-                await asyncio.wait(
-                    {read, drain_wait}, return_when=asyncio.FIRST_COMPLETED
-                )
-                if not read.done():
-                    # draining while this connection sat idle: no request
-                    # is in flight, so it can be told goodbye and closed
-                    read.cancel()
-                    with contextlib.suppress(asyncio.CancelledError):
-                        await read
-                    await self._write(writer, goodbye_doc("gateway draining"))
-                    return
-                try:
-                    doc = read.result()
-                except _Disconnect as exc:
-                    if not exc.clean:
-                        self.stats["truncated"] += 1
-                    return
-                except ApiError as exc:
-                    # framing damage: answer with the structured error,
-                    # then close — the stream cannot be resynchronized
-                    self.stats["errors"] += 1
-                    session.errors += 1
-                    await self._write(writer, to_wire(exc.info()))
-                    return
-                if is_gateway_doc(doc):
-                    if doc.get("kind") == "goodbye":
-                        return
-                    self.stats["errors"] += 1
-                    await self._write(
-                        writer,
-                        to_wire(
-                            map_exception(
-                                ValueError(
-                                    "handshake already complete; expected an "
-                                    "api document"
-                                )
-                            ).info()
-                        ),
-                    )
-                    continue
-                await self._write(writer, await self._dispatch(doc, session))
-                if self._drain_event.is_set():
-                    await self._write(writer, goodbye_doc("gateway draining"))
-                    return
+            if session.pipelined:
+                await self._pipelined_loop(reader, writer, session, drain_wait)
+            else:
+                await self._serial_loop(reader, writer, session, drain_wait)
         finally:
             drain_wait.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await drain_wait
             self.sessions.pop(session.id, None)
+
+    async def _intake(self, reader, session, drain_wait):
+        """Read the next actionable frame; one error ladder for both loops.
+
+        Returns a tagged outcome:
+
+        * ``("doc", doc)`` — an api document to dispatch;
+        * ``("reject", error_doc)`` — answer this and keep reading (a
+          gateway doc where an api doc belongs);
+        * ``("drain", goodbye_doc)`` — the server is draining;
+        * ``("close", error_doc | None)`` — end the session, after the
+          farewell payload if any (framing damage gets its structured
+          answer; disconnects and client goodbyes get silence).
+        """
+        read = asyncio.ensure_future(self._read_frame(reader))
+        await asyncio.wait(
+            {read, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if not read.done():
+            read.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await read
+            return "drain", goodbye_doc("gateway draining")
+        try:
+            doc = read.result()
+        except _Disconnect as exc:
+            if not exc.clean:
+                self.stats["truncated"] += 1
+            return "close", None
+        except ApiError as exc:
+            # framing damage: answer with the structured error, then
+            # close — the stream cannot be resynchronized
+            self.stats["errors"] += 1
+            session.errors += 1
+            return "close", to_wire(exc.info())
+        if is_gateway_doc(doc):
+            if doc.get("kind") == "goodbye":
+                return "close", None
+            self.stats["errors"] += 1
+            return "reject", to_wire(
+                map_exception(
+                    ValueError(
+                        "handshake already complete; expected an api document"
+                    )
+                ).info()
+            )
+        return "doc", doc
+
+    async def _serial_loop(self, reader, writer, session, drain_wait) -> None:
+        """Protocol v1's strict request/response discipline.
+
+        One frame is read only after the previous frame's answer went
+        out. Requests still execute through the scheduler, so two
+        *different* serial connections overlap when their shards differ.
+        """
+        while True:
+            kind, payload = await self._intake(reader, session, drain_wait)
+            if kind == "doc":
+                await self._write(writer, await self._dispatch(payload, session))
+                if self._drain_event.is_set():
+                    await self._write(writer, goodbye_doc("gateway draining"))
+                    return
+            elif kind == "reject":
+                await self._write(writer, payload)
+            else:  # drain (idle: nothing in flight) or close
+                if payload is not None:
+                    await self._write(writer, payload)
+                return
+
+    async def _pipelined_loop(self, reader, writer, session, drain_wait) -> None:
+        """Read-ahead loop for sessions that negotiated ``pipeline``.
+
+        Frames are read as fast as the in-flight window allows and each
+        one is answered by its own task the moment the scheduler finishes
+        it — out of order when shards allow it, writes serialized per
+        connection. On drain (or client goodbye, or framing damage) the
+        loop first *flushes every in-flight response*, then closes the
+        conversation: a pipelined client is never left holding a window
+        the server silently dropped.
+        """
+        pending: set[asyncio.Task] = set()
+        write_lock = asyncio.Lock()
+        farewell_doc: dict | None = None
+
+        async def respond(doc: dict) -> None:
+            response = await self._dispatch(doc, session)
+            with contextlib.suppress(ConnectionError):
+                async with write_lock:
+                    await self._write(writer, response)
+
+        try:
+            while True:
+                if len(pending) >= self.config.max_inflight:
+                    # per-connection read-ahead cap: stop reading until a
+                    # response drains (TCP pushes back on the client)
+                    done, _ = await asyncio.wait(
+                        pending, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    pending.difference_update(done)
+                    continue
+                kind, payload = await self._intake(reader, session, drain_wait)
+                if kind == "doc":
+                    task = asyncio.create_task(respond(payload))
+                    pending.add(task)
+                    task.add_done_callback(pending.discard)
+                elif kind == "reject":
+                    async with write_lock:
+                        await self._write(writer, payload)
+                else:  # drain or close; farewell goes out after the flush
+                    farewell_doc = payload
+                    return
+        finally:
+            # flush the in-flight window before any farewell: the drain
+            # guarantee ("every accepted frame gets its answer") and the
+            # framing-damage answer both depend on this barrier
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            if farewell_doc is not None:
+                with contextlib.suppress(ConnectionError):
+                    async with write_lock:
+                        await self._write(writer, farewell_doc)
 
     async def _dispatch(self, doc: dict, session: Session) -> dict:
         """Serve one api wire document; always returns a response doc."""
@@ -369,9 +502,12 @@ class GatewayServer:
             session.errors += 1
             return to_wire(exc.info())
         async with self._inflight:
+            key = (
+                self._ordering_key(request) if self.config.pipeline else None
+            )
             try:
-                response = await self._loop.run_in_executor(
-                    self._executor, self._handler, request
+                response = await asyncio.wrap_future(
+                    self._scheduler.submit(key, self._handler, request)
                 )
             except ApiError as exc:
                 self.stats["errors"] += 1
@@ -384,6 +520,13 @@ class GatewayServer:
         session.requests += 1
         self.stats["responses"] += 1
         return to_wire(response)
+
+    def _ordering_key(self, request):
+        """The backend's key, or a barrier when routing itself fails."""
+        try:
+            return self.backend.ordering_key(request)
+        except Exception:
+            return None
 
     # ------------------------------------------------------------------ #
     # frame IO                                                            #

@@ -1,0 +1,33 @@
+"""repro.runtime — the shard-aware pipelined execution core.
+
+One execution model, shared by every serving layer instead of being
+re-implemented per layer:
+
+* :class:`PipelineScheduler` — requests execute on a bounded pool under
+  an *ordering key*: different keys run concurrently, equal keys stay
+  FIFO, and ``None`` is a global barrier. Keys come from the backend's
+  shard routing, so pipelined execution is bit-identical to the serial
+  dispatch loops it replaced — per shard, nothing ever reorders;
+* :class:`SequenceReorderer` / :func:`unwrap` / :func:`rewrap` — the
+  stream-window bookkeeping (sequence-numbered envelopes in, in-order
+  responses out) used by the client's pipelined stream mode and the
+  cluster backend's chunked batch dispatch.
+
+Consumers: :class:`repro.gateway.GatewayServer` schedules every framed
+request through a :class:`PipelineScheduler` keyed by
+``backend.ordering_key(request)``; :class:`repro.api.AssignmentClient`
+pipelines stream windows over transports that support it; the
+:class:`repro.api.backends.ClusterBackend` batch path shares the
+envelope plumbing.
+"""
+
+from .scheduler import PipelineScheduler, default_worker_count
+from .window import SequenceReorderer, rewrap, unwrap
+
+__all__ = [
+    "PipelineScheduler",
+    "SequenceReorderer",
+    "default_worker_count",
+    "rewrap",
+    "unwrap",
+]

@@ -1,0 +1,237 @@
+"""The shard-aware pipelined scheduler: the one execution core.
+
+:class:`PipelineScheduler` executes submitted requests on a bounded
+thread pool under one ordering rule, chosen so that pipelined execution
+is *bit-identical to serial execution by construction*:
+
+* every job carries an **ordering key**. Jobs with **different keys**
+  may run concurrently; jobs with the **same key** run FIFO, one at a
+  time, in submission order;
+* a job with key ``None`` is a **global barrier**: it runs only after
+  every previously submitted job has finished, runs alone, and every
+  job submitted after it waits for it.
+
+For the assignment service the key is the backend's shard routing
+(:meth:`repro.api.backends.BackendBase.ordering_key`): shards share no
+state, so per-key FIFO means each shard server consumes exactly the
+per-shard subsequence it would have seen from a serial dispatch loop —
+same cohort buffers, same RNG draws, same assignments. Barrier verbs
+(``Flush``/``GetReport``, cluster checkpoints) map to ``None`` and keep
+their observe-everything semantics.
+
+Ordering is tracked with dependency chaining, not queue polling: each
+key remembers its tail job, a barrier collects every live tail, and a
+job is handed to the executor the moment its dependencies finish — a
+failed dependency still releases its dependents (keys order requests,
+they do not couple their outcomes). The scheduler never ties up a pool
+thread on a job that cannot run yet, so ``max_workers=1`` degrades to
+exactly the strict serial dispatch loop it replaced.
+
+The chain itself rides *internal* gate futures that only the scheduler
+resolves; the future a caller receives is a separate result handle.
+Cancelling that handle (``asyncio.wrap_future`` does so when its task
+is cancelled) therefore only abandons the *result* — the job still
+executes exactly once in its slot, the ordering chain never skips, and
+a barrier can never start while an abandoned predecessor is running.
+Accepted work always runs: the same discipline the gateway applies to
+a batch whose client vanished before reading the reply.
+
+``max_in_flight`` bounds accepted-but-unfinished jobs; :meth:`submit`
+blocks the producer beyond it, which is how backpressure propagates to
+whatever feeds the scheduler (the gateway additionally bounds in-flight
+work with its own asyncio semaphore so its event loop never blocks
+here).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
+
+__all__ = ["PipelineScheduler", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Pool size when the caller does not choose: enough threads that a
+    few shards' worth of work can overlap (cluster-served jobs spend
+    their time waiting on worker processes, so this may exceed the local
+    core count without oversubscribing anything)."""
+    return min(8, max(4, os.cpu_count() or 1))
+
+
+class PipelineScheduler:
+    """Keyed-FIFO / barrier scheduler over a bounded thread pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool threads. ``None`` picks :func:`default_worker_count`; ``1``
+        reproduces a strict serial dispatch loop (one thread, and the
+        ordering rule is vacuous).
+    max_in_flight:
+        Cap on submitted-but-unfinished jobs; :meth:`submit` blocks when
+        the cap is reached. ``None`` leaves admission to the caller.
+    name:
+        Thread-name prefix (debugging/profiling).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        max_in_flight: int | None = None,
+        name: str = "repro-runtime",
+    ) -> None:
+        if max_workers is None:
+            max_workers = default_worker_count()
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1 (or None), got {max_in_flight}"
+            )
+        self.max_workers = int(max_workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix=name
+        )
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._tails: dict[object, Future] = {}
+        self._barrier: Future | None = None
+        self._in_flight = 0
+        self._slots = (
+            threading.BoundedSemaphore(int(max_in_flight))
+            if max_in_flight is not None
+            else None
+        )
+        self._shutdown = False
+        self.submitted = 0
+        self.barriers = 0
+
+    # ------------------------------------------------------------------ #
+    # submission                                                          #
+    # ------------------------------------------------------------------ #
+
+    def submit(self, key, fn, /, *args, **kwargs) -> Future:
+        """Schedule ``fn(*args, **kwargs)`` under ``key``'s ordering.
+
+        Returns a :class:`~concurrent.futures.Future` resolving to the
+        call's result (or exception). Cancelling it abandons the result
+        only — the job still executes in order (see module docstring).
+        ``key=None`` is a global barrier. Blocks while ``max_in_flight``
+        jobs are already pending.
+        """
+        if self._slots is not None:
+            self._slots.acquire()
+        done: Future = Future()  # the caller's result handle
+        gate: Future = Future()  # internal chain marker; scheduler-owned
+        try:
+            with self._lock:
+                if self._shutdown:
+                    raise RuntimeError("scheduler has been shut down")
+                self._in_flight += 1
+                self.submitted += 1
+                if key is None:
+                    self.barriers += 1
+                    deps = list(self._tails.values())
+                    if self._barrier is not None:
+                        deps.append(self._barrier)
+                    # everything after the barrier chains on the barrier
+                    self._tails.clear()
+                    self._barrier = gate
+                else:
+                    prev = self._tails.get(key, self._barrier)
+                    deps = [] if prev is None else [prev]
+                    self._tails[key] = gate
+        except BaseException:
+            if self._slots is not None:
+                self._slots.release()
+            raise
+        self._when_ready(deps, done, gate, fn, args, kwargs)
+        return done
+
+    def _when_ready(self, deps, done, gate, fn, args, kwargs) -> None:
+        """Hand the job to the pool once every dependency has finished.
+
+        ``deps`` are internal gates: they resolve exactly when their
+        job's execution (never merely its result handle) is over, and
+        they order execution without propagating failure — a dep whose
+        job raised still counts as finished.
+        """
+        if not deps:
+            self._executor.submit(self._run, done, gate, fn, args, kwargs)
+            return
+        state = {"remaining": len(deps)}
+        state_lock = threading.Lock()
+
+        def dep_finished(_fut) -> None:
+            with state_lock:
+                state["remaining"] -= 1
+                ready = state["remaining"] == 0
+            if ready:
+                self._executor.submit(self._run, done, gate, fn, args, kwargs)
+
+        for dep in deps:
+            # fires immediately if the dep already finished
+            dep.add_done_callback(dep_finished)
+
+    def _run(self, done: Future, gate: Future, fn, args, kwargs) -> None:
+        try:
+            result = fn(*args, **kwargs)
+            exc = None
+        except BaseException as caught:
+            result, exc = None, caught
+        # deliver the result unless the caller abandoned it (a cancelled
+        # handle is already resolved; setting it would InvalidStateError)
+        if not done.cancelled():
+            with contextlib.suppress(InvalidStateError):
+                if exc is not None:
+                    done.set_exception(exc)
+                else:
+                    done.set_result(result)
+        # the gate resolves only here — dependents (and barriers) can
+        # never start while this execution is live, cancelled or not;
+        # they were counted into in_flight at their submit(), so drain()
+        # cannot conclude idle while a chain is being handed to the pool
+        gate.set_result(None)
+        if self._slots is not None:
+            self._slots.release()
+        with self._idle:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs submitted and not yet finished (queued or running)."""
+        with self._lock:
+            return self._in_flight
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted job has finished.
+
+        Returns ``False`` on timeout (work still pending), ``True`` once
+        idle. New submissions during the wait extend it.
+        """
+        with self._idle:
+            return self._idle.wait_for(lambda: self._in_flight == 0, timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Refuse new work; optionally wait for in-flight jobs."""
+        with self._lock:
+            self._shutdown = True
+        if wait:
+            self.drain()
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "PipelineScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True)

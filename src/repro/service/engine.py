@@ -20,10 +20,24 @@ nothing, so lifting them onto threads/processes/hosts later is a transport
 problem, not an algorithmic one — :mod:`repro.cluster` is exactly that
 lift, running the same shards across worker processes with snapshot
 checkpoints, crash failover and hot-shard balancing.
+
+Concurrency contract: the engine itself never spawns threads, but it may
+be *driven* by several (the :mod:`repro.runtime` scheduler runs requests
+for different shards concurrently). That is safe iff callers serialize
+per shard — same-shard calls never overlap — which is exactly the
+scheduler's ordering-key guarantee. The state shared *across* shards —
+the worker-id registry, the simulation clock and the assignment log — is
+protected by an internal lock; registry and clock are commutative (set
+union, running max), so cross-shard interleaving cannot change any
+observable result, while the :attr:`ShardedAssignmentEngine.assignments`
+*log order* follows decision completion and may interleave differently
+than a serial replay (per-shard subsequences always match; callers that
+need stream order use the API layer's sequence-numbered responses).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -114,6 +128,9 @@ class ShardedAssignmentEngine:
         # could be assigned twice and budget-charged on two ledgers
         self._known_workers: set[int] = set()
         self._assignments: list[tuple[int, int]] = []
+        # guards the cross-shard state (registry, clock) when different
+        # shards' requests run on different threads; see module docstring
+        self._shared_lock = threading.Lock()
         self.now = 0.0
 
     @property
@@ -162,21 +179,35 @@ class ShardedAssignmentEngine:
         self.flush(shard_id)
         worker = self.shards[shard_id].submit_task(int(task_id), location)
         if worker is not None:
-            self._assignments.append((int(task_id), worker))
+            with self._shared_lock:
+                self._assignments.append((int(task_id), worker))
         return worker
+
+    def observe_time(self, t: float) -> None:
+        """Advance the simulation clock to ``t`` if it is later.
+
+        The thread-safe way to stamp event times when requests for
+        different shards execute concurrently: max is commutative, so any
+        interleaving yields the same final clock as serial replay.
+        """
+        t = float(t)
+        with self._shared_lock:
+            if t > self.now:
+                self.now = t
 
     def _claim_ids(self, worker_ids) -> None:
         """Reserve worker ids engine-wide; rejects any already seen."""
         ids = list(worker_ids)
-        dupes = [w for w in ids if w in self._known_workers]
-        if len(set(ids)) != len(ids):
-            dupes.extend([w for w in set(ids) if ids.count(w) > 1])
-        if dupes:
-            raise ValueError(
-                f"worker ids already registered with the engine: "
-                f"{sorted(set(dupes))[:5]}"
-            )
-        self._known_workers.update(ids)
+        with self._shared_lock:
+            dupes = [w for w in ids if w in self._known_workers]
+            if len(set(ids)) != len(ids):
+                dupes.extend([w for w in set(ids) if ids.count(w) > 1])
+            if dupes:
+                raise ValueError(
+                    f"worker ids already registered with the engine: "
+                    f"{sorted(set(dupes))[:5]}"
+                )
+            self._known_workers.update(ids)
 
     def flush(self, shard_id: int | None = None) -> None:
         """Push pending worker cohorts through batch obfuscation.

@@ -21,6 +21,7 @@ from repro.api import (
     RegisterWorker,
     RequestRejected,
     ServiceSpec,
+    StreamEnvelope,
     SubmitTask,
     TaskDecision,
     UnsupportedVersion,
@@ -30,8 +31,10 @@ from repro.api import (
 from repro.api.conformance import build_conformance_stream, run_backend
 from repro.api.errors import error_from_info
 from repro.api.messages import ErrorInfo
+from repro.api.middleware import ErrorMapper, RequestValidator
 from repro.gateway import (
     GATEWAY_SCHEMA,
+    PIPELINE_FEATURE,
     FrameDecoder,
     GatewayConfig,
     RemoteBackend,
@@ -151,13 +154,38 @@ class TestFraming:
 
 class TestHandshake:
     def test_hello_welcome_round_trip(self):
-        version, client = parse_hello(hello_doc(client="t"))
-        assert version == 1 and client == "t"
+        version, client, features = parse_hello(hello_doc(client="t"))
+        assert version == 1 and client == "t" and features == ()
         assert parse_welcome(welcome_doc(version, "sharded", 3)) == (
             1,
             "sharded",
             3,
+            (),
         )
+
+    def test_feature_bits_round_trip_and_intersect(self):
+        # the capability bit travels; names from the future pass through
+        version, _, features = parse_hello(
+            hello_doc(features=("pipeline", "from-the-future"))
+        )
+        assert features == ("pipeline", "from-the-future")
+        _, _, _, granted = parse_welcome(
+            welcome_doc(version, "sharded", 5, ("pipeline",))
+        )
+        assert granted == ("pipeline",)
+        # a pre-feature peer (no field at all) means no features
+        doc = hello_doc()
+        del doc["body"]["features"]
+        assert parse_hello(doc)[2] == ()
+
+    def test_malformed_features_rejected(self):
+        doc = hello_doc()
+        doc["body"]["features"] = "pipeline"  # a string is not a list
+        with pytest.raises(ValidationFailed):
+            parse_hello(doc)
+        doc["body"]["features"] = [1, 2]
+        with pytest.raises(ValidationFailed):
+            parse_hello(doc)
 
     def test_negotiation_picks_highest_common(self):
         assert negotiate_version([1, 7, 99]) == 1
@@ -427,6 +455,27 @@ class TestConnectionFaults:
                 remote.handle(req)
         remote.close()
 
+    def test_lost_connection_mid_pipeline_stays_unavailable(self):
+        """A transport lost with pipelined responses still owed must make
+        later sync calls fail retryable-unavailable — not trip the
+        in-flight guard's caller-bug ValidationFailed (a dead socket owes
+        nothing)."""
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            backend = RemoteBackend(spec, address=gw.address)
+            backend.open()
+            backend.send_request(
+                StreamEnvelope(
+                    seq=0, item=RegisterWorker(worker_id=0, location=(1.0, 1.0))
+                )
+            )
+            backend._drop()  # the transport dies with one response owed
+            with pytest.raises(BackendUnavailable):
+                backend.handle(
+                    RegisterWorker(worker_id=1, location=(2.0, 2.0))
+                )
+            backend.close()
+
     def test_malformed_welcome_does_not_leak_the_socket(self):
         """A server whose welcome fails to parse must leave the client
         fully closed (no dangling socket, no half-open state)."""
@@ -450,6 +499,287 @@ class TestConnectionFaults:
         assert backend._sock is None  # dropped, not leaked
         thread.join(timeout=5.0)
         listener.close()
+
+
+def pipelined_handshake(address) -> socket.socket:
+    """Raw handshake that negotiates the ``pipeline`` feature bit."""
+    sock = socket.create_connection(address, timeout=10.0)
+    sock.settimeout(10.0)
+    send_frame(sock, hello_doc(features=(PIPELINE_FEATURE,)))
+    welcome = recv_frame(sock)
+    assert welcome["kind"] == "welcome"
+    assert PIPELINE_FEATURE in welcome["body"]["features"]
+    return sock
+
+
+def slow_middleware(delay: float, only_kind: str | None = None):
+    """Middleware that stalls the handler — the adversarial scheduler."""
+
+    def layer(request, call_next):
+        verb = request.item if isinstance(request, StreamEnvelope) else request
+        if only_kind is None or type(verb).kind == only_kind:
+            time.sleep(delay)
+        return call_next(request)
+
+    return layer
+
+
+class TestPipelinedSessions:
+    def test_feature_not_granted_on_serial_config(self):
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec, pipeline=False)) as gw:
+            sock = socket.create_connection(gw.address, timeout=10.0)
+            sock.settimeout(10.0)
+            send_frame(sock, hello_doc(features=(PIPELINE_FEATURE,)))
+            welcome = recv_frame(sock)
+            assert welcome["body"]["features"] == []
+            sock.close()
+            assert gw.stats["pipelined_sessions"] == 0
+
+    def test_old_client_keeps_request_response_order(self):
+        """A hello without features gets protocol v1: answers in request
+        order even when the first request is slower than the second."""
+        spec = small_spec()
+        server_mw = [
+            RequestValidator(),
+            slow_middleware(0.2, only_kind="register_worker"),
+            ErrorMapper(),
+        ]
+        from repro.gateway import GatewayServer
+
+        server = GatewayServer(GatewayConfig(spec=spec), middleware=server_mw)
+        with serve_gateway(server=server) as gw:
+            sock = raw_handshake(gw.address)  # no features offered
+            # slow register (shard s0), fast submit (other shard)
+            send_frame(
+                sock,
+                to_wire(RegisterWorker(worker_id=0, location=(1.0, 1.0))),
+            )
+            send_frame(
+                sock, to_wire(SubmitTask(task_id=0, location=(199.0, 199.0)))
+            )
+            assert recv_frame(sock)["kind"] == "worker_registered"
+            assert recv_frame(sock)["kind"] == "task_decision"
+            sock.close()
+
+    def test_pipelined_session_answers_out_of_order_across_shards(self):
+        """Two envelopes for different shards, the first one slow: the
+        fast one's answer arrives first, matched by seq."""
+        spec = small_spec()
+        server_mw = [
+            RequestValidator(),
+            slow_middleware(0.3, only_kind="register_worker"),
+            ErrorMapper(),
+        ]
+        from repro.gateway import GatewayServer
+
+        server = GatewayServer(GatewayConfig(spec=spec), middleware=server_mw)
+        with serve_gateway(server=server) as gw:
+            sock = pipelined_handshake(gw.address)
+            send_frame(
+                sock,
+                to_wire(
+                    StreamEnvelope(
+                        seq=0,
+                        item=RegisterWorker(worker_id=0, location=(1.0, 1.0)),
+                    )
+                ),
+            )
+            send_frame(
+                sock,
+                to_wire(
+                    StreamEnvelope(
+                        seq=1,
+                        item=SubmitTask(task_id=0, location=(199.0, 199.0)),
+                    )
+                ),
+            )
+            first, second = recv_frame(sock), recv_frame(sock)
+            assert first["body"]["seq"] == 1  # the fast one overtook
+            assert second["body"]["seq"] == 0
+            assert gw.stats["pipelined_sessions"] == 1
+            sock.close()
+
+    def test_same_shard_envelopes_never_reorder(self):
+        """Same ordering key means FIFO even in a pipelined session."""
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            sock = pipelined_handshake(gw.address)
+            for i in range(10):
+                send_frame(
+                    sock,
+                    to_wire(
+                        StreamEnvelope(
+                            seq=i,
+                            item=RegisterWorker(
+                                worker_id=i, location=(1.0 + 0.1 * i, 1.0)
+                            ),
+                        )
+                    ),
+                )
+            seqs = [recv_frame(sock)["body"]["seq"] for _ in range(10)]
+            assert seqs == list(range(10))
+            sock.close()
+
+    def test_pipelined_client_stream_is_bit_identical(self):
+        """The end-to-end satellite: AssignmentClient with a pipelined
+        window over a real socket equals the serial in-process replay."""
+        spec = small_spec()
+        stream = build_conformance_stream(REGION, 60, 45, seed=5)
+        from repro.api import make_backend
+        from repro.api.conformance import check_parity
+
+        local = run_backend(make_backend("sharded", spec), stream, window=16)
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            backend = RemoteBackend(spec, address=gw.address)
+            remote = run_backend(backend, stream, window=16, pipeline=4)
+            assert backend.supports_pipeline
+        assert check_parity([local, remote]) == []
+        assert remote.assignments
+
+    def test_error_frames_among_drained_windows_are_consumed(self):
+        """When a pipelined stream aborts, outstanding windows whose
+        responses are *also* error frames must still be consumed — only
+        a dead transport stops the drain. Otherwise a later sync call
+        reads a stale window response as its own."""
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            with AssignmentClient(
+                RemoteBackend(spec, address=gw.address)
+            ) as client:
+                client.register_worker(1, (10.0, 10.0))
+                requests = [
+                    RegisterWorker(worker_id=1, location=(10.0, 10.0)),  # dup
+                    RegisterWorker(worker_id=1, location=(10.0, 10.0)),  # dup
+                    RegisterWorker(worker_id=2, location=(12.0, 12.0)),  # fine
+                ]
+                with pytest.raises(RequestRejected):
+                    list(client.stream(requests, window=1, pipeline=3))
+                # all three response frames were consumed: the next sync
+                # call reads its own answer, not window 2's or 3's
+                assert client.submit_task(0, (10.0, 10.0)) in (1, 2)
+
+    def test_sync_call_mid_pipelined_stream_is_refused(self):
+        """handle() while stream windows are in flight would steal the
+        next window's frame; it must fail structurally instead."""
+        spec = small_spec()
+        requests = [
+            RegisterWorker(worker_id=i, location=(1.0 + i, 2.0))
+            for i in range(8)
+        ]
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            with AssignmentClient(
+                RemoteBackend(spec, address=gw.address)
+            ) as client:
+                iterator = client.stream(requests, window=2, pipeline=3)
+                next(iterator)  # windows still in flight behind this yield
+                with pytest.raises(ValidationFailed):
+                    client.flush()
+                # the stream itself is unharmed by the refused call
+                assert len(list(iterator)) == 7
+                client.flush()
+
+    def test_recv_without_outstanding_send_fails_structurally(self):
+        """recv_response with nothing in flight is a caller bug: it must
+        fail immediately, not block on a frame that will never come."""
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            backend = RemoteBackend(spec, address=gw.address)
+            backend.open()
+            try:
+                with pytest.raises(ValidationFailed):
+                    backend.recv_response()
+                # the session is untouched by the refused receive
+                backend.send_request(
+                    RegisterWorker(worker_id=0, location=(1.0, 1.0))
+                )
+                assert backend.recv_response().worker_id == 0
+            finally:
+                backend.close()
+
+    def test_request_error_mid_window_keeps_the_session(self):
+        spec = small_spec()
+        with serve_gateway(GatewayConfig(spec=spec)) as gw:
+            with AssignmentClient(
+                RemoteBackend(spec, address=gw.address)
+            ) as client:
+                client.register_worker(3, (10.0, 10.0))
+                requests = [
+                    RegisterWorker(worker_id=3, location=(10.0, 10.0)),  # dup
+                    RegisterWorker(worker_id=4, location=(11.0, 11.0)),
+                ]
+                with pytest.raises(RequestRejected):
+                    list(client.stream(requests, window=1, pipeline=2))
+                # outstanding responses were drained: the session and the
+                # connection both survive for ordinary calls
+                assert client.submit_task(0, (10.0, 10.0)) in (3, 4)
+
+
+class TestPipelinedDrain:
+    def test_drain_flushes_in_flight_windows_before_goodbye(self):
+        """Regression (satellite): a drain must answer every accepted
+        frame of a pipelined session, then say goodbye — not just wave
+        at idle connections."""
+        spec = small_spec()
+        server_mw = [RequestValidator(), slow_middleware(0.15), ErrorMapper()]
+        from repro.gateway import GatewayServer
+
+        server = GatewayServer(
+            GatewayConfig(spec=spec, drain_timeout=20.0), middleware=server_mw
+        )
+        n = 4
+        with serve_gateway(server=server) as gw:
+            sock = pipelined_handshake(gw.address)
+            for i in range(n):
+                send_frame(
+                    sock,
+                    to_wire(
+                        StreamEnvelope(
+                            seq=i,
+                            item=RegisterWorker(
+                                worker_id=i, location=(1.0 + i, 2.0)
+                            ),
+                        )
+                    ),
+                )
+            # give the reader a beat to accept the frames, then drain
+            wait_until(
+                lambda: gw.stats["frames"] >= n + 1, what="frames accepted"
+            )
+        # serve_gateway's exit ran stop(): every accepted frame must have
+        # been answered, in some order, and only then the goodbye
+        seqs = sorted(recv_frame(sock)["body"]["seq"] for _ in range(n))
+        assert seqs == list(range(n))
+        farewell = recv_frame(sock)
+        assert farewell["kind"] == "goodbye"
+        assert farewell["schema"] == GATEWAY_SCHEMA
+        sock.close()
+
+    def test_drain_mid_pipelined_stream_surfaces_unavailable(self):
+        """A client streaming through the drain gets the structured
+        BackendUnavailable (goodbye), never a hang or a stale frame."""
+        spec = small_spec()
+        stream = build_conformance_stream(REGION, 200, 150, seed=3)
+        server_mw = [RequestValidator(), slow_middleware(0.05), ErrorMapper()]
+        from repro.gateway import GatewayServer
+
+        server = GatewayServer(
+            GatewayConfig(spec=spec, drain_timeout=20.0), middleware=server_mw
+        )
+        got: list = []
+        with serve_gateway(server=server) as gw:
+            client = AssignmentClient(
+                RemoteBackend(spec, address=gw.address)
+            ).open()
+            iterator = client.stream(stream, window=8, pipeline=4)
+            got.append(next(iterator))
+            # leave the context mid-stream: the exit runs stop(), which
+            # flushes this session's in-flight windows and says goodbye
+        with pytest.raises(BackendUnavailable):
+            for response in iterator:
+                got.append(response)
+        assert got  # the stream was genuinely mid-flight
+        assert len(got) < 350  # and nowhere near complete
 
 
 class TestClusterBehindGateway:
@@ -513,13 +843,25 @@ class TestGatewayConfig:
             port=7713,
             rate=500.0,
             burst=64,
+            pipeline=False,
+            pipeline_workers=3,
+            max_inflight=17,
         )
         hydrated = GatewayConfig.from_dict(json.loads(json.dumps(config.to_dict())))
         assert hydrated == config
+        assert hydrated.pipeline is False
+        assert hydrated.pipeline_workers == 3
+
+    def test_pipeline_knobs_default_on(self):
+        config = GatewayConfig(spec=small_spec())
+        assert config.pipeline is True
+        assert config.pipeline_workers == 0  # auto-sized pool
 
     def test_invalid_inflight_rejected(self):
         with pytest.raises(ValueError):
             GatewayConfig(spec=small_spec(), max_inflight=0)
+        with pytest.raises(ValueError):
+            GatewayConfig(spec=small_spec(), pipeline_workers=-1)
 
     def test_stop_before_start_still_closes_backend(self):
         """stop() on a never-started server must not crash and must

@@ -1,0 +1,642 @@
+"""repro.runtime: the pipelined execution core and its determinism law.
+
+The property under test is the tentpole guarantee: *any* interleaving
+the scheduler permits — different shards overlapping, barriers landing
+mid-window, handlers finishing out of order — yields assignments and
+reports bit-identical to serial replay. The suite checks the law three
+ways: on the scheduler as a pure model, on the real sharded backend
+with adversarial jitter, and on the multiprocess cluster backend with
+checkpoint barriers in the window.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    AssignmentClient,
+    Batch,
+    Flush,
+    GetReport,
+    RegisterWorker,
+    ServiceSpec,
+    StreamEnvelope,
+    SubmitTask,
+    TaskDecision,
+    make_backend,
+)
+from repro.api.conformance import build_conformance_stream
+from repro.api.messages import BatchResult, StreamItemResult, WorkerRegistered
+from repro.geometry import Box
+from repro.runtime import PipelineScheduler, SequenceReorderer, rewrap, unwrap
+
+REGION = Box.square(200.0)
+
+
+def small_spec(shards=(2, 2), seed=3) -> ServiceSpec:
+    return ServiceSpec(
+        region=REGION, shards=shards, grid_nx=6, batch_size=8, seed=seed
+    )
+
+
+# --------------------------------------------------------------------- #
+# scheduler semantics                                                    #
+# --------------------------------------------------------------------- #
+
+
+class TestPipelineScheduler:
+    def test_same_key_stays_fifo_under_jitter(self):
+        rng = random.Random(0)
+        log: dict[str, list] = {"a": [], "b": [], "c": []}
+
+        def job(key, i):
+            time.sleep(rng.random() * 0.002)
+            log[key].append(i)
+
+        with PipelineScheduler(max_workers=4) as sched:
+            for i in range(40):
+                for key in log:
+                    sched.submit(key, job, key, i)
+            sched.drain()
+        assert all(seq == list(range(40)) for seq in log.values())
+
+    def test_different_keys_run_concurrently(self):
+        # 'a' blocks until 'b' has run: only possible with real overlap
+        release = threading.Event()
+        with PipelineScheduler(max_workers=2) as sched:
+            fut_a = sched.submit("a", release.wait, 10)
+            sched.submit("b", release.set)
+            assert fut_a.result(timeout=10) is True
+
+    def test_barrier_observes_everything_and_blocks_everything(self):
+        rng = random.Random(1)
+        counts = {"a": 0, "b": 0}
+        seen_at_barrier = []
+
+        def bump(key):
+            time.sleep(rng.random() * 0.002)
+            counts[key] += 1
+
+        with PipelineScheduler(max_workers=4) as sched:
+            for _ in range(10):
+                sched.submit("a", bump, "a")
+                sched.submit("b", bump, "b")
+            sched.submit(None, lambda: seen_at_barrier.append(dict(counts)))
+            for _ in range(10):
+                sched.submit("a", bump, "a")
+                sched.submit("b", bump, "b")
+            sched.drain()
+        assert seen_at_barrier == [{"a": 10, "b": 10}]
+        assert counts == {"a": 20, "b": 20}
+
+    def test_failed_job_orders_but_does_not_poison(self):
+        with PipelineScheduler(max_workers=2) as sched:
+            boom = sched.submit("k", lambda: 1 / 0)
+            after = sched.submit("k", lambda: "alive")
+            barrier = sched.submit(None, lambda: "done")
+            assert after.result(timeout=10) == "alive"
+            assert barrier.result(timeout=10) == "done"
+            assert isinstance(boom.exception(timeout=10), ZeroDivisionError)
+
+    def test_max_in_flight_blocks_the_producer(self):
+        gate = threading.Event()
+        third_submitted = threading.Event()
+        sched = PipelineScheduler(max_workers=1, max_in_flight=2)
+        try:
+            sched.submit("k", gate.wait, 10)
+            sched.submit("k", lambda: None)
+
+            def submit_third():
+                sched.submit("k", lambda: None)
+                third_submitted.set()
+
+            t = threading.Thread(target=submit_third, daemon=True)
+            t.start()
+            time.sleep(0.05)
+            assert not third_submitted.is_set()  # producer is blocked
+            gate.set()
+            t.join(timeout=10)
+            assert third_submitted.is_set()
+            assert sched.drain(timeout=10)
+        finally:
+            sched.shutdown()
+
+    def test_serial_configuration_is_strictly_ordered(self):
+        # key=None everywhere on one worker: the PR-4 dispatch loop
+        order = []
+        with PipelineScheduler(max_workers=1) as sched:
+            for i in range(25):
+                sched.submit(None, order.append, i)
+            sched.drain()
+        assert order == list(range(25))
+
+    def test_cancelled_handle_abandons_result_but_never_reorders(self):
+        """A consumer cancelling its result handle (asyncio.wrap_future
+        does this on task cancellation) abandons the *result* only: the
+        job still executes exactly once in its slot, same-key successors
+        and barriers still wait for every live execution, and in-flight
+        accounting stays exact (drain() would hang otherwise)."""
+        sched = PipelineScheduler(max_workers=4)
+        try:
+            ran: list = []
+            release = threading.Event()
+
+            def slow_first():
+                release.wait(10)
+                ran.append("first")
+
+            first = sched.submit("k", slow_first)
+            abandoned = sched.submit("k", lambda: ran.append("second"))
+            assert abandoned.cancel()  # pending handle: cancellable
+            successor = sched.submit("k", lambda: list(ran))
+            barrier = sched.submit(None, lambda: list(ran))
+            time.sleep(0.05)
+            # nothing skipped ahead of the still-running first job
+            assert not successor.done() and not barrier.done()
+            release.set()
+            # the chain never skipped: both saw first AND the abandoned
+            # job's execution (its result handle alone was cancelled)
+            assert successor.result(timeout=10) == ["first", "second"]
+            assert barrier.result(timeout=10) == ["first", "second"]
+            assert abandoned.cancelled()
+            assert first.result(timeout=10) is None
+            assert sched.drain(timeout=10)  # accounting intact
+        finally:
+            sched.shutdown()
+
+    def test_runtime_imports_standalone(self):
+        """The execution core must be importable before (and without)
+        the api layer — the dependency arrow points api -> runtime."""
+        import subprocess
+        import sys
+
+        proof = subprocess.run(
+            [sys.executable, "-c", "import repro.runtime; print('ok')"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proof.returncode == 0, proof.stderr
+        assert proof.stdout.strip() == "ok"
+
+    def test_shutdown_refuses_new_work(self):
+        sched = PipelineScheduler(max_workers=1)
+        sched.shutdown()
+        with pytest.raises(RuntimeError):
+            sched.submit("k", lambda: None)
+
+    def test_invalid_sizing_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineScheduler(max_workers=0)
+        with pytest.raises(ValueError):
+            PipelineScheduler(max_workers=1, max_in_flight=0)
+
+
+# --------------------------------------------------------------------- #
+# window plumbing                                                        #
+# --------------------------------------------------------------------- #
+
+
+class TestSequenceReorderer:
+    def test_out_of_order_windows_come_back_in_stream_order(self):
+        reorder = SequenceReorderer()
+        late = BatchResult(
+            items=tuple(
+                StreamItemResult(seq=s, item=f"r{s}") for s in (0, 1, 2)
+            )
+        )
+        early = BatchResult(
+            items=tuple(
+                StreamItemResult(seq=s, item=f"r{s}") for s in (3, 4, 5)
+            )
+        )
+        reorder.absorb(early)  # the later window finished first
+        assert reorder.take_ready() == []
+        assert reorder.pending == 3
+        reorder.absorb(late)
+        assert reorder.take_ready() == [f"r{s}" for s in range(6)]
+        reorder.finish(6)
+
+    def test_duplicate_seq_is_structural_damage(self):
+        from repro.api import ValidationFailed
+
+        reorder = SequenceReorderer()
+        reorder.absorb(StreamItemResult(seq=0, item="x"))
+        with pytest.raises(ValidationFailed):
+            reorder.absorb(StreamItemResult(seq=0, item="x"))
+
+    def test_missing_seq_detected_at_finish(self):
+        from repro.api import ValidationFailed
+
+        reorder = SequenceReorderer()
+        reorder.absorb(StreamItemResult(seq=0, item="x"))
+        reorder.take_ready()
+        with pytest.raises(ValidationFailed):
+            reorder.finish(3)
+
+    def test_unwrap_rewrap_round_trip(self):
+        verb = Flush()
+        env = StreamEnvelope(seq=7, item=verb)
+        assert unwrap(env) == (7, verb)
+        assert unwrap(verb) == (None, verb)
+        assert rewrap(7, "resp") == StreamItemResult(seq=7, item="resp")
+        assert rewrap(None, "resp") == "resp"
+
+
+# --------------------------------------------------------------------- #
+# ordering keys                                                          #
+# --------------------------------------------------------------------- #
+
+
+class TestOrderingKeys:
+    def test_inprocess_serializes_on_one_key(self):
+        backend = make_backend("inprocess", small_spec(shards=(1, 1)))
+        r = RegisterWorker(worker_id=0, location=(1.0, 1.0))
+        t = SubmitTask(task_id=0, location=(199.0, 199.0))
+        assert backend.ordering_key(r) == backend.ordering_key(t) == "global"
+        assert backend.ordering_key(Flush()) is None
+        assert backend.ordering_key(GetReport()) is None
+
+    @pytest.mark.parametrize("kind", ["sharded", "cluster"])
+    def test_routed_backends_key_by_shard(self, kind):
+        kwargs = {"n_procs": 1} if kind == "cluster" else {}
+        backend = make_backend(kind, small_spec(), **kwargs)
+        near = RegisterWorker(worker_id=0, location=(1.0, 1.0))
+        far = SubmitTask(task_id=0, location=(199.0, 199.0))
+        k_near, k_far = backend.ordering_key(near), backend.ordering_key(far)
+        assert k_near != k_far
+        assert k_near.startswith("s") and k_far.startswith("s")
+        # envelopes key like their payload
+        assert backend.ordering_key(StreamEnvelope(seq=0, item=near)) == k_near
+
+    def test_batch_key_collapses_single_shard_windows(self):
+        backend = make_backend("sharded", small_spec())
+        same = Batch(
+            items=tuple(
+                StreamEnvelope(
+                    seq=i,
+                    item=RegisterWorker(worker_id=i, location=(1.0 + i, 2.0)),
+                )
+                for i in range(4)
+            )
+        )
+        key = backend.ordering_key(same)
+        assert key is not None and key.startswith("s")
+        mixed = Batch(
+            items=(
+                RegisterWorker(worker_id=0, location=(1.0, 1.0)),
+                RegisterWorker(worker_id=1, location=(199.0, 199.0)),
+            )
+        )
+        assert backend.ordering_key(mixed) is None
+        with_barrier = Batch(
+            items=(RegisterWorker(worker_id=0, location=(1.0, 1.0)), Flush())
+        )
+        assert backend.ordering_key(with_barrier) is None
+        assert backend.ordering_key(Batch(items=())) is None
+
+    def test_sharded_ordering_key_matches_engine_routing(self):
+        backend = make_backend("sharded", small_spec())
+        backend.open()
+        try:
+            rng = random.Random(5)
+            for _ in range(50):
+                loc = (rng.uniform(0, 200), rng.uniform(0, 200))
+                req = SubmitTask(task_id=0, location=loc)
+                assert backend.ordering_key(req) == (
+                    f"s{backend.engine.shard_map.shard_of(loc)}"
+                )
+        finally:
+            backend.close()
+
+
+# --------------------------------------------------------------------- #
+# the determinism law (satellite: ordering-semantics property tests)     #
+# --------------------------------------------------------------------- #
+
+
+def _serial_model(ops):
+    """Reference semantics: per-key logs + barrier snapshots, serially."""
+    logs: dict[str, list] = {}
+    snapshots = []
+    for key, value in ops:
+        if key is None:
+            snapshots.append({k: list(v) for k, v in sorted(logs.items())})
+        else:
+            logs.setdefault(key, []).append(value)
+    return logs, snapshots
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_property_any_permitted_interleaving_replays_serial(seed):
+    """Random keyed streams with barriers, random handler jitter: per-key
+    logs and barrier snapshots must equal the serial model exactly."""
+    rng = random.Random(seed)
+    keys = [f"s{i}" for i in range(4)]
+    ops = []
+    for i in range(rng.randrange(150, 250)):
+        if rng.random() < 0.05:
+            ops.append((None, None))  # barrier mid-stream
+        else:
+            ops.append((rng.choice(keys), i))
+    want_logs, want_snapshots = _serial_model(ops)
+
+    logs: dict[str, list] = {}
+    snapshots: list[dict] = []
+    lock = threading.Lock()
+    jitter = random.Random(seed + 100)
+
+    def keyed(key, value):
+        time.sleep(jitter.random() * 0.001)
+        with lock:
+            logs.setdefault(key, []).append(value)
+
+    def barrier():
+        snapshots.append({k: list(v) for k, v in sorted(logs.items())})
+
+    with PipelineScheduler(max_workers=4) as sched:
+        for key, value in ops:
+            if key is None:
+                sched.submit(None, barrier)
+            else:
+                sched.submit(key, keyed, key, value)
+        sched.drain()
+    assert logs == want_logs
+    assert snapshots == want_snapshots
+
+
+def _drive_scheduled(backend, requests, *, seed, barrier_every=25):
+    """Drive a backend through the scheduler with adversarial jitter,
+    folding Flush/GetReport barriers into the window, exactly as a
+    pipelined gateway would schedule it."""
+    jitter = random.Random(seed)
+
+    def jittered(request):
+        time.sleep(jitter.random() * 0.002)
+        return backend.handle(request)
+
+    futures = []
+    backend.open()
+    try:
+        with PipelineScheduler(max_workers=4) as sched:
+            for i, request in enumerate(requests):
+                futures.append(
+                    sched.submit(backend.ordering_key(request), jittered, request)
+                )
+                if (i + 1) % barrier_every == 0:
+                    futures.append(sched.submit(None, jittered, Flush()))
+            futures.append(sched.submit(None, jittered, GetReport()))
+            sched.drain()
+        responses = [f.result() for f in futures]
+    finally:
+        backend.close()
+    report = responses[-1].report
+    decisions = [
+        (r.task_id, r.worker_id) for r in responses if isinstance(r, TaskDecision)
+    ]
+    return decisions, report
+
+
+def _drive_serial(backend, requests, *, barrier_every=25):
+    responses = []
+    backend.open()
+    try:
+        for i, request in enumerate(requests):
+            responses.append(backend.handle(request))
+            if barrier_every and (i + 1) % barrier_every == 0:
+                backend.handle(Flush())
+        report = backend.handle(GetReport()).report
+    finally:
+        backend.close()
+    decisions = [
+        (r.task_id, r.worker_id) for r in responses if isinstance(r, TaskDecision)
+    ]
+    return decisions, report
+
+
+def _reports_agree(a, b):
+    assert a.workers_registered == b.workers_registered
+    assert a.tasks_assigned == b.tasks_assigned
+    assert a.tasks_unassigned == b.tasks_unassigned
+    assert a.sim_duration == b.sim_duration
+    assert a.mean_reported_distance == pytest.approx(
+        b.mean_reported_distance, rel=1e-12, abs=1e-12
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_sharded_backend_scheduled_interleavings_are_bit_identical(seed):
+    spec = small_spec(seed=seed + 3)
+    requests = build_conformance_stream(REGION, 60, 45, seed=seed + 9)
+    serial_decisions, serial_report = _drive_serial(
+        make_backend("sharded", spec), requests
+    )
+    decisions, report = _drive_scheduled(
+        make_backend("sharded", spec), requests, seed=seed
+    )
+    assert decisions == serial_decisions
+    _reports_agree(report, serial_report)
+
+
+def test_cluster_backend_scheduled_with_checkpoint_barriers_mid_window():
+    """The cluster cell of the law: per-family keys, coordinator
+    checkpoints firing mid-stream (checkpoint_every far below the stream
+    length), plus explicit Flush barriers — still bit-identical to the
+    serial sharded reference."""
+    spec = small_spec(seed=13)
+    requests = build_conformance_stream(REGION, 60, 45, seed=17)
+    serial_decisions, serial_report = _drive_serial(
+        make_backend("sharded", spec), requests
+    )
+    cluster = make_backend(
+        "cluster", spec, n_procs=2, chunk_size=7, checkpoint_every=32
+    )
+    decisions, report = _drive_scheduled(cluster, requests, seed=2)
+    assert decisions == serial_decisions
+    _reports_agree(report, serial_report)
+
+
+def test_cluster_batched_windows_scheduled_by_batch_key():
+    """Single-shard windows (the pipelined client's fast path) scheduled
+    concurrently per batch key replay the serial per-shard history."""
+    spec = small_spec(seed=21)
+    requests = build_conformance_stream(REGION, 60, 45, seed=23)
+    # no mid-stream flush barriers here: the windowed run has none, and
+    # a flush changes cohort composition (it is *supposed* to be visible)
+    serial_decisions, serial_report = _drive_serial(
+        make_backend("sharded", spec), requests, barrier_every=None
+    )
+
+    backend = make_backend("cluster", spec, n_procs=2, chunk_size=5)
+    backend.open()
+    try:
+        # partition into per-shard substreams, then window each: every
+        # batch collapses to one ordering key and they all overlap
+        by_key: dict[str, list] = {}
+        for i, request in enumerate(requests):
+            by_key.setdefault(backend.ordering_key(request), []).append(
+                StreamEnvelope(seq=i, item=request)
+            )
+        futures = []
+        with PipelineScheduler(max_workers=4) as sched:
+            for key, envelopes in sorted(by_key.items()):
+                for start in range(0, len(envelopes), 16):
+                    window = Batch(items=tuple(envelopes[start : start + 16]))
+                    assert backend.ordering_key(window) == key
+                    futures.append(
+                        sched.submit(key, backend.handle, window)
+                    )
+            report_future = sched.submit(
+                None, backend.handle, GetReport()
+            )
+            sched.drain()
+        reorder = SequenceReorderer()
+        for future in futures:
+            reorder.absorb(future.result())
+        responses = reorder.take_ready()
+        reorder.finish(len(requests))
+        report = report_future.result().report
+    finally:
+        backend.close()
+    decisions = [
+        (r.task_id, r.worker_id) for r in responses if isinstance(r, TaskDecision)
+    ]
+    assert decisions == serial_decisions
+    _reports_agree(report, serial_report)
+    assert sum(
+        1 for r in responses if isinstance(r, WorkerRegistered)
+    ) == 60
+
+
+# --------------------------------------------------------------------- #
+# middleware thread-safety (satellite: hammer tests)                     #
+# --------------------------------------------------------------------- #
+
+
+def _hammer(n_threads, per_thread, fn):
+    """Run ``fn(thread_idx, call_idx)`` from many threads, full blast."""
+    start = threading.Barrier(n_threads)
+    errors = []
+
+    def worker(t):
+        start.wait()
+        for i in range(per_thread):
+            try:
+                fn(t, i)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+                raise
+
+    threads = [
+        threading.Thread(target=worker, args=(t,), daemon=True)
+        for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+
+
+class TestMiddlewareHammer:
+    N_THREADS = 8
+    PER_THREAD = 400
+
+    def test_token_bucket_exact_accounting_under_contention(self):
+        from repro.api import AdmissionRejected
+        from repro.api.middleware import TokenBucket
+
+        total = self.N_THREADS * self.PER_THREAD
+        burst = 537  # deliberately not a multiple of anything in sight
+        # frozen clock: no refill, so exactly `burst` tokens exist, ever.
+        # Any double-spend or lost update breaks one of the equalities.
+        bucket = TokenBucket(rate=1.0, burst=burst, clock=lambda: 0.0)
+        outcomes = {"admitted": 0, "rejected": 0}
+        lock = threading.Lock()
+
+        def call(t, i):
+            req = RegisterWorker(
+                worker_id=t * self.PER_THREAD + i, location=(1.0, 1.0)
+            )
+            try:
+                bucket(req, lambda r: None)
+            except AdmissionRejected:
+                with lock:
+                    outcomes["rejected"] += 1
+            else:
+                with lock:
+                    outcomes["admitted"] += 1
+
+        _hammer(self.N_THREADS, self.PER_THREAD, call)
+        assert outcomes["admitted"] == burst
+        assert outcomes["rejected"] == total - burst
+        assert bucket.admitted == burst
+        assert bucket.rejected == total - burst
+
+    def test_token_bucket_batch_costs_stay_exact_under_contention(self):
+        from repro.api import AdmissionRejected
+        from repro.api.middleware import TokenBucket
+
+        cost = 3
+        bucket = TokenBucket(rate=1.0, burst=1000, clock=lambda: 0.0)
+
+        def call(t, i):
+            batch = Batch(
+                items=tuple(
+                    RegisterWorker(worker_id=k, location=(1.0, 1.0))
+                    for k in range(cost)
+                )
+            )
+            try:
+                bucket(batch, lambda r: None)
+            except AdmissionRejected:
+                pass
+
+        _hammer(self.N_THREADS, 100, call)
+        offered = self.N_THREADS * 100 * cost
+        assert bucket.admitted + bucket.rejected == offered
+        assert bucket.admitted == 999  # 333 batches of 3 fit in 1000
+        assert bucket.admitted % cost == 0  # never a partial charge
+
+    def test_latency_metrics_exact_counts_under_contention(self):
+        from repro.api.middleware import LatencyMetrics
+
+        metrics = LatencyMetrics(capacity=64)
+        fail_every = 7
+
+        def call(t, i):
+            kinds = [
+                RegisterWorker(worker_id=0, location=(1.0, 1.0)),
+                SubmitTask(task_id=0, location=(1.0, 1.0)),
+                Flush(),
+            ]
+            req = kinds[i % 3]
+
+            def handler(r):
+                if i % fail_every == 0:
+                    raise RuntimeError("injected")
+                return "ok"
+
+            try:
+                metrics(req, handler)
+            except RuntimeError:
+                pass
+
+        _hammer(self.N_THREADS, self.PER_THREAD, call)
+        total = self.N_THREADS * self.PER_THREAD
+        snap = metrics.snapshot()
+        assert sum(v["calls"] for v in snap.values()) == total
+        # the bounded reservoirs never lose a sample's *count*, only old
+        # raw values: exact-count is the invariant the lock protects
+        assert sum(r.count for r in metrics.latencies.values()) == total
+        want_failures = sum(
+            1
+            for t in range(self.N_THREADS)
+            for i in range(self.PER_THREAD)
+            if i % fail_every == 0
+        )
+        assert sum(v["failures"] for v in snap.values()) == want_failures
+        for series in metrics.latencies.values():
+            assert series.total >= 0.0
