@@ -48,6 +48,7 @@ from .backends import (
     BackendBase,
     ClusterBackend,
     InProcessBackend,
+    MeshBackend,
     ServiceSpec,
     ShardedBackend,
     make_backend,
@@ -111,6 +112,7 @@ __all__ = [
     "InProcessBackend",
     "InternalError",
     "LatencyMetrics",
+    "MeshBackend",
     "RegisterWorker",
     "ReportResult",
     "RequestRejected",

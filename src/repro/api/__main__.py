@@ -4,9 +4,11 @@ Runs one deterministic request stream through every backend behind the
 versioned client API and checks that assignments and reports agree
 bit-for-bit — first on the unsharded ``(1, 1)`` case (in-process
 reference vs engine vs cluster vs a remote client over a loopback
-gateway socket), then on a ``(2, 2)`` lattice (engine vs cluster vs
-remote). Also exercises the full middleware chain (validation, token
-bucket, latency metrics, error mapping) on the way.
+gateway socket vs a worker mesh over loopback sockets), then on a
+``(2, 2)`` lattice (engine vs cluster vs remote vs mesh), and finally a
+failover leg that SIGKILLs a mesh worker mid-stream and demands the
+answers still match. Also exercises the full middleware chain
+(validation, token bucket, latency metrics, error mapping) on the way.
 
 Examples::
 
@@ -25,7 +27,12 @@ import sys
 
 from ..geometry.box import Box
 from .backends import ServiceSpec
-from .conformance import build_conformance_stream, run_conformance
+from .conformance import (
+    build_conformance_stream,
+    check_parity,
+    run_conformance,
+    run_mesh_failover,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,6 +83,9 @@ def main(argv: list[str] | None = None) -> int:
         # the remote run serves the engine over a real loopback socket,
         # so the parity gate also covers the framed wire path
         "remote": {"backend": "sharded"},
+        # the mesh run spawns worker processes that dial the coordinator
+        # over loopback sockets — same odd chunk and checkpoint cadence
+        "mesh": {"n_peers": 2, "chunk_size": 21, "checkpoint_every": 64},
     }
     outcomes = []
     for shards in ((1, 1), (2, 2)):
@@ -98,8 +108,21 @@ def main(argv: list[str] | None = None) -> int:
         )
         outcomes.append((shards, result))
 
-    ok = all(result.ok for _, result in outcomes) and all(
-        len(result.runs[0].assignments) > 0 for _, result in outcomes
+    # failover leg: kill a mesh worker mid-stream on the sharded case;
+    # restore+replay must leave the answers bit-identical anyway
+    failover_run, failovers = run_mesh_failover(
+        spec, stream, n_peers=3, chunk_size=21, checkpoint_every=64
+    )
+    failover_problems = check_parity([outcomes[-1][1].runs[0], failover_run])
+    if failovers < 1:
+        failover_problems.append(
+            "killed mesh worker was never detected (failovers == 0)"
+        )
+
+    ok = (
+        all(result.ok for _, result in outcomes)
+        and all(len(result.runs[0].assignments) > 0 for _, result in outcomes)
+        and not failover_problems
     )
     if args.json:
         print(
@@ -116,6 +139,10 @@ def main(argv: list[str] | None = None) -> int:
                         }
                         for shards, result in outcomes
                     ],
+                    "mesh_failover": {
+                        "failovers": failovers,
+                        "problems": failover_problems,
+                    },
                 },
                 indent=2,
             )
@@ -123,6 +150,13 @@ def main(argv: list[str] | None = None) -> int:
     else:
         for shards, result in outcomes:
             print(f"[repro.api] shards={shards[0]}x{shards[1]}: {result.summary()}")
+        verdict = "OK" if not failover_problems else "FAILED"
+        print(
+            f"[repro.api] mesh failover: {failovers} failover(s), "
+            f"parity {verdict}"
+        )
+        for problem in failover_problems:
+            print(f"  - {problem}")
 
     if args.smoke:
         if not ok:

@@ -24,9 +24,12 @@ Backends are cheap to construct and expensive to ``open()`` (HST builds,
 process spawns) — the :class:`~repro.api.client.AssignmentClient` context
 manager drives that lifecycle.
 
-A fourth adapter lives with its transport:
-:class:`~repro.gateway.RemoteBackend` (kind ``"remote"``) speaks the
-wire form over a TCP gateway and joins the same conformance matrix.
+Two further adapters live with their transports and join the same
+conformance matrix: :class:`~repro.gateway.RemoteBackend` (kind
+``"remote"``) speaks the wire form over a TCP gateway, and
+:class:`MeshBackend` (kind ``"mesh"``) drives the multi-host worker
+mesh — standalone worker processes dialed in over loopback sockets
+behind a :class:`~repro.mesh.coordinator.MeshCoordinator`.
 
 **Ordering keys.** Every backend answers
 :meth:`BackendBase.ordering_key`, the contract the
@@ -82,6 +85,7 @@ __all__ = [
     "InProcessBackend",
     "ShardedBackend",
     "ClusterBackend",
+    "MeshBackend",
     "BACKEND_KINDS",
     "make_backend",
 ]
@@ -423,6 +427,17 @@ class ShardedBackend(BackendBase):
         return ReportResult(report=self.engine.report(wall_seconds=req.wall_seconds))
 
 
+def _service_event(req):
+    """One routable verb as the coordinator-facing service event."""
+    from ..service.events import TaskArrival, WorkerArrival
+
+    if isinstance(req, RegisterWorker):
+        return WorkerArrival(
+            time=req.time, worker_id=req.worker_id, location=req.location
+        )
+    return TaskArrival(time=req.time, task_id=req.task_id, location=req.location)
+
+
 class ClusterBackend(BackendBase):
     """The multiprocess cluster runtime behind the API contract.
 
@@ -495,15 +510,7 @@ class ClusterBackend(BackendBase):
     def _close(self) -> None:
         self.coordinator.close()
 
-    @staticmethod
-    def _event(req):
-        from ..service.events import TaskArrival, WorkerArrival
-
-        if isinstance(req, RegisterWorker):
-            return WorkerArrival(
-                time=req.time, worker_id=req.worker_id, location=req.location
-            )
-        return TaskArrival(time=req.time, task_id=req.task_id, location=req.location)
+    _event = staticmethod(_service_event)
 
     def register_worker(self, req: RegisterWorker) -> WorkerRegistered:
         with self._lock:
@@ -617,7 +624,175 @@ class ClusterBackend(BackendBase):
         return BatchResult(items=tuple(responses))
 
 
-BACKEND_KINDS = ("inprocess", "sharded", "cluster", "remote")
+class MeshBackend(BackendBase):
+    """The multi-host worker mesh behind the API contract.
+
+    Workers are standalone processes that dial the coordinator over
+    loopback TCP (``spawn="fork"`` forks them in-repo; ``spawn="cli"``
+    launches real ``python -m repro.mesh --worker`` processes — the
+    deployment shape). Knobs beyond the spec are transport-level only:
+    they shift *where* work runs, never *what* gets assigned, so the
+    mesh serves bit-identical assignments to every other backend.
+
+    Unlike the cluster adapter there is no backend-side lock: the mesh
+    coordinator is internally thread-safe and dispatches per shard
+    family on its own :class:`~repro.runtime.PipelineScheduler`, so
+    concurrent calls for different families genuinely overlap and only
+    barrier verbs quiesce the mesh. Ordering keys are shard families,
+    same as the cluster.
+    """
+
+    name = "mesh"
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        *,
+        n_peers: int = 2,
+        chunk_size: int = 256,
+        checkpoint_every: int = 8192,
+        spawn: str = "fork",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__(spec)
+        if spawn not in ("fork", "cli"):
+            raise ValueError(f"spawn must be 'fork' or 'cli', got {spawn!r}")
+        self.n_peers = int(n_peers)
+        self.chunk_size = int(chunk_size)
+        self.checkpoint_every = int(checkpoint_every)
+        self.spawn = spawn
+        self.host = host
+        self.port = int(port)
+        self.workers: list = []
+        self._route_map = ShardMap(spec.region, *spec.shards)
+        self._route_map.shard_of((spec.region.xmin, spec.region.ymin))
+
+    def _open(self) -> None:
+        from ..mesh.coordinator import MeshCoordinator
+        from ..mesh.worker import spawn_cli_worker, spawn_local_worker
+
+        spec = self.spec
+        self.coordinator = MeshCoordinator(
+            spec.region,
+            shards=spec.shards,
+            expected_workers=self.n_peers,
+            grid_nx=spec.grid_nx,
+            epsilon=spec.epsilon,
+            budget_capacity=spec.budget_capacity,
+            batch_size=spec.batch_size,
+            chunk_size=self.chunk_size,
+            checkpoint_every=self.checkpoint_every,
+            seed=spec.seed,
+            host=self.host,
+            port=self.port,
+        )
+        address = self.coordinator.listen()
+        spawner = spawn_cli_worker if self.spawn == "cli" else spawn_local_worker
+        self.workers = [
+            spawner(address, name=f"mesh-w{i}") for i in range(self.n_peers)
+        ]
+        self._route_map = self.coordinator.shard_map
+        self.coordinator.start()
+
+    def _close(self) -> None:
+        self.coordinator.close()
+        for proc in self.workers:
+            self._reap(proc)
+        self.workers = []
+
+    @staticmethod
+    def _reap(proc) -> None:
+        # both worker shapes answer this: multiprocessing.Process
+        # (is_alive/join) and subprocess.Popen (poll/wait)
+        if hasattr(proc, "is_alive"):
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        else:
+            if proc.poll() is None:
+                proc.terminate()
+            try:
+                proc.wait(timeout=5.0)
+            except Exception:
+                proc.kill()
+                proc.wait(timeout=5.0)
+
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker process mid-stream (failover testing)."""
+        import os
+        import signal
+
+        try:
+            os.kill(self.workers[index].pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+
+    _event = staticmethod(_service_event)
+
+    def register_worker(self, req: RegisterWorker) -> WorkerRegistered:
+        self.coordinator.process([self._event(req)])
+        return WorkerRegistered(worker_id=int(req.worker_id))
+
+    def submit_task(self, req: SubmitTask) -> TaskDecision:
+        self.coordinator.process([self._event(req)])
+        worker = self.coordinator.result_of(req.task_id)
+        return TaskDecision(task_id=int(req.task_id), worker_id=worker)
+
+    def flush(self, req: Flush) -> Flushed:
+        self.coordinator.flush()
+        return Flushed()
+
+    def get_report(self, req: GetReport) -> ReportResult:
+        return ReportResult(
+            report=self.coordinator.report(wall_seconds=req.wall_seconds)
+        )
+
+    def batch(self, request: Batch) -> BatchResult:
+        """Contiguous register/submit runs dispatch as single chunks.
+
+        Same shape as the cluster's batch path, minus the lock: the
+        coordinator journals and schedules internally, and rendezvous
+        (:meth:`~repro.mesh.coordinator.MeshCoordinator.result_of`)
+        block on a condition the peer readers signal — no reply pump to
+        share, so concurrent batches need no coordination here.
+        """
+        responses: list = []
+        pending_events: list = []
+        task_slots: dict[int, tuple[int, int | None]] = {}
+
+        def dispatch_run() -> None:
+            if pending_events:
+                self.coordinator.process(list(pending_events))
+                pending_events.clear()
+
+        for item in request.items:
+            seq, verb = unwrap(item)
+            if isinstance(verb, (RegisterWorker, SubmitTask)):
+                pending_events.append(self._event(verb))
+                if isinstance(verb, RegisterWorker):
+                    response = WorkerRegistered(worker_id=int(verb.worker_id))
+                else:
+                    task_slots[len(responses)] = (int(verb.task_id), seq)
+                    responses.append(None)  # resolved after dispatch
+                    continue
+            else:
+                dispatch_run()
+                response = self.handle(verb)
+            responses.append(rewrap(seq, response))
+        dispatch_run()
+        for slot, (task_id, seq) in task_slots.items():
+            decision = TaskDecision(
+                task_id=task_id, worker_id=self.coordinator.result_of(task_id)
+            )
+            responses[slot] = rewrap(seq, decision)
+        return BatchResult(items=tuple(responses))
+
+
+BACKEND_KINDS = ("inprocess", "sharded", "cluster", "remote", "mesh")
 
 
 def make_backend(kind: str, spec: ServiceSpec, **kwargs) -> BackendBase:
@@ -625,7 +800,8 @@ def make_backend(kind: str, spec: ServiceSpec, **kwargs) -> BackendBase:
 
     ``kwargs`` are forwarded to the backend constructor: the cluster
     takes ``n_procs``/``chunk_size``/``checkpoint_every``/``balancer``,
-    ``remote`` requires ``address=(host, port)`` of a running
+    the mesh takes ``n_peers``/``chunk_size``/``checkpoint_every``/
+    ``spawn``, ``remote`` requires ``address=(host, port)`` of a running
     :class:`~repro.gateway.GatewayServer` (plus optional timeouts); the
     others take none.
     """
@@ -635,6 +811,8 @@ def make_backend(kind: str, spec: ServiceSpec, **kwargs) -> BackendBase:
         return ShardedBackend(spec, **kwargs)
     if kind == "cluster":
         return ClusterBackend(spec, **kwargs)
+    if kind == "mesh":
+        return MeshBackend(spec, **kwargs)
     if kind == "remote":
         from ..gateway.remote import RemoteBackend
 

@@ -31,6 +31,7 @@ __all__ = [
     "build_conformance_stream",
     "run_backend",
     "run_remote_backend",
+    "run_mesh_failover",
     "check_parity",
     "run_conformance",
 ]
@@ -145,6 +146,63 @@ def run_remote_backend(
         )
 
 
+def run_mesh_failover(
+    spec: ServiceSpec,
+    requests,
+    *,
+    n_peers: int = 3,
+    kill_index: int = 0,
+    kill_after: int | None = None,
+    window: int = 16,
+    spawn: str = "fork",
+    chunk_size: int = 32,
+    checkpoint_every: int = 64,
+) -> tuple[BackendRun, int]:
+    """Drive the stream through a mesh and SIGKILL a worker mid-stream.
+
+    The run must still answer every request and — because recovery is
+    checkpoint restore plus bit-deterministic journal replay — stay
+    bit-identical to every healthy backend. Returns the run plus the
+    coordinator's failover count (callers assert it is >= 1: a kill the
+    mesh never noticed proves nothing).
+    """
+    from .backends import MeshBackend
+
+    requests = list(requests)
+    if kill_after is None:
+        kill_after = len(requests) // 2
+    backend = MeshBackend(
+        spec,
+        n_peers=n_peers,
+        spawn=spawn,
+        chunk_size=chunk_size,
+        checkpoint_every=checkpoint_every,
+    )
+    pairs: list = []
+    misses: list = []
+    with AssignmentClient(backend) as client:
+        answered = 0
+        for response in client.stream(requests, window=window):
+            answered += 1
+            if isinstance(response, TaskDecision):
+                if response.worker_id is None:
+                    misses.append(response.task_id)
+                else:
+                    pairs.append((response.task_id, response.worker_id))
+            if answered == kill_after:
+                backend.kill_worker(kill_index)
+        client.flush()
+        report = client.report()
+        failovers = backend.coordinator.failovers
+    run = BackendRun(
+        name="mesh-failover",
+        assignments=tuple(pairs),
+        unassigned=tuple(misses),
+        report=report,
+    )
+    return run, failovers
+
+
 def _shard_key(shard_id) -> str:
     """Engine lattice ids and cluster routing keys on one footing."""
     return shard_id if isinstance(shard_id, str) else f"s{shard_id}"
@@ -245,7 +303,7 @@ class ConformanceReport:
 
 def run_conformance(
     spec: ServiceSpec,
-    backend_kinds=("inprocess", "sharded", "cluster", "remote"),
+    backend_kinds=("inprocess", "sharded", "cluster", "remote", "mesh"),
     *,
     requests=None,
     window: int = 32,
@@ -258,7 +316,9 @@ def run_conformance(
     no sharded counterpart by construction). ``remote`` runs over a real
     loopback gateway socket (see :func:`run_remote_backend`); its kwargs
     name the *server-side* backend and knobs rather than constructor
-    arguments. ``backend_kwargs`` maps any backend kind to its extras
+    arguments. ``mesh`` spawns real worker processes that dial the
+    coordinator over loopback sockets — the full multi-host wire path.
+    ``backend_kwargs`` maps any backend kind to its extras
     (e.g. cluster ``n_procs``/``chunk_size``). ``pipeline`` applies to
     every run — only transports that negotiated the capability actually
     pipeline (the remote cell), everything else is its serial control.

@@ -117,7 +117,11 @@ def map_exception(exc: Exception) -> ApiError:
         from ..cluster.coordinator import ClusterError
     except Exception:  # pragma: no cover - cluster always importable here
         ClusterError = ()
-    if isinstance(exc, ClusterError):
+    try:
+        from ..mesh.coordinator import MeshError
+    except Exception:  # pragma: no cover - mesh always importable here
+        MeshError = ()
+    if isinstance(exc, (ClusterError, MeshError)):
         return BackendUnavailable(str(exc), detail=detail)
     if isinstance(exc, (ValueError, TypeError, KeyError, IndexError)):
         return RequestRejected(str(exc), detail=detail)

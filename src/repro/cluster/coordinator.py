@@ -39,13 +39,12 @@ import multiprocessing as mp
 import time
 from multiprocessing.connection import wait as conn_wait
 
-import numpy as np
-
 from ..geometry.box import Box
 from ..service.events import RequestQueue, TaskArrival, WorkerArrival
 from ..service.metrics import ServiceReport, build_report
 from ..utils import ensure_rng, keyed_shard_seed
 from .balancer import BalancerConfig, ClusterRouter, HotShardBalancer, family_of, key_order
+from .dispatch import FamilyJournal
 from .worker import worker_main
 
 __all__ = ["ClusterCoordinator", "ClusterError"]
@@ -130,17 +129,10 @@ class ClusterCoordinator:
         self._specs: dict[str, dict] = {}
         self._checkpoints: dict[str, dict] = {}
         # the journal is the single source of dispatched ops: normal flow
-        # and failover replay both send journal[fam][sent_idx[fam]:], so
+        # and failover replay both send the journal's unsent suffix, so
         # an op can never be delivered twice to one incarnation
-        self._journal: dict[int, list] = {
-            fam: [] for fam in range(self.shard_map.n_shards)
-        }
-        self._sent_idx: dict[int, int] = {
-            fam: 0 for fam in range(self.shard_map.n_shards)
-        }
+        self._journal = FamilyJournal(self.router)
         self._results: dict[int, int | None] = {}
-        self._task_order: list[int] = []
-        self._known_workers: set[int] = set()
         self.now = 0.0
         self.failovers = 0
         self.migrations = 0
@@ -259,14 +251,14 @@ class ClusterCoordinator:
         """All ``(task_id, worker_id)`` pairs decided so far, stream order."""
         return [
             (tid, self._results[tid])
-            for tid in self._task_order
+            for tid in self._journal.task_order
             if self._results.get(tid) is not None
         ]
 
     @property
     def tasks_answered(self) -> int:
         """Tasks with a recorded outcome (assigned or definitively not)."""
-        return sum(1 for tid in self._task_order if tid in self._results)
+        return sum(1 for tid in self._journal.task_order if tid in self._results)
 
     def result_ready(self, task_id: int) -> bool:
         """Whether ``task_id`` already has a recorded outcome.
@@ -350,61 +342,23 @@ class ClusterCoordinator:
         return self.report(wall_seconds=wall, flush=False)
 
     def _dispatch(self, chunk: list) -> None:
-        locs = np.array([e.location for e in chunk], dtype=np.float64)
-        chains = self.router.chains_of_many(locs)
-        touched: set[int] = set()
-        open_w: dict[str, list] = {}
-        for event, chain in zip(chunk, chains):
-            primary = chain[0]
-            fam = family_of(primary)
-            touched.add(fam)
-            if isinstance(event, WorkerArrival):
-                wid = int(event.worker_id)
-                if wid in self._known_workers:
-                    raise ValueError(
-                        f"worker id already registered with the cluster: {wid}"
-                    )
-                self._known_workers.add(wid)
-                op = open_w.get(primary)
-                if op is None:
-                    # merged cohort op; stays open (and keeps absorbing
-                    # later arrivals) until a task touches this shard
-                    op = ["w", primary, [], []]
-                    open_w[primary] = op
-                    self._journal[fam].append(op)
-                op[2].append(wid)
-                op[3].append([float(event.location[0]), float(event.location[1])])
-                if self._balancer:
-                    self._balancer.observe(primary, is_task=False)
-            else:
-                # close cohort accumulation for every shard this task can
-                # read, so no later-arriving worker becomes visible to it
-                for key in chain:
-                    open_w.pop(key, None)
-                tid = int(event.task_id)
-                op = [
-                    "t",
-                    chain,
-                    tid,
-                    [float(event.location[0]), float(event.location[1])],
-                ]
-                self._journal[fam].append(op)
-                self._task_order.append(tid)
-                if self._balancer:
-                    self._balancer.observe(primary, is_task=True)
+        touched = self._journal.absorb(
+            chunk, observe=self._balancer.observe if self._balancer else None
+        )
         for fam in sorted(touched):
             self._flush_family(fam)
         self._events_since_checkpoint += len(chunk)
 
     def _flush_family(self, fam: int) -> None:
-        """Send a family's journaled-but-unsent ops to its owner."""
-        start = self._sent_idx[fam]
-        ops = self._journal[fam][start:]
+        """Send a family's journaled-but-unsent ops to its owner.
+
+        The journal advances its cursor before we transmit: a failover
+        triggered while we pump below rewinds it and re-sends from the
+        journal itself.
+        """
+        ops = self._journal.take(fam)
         if not ops:
             return
-        # advance the cursor first: a failover triggered while we pump
-        # below rewinds it and re-sends from the journal itself
-        self._sent_idx[fam] = start + len(ops)
         self._send_events(self.ownership[fam], ops)
 
     def _send_events(self, widx: int, ops: list) -> None:
@@ -464,9 +418,7 @@ class ClusterCoordinator:
         self._request_snapshots(keys)
         for key in keys:
             self._checkpoints[key] = self._snapshot_inbox.pop(key)
-        for fam in self._journal:
-            self._journal[fam].clear()
-            self._sent_idx[fam] = 0
+        self._journal.truncate()
         self._events_since_checkpoint = 0
 
     def _request_snapshots(self, keys: list[str]) -> None:
@@ -509,8 +461,7 @@ class ClusterCoordinator:
             self._cmd_qs[dst].put(("load", key, snap))
             self._cmd_qs[src].put(("drop", key))
         self.ownership[fam] = dst
-        self._journal[fam].clear()
-        self._sent_idx[fam] = 0
+        self._journal.reset(fam)
         self.migrations += 1
 
     # ------------------------------------------------------------------ #
@@ -552,7 +503,7 @@ class ClusterCoordinator:
                     cmd_q.put(("create", key, self._specs[key]))
             # rewind the journal cursor: everything since the checkpoint
             # is replayed against the freshly restored state
-            self._sent_idx[fam] = 0
+            self._journal.rewind(fam)
             self._flush_family(fam)
         if self._inc[widx] != inc:
             return

@@ -1,0 +1,184 @@
+"""The family dispatch core: routing absorption and op journals.
+
+Both distributed runtimes — the multiprocess
+:class:`~repro.cluster.coordinator.ClusterCoordinator` and the
+multi-host :class:`~repro.mesh.coordinator.MeshCoordinator` — turn the
+service event stream into the same per-family op sequences: merged
+worker-cohort ops (consecutive arrivals for one shard collapse into a
+single ``["w", key, ids, locations]``, kept open until a task can
+observe that shard) and task ops carrying the full routing fallback
+chain. :class:`FamilyJournal` is that shared core, factored out so the
+two coordinators cannot drift: identical cohort cut points are exactly
+what makes their assignments bit-identical to the engine's.
+
+The journal doubles as the replay log. Every op is appended before it
+is sent, and the send cursor counts in *absolute* stream positions, so
+the two recovery disciplines both fall out of cursor arithmetic:
+
+* **failover** rewinds a family's cursor to its checkpoint base — the
+  retained suffix replays against a restored snapshot;
+* **checkpoint** truncates ops up to a high-water mark. The cluster's
+  synchronous barrier truncates everything; the mesh's barrier runs
+  *behind* a pipelined scheduler while the caller keeps appending, so it
+  truncates only up to the positions captured when the barrier was
+  submitted — later ops keep their meaning because positions never
+  renumber.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..service.events import TaskArrival, WorkerArrival
+from .balancer import family_of
+
+__all__ = ["FamilyJournal"]
+
+
+class FamilyJournal:
+    """Per-family op journals with absolute send/truncate cursors.
+
+    Parameters
+    ----------
+    router:
+        A :class:`~repro.cluster.balancer.ClusterRouter`; supplies the
+        vectorized chain routing and the family count.
+    """
+
+    def __init__(self, router) -> None:
+        self.router = router
+        n = router.base.n_shards
+        self._ops: dict[int, list] = {fam: [] for fam in range(n)}
+        #: absolute position of ``_ops[fam][0]`` (grows on truncation)
+        self._base: dict[int, int] = {fam: 0 for fam in range(n)}
+        #: absolute position of the next op to send
+        self._sent: dict[int, int] = {fam: 0 for fam in range(n)}
+        #: every task id ever absorbed, stream order
+        self.task_order: list[int] = []
+        #: worker ids seen, for duplicate-registration rejection
+        self.known_workers: set[int] = set()
+
+    @property
+    def families(self):
+        """All family ids (base lattice cells)."""
+        return self._ops.keys()
+
+    # ------------------------------------------------------------------ #
+    # absorption                                                          #
+    # ------------------------------------------------------------------ #
+
+    def absorb(self, chunk: list, observe=None) -> set[int]:
+        """Route one event chunk into per-family ops; returns the touched
+        family ids.
+
+        Worker arrivals for one shard merge into a single cohort op that
+        stays open (and keeps absorbing later arrivals) until a task
+        touches any shard of its routing chain — the same cut-point rule
+        as the engine's per-event path. ``observe(key, is_task)`` is the
+        optional balancer tap.
+        """
+        locs = np.array([e.location for e in chunk], dtype=np.float64)
+        chains = self.router.chains_of_many(locs)
+        touched: set[int] = set()
+        open_w: dict[str, list] = {}
+        for event, chain in zip(chunk, chains):
+            primary = chain[0]
+            fam = family_of(primary)
+            touched.add(fam)
+            if isinstance(event, WorkerArrival):
+                wid = int(event.worker_id)
+                if wid in self.known_workers:
+                    raise ValueError(
+                        f"worker id already registered with the cluster: {wid}"
+                    )
+                self.known_workers.add(wid)
+                op = open_w.get(primary)
+                if op is None:
+                    op = ["w", primary, [], []]
+                    open_w[primary] = op
+                    self._ops[fam].append(op)
+                op[2].append(wid)
+                op[3].append(
+                    [float(event.location[0]), float(event.location[1])]
+                )
+                if observe is not None:
+                    observe(primary, False)
+            elif isinstance(event, TaskArrival):
+                # close cohort accumulation for every shard this task can
+                # read, so no later-arriving worker becomes visible to it
+                for key in chain:
+                    open_w.pop(key, None)
+                tid = int(event.task_id)
+                self._ops[fam].append(
+                    [
+                        "t",
+                        chain,
+                        tid,
+                        [float(event.location[0]), float(event.location[1])],
+                    ]
+                )
+                self.task_order.append(tid)
+                if observe is not None:
+                    observe(primary, True)
+            else:
+                raise TypeError(f"not a service event: {event!r}")
+        return touched
+
+    # ------------------------------------------------------------------ #
+    # cursors                                                             #
+    # ------------------------------------------------------------------ #
+
+    def end(self, fam: int) -> int:
+        """Absolute position one past the last journaled op of ``fam``."""
+        return self._base[fam] + len(self._ops[fam])
+
+    def ends(self) -> dict[int, int]:
+        """Every family's :meth:`end` — the high-water marks a deferred
+        barrier captures at submit time."""
+        return {fam: self.end(fam) for fam in self._ops}
+
+    def take(self, fam: int, upto: int | None = None) -> list:
+        """Pending ops of ``fam`` up to ``upto`` (absolute; ``None`` =
+        everything journaled), advancing the send cursor past them.
+
+        The cursor moves *before* the caller transmits: a failover
+        triggered mid-send rewinds it and the journal itself re-serves
+        the ops — delivery can fail, the log cannot.
+        """
+        stop = self.end(fam) if upto is None else min(upto, self.end(fam))
+        start = max(self._sent[fam], self._base[fam])
+        if stop <= start:
+            return []
+        base = self._base[fam]
+        ops = self._ops[fam][start - base : stop - base]
+        self._sent[fam] = stop
+        return ops
+
+    def rewind(self, fam: int) -> None:
+        """Point the send cursor back at the checkpoint base: everything
+        retained since the last truncation replays on the next take."""
+        self._sent[fam] = self._base[fam]
+
+    def truncate(self, fam: int | None = None, upto: int | None = None) -> None:
+        """Drop ops up to ``upto`` (absolute; ``None`` = all journaled),
+        for one family or every family.
+
+        Called once their effects are safely inside a snapshot. Positions
+        are never renumbered — ``base`` advances instead — so cursors and
+        high-water marks captured earlier stay valid.
+        """
+        fams = list(self._ops) if fam is None else [fam]
+        for f in fams:
+            stop = self.end(f) if upto is None else min(upto, self.end(f))
+            keep_from = stop - self._base[f]
+            if keep_from > 0:
+                del self._ops[f][:keep_from]
+                self._base[f] = stop
+            self._sent[f] = max(self._sent[f], self._base[f])
+
+    def reset(self, fam: int) -> None:
+        """Forget a family's journal entirely (its state was just
+        re-snapshotted, e.g. after a migration)."""
+        self._base[fam] = self.end(fam)
+        self._ops[fam].clear()
+        self._sent[fam] = self._base[fam]

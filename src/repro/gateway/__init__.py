@@ -50,16 +50,21 @@ from .protocol import (
     GATEWAY_SCHEMA,
     GATEWAY_VERSION,
     MAX_FRAME_BYTES,
+    MESH_WORKER_ROLE,
     PIPELINE_FEATURE,
     FrameDecoder,
+    advertised_families,
     encode_frame,
     decode_payload,
+    family_features,
     goodbye_doc,
     hello_doc,
     negotiate_version,
     parse_features,
     parse_hello,
     parse_welcome,
+    peer_role,
+    role_feature,
     welcome_doc,
 )
 from .remote import RemoteBackend
@@ -69,20 +74,25 @@ __all__ = [
     "GATEWAY_SCHEMA",
     "GATEWAY_VERSION",
     "MAX_FRAME_BYTES",
+    "MESH_WORKER_ROLE",
     "PIPELINE_FEATURE",
     "FrameDecoder",
     "GatewayConfig",
     "GatewayServer",
     "RemoteBackend",
     "Session",
+    "advertised_families",
     "decode_payload",
     "encode_frame",
+    "family_features",
     "goodbye_doc",
     "hello_doc",
     "negotiate_version",
     "parse_features",
     "parse_hello",
     "parse_welcome",
+    "peer_role",
+    "role_feature",
     "serve_gateway",
     "welcome_doc",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "HEADER",
     "MAX_FRAME_BYTES",
     "PIPELINE_FEATURE",
+    "MESH_WORKER_ROLE",
     "check_frame_length",
     "encode_frame",
     "decode_payload",
@@ -51,6 +52,10 @@ __all__ = [
     "parse_hello",
     "parse_welcome",
     "negotiate_version",
+    "role_feature",
+    "peer_role",
+    "family_features",
+    "advertised_families",
 ]
 
 GATEWAY_SCHEMA = "repro.gateway"
@@ -61,6 +66,15 @@ GATEWAY_VERSION = 1
 #: read ahead and answer frames out of order. Off means the strict
 #: request/response discipline of protocol v1 without features.
 PIPELINE_FEATURE = "pipeline"
+
+#: Peer role advertised by a mesh worker's hello: the connection is not
+#: an api client asking for assignments but a shard host offering to
+#: serve them (see :mod:`repro.mesh`). Roles ride the feature list, so
+#: role-less peers and role-unaware servers interoperate untouched.
+MESH_WORKER_ROLE = "mesh-worker"
+
+_ROLE_PREFIX = "role:"
+_FAMILY_PREFIX = "family:"
 
 #: Frame header: one big-endian u32 payload length.
 HEADER = struct.Struct(">I")
@@ -215,6 +229,12 @@ def is_gateway_doc(doc) -> bool:
     return isinstance(doc, dict) and doc.get("schema") == GATEWAY_SCHEMA
 
 
+#: The complete v1 gateway envelope. Top-level is frozen — the *body*
+#: (and its feature list) is the extension point — so unknown top-level
+#: keys are junk, not forward compatibility, and are rejected.
+_ENVELOPE_KEYS = frozenset({"schema", "version", "kind", "body"})
+
+
 def _check_gateway_envelope(doc: dict, kind: str) -> dict:
     if not isinstance(doc, dict):
         raise ValidationFailed(
@@ -231,6 +251,12 @@ def _check_gateway_envelope(doc: dict, kind: str) -> dict:
         raise UnsupportedVersion(
             f"gateway protocol version {version!r} outside supported "
             f"range 1..{GATEWAY_VERSION}"
+        )
+    unknown = set(doc) - _ENVELOPE_KEYS
+    if unknown:
+        raise ValidationFailed(
+            f"unknown handshake fields {sorted(map(repr, unknown))}; "
+            "the v1 envelope is schema/version/kind/body"
         )
     if doc.get("kind") != kind:
         raise ValidationFailed(
@@ -320,3 +346,55 @@ def parse_welcome(doc: dict) -> tuple[int, str, int, tuple[str, ...]]:
             f"supports 1..{WIRE_VERSION}"
         )
     return version, backend, session, parse_features(body)
+
+
+# --------------------------------------------------------------------- #
+# roles and shard-family advertisement                                   #
+# --------------------------------------------------------------------- #
+#
+# Both ride the existing feature list, deliberately: features already
+# intersect (each side acts on the names it knows, unknown names pass
+# through), so a mesh worker saying hello to a plain gateway is simply a
+# client with ignored features, and an old client saying hello to a mesh
+# coordinator is a peer with no role — no version bump, no new frame.
+
+
+def role_feature(role: str) -> str:
+    """The feature name advertising a peer role (``"role:mesh-worker"``)."""
+    return _ROLE_PREFIX + str(role)
+
+
+def peer_role(features) -> str | None:
+    """The role a hello's feature list claims, or ``None`` for a plain
+    api client. More than one role is a contradiction, not a choice."""
+    roles = [f[len(_ROLE_PREFIX):] for f in features if f.startswith(_ROLE_PREFIX)]
+    if not roles:
+        return None
+    if len(roles) > 1:
+        raise ValidationFailed(
+            f"hello claims multiple peer roles: {sorted(roles)}"
+        )
+    return roles[0]
+
+
+def family_features(families) -> tuple[str, ...]:
+    """Feature names advertising hosted shard families
+    (``"family:3"`` ...) — what a rejoining worker tells the coordinator
+    it already holds."""
+    return tuple(_FAMILY_PREFIX + str(int(f)) for f in families)
+
+
+def advertised_families(features) -> tuple[int, ...]:
+    """Shard family ids advertised in a feature list, sorted."""
+    fams = set()
+    for f in features:
+        if not f.startswith(_FAMILY_PREFIX):
+            continue
+        tail = f[len(_FAMILY_PREFIX):]
+        try:
+            fams.add(int(tail))
+        except ValueError:
+            raise ValidationFailed(
+                f"malformed family advertisement {f!r}"
+            ) from None
+    return tuple(sorted(fams))

@@ -345,6 +345,13 @@ class GatewayServer:
             self.stats["rejected_handshakes"] += 1
             await self._write(writer, to_wire(exc.info()))
             return
+        except Exception as exc:
+            # whatever a junk hello provokes beyond the parser's own
+            # taxonomy still answers a stable structured code, then the
+            # connection closes — never a silent drop mid-handshake
+            self.stats["rejected_handshakes"] += 1
+            await self._write(writer, to_wire(map_exception(exc).info()))
+            return
         # grant only what both sides speak: the feature set shrinks by
         # intersection, never errors on names from the future
         session.pipelined = self.config.pipeline and PIPELINE_FEATURE in features

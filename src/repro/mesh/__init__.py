@@ -1,0 +1,74 @@
+"""repro.mesh — a multi-host worker mesh behind a non-blocking coordinator.
+
+The cluster runtime (:mod:`repro.cluster`) proves the paper's assignment
+mechanism survives being cut into shard families, snapshotted, killed
+and replayed — but its workers are ``multiprocessing`` children of the
+coordinator. This package takes the same worker core across a *socket*
+boundary: workers are standalone processes (``python -m repro.mesh
+--worker --connect HOST:PORT``) that dial a coordinator, negotiate the
+``role:mesh-worker`` handshake over the gateway wire form, and serve
+shard families via :mod:`repro.mesh.protocol` ops.
+
+The pieces:
+
+* :mod:`~repro.mesh.protocol` — the sans-IO op/reply vocabulary
+  (``repro.mesh`` v1 documents in gateway frames, seq-matched so ops
+  pipeline per connection);
+* :mod:`~repro.mesh.worker` — one process: an unchanged cluster
+  :class:`~repro.cluster.worker.ShardHost` serving ops FIFO off a
+  socket, failing loudly then exiting;
+* :mod:`~repro.mesh.coordinator` — :class:`MeshCoordinator`: accepts
+  peers, places shard families across them, dispatches per-family
+  through the :class:`~repro.runtime.PipelineScheduler` (no global
+  dispatch lock; only flush/report/checkpoint are barriers), and on a
+  dead connection restores the lost families onto survivors from
+  checkpoint snapshots plus journal replay — bit-identical to the
+  local cluster by construction.
+
+The serving adapter is :class:`repro.api.backends.MeshBackend`
+(``make_backend("mesh", spec)``), which joins the cross-backend
+conformance matrix.
+
+CLI::
+
+    python -m repro.mesh --smoke                       # CI gate
+    python -m repro.mesh --worker --connect HOST:PORT  # one worker
+"""
+
+from .coordinator import MeshCoordinator, MeshError, PeerLost
+from .protocol import (
+    MESH_SCHEMA,
+    MESH_VERSION,
+    OP_KINDS,
+    fail_doc,
+    op_doc,
+    parse_op,
+    parse_reply,
+    reply_doc,
+)
+from .worker import (
+    connect_worker,
+    run_worker,
+    serve_connection,
+    spawn_cli_worker,
+    spawn_local_worker,
+)
+
+__all__ = [
+    "MESH_SCHEMA",
+    "MESH_VERSION",
+    "MeshCoordinator",
+    "MeshError",
+    "OP_KINDS",
+    "PeerLost",
+    "connect_worker",
+    "fail_doc",
+    "op_doc",
+    "parse_op",
+    "parse_reply",
+    "reply_doc",
+    "run_worker",
+    "serve_connection",
+    "spawn_cli_worker",
+    "spawn_local_worker",
+]

@@ -1,0 +1,158 @@
+"""Mesh CLI: run one worker, or the coordinator smoke gate.
+
+``--worker`` is the deployment entry point — a standalone process that
+knows its coordinator only by address::
+
+    python -m repro.mesh --worker --connect 127.0.0.1:7700 --name w0
+
+``--smoke`` is the CI gate: it stands up a coordinator plus two loopback
+CLI workers (real ``python -m repro.mesh --worker`` processes, real
+sockets), replays the conformance stream, and asserts bit-identical
+assignments and reports against the single-process sharded engine —
+then repeats the run with a worker SIGKILLed mid-stream and asserts the
+failover changed nothing::
+
+    python -m repro.mesh --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _parse_address(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--connect wants HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _run_smoke(args) -> int:
+    from ..api import ServiceSpec, make_backend
+    from ..api.conformance import (
+        build_conformance_stream,
+        check_parity,
+        run_backend,
+        run_mesh_failover,
+    )
+    from ..geometry import Box
+
+    spec = ServiceSpec(
+        region=Box.square(200.0),
+        shards=(2, 2),
+        grid_nx=10,
+        epsilon=0.5,
+        budget_capacity=2.0,
+        batch_size=64,
+        seed=args.seed,
+    )
+    requests = build_conformance_stream(
+        spec.region, n_workers=60, n_tasks=45, seed=7
+    )
+    reference = run_backend(make_backend("sharded", spec), requests, window=16)
+
+    mesh = run_backend(
+        make_backend(
+            "mesh",
+            spec,
+            n_peers=2,
+            spawn="cli",
+            chunk_size=17,
+            checkpoint_every=48,
+        ),
+        requests,
+        window=16,
+    )
+    problems = check_parity([reference, mesh])
+    print(
+        f"[repro.mesh smoke] parity sharded vs mesh(cli,2 peers): "
+        f"{len(reference.assignments)} assignments, "
+        f"{'OK' if not problems else 'FAILED'}",
+        file=sys.stderr,
+    )
+    for problem in problems:
+        print(f"  - {problem}", file=sys.stderr)
+
+    failed, failovers = run_mesh_failover(
+        spec,
+        requests,
+        n_peers=2,
+        spawn="cli",
+        chunk_size=17,
+        checkpoint_every=48,
+        window=16,
+    )
+    fail_problems = check_parity([reference, failed])
+    if failovers < 1:
+        fail_problems.append("killed worker was never detected (failovers == 0)")
+    print(
+        f"[repro.mesh smoke] failover leg: {failovers} failover(s), "
+        f"{'OK' if not fail_problems else 'FAILED'}",
+        file=sys.stderr,
+    )
+    for problem in fail_problems:
+        print(f"  - {problem}", file=sys.stderr)
+
+    if problems or fail_problems:
+        print("[repro.mesh smoke] FAILED", file=sys.stderr)
+        return 1
+    print("[repro.mesh smoke] OK", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.mesh",
+        description=(
+            "Multi-host worker mesh: run one worker process against a "
+            "coordinator, or the CI smoke gate."
+        ),
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--worker",
+        action="store_true",
+        help="run one mesh worker process (requires --connect)",
+    )
+    mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="coordinator + 2 loopback CLI workers, parity + failover gate",
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="coordinator address for --worker",
+    )
+    parser.add_argument(
+        "--name", default="mesh-worker", help="worker name for --worker"
+    )
+    parser.add_argument(
+        "--connect-window",
+        type=float,
+        default=10.0,
+        help="seconds to keep retrying the initial TCP connect",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.worker:
+        if not args.connect:
+            parser.error("--worker requires --connect HOST:PORT")
+        try:
+            address = _parse_address(args.connect)
+        except ValueError as exc:
+            parser.error(str(exc))
+        from .worker import run_worker
+
+        run_worker(
+            address, name=args.name, connect_window_s=args.connect_window
+        )
+        return 0
+
+    return _run_smoke(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,945 @@
+"""The mesh coordinator: worker peers on sockets, dispatch on keys.
+
+:class:`MeshCoordinator` is the multi-host sibling of the multiprocess
+:class:`~repro.cluster.coordinator.ClusterCoordinator`. It keeps the
+engine's event contract (``process``/``flush``/``report``/``run``) but
+its workers are independent processes — possibly on other machines —
+that dialed in over the gateway wire and hold shard families behind
+:mod:`repro.mesh.protocol` ops.
+
+What is deliberately *different* from the cluster coordinator:
+
+* **no single dispatch lock.** Event chunks are absorbed into the shared
+  :class:`~repro.cluster.dispatch.FamilyJournal` and then delivered by
+  per-family jobs on a :class:`~repro.runtime.PipelineScheduler` — the
+  same keyed-FIFO/barrier core the gateway schedules requests on.
+  Different families flow to their peers concurrently; only
+  flush/report/checkpoint are global barriers. Per-family FIFO plus the
+  journal's contiguous-segment delivery keeps per-shard op order exactly
+  the serial order, which is what the bit-exactness guarantee needs;
+* **submit-time high-water marks.** ``process()`` keeps appending to the
+  journal while earlier jobs are still in flight, so every family job
+  carries the journal position captured when it was submitted and never
+  delivers past it — a later flush cannot have its cohort cut points
+  dragged forward by ops that arrived after it was requested. Barrier
+  jobs take their marks when they *execute* (the scheduler has already
+  drained everything submitted before them, so execution-time marks are
+  exactly the pre-barrier stream);
+* **failover is reassignment, not respawn.** The coordinator does not
+  own worker processes; when a connection dies mid-stream the dead
+  peer's families are handed to the surviving peer with the lightest
+  load, restored from their last checkpoint snapshots (JSON-pure, they
+  cross the wire unchanged) and replayed from the journal — the same
+  snapshot+replay discipline the cluster proves bit-deterministic.
+  Duplicate task results from the dead peer deduplicate (first write
+  wins). A second death during recovery just repeats the handling on
+  the next survivor; only losing *every* peer is fatal.
+
+Telemetry rides the existing reservoir machinery
+(:class:`~repro.service.metrics.SampleReservoir`): per-peer dispatch
+depth sampled at every op send, checkpoint snapshot sizes in encoded
+bytes, and checkpoint wall-times, all summarized by :meth:`telemetry`
+together with the scheduler's live per-family queue depths.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+
+from ..api.errors import ValidationFailed, map_exception
+from ..api.messages import to_wire
+from ..cluster.balancer import ClusterRouter, family_of, key_order
+from ..cluster.dispatch import FamilyJournal
+from ..gateway.protocol import (
+    MESH_WORKER_ROLE,
+    FrameDecoder,
+    advertised_families,
+    encode_frame,
+    goodbye_doc,
+    is_gateway_doc,
+    parse_hello,
+    peer_role,
+    role_feature,
+    welcome_doc,
+)
+from ..geometry.box import Box
+from ..runtime import PipelineScheduler
+from ..service.events import RequestQueue, TaskArrival, WorkerArrival
+from ..service.metrics import (
+    SampleReservoir,
+    ServiceReport,
+    ShardSnapshot,
+    build_report,
+    percentile,
+)
+from ..utils import ensure_rng, keyed_shard_seed
+from .protocol import op_doc, parse_reply
+
+__all__ = ["MeshCoordinator", "MeshError", "PeerLost"]
+
+
+class MeshError(RuntimeError):
+    """A mesh peer failed, stalled, or the mesh cannot recover."""
+
+
+class PeerLost(MeshError):
+    """One peer's connection is gone; its families need a new home."""
+
+    def __init__(self, peer: str) -> None:
+        super().__init__(f"mesh worker {peer!r} is gone")
+        self.peer = peer
+
+
+def _reservoir_stats(res: SampleReservoir) -> dict:
+    return {
+        "count": res.count,
+        "mean": res.mean,
+        "p50": percentile(res, 50.0),
+        "p95": percentile(res, 95.0),
+    }
+
+
+class MeshPeer:
+    """One connected worker: a socket, a reader thread, seq-matched calls.
+
+    ``call`` is thread-safe and may be issued from several family jobs at
+    once — ops pipeline over the one socket (the worker serves them FIFO)
+    and the reader thread matches replies back by ``seq``. Death, however
+    it manifests (EOF, reset, a frame that fails to parse), resolves
+    every in-flight call to :class:`PeerLost`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sock: socket.socket,
+        features,
+        *,
+        label: str = "",
+        liveness_timeout: float = 120.0,
+    ) -> None:
+        self.name = name
+        self.sock = sock
+        self.features = tuple(features)
+        self.label = label
+        self.families = advertised_families(features)
+        self.liveness_timeout = liveness_timeout
+        self.dead = False
+        self.configured = False
+        self.calls = 0
+        self.outstanding = 0
+        #: outstanding-ops-at-send samples: per-peer dispatch depth
+        self.depth = SampleReservoir()
+        self.config_lock = threading.Lock()
+        self._seq = 0
+        self._pending: dict[int, Future] = {}
+        self._lock = threading.Lock()
+        self._wlock = threading.Lock()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"mesh-peer-{name}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._reader.start()
+
+    # ------------------------------------------------------------------ #
+    # reply reader                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = self.sock.recv(65536)
+                if not data:
+                    return
+                for doc in decoder.feed(data):
+                    if is_gateway_doc(doc):
+                        return  # the worker said goodbye
+                    kind, seq, body = parse_reply(doc)
+                    with self._lock:
+                        fut = self._pending.pop(seq, None)
+                    if fut is not None and not fut.done():
+                        fut.set_result((kind, body))
+        except Exception:
+            # a peer whose stream cannot be parsed is as gone as one
+            # whose socket died — there is no resynchronizing a framed
+            # stream whose length prefix lied
+            return
+        finally:
+            self.abandon()
+
+    def abandon(self) -> None:
+        """Mark dead and fail every in-flight call with :class:`PeerLost`."""
+        with self._lock:
+            self.dead = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for fut in pending:
+            if not fut.done():
+                fut.set_result(None)  # None -> PeerLost at the call site
+
+    # ------------------------------------------------------------------ #
+    # calls                                                               #
+    # ------------------------------------------------------------------ #
+
+    def call(self, op: str, body: dict) -> dict:
+        """Send one op, block for its reply; the reply body on success."""
+        with self._lock:
+            if self.dead:
+                raise PeerLost(self.name)
+            self._seq += 1
+            seq = self._seq
+            fut: Future = Future()
+            self._pending[seq] = fut
+            self.calls += 1
+            self.outstanding += 1
+            self.depth.record(float(self.outstanding))
+        try:
+            frame = encode_frame(op_doc(op, seq, body))
+            try:
+                with self._wlock:
+                    self.sock.sendall(frame)
+            except OSError:
+                self.abandon()
+                raise PeerLost(self.name) from None
+            try:
+                answer = fut.result(timeout=self.liveness_timeout)
+            except FutureTimeout:
+                # alive but wedged: a dead peer would have EOFed the
+                # reader; surface the stall instead of hanging forever
+                raise MeshError(
+                    f"mesh worker {self.name!r} stopped answering {op!r}"
+                ) from None
+            if answer is None:
+                raise PeerLost(self.name)
+            kind, reply = answer
+            if kind == "fail":
+                raise MeshError(
+                    f"mesh worker {self.name!r} failed {op!r}: "
+                    f"[{reply.get('code')}] {reply.get('message')}"
+                )
+            return reply
+        finally:
+            with self._lock:
+                self._pending.pop(seq, None)
+                self.outstanding -= 1
+
+    def shutdown(self) -> None:
+        """Polite goodbye if possible, then tear the connection down."""
+        if not self.dead:
+            try:
+                with self._wlock:
+                    self.sock.sendall(encode_frame(goodbye_doc("mesh closing")))
+            except OSError:
+                pass
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+        if self._reader.is_alive() and self._reader is not threading.current_thread():
+            self._reader.join(timeout=5.0)
+        self.abandon()
+
+
+class MeshCoordinator:
+    """Shard families on socket peers behind a pipelined dispatch core.
+
+    Parameters
+    ----------
+    region, shards, grid_nx, epsilon, budget_capacity, batch_size, seed:
+        Same meaning as on the cluster coordinator; shard seeds derive
+        per routing key (:func:`~repro.utils.keyed_shard_seed`) so mesh,
+        cluster and engine grow bit-identical shard streams.
+    expected_workers:
+        Peers :meth:`start` waits for before placing families. Workers
+        may keep joining later; they receive families only on failover.
+    chunk_size, checkpoint_every:
+        Dispatch batch size and the period (in events) of automatic
+        snapshot barriers; ``0`` disables periodic checkpoints (failover
+        then replays from stream start).
+    host, port:
+        Listen address; port ``0`` picks a free port (see ``address``).
+    dispatch_workers:
+        Scheduler pool threads (``None`` = runtime default).
+    """
+
+    def __init__(
+        self,
+        region: Box,
+        shards: tuple[int, int] = (2, 2),
+        *,
+        expected_workers: int = 2,
+        grid_nx: int = 12,
+        epsilon: float = 0.5,
+        budget_capacity: float = 2.0,
+        batch_size: int = 256,
+        chunk_size: int = 256,
+        checkpoint_every: int = 8192,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        liveness_timeout: float = 120.0,
+        handshake_timeout: float = 10.0,
+        dispatch_workers: int | None = None,
+    ) -> None:
+        if expected_workers < 1:
+            raise ValueError(f"need at least one worker, got {expected_workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 disables)")
+        from ..service.sharding import ShardMap
+
+        self.shard_map = ShardMap(region, *shards)
+        self.router = ClusterRouter(self.shard_map)
+        self.expected_workers = int(expected_workers)
+        self.grid_nx = grid_nx
+        self.epsilon = epsilon
+        self.budget_capacity = budget_capacity
+        self.batch_size = batch_size
+        self.chunk_size = chunk_size
+        self.checkpoint_every = checkpoint_every
+        self.seed = (
+            int(ensure_rng(seed).integers(2**31))
+            if not isinstance(seed, int)
+            else seed
+        )
+        self.host = host
+        self.port = port
+        self.liveness_timeout = liveness_timeout
+        self.handshake_timeout = handshake_timeout
+
+        self._state = threading.RLock()
+        self._wake = threading.Condition(self._state)
+        self._journal = FamilyJournal(self.router)
+        #: family id -> peer name
+        self.ownership: dict[int, str] = {}
+        self._installed: dict[int, bool] = {}
+        self._specs: dict[str, dict] = {}
+        self._checkpoints: dict[str, dict] = {}
+        self._results: dict[int, int | None] = {}
+        self._peers: dict[str, MeshPeer] = {}
+        self._join_order: list[str] = []
+        self._alive: set[str] = set()
+        self._failure: BaseException | None = None
+        self._events_since_checkpoint = 0
+        self.now = 0.0
+        self.failovers = 0
+        self.rejected_handshakes = 0
+
+        self._scheduler = PipelineScheduler(
+            max_workers=dispatch_workers, name="repro-mesh"
+        )
+        self._listener: socket.socket | None = None
+        self._acceptor: threading.Thread | None = None
+        self.address: tuple[str, int] | None = None
+        self._started = False
+        self._closed = False
+
+        # telemetry reservoirs (exact counts/means, bounded samples)
+        self._snapshot_bytes = SampleReservoir()
+        self._checkpoint_s = SampleReservoir()
+
+        # test hooks: called with the lost peer's name / each snapshotted
+        # key, outside coordinator locks — failover tests SIGKILL from here
+        self._test_on_failover = None
+        self._test_mid_checkpoint = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def listen(self) -> tuple[str, int]:
+        """Open the listener (idempotent); returns the bound address."""
+        with self._state:
+            if self._closed:
+                raise MeshError("coordinator was closed; create a new one")
+            if self._listener is None:
+                self._listener = socket.create_server((self.host, self.port))
+                self.address = self._listener.getsockname()[:2]
+                self._acceptor = threading.Thread(
+                    target=self._accept_loop, name="mesh-accept", daemon=True
+                )
+                self._acceptor.start()
+            return self.address
+
+    def start(self) -> None:
+        """Wait for the expected peers, place families, build all shards.
+
+        Untimed setup, exactly like the cluster's :meth:`start`: HST
+        construction happens before any measured serving window.
+        """
+        if self._started:
+            return
+        self.listen()
+        with self._wake:
+            ok = self._wake.wait_for(
+                lambda: len(self._alive) >= self.expected_workers
+                or self._failure is not None,
+                timeout=self.liveness_timeout,
+            )
+            self._check_failure_locked()
+            if not ok:
+                raise MeshError(
+                    f"only {len(self._alive)} of {self.expected_workers} "
+                    "mesh workers joined in time"
+                )
+            order = [n for n in self._join_order if n in self._alive]
+            n_fams = self.shard_map.n_shards
+            # a rejoining worker that advertised families keeps them ...
+            for name in order:
+                for fam in self._peers[name].families:
+                    if 0 <= fam < n_fams and fam not in self.ownership:
+                        self.ownership[fam] = name
+            # ... the rest spread round-robin in join order
+            for fam in range(n_fams):
+                self.ownership.setdefault(fam, order[fam % len(order)])
+                self._installed.setdefault(fam, False)
+            for key in self.router.keys():
+                self._specs[key] = self._spec_for(key)
+        self._started = True
+        for fam in sorted(self.ownership):
+            self._scheduler.submit(fam, self._family_job, fam, 0)
+        self._await(self._scheduler.submit(None, lambda: None), "shard builds")
+        self._check_failure()
+
+    def close(self) -> None:
+        """Say goodbye to every peer and stop the dispatch machinery."""
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+            peers = list(self._peers.values())
+            listener = self._listener
+        if listener is not None:
+            listener.close()  # acceptor's accept() raises and exits
+        for peer in peers:
+            peer.shutdown()
+        self._scheduler.shutdown(wait=True)
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=5.0)
+
+    def __enter__(self) -> "MeshCoordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _spec_for(self, key: str) -> dict:
+        box = self.router.shard_box(key)
+        return {
+            "box": [box.xmin, box.ymin, box.xmax, box.ymax],
+            "grid_nx": self.grid_nx,
+            "epsilon": self.epsilon,
+            "budget_capacity": self.budget_capacity,
+            "seed": keyed_shard_seed(self.seed, key),
+        }
+
+    # ------------------------------------------------------------------ #
+    # peer admission                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._handshake, args=(conn,), daemon=True
+            ).start()
+
+    def _handshake(self, conn: socket.socket) -> None:
+        conn.settimeout(self.handshake_timeout)
+        decoder = FrameDecoder()
+        try:
+            frames: list[dict] = []
+            while not frames:
+                data = conn.recv(65536)
+                if not data:
+                    conn.close()
+                    return
+                frames = decoder.feed(data)
+            api_version, client, features = parse_hello(frames[0])
+            role = peer_role(features)
+            if role != MESH_WORKER_ROLE:
+                raise ValidationFailed(
+                    "this endpoint coordinates mesh workers; hello "
+                    f"advertises role {role!r}"
+                )
+        except OSError:
+            conn.close()
+            return
+        except Exception as exc:
+            # junk hello: answer the structured taxonomy, then close —
+            # the same discipline as the gateway's handshake
+            with self._state:
+                self.rejected_handshakes += 1
+            try:
+                conn.sendall(encode_frame(to_wire(map_exception(exc).info())))
+            except OSError:
+                pass
+            conn.close()
+            return
+        conn.settimeout(None)
+        with self._wake:
+            if self._closed:
+                conn.close()
+                return
+            name = f"w{len(self._join_order)}"
+            peer = MeshPeer(
+                name,
+                conn,
+                features,
+                label=client,
+                liveness_timeout=self.liveness_timeout,
+            )
+            self._peers[name] = peer
+            self._join_order.append(name)
+            session = len(self._join_order) - 1
+        # The welcome must hit the wire before the peer is published as
+        # alive — publishing first lets a dispatch thread race its
+        # `configure` ahead of the welcome, and the worker (rightly)
+        # treats a welcome-less peer as not a coordinator.
+        try:
+            conn.sendall(
+                encode_frame(
+                    welcome_doc(
+                        api_version,
+                        "repro.mesh.coordinator",
+                        session,
+                        features=(role_feature(MESH_WORKER_ROLE),),
+                    )
+                )
+            )
+        except OSError:
+            peer.abandon()
+            conn.close()
+            return
+        peer.start()
+        with self._wake:
+            if self._closed or peer.dead:
+                return
+            self._alive.add(name)
+            self._wake.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # event-driven operation                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def assignments(self) -> list[tuple[int, int]]:
+        """All ``(task_id, worker_id)`` pairs decided so far, stream order."""
+        with self._state:
+            return [
+                (tid, self._results[tid])
+                for tid in self._journal.task_order
+                if self._results.get(tid) is not None
+            ]
+
+    @property
+    def tasks_answered(self) -> int:
+        with self._state:
+            return sum(
+                1 for tid in self._journal.task_order if tid in self._results
+            )
+
+    def process(self, events) -> None:
+        """Absorb an event stream and fan it out to the peers.
+
+        Returns as soon as everything is journaled and scheduled; results
+        stream back through the peer readers (:meth:`result_of` blocks on
+        one). Raises promptly if the mesh has already failed.
+        """
+        self.start()
+        if isinstance(events, RequestQueue):
+            events = iter(events)
+        chunk: list = []
+        for event in events:
+            if not isinstance(event, (WorkerArrival, TaskArrival)):
+                raise TypeError(f"not a service event: {event!r}")
+            chunk.append(event)
+            if len(chunk) >= self.chunk_size:
+                self._dispatch(chunk)
+                chunk = []
+        if chunk:
+            self._dispatch(chunk)
+
+    def _dispatch(self, chunk: list) -> None:
+        self._check_failure()
+        with self._state:
+            for event in chunk:
+                self.now = max(self.now, float(event.time))
+            touched = self._journal.absorb(chunk)
+            # submit-time high-water marks: a family job never delivers
+            # ops journaled after it was scheduled
+            marks = {fam: self._journal.end(fam) for fam in touched}
+            self._events_since_checkpoint += len(chunk)
+            do_checkpoint = (
+                bool(self.checkpoint_every)
+                and self._events_since_checkpoint >= self.checkpoint_every
+            )
+            if do_checkpoint:
+                self._events_since_checkpoint = 0
+        for fam in sorted(touched):
+            self._scheduler.submit(fam, self._family_job, fam, marks[fam])
+        if do_checkpoint:
+            self._scheduler.submit(None, self._guard, self._checkpoint_job)
+
+    def result_of(self, task_id: int) -> int | None:
+        """Block until ``task_id`` has an outcome; the worker id or None."""
+        task_id = int(task_id)
+        with self._wake:
+            self._wake.wait_for(
+                lambda: task_id in self._results or self._failure is not None,
+                timeout=self.liveness_timeout,
+            )
+            if task_id in self._results:
+                return self._results[task_id]
+            self._check_failure_locked()
+        raise MeshError(f"timed out waiting for the result of task {task_id}")
+
+    def flush(self) -> None:
+        """Deliver everything journaled so far and flush every cohort."""
+        self.start()
+        self._await(
+            self._scheduler.submit(None, self._guard, self._flush_job),
+            "flush barrier",
+        )
+
+    def checkpoint(self) -> None:
+        """Force a snapshot barrier now (periodic ones ride dispatch)."""
+        self.start()
+        self._await(
+            self._scheduler.submit(None, self._guard, self._checkpoint_job),
+            "checkpoint barrier",
+        )
+
+    def report(
+        self, wall_seconds: float = float("nan"), *, flush: bool = True
+    ) -> ServiceReport:
+        """Merge every peer's shard metrics into one service report."""
+        self.start()
+        merged = self._await(
+            self._scheduler.submit(None, self._guard, self._report_job, flush),
+            "report barrier",
+        )
+        keys = sorted(merged, key=key_order)
+        latencies = [v for k in keys for v in merged[k]["latencies_s"]]
+        return build_report(
+            (ShardSnapshot(**merged[k]["snapshot"]) for k in keys),
+            latencies,
+            (),
+            wall_seconds=wall_seconds,
+            sim_duration=self.now,
+            distance_stats=(
+                sum(merged[k]["distance_total"] for k in keys),
+                sum(merged[k]["distance_count"] for k in keys),
+            ),
+        )
+
+    def run(self, events) -> ServiceReport:
+        """Process a stream and return the timed service report."""
+        self.start()
+        t0 = time.perf_counter()
+        self.process(events)
+        self.flush()
+        wall = time.perf_counter() - t0
+        return self.report(wall_seconds=wall, flush=False)
+
+    # ------------------------------------------------------------------ #
+    # dispatch jobs                                                       #
+    # ------------------------------------------------------------------ #
+
+    def _family_job(self, fam: int, upto: int) -> None:
+        """Deliver one family's journal up to ``upto``, surviving failover."""
+        while True:
+            with self._state:
+                if self._failure is not None or self._closed:
+                    return
+                peer = self._peers[self.ownership[fam]]
+            try:
+                self._deliver(fam, peer, upto)
+                return
+            except PeerLost as lost:
+                try:
+                    self._handle_peer_loss(lost.peer)
+                except Exception as exc:
+                    self._fail(exc)
+                    return
+            except Exception as exc:
+                self._fail(exc)
+                return
+
+    def _deliver(self, fam: int, peer: MeshPeer, upto: int) -> None:
+        if peer.dead:
+            raise PeerLost(peer.name)
+        self._ensure_configured(peer)
+        self._ensure_installed(fam, peer)
+        with self._state:
+            ops = self._journal.take(fam, upto)
+        if not ops:
+            return
+        reply = peer.call("events", {"ops": ops})
+        results = reply.get("results")
+        if not isinstance(results, list):
+            raise MeshError(f"malformed events reply from {peer.name!r}")
+        with self._wake:
+            for row in results:
+                tid, wid = int(row[0]), row[1]
+                # first write wins: replayed duplicates deduplicate
+                self._results.setdefault(tid, None if wid is None else int(wid))
+            self._wake.notify_all()
+
+    def _ensure_configured(self, peer: MeshPeer) -> None:
+        with peer.config_lock:
+            if peer.configured:
+                return
+            peer.call("configure", {"batch_size": self.batch_size})
+            peer.configured = True
+
+    def _ensure_installed(self, fam: int, peer: MeshPeer) -> None:
+        """Create or restore a family's shards on their (new) owner."""
+        with self._state:
+            if self._installed.get(fam) and self.ownership[fam] == peer.name:
+                return
+            plan = [
+                (key, self._checkpoints.get(key))
+                for key in self.router.family_keys(fam)
+            ]
+        for key, snap in plan:
+            if snap is not None:
+                peer.call("load", {"key": key, "snapshot": snap})
+            else:
+                peer.call("create", {"key": key, "spec": self._specs[key]})
+        with self._state:
+            if self.ownership[fam] == peer.name and not peer.dead:
+                self._installed[fam] = True
+
+    # ------------------------------------------------------------------ #
+    # barriers                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _settle(self, marks: dict[int, int]) -> None:
+        """Deliver every family's journal up to its mark (barrier prelude)."""
+        for fam in sorted(marks):
+            with self._state:
+                peer = self._peers[self.ownership[fam]]
+            self._deliver(fam, peer, marks[fam])
+
+    def _flush_job(self) -> None:
+        with self._state:
+            marks = self._journal.ends()
+        while True:
+            self._check_failure()
+            try:
+                self._settle(marks)
+                # post-settle every family owner is configured; a peer
+                # still unconfigured owns nothing and has nothing to flush
+                for peer in self._alive_peers():
+                    if peer.configured:
+                        peer.call("flush", {})
+                return
+            except PeerLost as lost:
+                self._handle_peer_loss(lost.peer)
+
+    def _checkpoint_job(self) -> None:
+        t0 = time.perf_counter()
+        with self._state:
+            marks = self._journal.ends()
+        while True:
+            self._check_failure()
+            snaps: dict[str, dict] = {}
+            try:
+                self._settle(marks)
+                for key in self.router.keys():
+                    with self._state:
+                        peer = self._peers[self.ownership[family_of(key)]]
+                    reply = peer.call("snapshot", {"key": key})
+                    snap = reply.get("snapshot")
+                    if not isinstance(snap, dict):
+                        raise MeshError(
+                            f"malformed snapshot reply from {peer.name!r}"
+                        )
+                    snaps[key] = snap
+                    hook = self._test_mid_checkpoint
+                    if hook is not None:
+                        hook(key)
+                break
+            except PeerLost as lost:
+                # fall back to the previous checkpoint plus the journal:
+                # nothing was committed, the retry re-settles and
+                # re-snapshots every shard from a consistent state
+                self._handle_peer_loss(lost.peer)
+        with self._state:
+            for key, snap in snaps.items():
+                self._checkpoints[key] = snap
+                self._snapshot_bytes.record(
+                    float(len(json.dumps(snap, separators=(",", ":"))))
+                )
+            for fam, upto in marks.items():
+                self._journal.truncate(fam, upto)
+        self._checkpoint_s.record(time.perf_counter() - t0)
+
+    def _report_job(self, flush: bool) -> dict[str, dict]:
+        with self._state:
+            marks = self._journal.ends()
+        while True:
+            self._check_failure()
+            try:
+                self._settle(marks)
+                # unconfigured peers own no families (see _flush_job)
+                peers = [p for p in self._alive_peers() if p.configured]
+                if flush:
+                    for peer in peers:
+                        peer.call("flush", {})
+                merged: dict[str, dict] = {}
+                for peer in peers:
+                    reply = peer.call("report", {})
+                    rows = reply.get("report")
+                    if not isinstance(rows, dict):
+                        raise MeshError(
+                            f"malformed report reply from {peer.name!r}"
+                        )
+                    merged.update(rows)
+                return merged
+            except PeerLost as lost:
+                self._handle_peer_loss(lost.peer)
+
+    # ------------------------------------------------------------------ #
+    # failover                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _handle_peer_loss(self, name: str) -> None:
+        """Reassign a dead peer's families; idempotent per peer.
+
+        Each family goes to the surviving peer with the fewest families
+        (ties break by join order), gets flagged for reinstall from its
+        last checkpoint, and has its journal cursor rewound — the next
+        delivery replays everything since that checkpoint. Raises
+        :class:`MeshError` when no peer survives.
+        """
+        hook = None
+        with self._state:
+            peer = self._peers.get(name)
+            if peer is not None:
+                peer.dead = True
+            if name in self._alive:
+                self._alive.discard(name)
+                self.failovers += 1
+                survivors = [n for n in self._join_order if n in self._alive]
+                if not survivors:
+                    raise MeshError(
+                        "every mesh worker is gone; nothing to fail over to"
+                    )
+                load = {s: 0 for s in survivors}
+                for owner in self.ownership.values():
+                    if owner in load:
+                        load[owner] += 1
+                rank = {n: i for i, n in enumerate(self._join_order)}
+                for fam in sorted(
+                    f for f, o in self.ownership.items() if o == name
+                ):
+                    dst = min(survivors, key=lambda s: (load[s], rank[s]))
+                    load[dst] += 1
+                    self.ownership[fam] = dst
+                    self._installed[fam] = False
+                    self._journal.rewind(fam)
+                hook = self._test_on_failover
+            elif not self._alive:
+                raise MeshError(
+                    "every mesh worker is gone; nothing to fail over to"
+                )
+            self._wake.notify_all()
+        if peer is not None:
+            peer.abandon()
+        if hook is not None:
+            hook(name)
+
+    # ------------------------------------------------------------------ #
+    # plumbing                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _alive_peers(self) -> list[MeshPeer]:
+        with self._state:
+            return [self._peers[n] for n in self._join_order if n in self._alive]
+
+    def _guard(self, fn, *args):
+        """Barrier wrapper: a failed barrier poisons the coordinator."""
+        try:
+            return fn(*args)
+        except Exception as exc:
+            self._fail(exc)
+            raise
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._wake:
+            if self._failure is None and not self._closed:
+                self._failure = exc
+            self._wake.notify_all()
+
+    def _check_failure(self) -> None:
+        with self._state:
+            self._check_failure_locked()
+
+    def _check_failure_locked(self) -> None:
+        if self._failure is not None:
+            raise MeshError("the mesh has failed") from self._failure
+        if self._closed:
+            raise MeshError("the mesh coordinator is closed")
+
+    def _await(self, fut: Future, what: str):
+        try:
+            return fut.result(timeout=self.liveness_timeout)
+        except FutureTimeout:
+            raise MeshError(f"timed out waiting for {what}") from None
+
+    # ------------------------------------------------------------------ #
+    # telemetry                                                           #
+    # ------------------------------------------------------------------ #
+
+    def telemetry(self) -> dict:
+        """Coordinator health as one JSON-ready dict.
+
+        Per-peer dispatch depth (outstanding ops sampled at every send),
+        checkpoint snapshot sizes and wall-times from the reservoirs,
+        plus the scheduler's live per-family queue depths.
+        """
+        with self._state:
+            peers = {}
+            for name in self._join_order:
+                peer = self._peers[name]
+                peers[name] = {
+                    "label": peer.label,
+                    "alive": name in self._alive,
+                    "families": sorted(
+                        f for f, o in self.ownership.items() if o == name
+                    ),
+                    "calls": peer.calls,
+                    "dispatch_depth": _reservoir_stats(peer.depth),
+                }
+            return {
+                "address": list(self.address) if self.address else None,
+                "failovers": self.failovers,
+                "rejected_handshakes": self.rejected_handshakes,
+                "peers": peers,
+                "snapshot_bytes": _reservoir_stats(self._snapshot_bytes),
+                "checkpoint_seconds": _reservoir_stats(self._checkpoint_s),
+                "scheduler": {
+                    "submitted": self._scheduler.submitted,
+                    "barriers": self._scheduler.barriers,
+                    "key_depths": {
+                        str(k): v
+                        for k, v in self._scheduler.key_depths().items()
+                    },
+                },
+            }

@@ -1,0 +1,152 @@
+"""The mesh op protocol: coordinator↔worker documents, sans-IO.
+
+A mesh connection starts as any gateway connection does — the worker
+sends a :func:`~repro.gateway.protocol.hello_doc` whose feature list
+carries ``role:mesh-worker`` (and, for a rejoining host, its
+``family:<id>`` advertisements), the coordinator answers a ``welcome``
+granting the role. Everything after the handshake is this schema:
+``repro.mesh`` v1 documents inside the same length-prefixed JSON frames
+(:func:`~repro.gateway.protocol.encode_frame` /
+:class:`~repro.gateway.protocol.FrameDecoder`), so the mesh reuses the
+gateway's framing, handshake and error taxonomy wholesale instead of
+inventing a second wire layer.
+
+Coordinator → worker *ops* mirror the cluster worker's command loop
+(:mod:`repro.cluster.worker`), with every payload JSON-pure — shard
+snapshots already are (:mod:`repro.cluster.snapshot`), which is what
+lets checkpoints cross host boundaries unchanged:
+
+=============  ==========================  ===============================
+op             body                        reply body
+=============  ==========================  ===============================
+``configure``  ``batch_size``              ``{}``
+``create``     ``key``, ``spec``           ``{"key": ...}``
+``load``       ``key``, ``snapshot``       ``{"key": ...}``
+``drop``       ``key``                     ``{"key": ...}``
+``events``     ``ops``                     ``{"results": [[tid,wid,key]]}``
+``snapshot``   ``key``                     ``{"key": ..., "snapshot": ...}``
+``flush``      —                           ``{}``
+``report``     —                           ``{"report": {key: row}}``
+``ping``       —                           ``{}``
+``crash``      —                           *process exits* (tests)
+=============  ==========================  ===============================
+
+Every op carries a ``seq`` the worker echoes in its reply, so a
+coordinator may keep several ops in flight per peer (different shard
+families pipeline over one socket) and still match answers. Failures
+come back as a ``fail`` document bearing the api error taxonomy's
+stable codes. Malformed documents raise
+:class:`~repro.api.errors.ValidationFailed` — never a raw ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from ..api.errors import UnsupportedVersion, ValidationFailed
+
+__all__ = [
+    "MESH_SCHEMA",
+    "MESH_VERSION",
+    "OP_KINDS",
+    "op_doc",
+    "reply_doc",
+    "fail_doc",
+    "parse_op",
+    "parse_reply",
+]
+
+MESH_SCHEMA = "repro.mesh"
+MESH_VERSION = 1
+
+#: Ops a worker serves, the wire-frozen v1 vocabulary.
+OP_KINDS = (
+    "configure",
+    "create",
+    "load",
+    "drop",
+    "events",
+    "snapshot",
+    "flush",
+    "report",
+    "ping",
+    "crash",
+)
+
+_REPLY_KINDS = ("reply", "fail")
+
+
+def op_doc(op: str, seq: int, body: dict | None = None) -> dict:
+    """One coordinator→worker op document."""
+    if op not in OP_KINDS:
+        raise ValueError(f"unknown mesh op {op!r}")
+    return {
+        "schema": MESH_SCHEMA,
+        "version": MESH_VERSION,
+        "kind": op,
+        "seq": int(seq),
+        "body": dict(body or {}),
+    }
+
+
+def reply_doc(seq: int, body: dict | None = None) -> dict:
+    """A worker's success answer to the op carrying ``seq``."""
+    return {
+        "schema": MESH_SCHEMA,
+        "version": MESH_VERSION,
+        "kind": "reply",
+        "seq": int(seq),
+        "body": dict(body or {}),
+    }
+
+
+def fail_doc(seq: int, code: str, message: str, detail: str = "") -> dict:
+    """A worker's failure answer: the api error taxonomy, mesh-framed."""
+    return {
+        "schema": MESH_SCHEMA,
+        "version": MESH_VERSION,
+        "kind": "fail",
+        "seq": int(seq),
+        "body": {
+            "code": str(code),
+            "message": str(message),
+            "detail": str(detail),
+        },
+    }
+
+
+def _check_envelope(doc, kinds) -> tuple[str, int, dict]:
+    if not isinstance(doc, dict):
+        raise ValidationFailed(
+            f"mesh document must be an object, got {type(doc).__name__}"
+        )
+    schema = doc.get("schema")
+    if schema != MESH_SCHEMA:
+        raise UnsupportedVersion(
+            f"foreign mesh schema {schema!r} (this peer speaks {MESH_SCHEMA!r})"
+        )
+    version = doc.get("version")
+    if not isinstance(version, int) or version < 1 or version > MESH_VERSION:
+        raise UnsupportedVersion(
+            f"mesh protocol version {version!r} outside supported "
+            f"range 1..{MESH_VERSION}"
+        )
+    kind = doc.get("kind")
+    if kind not in kinds:
+        raise ValidationFailed(f"unexpected mesh document kind {kind!r}")
+    seq = doc.get("seq")
+    if not isinstance(seq, int) or seq < 0:
+        raise ValidationFailed(f"mesh seq must be a non-negative int, got {seq!r}")
+    body = doc.get("body")
+    if not isinstance(body, dict):
+        raise ValidationFailed("mesh document body must be an object")
+    return kind, seq, body
+
+
+def parse_op(doc) -> tuple[str, int, dict]:
+    """Validate one op document; returns ``(op, seq, body)``."""
+    return _check_envelope(doc, OP_KINDS)
+
+
+def parse_reply(doc) -> tuple[str, int, dict]:
+    """Validate one reply document; returns ``(kind, seq, body)`` where
+    ``kind`` is ``"reply"`` or ``"fail"``."""
+    return _check_envelope(doc, _REPLY_KINDS)

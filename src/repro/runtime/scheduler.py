@@ -107,6 +107,7 @@ class PipelineScheduler:
             else None
         )
         self._shutdown = False
+        self._depths: dict[object, int] = {}
         self.submitted = 0
         self.barriers = 0
 
@@ -133,6 +134,7 @@ class PipelineScheduler:
                     raise RuntimeError("scheduler has been shut down")
                 self._in_flight += 1
                 self.submitted += 1
+                self._depths[key] = self._depths.get(key, 0) + 1
                 if key is None:
                     self.barriers += 1
                     deps = list(self._tails.values())
@@ -149,10 +151,10 @@ class PipelineScheduler:
             if self._slots is not None:
                 self._slots.release()
             raise
-        self._when_ready(deps, done, gate, fn, args, kwargs)
+        self._when_ready(deps, done, gate, fn, args, kwargs, key)
         return done
 
-    def _when_ready(self, deps, done, gate, fn, args, kwargs) -> None:
+    def _when_ready(self, deps, done, gate, fn, args, kwargs, key) -> None:
         """Hand the job to the pool once every dependency has finished.
 
         ``deps`` are internal gates: they resolve exactly when their
@@ -161,7 +163,7 @@ class PipelineScheduler:
         job raised still counts as finished.
         """
         if not deps:
-            self._executor.submit(self._run, done, gate, fn, args, kwargs)
+            self._executor.submit(self._run, done, gate, fn, args, kwargs, key)
             return
         state = {"remaining": len(deps)}
         state_lock = threading.Lock()
@@ -171,13 +173,13 @@ class PipelineScheduler:
                 state["remaining"] -= 1
                 ready = state["remaining"] == 0
             if ready:
-                self._executor.submit(self._run, done, gate, fn, args, kwargs)
+                self._executor.submit(self._run, done, gate, fn, args, kwargs, key)
 
         for dep in deps:
             # fires immediately if the dep already finished
             dep.add_done_callback(dep_finished)
 
-    def _run(self, done: Future, gate: Future, fn, args, kwargs) -> None:
+    def _run(self, done: Future, gate: Future, fn, args, kwargs, key=None) -> None:
         try:
             result = fn(*args, **kwargs)
             exc = None
@@ -200,6 +202,11 @@ class PipelineScheduler:
             self._slots.release()
         with self._idle:
             self._in_flight -= 1
+            depth = self._depths.get(key, 0) - 1
+            if depth > 0:
+                self._depths[key] = depth
+            else:
+                self._depths.pop(key, None)
             if self._in_flight == 0:
                 self._idle.notify_all()
 
@@ -212,6 +219,16 @@ class PipelineScheduler:
         """Jobs submitted and not yet finished (queued or running)."""
         with self._lock:
             return self._in_flight
+
+    def key_depths(self) -> dict:
+        """Unfinished jobs per ordering key (barriers under ``None``).
+
+        A live gauge of where the backlog sits — the mesh coordinator
+        reads it to report per-family dispatch depth. Keys with no
+        pending work are absent.
+        """
+        with self._lock:
+            return dict(self._depths)
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until every submitted job has finished.

@@ -5,8 +5,9 @@ The acceptance gate of the API redesign: the same
 bit-identical ``(task, worker)`` assignments — and matching report
 counters/audit values — whether served by the in-process reference, the
 sharded engine, the multiprocess cluster (including across cluster
-checkpoint barriers and odd dispatch-chunk boundaries), or a remote
-client speaking the framed wire protocol over a real loopback socket.
+checkpoint barriers and odd dispatch-chunk boundaries), a remote
+client speaking the framed wire protocol over a real loopback socket,
+or a worker mesh of standalone processes dialed in over loopback.
 """
 
 import pytest
@@ -30,7 +31,8 @@ CLUSTER_KWARGS = {
         "n_procs": 2,
         "chunk_size": 7,
         "checkpoint_every": 16,
-    }
+    },
+    "mesh": {"n_peers": 2, "chunk_size": 7, "checkpoint_every": 16},
 }
 
 
@@ -41,7 +43,7 @@ def spec_for(shards) -> ServiceSpec:
 
 
 class TestConformance:
-    def test_all_four_backends_agree_unsharded(self):
+    def test_all_backends_agree_unsharded(self):
         result = run_conformance(
             spec_for((1, 1)),
             requests=build_conformance_stream(REGION, 60, 45, seed=7),
@@ -52,6 +54,7 @@ class TestConformance:
             "sharded",
             "cluster",
             "remote",
+            "mesh",
         ]
         assert result.ok, "\n".join(result.problems)
         assert len(result.runs[0].assignments) > 0
@@ -66,6 +69,7 @@ class TestConformance:
             "sharded",
             "cluster",
             "remote",
+            "mesh",
         ]
         assert result.ok, "\n".join(result.problems)
 

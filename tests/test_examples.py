@@ -82,6 +82,12 @@ class TestExamples:
         assert "no task lost" in proc.stdout
         assert "cell splits=1" in proc.stdout
 
+    def test_remote_worker_small(self):
+        proc = _run("remote_worker.py", "--workers", "200", "--tasks", "100")
+        assert proc.returncode == 0, proc.stderr
+        assert "1 failover(s)" in proc.stdout
+        assert "PARITY OK" in proc.stdout
+
     def test_all_examples_have_docstrings_and_main(self):
         for script in sorted(EXAMPLES.glob("*.py")):
             text = script.read_text()

@@ -283,3 +283,69 @@ class TestDamageMapsToStableCodes:
         # the frame layout is wire-frozen: 4 bytes, network byte order
         assert HEADER.size == 4
         assert HEADER.pack(1) == b"\x00\x00\x00\x01"
+
+
+class TestHelloFuzz:
+    """The handshake's own envelope: junk hellos answer stable codes.
+
+    The v1 top level is frozen at schema/version/kind/body — an unknown
+    top-level key is junk (not forward compatibility; the *body* and its
+    feature list are the extension points) and must map to
+    ``invalid-request``, never parse, never KeyError.
+    """
+
+    def test_unknown_top_level_keys_are_invalid_request(self):
+        from repro.gateway.protocol import hello_doc, parse_hello
+
+        for key in ("surprise", "features", "seq", "x", "_pad"):
+            doc = hello_doc()
+            doc[key] = 1
+            with pytest.raises(ApiError) as err:
+                parse_hello(doc)
+            assert err.value.code == "invalid-request"
+
+    def test_mutated_hellos_never_escape_the_taxonomy(self):
+        from repro.gateway.protocol import hello_doc, parse_hello
+
+        rng = np.random.default_rng(404)
+        poisons = [None, 99, -1, "xyzzy", [], {}, 1.5, True, b"bytes"]
+        fields = ["schema", "version", "kind", "body"]
+        for _ in range(300):
+            doc = hello_doc(
+                api_versions=[int(v) for v in rng.integers(1, 4, size=2)],
+                features=["role:mesh-worker"] if rng.integers(2) else [],
+            )
+            roll = rng.integers(3)
+            if roll == 0:
+                field = fields[int(rng.integers(len(fields)))]
+                if rng.integers(3) == 0:
+                    doc.pop(field, None)
+                else:
+                    doc[field] = poisons[int(rng.integers(len(poisons)))]
+            elif roll == 1:
+                doc[f"junk{int(rng.integers(10))}"] = "x"
+            else:
+                body = dict(doc["body"])
+                key = sorted(body)[int(rng.integers(len(body)))]
+                body[key] = poisons[int(rng.integers(len(poisons)))]
+                doc["body"] = body
+            try:
+                parse_hello(doc)
+            except ApiError as exc:
+                assert exc.code in STABLE_CODES
+            except Exception as exc:  # pragma: no cover - the bug this hunts
+                pytest.fail(
+                    f"raw {type(exc).__name__} escaped parse_hello: {exc}"
+                )
+
+    def test_role_and_family_advertisements_are_validated(self):
+        from repro.api.errors import ApiError
+        from repro.gateway.protocol import advertised_families, peer_role
+
+        assert peer_role(["role:mesh-worker"]) == "mesh-worker"
+        assert peer_role(["compression"]) is None
+        with pytest.raises(ApiError):
+            peer_role(["role:a", "role:b"])  # contradiction, not a choice
+        assert advertised_families(["family:3", "family:1"]) == (1, 3)
+        with pytest.raises(ApiError):
+            advertised_families(["family:three"])

@@ -181,6 +181,27 @@ class TestPipelineScheduler:
         assert proof.returncode == 0, proof.stderr
         assert proof.stdout.strip() == "ok"
 
+    def test_key_depths_gauge_tracks_backlog_per_key(self):
+        gate = threading.Event()
+        sched = PipelineScheduler(max_workers=2)
+        try:
+            sched.submit("a", gate.wait, 30)
+            sched.submit("a", lambda: None)
+            sched.submit("b", gate.wait, 30)
+            sched.submit(None, lambda: None)  # barrier gauges under None
+            depths = sched.key_depths()
+            assert depths["a"] == 2
+            assert depths["b"] == 1
+            assert depths[None] == 1
+            gate.set()
+            assert sched.drain(timeout=10)
+            assert sched.key_depths() == {}  # idle keys are absent
+            assert sched.submitted == 4
+            assert sched.barriers == 1
+        finally:
+            gate.set()
+            sched.shutdown()
+
     def test_shutdown_refuses_new_work(self):
         sched = PipelineScheduler(max_workers=1)
         sched.shutdown()
