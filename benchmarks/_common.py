@@ -5,12 +5,23 @@ The serving benchmarks (``bench_service_throughput.py``,
 ``BENCH {json}``. This module is the single implementation of that
 emission plus the best-of-N timing helper, so every benchmark reports
 identically shaped output.
+
+Quantiles: ``repro.service.metrics`` is the single quantile
+implementation in this repo — benchmarks that report latency
+percentiles import ``percentile``/``summarize_reservoir`` from here
+rather than rolling their own, so a BENCH line and a telemetry
+snapshot can never disagree on interpolation.
 """
 
 from __future__ import annotations
 
 import json
 import time
+
+from repro.service.metrics import (  # noqa: F401  (re-exports)
+    percentile,
+    summarize_reservoir,
+)
 
 DEFAULT_REPEATS = 3
 

@@ -471,12 +471,14 @@ class ClusterBackend(BackendBase):
         chunk_size: int = 256,
         checkpoint_every: int = 8192,
         balancer=None,
+        tracer=None,
     ) -> None:
         super().__init__(spec)
         self.n_procs = int(n_procs)
         self.chunk_size = int(chunk_size)
         self.checkpoint_every = int(checkpoint_every)
         self.balancer = balancer
+        self.tracer = tracer
         # held only for bounded coordinator steps — dispatch, one pump
         # round (a sole waiter's blocking pump is capped at
         # _SOLE_WAIT_S) — never across a whole rendezvous
@@ -501,6 +503,7 @@ class ClusterBackend(BackendBase):
             checkpoint_every=self.checkpoint_every,
             balancer=self.balancer,
             seed=spec.seed,
+            tracer=self.tracer,
         )
         # family keys come from the coordinator's own base lattice (the
         # colocation/journal unit, stable across hot-cell splits)
@@ -654,10 +657,12 @@ class MeshBackend(BackendBase):
         spawn: str = "fork",
         host: str = "127.0.0.1",
         port: int = 0,
+        tracer=None,
     ) -> None:
         super().__init__(spec)
         if spawn not in ("fork", "cli"):
             raise ValueError(f"spawn must be 'fork' or 'cli', got {spawn!r}")
+        self.tracer = tracer
         self.n_peers = int(n_peers)
         self.chunk_size = int(chunk_size)
         self.checkpoint_every = int(checkpoint_every)
@@ -686,6 +691,7 @@ class MeshBackend(BackendBase):
             seed=spec.seed,
             host=self.host,
             port=self.port,
+            tracer=self.tracer,
         )
         address = self.coordinator.listen()
         spawner = spawn_cli_worker if self.spawn == "cli" else spawn_local_worker

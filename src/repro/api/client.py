@@ -70,6 +70,12 @@ class AssignmentClient:
     pipeline:
         Default stream windows kept in flight (see :meth:`stream`);
         ``1`` is the classic send-then-wait discipline.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`. When set, every sync
+        call and every streamed window opens a ``client.request`` span;
+        a trace-negotiated :class:`~repro.gateway.remote.RemoteBackend`
+        underneath sends the span's context with the frame, rooting the
+        server's dispatch spans under this client's.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class AssignmentClient:
         *,
         stream_window: int = DEFAULT_STREAM_WINDOW,
         pipeline: int = 1,
+        tracer=None,
     ) -> None:
         if stream_window < 1:
             raise ValueError(f"stream_window must be >= 1, got {stream_window}")
@@ -90,6 +97,7 @@ class AssignmentClient:
         self.middleware = list(middleware)
         self.stream_window = int(stream_window)
         self.pipeline = int(pipeline)
+        self.tracer = tracer
         self._handler = build_stack(backend.handle, self.middleware)
 
     # ------------------------------------------------------------------ #
@@ -116,6 +124,11 @@ class AssignmentClient:
     def call(self, request):
         """Send one request through the middleware chain; returns the
         response or raises a structured :class:`~repro.api.errors.ApiError`."""
+        if self.tracer is not None:
+            with self.tracer.span(
+                "client.request", attrs={"kind": type(request).kind}
+            ):
+                return self._handler(request)
         return self._handler(request)
 
     def register_worker(self, worker_id: int, location, *, time: float = 0.0):
@@ -281,6 +294,16 @@ class AssignmentClient:
 
     def _send_window(self, batch: Batch) -> None:
         """Innermost handler of the pipelined send chain."""
+        if self.tracer is not None:
+            # spans only the send (the response arrives out of band),
+            # but that is when the transport reads the current context —
+            # enough to root the server-side spans under this client
+            with self.tracer.span(
+                "client.request",
+                attrs={"kind": "batch", "items": len(batch.items)},
+            ):
+                self.backend.send_request(batch)
+            return
         self.backend.send_request(batch)
 
     # ------------------------------------------------------------------ #

@@ -85,14 +85,18 @@ class BackendRun:
     report: object
 
 
-def run_backend(backend, requests, *, window: int = 32, pipeline: int = 1) -> BackendRun:
+def run_backend(
+    backend, requests, *, window: int = 32, pipeline: int = 1, tracer=None
+) -> BackendRun:
     """Drive one backend through the stream via a client; collect answers.
 
     ``pipeline`` windows are kept in flight on transports that negotiated
     the capability; backends without it fall back to serial windows, so
-    the same call drives every matrix cell.
+    the same call drives every matrix cell. ``tracer`` passes through to
+    the client: traced runs span every window (the obs smoke asserts the
+    resulting cross-process trace while this same loop checks parity).
     """
-    with AssignmentClient(backend) as client:
+    with AssignmentClient(backend, tracer=tracer) as client:
         pairs = []
         misses = []
         for response in client.stream(requests, window=window, pipeline=pipeline):

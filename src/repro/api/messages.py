@@ -45,6 +45,8 @@ __all__ = [
     "ErrorInfo",
     "to_wire",
     "from_wire",
+    "attach_trace",
+    "wire_trace",
 ]
 
 WIRE_SCHEMA = "repro.api"
@@ -436,3 +438,25 @@ def from_wire(doc: dict):
         raise ValidationFailed(
             f"malformed {kind!r} body: {type(exc).__name__}: {exc}"
         ) from exc
+
+
+def attach_trace(doc: dict, trace: dict | None) -> dict:
+    """Attach a trace context dict to a wire document, in place.
+
+    ``from_wire`` ignores unknown top-level keys by design, so the
+    ``"trace"`` key is invisible to peers that never negotiated the
+    gateway ``trace`` feature — the document stays valid for every
+    schema version that exists.
+    """
+    if trace:
+        doc["trace"] = trace
+    return doc
+
+
+def wire_trace(doc) -> dict | None:
+    """The trace context dict riding a wire document, if any."""
+    if isinstance(doc, dict):
+        trace = doc.get("trace")
+        if isinstance(trace, dict):
+            return trace
+    return None

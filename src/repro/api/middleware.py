@@ -35,7 +35,8 @@ import math
 import threading
 import time
 
-from ..service.metrics import SampleReservoir, percentile
+from ..obs.registry import MetricsRegistry
+from ..service.metrics import percentile
 from .errors import AdmissionRejected, ValidationFailed, map_exception
 from .messages import (
     Batch,
@@ -185,17 +186,25 @@ class TokenBucket:
 class LatencyMetrics:
     """Per-method latency and outcome telemetry around the backend call.
 
-    Latencies land in one bounded reservoir per request kind, so the
-    middleware itself obeys the serving stack's bounded-retention rule.
-    ``snapshot()`` freezes counts and p50/p95 (milliseconds) per method.
+    Since the obs layer landed this is a thin view over a
+    :class:`~repro.obs.registry.MetricsRegistry` — series
+    ``api.requests.calls``/``.failures`` (counters) and
+    ``api.requests.latency_s`` (reservoir histograms), labeled by
+    request ``kind``.  Pass a shared ``registry`` to co-locate these
+    with a server's other series; by default each instance owns one.
+    The pre-registry accessors (``calls``/``failures``/``latencies``
+    dicts and ``snapshot()``) keep their exact shapes.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    CALLS = "api.requests.calls"
+    FAILURES = "api.requests.failures"
+    LATENCY = "api.requests.latency_s"
+
+    def __init__(
+        self, capacity: int = 1024, *, registry: MetricsRegistry | None = None
+    ) -> None:
         self.capacity = int(capacity)
-        self.calls: dict[str, int] = {}
-        self.failures: dict[str, int] = {}
-        self.latencies: dict[str, SampleReservoir] = {}
-        self._lock = threading.Lock()
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def __call__(self, request, call_next):
         kind = type(request).kind
@@ -203,35 +212,42 @@ class LatencyMetrics:
         try:
             response = call_next(request)
         except Exception:
-            with self._lock:
-                self.failures[kind] = self.failures.get(kind, 0) + 1
+            self.registry.counter(self.FAILURES, kind=kind)
             raise
         finally:
-            # the timed call runs unlocked; only the bookkeeping is
-            # atomic (dict upsert + reservoir state update)
+            # the timed call runs unlocked; the registry serializes only
+            # the bookkeeping (counter upsert + reservoir state update)
             elapsed = time.perf_counter() - start
-            with self._lock:
-                self.calls[kind] = self.calls.get(kind, 0) + 1
-                series = self.latencies.get(kind)
-                if series is None:
-                    series = self.latencies[kind] = SampleReservoir(
-                        capacity=self.capacity
-                    )
-                series.record(elapsed)
+            self.registry.counter(self.CALLS, kind=kind)
+            self.registry.histogram(
+                self.LATENCY, elapsed, capacity=self.capacity, kind=kind
+            )
         return response
+
+    @property
+    def calls(self) -> dict:
+        return self.registry.counters(self.CALLS, label="kind")
+
+    @property
+    def failures(self) -> dict:
+        return self.registry.counters(self.FAILURES, label="kind")
+
+    @property
+    def latencies(self) -> dict:
+        return self.registry.histograms(self.LATENCY, label="kind")
 
     def snapshot(self) -> dict:
         """Frozen per-method stats: calls, failures, latency p50/p95 ms."""
-        with self._lock:
-            return {
-                kind: {
-                    "calls": self.calls.get(kind, 0),
-                    "failures": self.failures.get(kind, 0),
-                    "latency_p50_ms": percentile(self.latencies[kind], 50) * 1e3,
-                    "latency_p95_ms": percentile(self.latencies[kind], 95) * 1e3,
-                }
-                for kind in sorted(self.calls)
+        calls, failures, latencies = self.calls, self.failures, self.latencies
+        return {
+            kind: {
+                "calls": calls.get(kind, 0),
+                "failures": failures.get(kind, 0),
+                "latency_p50_ms": percentile(latencies[kind], 50) * 1e3,
+                "latency_p95_ms": percentile(latencies[kind], 95) * 1e3,
             }
+            for kind in sorted(calls)
+        }
 
 
 class ErrorMapper:

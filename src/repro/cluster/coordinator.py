@@ -40,6 +40,7 @@ import time
 from multiprocessing.connection import wait as conn_wait
 
 from ..geometry.box import Box
+from ..obs.trace import current_context
 from ..service.events import RequestQueue, TaskArrival, WorkerArrival
 from ..service.metrics import ServiceReport, build_report
 from ..utils import ensure_rng, keyed_shard_seed
@@ -98,6 +99,7 @@ class ClusterCoordinator:
         max_outstanding: int = 8,
         poll_interval: float = 0.02,
         liveness_timeout: float = 120.0,
+        tracer=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
@@ -120,6 +122,7 @@ class ClusterCoordinator:
         self.max_outstanding = max_outstanding
         self.poll_interval = poll_interval
         self.liveness_timeout = liveness_timeout
+        self.tracer = tracer
         self._balancer = HotShardBalancer(balancer) if balancer else None
 
         # family id -> worker index; families are colocated by construction
@@ -359,7 +362,18 @@ class ClusterCoordinator:
         ops = self._journal.take(fam)
         if not ops:
             return
-        self._send_events(self.ownership[fam], ops)
+        widx = self.ownership[fam]
+        if self.tracer is not None and current_context() is not None:
+            # coordinator-side only: the workers are multiprocessing
+            # children behind command queues, so the span covers the
+            # enqueue (plus any throttle wait), not remote execution
+            with self.tracer.span(
+                "cluster.dispatch",
+                attrs={"family": fam, "worker": widx, "n_ops": len(ops)},
+            ):
+                self._send_events(widx, ops)
+            return
+        self._send_events(widx, ops)
 
     def _send_events(self, widx: int, ops: list) -> None:
         inc = self._inc[widx]

@@ -39,6 +39,7 @@ __all__ = [
     "HEADER",
     "MAX_FRAME_BYTES",
     "PIPELINE_FEATURE",
+    "TRACE_FEATURE",
     "MESH_WORKER_ROLE",
     "check_frame_length",
     "encode_frame",
@@ -66,6 +67,14 @@ GATEWAY_VERSION = 1
 #: read ahead and answer frames out of order. Off means the strict
 #: request/response discipline of protocol v1 without features.
 PIPELINE_FEATURE = "pipeline"
+
+#: Session feature: request envelopes may carry a top-level ``trace``
+#: dict (``{"trace_id", "span_id"}``, see :mod:`repro.obs.trace`) and
+#: the server links its dispatch spans under it. Granted only when the
+#: client offers it AND the server has tracing enabled; pre-feature
+#: peers never see the key (api ``from_wire`` ignores unknown top-level
+#: keys anyway), and malformed contexts degrade to untraced requests.
+TRACE_FEATURE = "trace"
 
 #: Peer role advertised by a mesh worker's hello: the connection is not
 #: an api client asking for assignments but a shard host offering to

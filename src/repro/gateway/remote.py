@@ -32,11 +32,13 @@ import socket
 
 from ..api.backends import BackendBase, ServiceSpec
 from ..api.errors import BackendUnavailable, ValidationFailed, error_from_info
-from ..api.messages import ErrorInfo, WIRE_VERSION, from_wire, to_wire
+from ..api.messages import ErrorInfo, WIRE_VERSION, attach_trace, from_wire, to_wire
+from ..obs.trace import current_context
 from .protocol import (
     HEADER,
     MAX_FRAME_BYTES,
     PIPELINE_FEATURE,
+    TRACE_FEATURE,
     check_frame_length,
     decode_payload,
     encode_frame,
@@ -71,6 +73,11 @@ class RemoteBackend(BackendBase):
         The negotiated outcome lands in :attr:`supports_pipeline`; the
         offer itself is harmless against any server (pre-feature servers
         ignore unknown body fields).
+    trace:
+        Whether to *offer* the ``trace`` feature (on by default — the
+        offer is free, and only a tracing-enabled server grants it).
+        When granted, request frames carry the sender's current trace
+        context so the server links its spans under the caller's.
     """
 
     name = "remote"
@@ -85,6 +92,7 @@ class RemoteBackend(BackendBase):
         client_name: str = "repro.gateway.remote",
         max_frame_bytes: int = MAX_FRAME_BYTES,
         pipeline: bool = True,
+        trace: bool = True,
     ) -> None:
         super().__init__(spec)
         self.address = (str(address[0]), int(address[1]))
@@ -93,6 +101,7 @@ class RemoteBackend(BackendBase):
         self.client_name = str(client_name)
         self.max_frame_bytes = int(max_frame_bytes)
         self.pipeline = bool(pipeline)
+        self.trace = bool(trace)
         self.api_version: int | None = None
         self.session: int | None = None
         self.server_backend: str | None = None
@@ -104,6 +113,11 @@ class RemoteBackend(BackendBase):
     def supports_pipeline(self) -> bool:
         """Whether this session negotiated out-of-order responses."""
         return PIPELINE_FEATURE in self.server_features
+
+    @property
+    def supports_trace(self) -> bool:
+        """Whether this session negotiated trace-context propagation."""
+        return TRACE_FEATURE in self.server_features
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                           #
@@ -119,7 +133,14 @@ class RemoteBackend(BackendBase):
                 hello_doc(
                     api_versions=range(1, WIRE_VERSION + 1),
                     client=self.client_name,
-                    features=(PIPELINE_FEATURE,) if self.pipeline else (),
+                    features=tuple(
+                        feature
+                        for feature, on in (
+                            (PIPELINE_FEATURE, self.pipeline),
+                            (TRACE_FEATURE, self.trace),
+                        )
+                        if on
+                    ),
                 )
             )
             doc = self._recv_doc()
@@ -214,8 +235,16 @@ class RemoteBackend(BackendBase):
             raise BackendUnavailable(
                 "gateway connection was lost; open a new RemoteBackend"
             )
+        doc = to_wire(request)
+        if self.supports_trace:
+            # the thread's current span (the client middleware opens one
+            # around each call) crosses the socket as a plain dict; an
+            # untraced thread sends nothing
+            ctx = current_context()
+            if ctx is not None:
+                attach_trace(doc, ctx.to_dict())
         try:
-            self._send_doc(to_wire(request))
+            self._send_doc(doc)
         except OSError as exc:
             self._drop()
             raise BackendUnavailable(

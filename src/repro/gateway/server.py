@@ -50,12 +50,14 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import itertools
+import logging
 import threading
+import time
 from dataclasses import dataclass, field
 
 from ..api.backends import ServiceSpec, make_backend
 from ..api.errors import ApiError, map_exception
-from ..api.messages import from_wire, to_wire
+from ..api.messages import from_wire, to_wire, wire_trace
 from ..api.middleware import (
     ErrorMapper,
     LatencyMetrics,
@@ -63,11 +65,15 @@ from ..api.middleware import (
     TokenBucket,
     build_stack,
 )
+from ..obs.export import JsonlSink
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import Tracer, parse_trace_context
 from ..runtime import PipelineScheduler, default_worker_count
 from .protocol import (
     HEADER,
     MAX_FRAME_BYTES,
     PIPELINE_FEATURE,
+    TRACE_FEATURE,
     check_frame_length,
     decode_payload,
     encode_frame,
@@ -78,6 +84,8 @@ from .protocol import (
 )
 
 __all__ = ["GatewayConfig", "GatewayServer", "Session", "serve_gateway"]
+
+_log = logging.getLogger("repro.gateway")
 
 
 @dataclass(frozen=True)
@@ -100,6 +108,13 @@ class GatewayConfig:
     session ever granted the feature. ``max_inflight`` bounds scheduled
     work across all connections *and* each pipelined connection's
     read-ahead window.
+
+    ``trace`` turns distributed tracing on (off by default — the traced
+    path pays span bookkeeping per request): sessions offering the
+    ``trace`` feature get it granted, their envelopes' trace contexts
+    are honored, and spans land in ``trace_path`` (JSONL) when set.
+    ``slow_request_s`` logs (and counts) any dispatch slower than the
+    threshold, traced or not.
     """
 
     spec: ServiceSpec
@@ -115,6 +130,9 @@ class GatewayConfig:
     drain_timeout: float = 30.0
     pipeline: bool = True
     pipeline_workers: int = 0
+    trace: bool = False
+    trace_path: str | None = None
+    slow_request_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -127,6 +145,10 @@ class GatewayConfig:
             raise ValueError(
                 f"pipeline_workers must be >= 0 (0 = auto), got "
                 f"{self.pipeline_workers}"
+            )
+        if self.slow_request_s is not None and self.slow_request_s <= 0:
+            raise ValueError(
+                f"slow_request_s must be > 0, got {self.slow_request_s}"
             )
 
     def build_backend(self):
@@ -153,6 +175,9 @@ class GatewayConfig:
             "drain_timeout": self.drain_timeout,
             "pipeline": self.pipeline,
             "pipeline_workers": self.pipeline_workers,
+            "trace": self.trace,
+            "trace_path": self.trace_path,
+            "slow_request_s": self.slow_request_s,
         }
 
     @classmethod
@@ -171,6 +196,7 @@ class Session:
     api_version: int = 0
     client: str = ""
     pipelined: bool = False
+    traced: bool = False
     requests: int = 0
     errors: int = 0
 
@@ -201,12 +227,25 @@ class GatewayServer:
         optional token bucket → latency metrics → error mapping, i.e.
         the same onion an in-process client builds, now applied once at
         the server so every remote client shares one admission budget.
+    tracer:
+        An optional :class:`~repro.obs.trace.Tracer`. Passing one
+        enables tracing regardless of ``config.trace`` (the smoke runs
+        share a tracer between the gateway and a mesh coordinator);
+        with ``config.trace`` set and no tracer given, the server
+        builds its own, sinking to ``config.trace_path`` when set.
     """
 
-    def __init__(self, config: GatewayConfig, *, backend=None, middleware=None):
+    def __init__(
+        self, config: GatewayConfig, *, backend=None, middleware=None, tracer=None
+    ):
         self.config = config
         self.backend = backend if backend is not None else config.build_backend()
-        self.metrics = LatencyMetrics()
+        if tracer is None and config.trace:
+            sink = JsonlSink(config.trace_path) if config.trace_path else None
+            tracer = Tracer(sink, service="gateway")
+        self.tracer = tracer
+        self.registry = MetricsRegistry()
+        self.metrics = LatencyMetrics(registry=self.registry)
         self.bucket = (
             TokenBucket(config.rate, config.burst)
             if config.rate is not None
@@ -227,6 +266,8 @@ class GatewayServer:
             "truncated": 0,
             "rejected_handshakes": 0,
             "pipelined_sessions": 0,
+            "traced_sessions": 0,
+            "slow_requests": 0,
         }
         self.address: tuple[str, int] | None = None
         self._session_ids = itertools.count(1)
@@ -244,6 +285,10 @@ class GatewayServer:
                 else 1
             ),
             name="gateway-backend",
+        )
+        # live backlog gauge: sampled (not copied) at snapshot time
+        self.registry.gauge_fn(
+            "runtime.scheduler.key_depth", self._scheduler.key_depths
         )
         self._stopped = False
 
@@ -297,6 +342,12 @@ class GatewayServer:
             self._scheduler.submit(None, self.backend.close)
         )
         self._scheduler.shutdown(wait=True)
+        if self.tracer is not None:
+            # final metrics snapshot rides the same JSONL stream, then
+            # everything is flushed — drain is the durability barrier
+            if self.tracer.sink is not None:
+                self.tracer.sink.write(self.registry.to_record())
+            self.tracer.flush()
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the ``--serve`` CLI path)."""
@@ -355,10 +406,20 @@ class GatewayServer:
         # grant only what both sides speak: the feature set shrinks by
         # intersection, never errors on names from the future
         session.pipelined = self.config.pipeline and PIPELINE_FEATURE in features
-        granted = (PIPELINE_FEATURE,) if session.pipelined else ()
+        session.traced = self.tracer is not None and TRACE_FEATURE in features
+        granted = tuple(
+            feature
+            for feature, on in (
+                (PIPELINE_FEATURE, session.pipelined),
+                (TRACE_FEATURE, session.traced),
+            )
+            if on
+        )
         self.stats["sessions"] += 1
         if session.pipelined:
             self.stats["pipelined_sessions"] += 1
+        if session.traced:
+            self.stats["traced_sessions"] += 1
         self.sessions[session.id] = session
         await self._write(
             writer,
@@ -378,6 +439,10 @@ class GatewayServer:
             with contextlib.suppress(asyncio.CancelledError):
                 await drain_wait
             self.sessions.pop(session.id, None)
+            if session.traced and self.tracer is not None:
+                # goodbye/drain is a flush point: a traced client that
+                # hangs up must find its spans on disk
+                self.tracer.flush()
 
     async def _intake(self, reader, session, drain_wait):
         """Read the next actionable frame; one error ladder for both loops.
@@ -508,25 +573,101 @@ class GatewayServer:
             self.stats["errors"] += 1
             session.errors += 1
             return to_wire(exc.info())
+        # trace context off the envelope: malformed → None → untraced.
+        # gctx (the gateway.dispatch span) is minted HERE, on the event
+        # loop, because span ids must be allocated before the job runs
+        # but the loop can't use the thread-local span contextmanager
+        # (interleaved tasks would corrupt the restore discipline).
+        ctx = (
+            parse_trace_context(wire_trace(doc)) if session.traced else None
+        )
+        gctx = ctx.child() if ctx is not None else None
+        timed = gctx is not None or self.config.slow_request_s is not None
+        start_wall = time.time() if timed else 0.0
+        start_perf = time.perf_counter() if timed else 0.0
+        ok = False
         async with self._inflight:
             key = (
                 self._ordering_key(request) if self.config.pipeline else None
             )
             try:
-                response = await asyncio.wrap_future(
-                    self._scheduler.submit(key, self._handler, request)
-                )
+                if gctx is not None:
+                    response = await asyncio.wrap_future(
+                        self._scheduler.submit(
+                            key,
+                            self._traced_job,
+                            request,
+                            gctx,
+                            start_wall,
+                            start_perf,
+                        )
+                    )
+                else:
+                    response = await asyncio.wrap_future(
+                        self._scheduler.submit(key, self._handler, request)
+                    )
+                ok = True
             except ApiError as exc:
                 self.stats["errors"] += 1
                 session.errors += 1
-                return to_wire(exc.info())
+                out = to_wire(exc.info())
             except Exception as exc:  # pragma: no cover - ErrorMapper's job
                 self.stats["errors"] += 1
                 session.errors += 1
-                return to_wire(map_exception(exc).info())
-        session.requests += 1
-        self.stats["responses"] += 1
-        return to_wire(response)
+                out = to_wire(map_exception(exc).info())
+        if ok:
+            session.requests += 1
+            self.stats["responses"] += 1
+            out = to_wire(response)
+        if timed:
+            elapsed = time.perf_counter() - start_perf
+            if gctx is not None:
+                self.tracer.record(
+                    "gateway.dispatch",
+                    ctx,
+                    start_s=start_wall,
+                    duration_s=elapsed,
+                    attrs={
+                        "kind": doc.get("kind"),
+                        "session": session.id,
+                        "ok": ok,
+                    },
+                    context=gctx,
+                )
+            slow = self.config.slow_request_s
+            if slow is not None and elapsed >= slow:
+                self.stats["slow_requests"] += 1
+                _log.warning(
+                    "slow request: kind=%s session=%d %.1f ms%s",
+                    doc.get("kind"),
+                    session.id,
+                    elapsed * 1e3,
+                    f" trace={ctx.trace_id}" if ctx is not None else "",
+                )
+        return out
+
+    def _traced_job(self, request, gctx, submit_wall, submit_perf):
+        """The traced flavor of a scheduled backend call (pool thread).
+
+        Emits the queue-wait span retroactively (submit → now), then
+        runs the handler under a ``scheduler.execute`` span — whose
+        context becomes the thread-local current context, which is how
+        a mesh/cluster backend underneath picks up its parent without
+        the Backend interface knowing about tracing.
+        """
+        kind = type(request).kind
+        wait_s = time.perf_counter() - submit_perf
+        self.tracer.record(
+            "scheduler.queue",
+            gctx,
+            start_s=submit_wall,
+            duration_s=wait_s,
+            attrs={"kind": kind},
+        )
+        with self.tracer.span(
+            "scheduler.execute", parent=gctx, attrs={"kind": kind}
+        ):
+            return self._handler(request)
 
     def _ordering_key(self, request):
         """The backend's key, or a barrier when routing itself fails."""
@@ -568,6 +709,7 @@ def serve_gateway(
     *,
     backend=None,
     server: GatewayServer | None = None,
+    tracer=None,
     startup_timeout: float = 120.0,
 ):
     """Run a gateway on a daemon thread; yields the started server.
@@ -580,7 +722,7 @@ def serve_gateway(
     smoke CLI and the throughput benchmark.
     """
     if server is None:
-        server = GatewayServer(config, backend=backend)
+        server = GatewayServer(config, backend=backend, tracer=tracer)
     loop = asyncio.new_event_loop()
     thread = threading.Thread(
         target=_run_loop, args=(loop,), name="repro-gateway", daemon=True

@@ -74,6 +74,10 @@ def _run_smoke(args) -> int:
     for problem in problems:
         print(f"  - {problem}", file=sys.stderr)
 
+    trace_problems: list[str] = []
+    if args.trace:
+        trace_problems = _run_traced_leg(spec, requests, reference, args.trace)
+
     failed, failovers = run_mesh_failover(
         spec,
         requests,
@@ -94,11 +98,68 @@ def _run_smoke(args) -> int:
     for problem in fail_problems:
         print(f"  - {problem}", file=sys.stderr)
 
-    if problems or fail_problems:
+    if problems or trace_problems or fail_problems:
         print("[repro.mesh smoke] FAILED", file=sys.stderr)
         return 1
     print("[repro.mesh smoke] OK", file=sys.stderr)
     return 0
+
+
+def _run_traced_leg(spec, requests, reference, trace_path: str) -> list[str]:
+    """Traced leg: client → gateway → mesh with one shared tracer.
+
+    Replays the same stream through a real loopback gateway over a mesh
+    backend with tracing negotiated end to end, then asserts (a) the
+    assignments are still bit-identical to the sharded reference and
+    (b) the JSONL sink holds at least one complete cross-process trace
+    — a ``client.request`` span that is an ancestor of a
+    ``worker.execute`` span — and renders the file's summary.
+    """
+    from ..api import make_backend
+    from ..api.conformance import check_parity, run_backend
+    from ..gateway import GatewayConfig, GatewayServer, RemoteBackend, serve_gateway
+    from ..obs import JsonlSink, Tracer, has_cross_process_trace, load_records
+    from ..obs.summary import summarize
+
+    problems: list[str] = []
+    sink = JsonlSink(trace_path)
+    tracer = Tracer(sink, service="mesh-smoke")
+    try:
+        backend = make_backend(
+            "mesh",
+            spec,
+            n_peers=2,
+            spawn="cli",
+            chunk_size=17,
+            checkpoint_every=48,
+            tracer=tracer,
+        )
+        config = GatewayConfig(spec, backend="mesh", trace=True)
+        server = GatewayServer(config, backend=backend, tracer=tracer)
+        with serve_gateway(server=server):
+            remote = RemoteBackend(spec, address=server.address)
+            traced = run_backend(remote, requests, window=16, tracer=tracer)
+        problems += check_parity([reference, traced])
+    finally:
+        tracer.flush()
+        sink.close()
+
+    spans = [r for r in load_records(trace_path) if r.get("type") == "span"]
+    if not has_cross_process_trace(spans):
+        problems.append(
+            "trace file holds no complete client→worker trace "
+            f"({len(spans)} spans in {trace_path})"
+        )
+    print(
+        f"[repro.mesh smoke] traced leg: {len(spans)} spans -> {trace_path}, "
+        f"{'OK' if not problems else 'FAILED'}",
+        file=sys.stderr,
+    )
+    for problem in problems:
+        print(f"  - {problem}", file=sys.stderr)
+    if not problems:
+        print(summarize(trace_path, slowest=1), file=sys.stderr)
+    return problems
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -135,6 +196,15 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds to keep retrying the initial TCP connect",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "with --smoke: add a traced leg (client → gateway → mesh with "
+            "distributed tracing on), write spans to PATH (JSONL), and "
+            "assert a complete cross-process trace landed"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.worker:

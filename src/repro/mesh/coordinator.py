@@ -68,6 +68,8 @@ from ..gateway.protocol import (
     welcome_doc,
 )
 from ..geometry.box import Box
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import current_context
 from ..runtime import PipelineScheduler
 from ..service.events import RequestQueue, TaskArrival, WorkerArrival
 from ..service.metrics import (
@@ -75,7 +77,7 @@ from ..service.metrics import (
     ServiceReport,
     ShardSnapshot,
     build_report,
-    percentile,
+    summarize_reservoir,
 )
 from ..utils import ensure_rng, keyed_shard_seed
 from .protocol import op_doc, parse_reply
@@ -93,15 +95,6 @@ class PeerLost(MeshError):
     def __init__(self, peer: str) -> None:
         super().__init__(f"mesh worker {peer!r} is gone")
         self.peer = peer
-
-
-def _reservoir_stats(res: SampleReservoir) -> dict:
-    return {
-        "count": res.count,
-        "mean": res.mean,
-        "p50": percentile(res, 50.0),
-        "p95": percentile(res, 95.0),
-    }
 
 
 class MeshPeer:
@@ -288,6 +281,7 @@ class MeshCoordinator:
         liveness_timeout: float = 120.0,
         handshake_timeout: float = 10.0,
         dispatch_workers: int | None = None,
+        tracer=None,
     ) -> None:
         if expected_workers < 1:
             raise ValueError(f"need at least one worker, got {expected_workers}")
@@ -343,9 +337,21 @@ class MeshCoordinator:
         self._started = False
         self._closed = False
 
-        # telemetry reservoirs (exact counts/means, bounded samples)
-        self._snapshot_bytes = SampleReservoir()
-        self._checkpoint_s = SampleReservoir()
+        # telemetry reservoirs (exact counts/means, bounded samples),
+        # re-homed on a MetricsRegistry: the registry holds views of the
+        # same reservoir objects, so checkpoint/telemetry bit-exactness
+        # is untouched while snapshot() reads everything in one place
+        self.tracer = tracer
+        self.registry = MetricsRegistry()
+        self._snapshot_bytes = self.registry.adopt_histogram(
+            "mesh.checkpoint.snapshot_bytes", SampleReservoir()
+        )
+        self._checkpoint_s = self.registry.adopt_histogram(
+            "mesh.checkpoint.seconds", SampleReservoir()
+        )
+        self.registry.gauge_fn(
+            "runtime.scheduler.key_depth", self._scheduler.key_depths
+        )
 
         # test hooks: called with the lost peer's name / each snapshotted
         # key, outside coordinator locks — failover tests SIGKILL from here
@@ -426,6 +432,8 @@ class MeshCoordinator:
         self._scheduler.shutdown(wait=True)
         if self._acceptor is not None:
             self._acceptor.join(timeout=5.0)
+        if self.tracer is not None:
+            self.tracer.flush()
 
     def __enter__(self) -> "MeshCoordinator":
         self.start()
@@ -506,6 +514,9 @@ class MeshCoordinator:
             self._peers[name] = peer
             self._join_order.append(name)
             session = len(self._join_order) - 1
+            self.registry.adopt_histogram(
+                "mesh.peer.dispatch_depth", peer.depth, peer=name
+            )
         # The welcome must hit the wire before the peer is published as
         # alive — publishing first lets a dispatch thread race its
         # `configure` ahead of the welcome, and the worker (rightly)
@@ -576,6 +587,12 @@ class MeshCoordinator:
 
     def _dispatch(self, chunk: list) -> None:
         self._check_failure()
+        # capture the caller's span (e.g. the gateway's scheduler.execute,
+        # live on this thread) at submit time: the family jobs run later,
+        # on scheduler threads, but must parent under the request that
+        # journaled their ops
+        ctx = current_context() if self.tracer is not None else None
+        queued_perf = time.perf_counter() if ctx is not None else 0.0
         with self._state:
             for event in chunk:
                 self.now = max(self.now, float(event.time))
@@ -591,7 +608,9 @@ class MeshCoordinator:
             if do_checkpoint:
                 self._events_since_checkpoint = 0
         for fam in sorted(touched):
-            self._scheduler.submit(fam, self._family_job, fam, marks[fam])
+            self._scheduler.submit(
+                fam, self._family_job, fam, marks[fam], ctx, queued_perf
+            )
         if do_checkpoint:
             self._scheduler.submit(None, self._guard, self._checkpoint_job)
 
@@ -660,7 +679,9 @@ class MeshCoordinator:
     # dispatch jobs                                                       #
     # ------------------------------------------------------------------ #
 
-    def _family_job(self, fam: int, upto: int) -> None:
+    def _family_job(
+        self, fam: int, upto: int, ctx=None, queued_perf: float = 0.0
+    ) -> None:
         """Deliver one family's journal up to ``upto``, surviving failover."""
         while True:
             with self._state:
@@ -668,7 +689,7 @@ class MeshCoordinator:
                     return
                 peer = self._peers[self.ownership[fam]]
             try:
-                self._deliver(fam, peer, upto)
+                self._deliver(fam, peer, upto, ctx, queued_perf)
                 return
             except PeerLost as lost:
                 try:
@@ -680,7 +701,14 @@ class MeshCoordinator:
                 self._fail(exc)
                 return
 
-    def _deliver(self, fam: int, peer: MeshPeer, upto: int) -> None:
+    def _deliver(
+        self,
+        fam: int,
+        peer: MeshPeer,
+        upto: int,
+        ctx=None,
+        queued_perf: float = 0.0,
+    ) -> None:
         if peer.dead:
             raise PeerLost(peer.name)
         self._ensure_configured(peer)
@@ -689,7 +717,26 @@ class MeshCoordinator:
             ops = self._journal.take(fam, upto)
         if not ops:
             return
-        reply = peer.call("events", {"ops": ops})
+        body = {"ops": ops}
+        if self.tracer is not None and ctx is not None:
+            # the dispatch span crosses the socket: its context rides the
+            # events body (trace-unaware workers ignore the key) and the
+            # worker hands its execute span back in the reply
+            attrs = {"family": fam, "peer": peer.name, "n_ops": len(ops)}
+            if queued_perf:
+                attrs["queue_wait_s"] = time.perf_counter() - queued_perf
+            with self.tracer.span(
+                "mesh.dispatch", parent=ctx, attrs=attrs
+            ) as span:
+                body["trace"] = span.context.to_dict()
+                reply = peer.call("events", body)
+        else:
+            reply = peer.call("events", body)
+        if self.tracer is not None:
+            spans = reply.get("spans")
+            if isinstance(spans, list):
+                for record in spans:
+                    self.tracer.adopt(record)
         results = reply.get("results")
         if not isinstance(results, list):
             raise MeshError(f"malformed events reply from {peer.name!r}")
@@ -925,15 +972,15 @@ class MeshCoordinator:
                         f for f, o in self.ownership.items() if o == name
                     ),
                     "calls": peer.calls,
-                    "dispatch_depth": _reservoir_stats(peer.depth),
+                    "dispatch_depth": summarize_reservoir(peer.depth),
                 }
             return {
                 "address": list(self.address) if self.address else None,
                 "failovers": self.failovers,
                 "rejected_handshakes": self.rejected_handshakes,
                 "peers": peers,
-                "snapshot_bytes": _reservoir_stats(self._snapshot_bytes),
-                "checkpoint_seconds": _reservoir_stats(self._checkpoint_s),
+                "snapshot_bytes": summarize_reservoir(self._snapshot_bytes),
+                "checkpoint_seconds": summarize_reservoir(self._checkpoint_s),
                 "scheduler": {
                     "submitted": self._scheduler.submitted,
                     "barriers": self._scheduler.barriers,

@@ -34,6 +34,7 @@ import time
 
 from ..api.errors import map_exception
 from ..cluster.worker import ShardHost
+from ..obs.trace import parse_trace_context, span_record
 from ..gateway.protocol import (
     MESH_WORKER_ROLE,
     FrameDecoder,
@@ -169,8 +170,28 @@ def serve_connection(
                 host.drop(str(body["key"]))
                 out = {"key": body["key"]}
             elif op == "events":
+                # tracing: a valid context on the op gets the execution
+                # timed and the span handed back in the reply (the
+                # coordinator's tracer adopts it — the worker has no
+                # sink of its own); malformed/absent contexts cost
+                # nothing and change nothing
+                ctx = parse_trace_context(body.get("trace"))
+                if ctx is not None:
+                    start_wall = time.time()
+                    start_perf = time.perf_counter()
                 results = host.apply(body["ops"])
                 out = {"results": [list(row) for row in results]}
+                if ctx is not None:
+                    out["spans"] = [
+                        span_record(
+                            "worker.execute",
+                            ctx,
+                            start_s=start_wall,
+                            duration_s=time.perf_counter() - start_perf,
+                            attrs={"n_ops": len(body["ops"])},
+                            service="mesh-worker",
+                        )
+                    ]
             elif op == "snapshot":
                 out = {"key": body["key"], "snapshot": host.snapshot(str(body["key"]))}
             elif op == "flush":

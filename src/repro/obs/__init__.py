@@ -1,0 +1,57 @@
+"""repro.obs — tracing and metrics for the assignment stack.
+
+Two halves:
+
+- :mod:`repro.obs.trace` — distributed tracing.  A ``TraceContext``
+  (trace id / span id / parent id) rides request envelopes over the
+  length-prefixed wire behind the ``trace`` handshake feature bit, and
+  a ``Tracer`` opens spans at each hop (client call, gateway dispatch,
+  scheduler queue/execute, mesh dispatch, worker shard execution).
+- :mod:`repro.obs.registry` — a ``MetricsRegistry`` of labeled
+  counters, gauges and reservoir-backed histograms, the single naming
+  scheme the api middleware, scheduler and mesh coordinator re-home
+  their telemetry onto.
+
+Spans and metric snapshots export as JSONL via
+:class:`repro.obs.export.JsonlSink`; ``python -m repro.obs summarize
+<file>`` renders per-stage latency percentiles and the slowest traces
+as parent→child waterfalls.
+"""
+
+from repro.obs.export import JsonlSink, load_records
+from repro.obs.registry import MetricsRegistry, flat_name
+from repro.obs.summary import (
+    has_cross_process_trace,
+    stage_latencies,
+    summarize,
+    trace_tree,
+)
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    current_context,
+    new_id,
+    parse_trace_context,
+    span_record,
+    use_context,
+)
+
+__all__ = [
+    "JsonlSink",
+    "MetricsRegistry",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "current_context",
+    "flat_name",
+    "has_cross_process_trace",
+    "load_records",
+    "new_id",
+    "parse_trace_context",
+    "span_record",
+    "stage_latencies",
+    "summarize",
+    "trace_tree",
+    "use_context",
+]

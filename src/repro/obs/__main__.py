@@ -1,0 +1,40 @@
+"""CLI: ``python -m repro.obs summarize <spans.jsonl>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.summary import summarize
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs", description="observability tooling"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser(
+        "summarize", help="per-stage latency percentiles + slowest-trace waterfalls"
+    )
+    p_sum.add_argument("path", help="JSONL span file written by a trace run")
+    p_sum.add_argument(
+        "--slowest", type=int, default=3, help="number of slow traces to render"
+    )
+    p_sum.add_argument("--width", type=int, default=40, help="chart width")
+    args = parser.parse_args(argv)
+
+    if args.command == "summarize":
+        try:
+            print(summarize(args.path, slowest=args.slowest, width=args.width))
+        except BrokenPipeError:
+            # `... | head` closed the pipe; that's their call, not an error
+            sys.stderr.close()
+        except OSError as exc:
+            print(f"repro.obs: cannot read {args.path}: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""JSONL export for spans and metric snapshots.
+
+One record per line.  The sink is thread-safe (client threads,
+scheduler pool threads and the coordinator all write to one file),
+bounded (``max_records``; overflow increments ``dropped`` instead of
+growing the file without limit), and buffered — ``flush()`` is called
+on gateway drain/goodbye and coordinator close so a clean shutdown
+never loses spans.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+__all__ = ["JsonlSink", "load_records"]
+
+
+class JsonlSink:
+    """Append-only JSONL writer with a record budget."""
+
+    def __init__(self, path, *, max_records: int = 100_000):
+        self.path = str(path)
+        self.max_records = max_records
+        self.written = 0
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._buffer: list[str] = []
+        # truncate up front so a rerun starts clean
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    def write(self, record: dict) -> None:
+        try:
+            line = json.dumps(record, default=str)
+        except (TypeError, ValueError):
+            with self._lock:
+                self.dropped += 1
+            return
+        with self._lock:
+            if self.written + len(self._buffer) >= self.max_records:
+                self.dropped += 1
+                return
+            self._buffer.append(line)
+            if len(self._buffer) < 256:
+                return
+            lines, self._buffer = self._buffer, []
+        self._append(lines)
+
+    def _append(self, lines: list[str]) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            lines, self._buffer = self._buffer, []
+            self.written += len(lines)
+        if lines:
+            self._append(lines)
+
+    def close(self) -> None:
+        self.flush()
+
+
+def load_records(path) -> list[dict]:
+    """Read a JSONL file, skipping blank or malformed lines."""
+
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(doc, dict):
+                records.append(doc)
+    return records

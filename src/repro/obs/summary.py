@@ -1,0 +1,209 @@
+"""Offline analysis of a JSONL span file.
+
+``summarize`` is the engine behind ``python -m repro.obs summarize``:
+per-stage latency percentiles (one row per span name) and the N
+slowest traces rendered as parent→child waterfalls — indentation is
+tree depth, the bar offset is the span's start relative to its
+trace's root, so queue wait vs execute vs socket time reads directly
+off the chart.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import load_records
+from repro.service.metrics import percentile
+
+__all__ = [
+    "has_cross_process_trace",
+    "load_spans",
+    "render_waterfall",
+    "stage_latencies",
+    "summarize",
+    "trace_tree",
+]
+
+
+def load_spans(path) -> list[dict]:
+    """Span records from a JSONL file (other record types dropped)."""
+
+    return [rec for rec in load_records(path) if rec.get("type") == "span"]
+
+
+def stage_latencies(spans: list[dict]) -> dict[str, dict]:
+    """Per-stage (span-name) latency stats in milliseconds."""
+
+    by_name: dict[str, list[float]] = {}
+    for span in spans:
+        try:
+            by_name.setdefault(str(span["name"]), []).append(
+                float(span["duration_s"]) * 1e3
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+    return {
+        name: {
+            "count": len(vals),
+            "p50_ms": float(percentile(vals, 50)),
+            "p95_ms": float(percentile(vals, 95)),
+            "max_ms": max(vals),
+        }
+        for name, vals in sorted(by_name.items())
+    }
+
+
+def trace_tree(spans: list[dict]) -> dict[str, list[dict]]:
+    """Group spans by trace id, each trace sorted by start time."""
+
+    traces: dict[str, list[dict]] = {}
+    for span in spans:
+        trace = span.get("trace")
+        if isinstance(trace, str):
+            traces.setdefault(trace, []).append(span)
+    for members in traces.values():
+        members.sort(key=lambda s: (s.get("start_s") or 0.0))
+    return traces
+
+
+def _ancestors(span: dict, by_id: dict[str, dict]) -> list[dict]:
+    chain, seen = [], set()
+    parent = span.get("parent")
+    while isinstance(parent, str) and parent in by_id and parent not in seen:
+        seen.add(parent)
+        node = by_id[parent]
+        chain.append(node)
+        parent = node.get("parent")
+    return chain
+
+
+def has_cross_process_trace(
+    spans: list[dict],
+    *,
+    root: str = "client.request",
+    leaf: str = "worker.execute",
+) -> bool:
+    """True when some ``leaf`` span has a ``root`` span as an ancestor.
+
+    The CI obs smoke gate: a client span being an ancestor of a worker
+    execute span proves the context survived every hop (client →
+    gateway → scheduler → mesh dispatch → worker) intact.
+    """
+
+    for members in trace_tree(spans).values():
+        by_id = {s["span"]: s for s in members if isinstance(s.get("span"), str)}
+        for span in members:
+            if span.get("name") != leaf:
+                continue
+            if any(a.get("name") == root for a in _ancestors(span, by_id)):
+                return True
+    return False
+
+
+def _trace_span_ms(members: list[dict]) -> float:
+    starts = [s["start_s"] for s in members if isinstance(s.get("start_s"), float)]
+    ends = [
+        s["start_s"] + s["duration_s"]
+        for s in members
+        if isinstance(s.get("start_s"), float)
+        and isinstance(s.get("duration_s"), float)
+    ]
+    if not starts or not ends:
+        return 0.0
+    return (max(ends) - min(starts)) * 1e3
+
+
+def render_waterfall(members: list[dict], *, width: int = 48) -> str:
+    """One trace as an indented parent→child waterfall."""
+
+    by_id = {s["span"]: s for s in members if isinstance(s.get("span"), str)}
+    children: dict[str | None, list[dict]] = {}
+    for span in members:
+        parent = span.get("parent")
+        children.setdefault(parent if parent in by_id else None, []).append(span)
+    for kids in children.values():
+        kids.sort(key=lambda s: (s.get("start_s") or 0.0))
+
+    t0 = min(
+        (s["start_s"] for s in members if isinstance(s.get("start_s"), float)),
+        default=0.0,
+    )
+    total_ms = max(_trace_span_ms(members), 1e-9)
+    label_w = max(
+        (2 * _depth(s, by_id) + len(str(s.get("name"))) for s in members),
+        default=8,
+    )
+
+    lines = []
+
+    def _emit(span: dict, depth: int) -> None:
+        start_ms = (float(span.get("start_s") or t0) - t0) * 1e3
+        dur_ms = float(span.get("duration_s") or 0.0) * 1e3
+        lo = int(round(start_ms / total_ms * width))
+        hi = int(round((start_ms + dur_ms) / total_ms * width))
+        lo = min(lo, width - 1)
+        hi = max(min(hi, width), lo + 1)
+        bar = " " * lo + "#" * (hi - lo) + " " * (width - hi)
+        label = ("  " * depth + str(span.get("name"))).ljust(label_w)
+        svc = str(span.get("service") or "")
+        lines.append(f"  {label} |{bar}| {dur_ms:8.2f} ms  {svc}")
+        for kid in children.get(span.get("span"), []):
+            _emit(kid, depth + 1)
+
+    for root in children.get(None, []):
+        _emit(root, 0)
+    return "\n".join(lines)
+
+
+def _depth(span: dict, by_id: dict[str, dict]) -> int:
+    return len(_ancestors(span, by_id))
+
+
+def summarize(path, *, slowest: int = 3, width: int = 40) -> str:
+    """Human-readable report for a JSONL span file."""
+
+    # lazy: keeps `import repro.obs` (pulled in by the api middleware)
+    # from dragging the whole experiments harness along
+    from repro.experiments.ascii_chart import render_series
+
+    spans = load_spans(path)
+    if not spans:
+        return f"{path}: no span records"
+
+    out = [f"{path}: {len(spans)} spans, {len(trace_tree(spans))} traces", ""]
+
+    stages = stage_latencies(spans)
+    out.append("per-stage latency (ms):")
+    name_w = max(len(n) for n in stages)
+    out.append(
+        f"  {'stage'.ljust(name_w)}  {'count':>6}  {'p50':>9}  {'p95':>9}  {'max':>9}"
+    )
+    for name, stats in stages.items():
+        out.append(
+            f"  {name.ljust(name_w)}  {stats['count']:>6}"
+            f"  {stats['p50_ms']:>9.3f}  {stats['p95_ms']:>9.3f}"
+            f"  {stats['max_ms']:>9.3f}"
+        )
+    out.append("")
+    out.append(
+        render_series(
+            [50, 95],
+            {name: [stats["p50_ms"], stats["p95_ms"]] for name, stats in stages.items()},
+            width=width,
+            title="stage latency percentiles (ms, x=percentile)",
+        )
+    )
+
+    traces = sorted(
+        trace_tree(spans).items(),
+        key=lambda item: _trace_span_ms(item[1]),
+        reverse=True,
+    )
+    out.append("")
+    out.append(f"slowest {min(slowest, len(traces))} traces:")
+    for trace_id, members in traces[:slowest]:
+        out.append(
+            f"  trace {trace_id} — {len(members)} spans,"
+            f" {_trace_span_ms(members):.2f} ms"
+        )
+        out.append(render_waterfall(members))
+        out.append("")
+    return "\n".join(out).rstrip() + "\n"

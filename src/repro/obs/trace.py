@@ -1,0 +1,294 @@
+"""Distributed tracing primitives.
+
+A trace is a tree of spans sharing one ``trace_id``; each span carries
+its own ``span_id`` and the ``span_id`` of its parent.  Contexts cross
+process boundaries as a two-key dict (``{"trace_id", "span_id"}``)
+attached to wire envelopes — the receiving hop opens child spans under
+the carried span id, so the tree reassembles from any mix of
+processes' sinks.
+
+Wire safety: ``parse_trace_context`` never raises.  Anything malformed
+(wrong type, missing keys, oversized or non-hex ids) degrades to
+``None`` — an untraced request — because a trace header must never be
+able to error a session.
+
+In-process propagation is via a thread-local "current context"
+(:func:`current_context` / :func:`use_context`).  ``Tracer.span`` sets
+it for the duration of the block, which is how a backend call running
+on a scheduler pool thread inherits the gateway's dispatch span as its
+parent without any plumbing through the Backend interface.  The
+thread-local is only safe on real threads — async code interleaves
+tasks on one thread and must pass contexts explicitly
+(``Tracer.record`` with a pre-allocated child context).
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "current_context",
+    "new_id",
+    "parse_trace_context",
+    "span_record",
+    "use_context",
+]
+
+_MAX_ID_LEN = 64
+_ID_CHARS = frozenset("0123456789abcdefABCDEF-")
+
+
+def new_id() -> str:
+    """Return a fresh 64-bit hex identifier."""
+
+    return secrets.token_hex(8)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Position in a trace tree: which trace, and which span is 'here'.
+
+    A child hop uses the carried ``span_id`` as its *parent* id and
+    mints its own span id — ``child()`` does exactly that.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        return cls(trace_id=new_id(), span_id=new_id(), parent_id=None)
+
+    def child(self) -> "TraceContext":
+        return TraceContext(
+            trace_id=self.trace_id, span_id=new_id(), parent_id=self.span_id
+        )
+
+    def to_dict(self) -> dict:
+        """Wire form: only what the next hop needs to parent under us."""
+
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+
+def _valid_id(value: object) -> bool:
+    return (
+        isinstance(value, str)
+        and 0 < len(value) <= _MAX_ID_LEN
+        and set(value) <= _ID_CHARS
+    )
+
+
+def parse_trace_context(value: object) -> TraceContext | None:
+    """Parse a wire trace dict; return None on ANY malformed input.
+
+    This is the hardening boundary for trace headers arriving off the
+    socket: it must never raise, whatever a fuzzer sends.
+    """
+
+    try:
+        if not isinstance(value, dict):
+            return None
+        trace_id = value.get("trace_id")
+        span_id = value.get("span_id")
+        if not _valid_id(trace_id) or not _valid_id(span_id):
+            return None
+        parent_id = value.get("parent_id")
+        if parent_id is not None and not _valid_id(parent_id):
+            parent_id = None
+        return TraceContext(
+            trace_id=trace_id, span_id=span_id, parent_id=parent_id
+        )
+    except Exception:  # pragma: no cover - belt and braces
+        return None
+
+
+def span_record(
+    name: str,
+    parent: TraceContext | None,
+    *,
+    start_s: float,
+    duration_s: float,
+    attrs: dict | None = None,
+    service: str = "",
+    context: TraceContext | None = None,
+) -> dict:
+    """Build a span record dict (the JSONL line for one finished span).
+
+    ``parent`` is the context this span nests under; ``context``, when
+    given, pins the span's own ids (otherwise a fresh child of
+    ``parent`` is minted).  Standalone so a process without a Tracer —
+    e.g. a mesh worker answering an events op — can hand span records
+    back in its reply for the coordinator's tracer to adopt.
+    """
+
+    if context is None:
+        context = parent.child() if parent is not None else TraceContext.root()
+    return {
+        "type": "span",
+        "name": name,
+        "trace": context.trace_id,
+        "span": context.span_id,
+        "parent": context.parent_id,
+        "start_s": float(start_s),
+        "duration_s": float(duration_s),
+        "attrs": dict(attrs) if attrs else {},
+        "service": service,
+    }
+
+
+_local = threading.local()
+
+
+def current_context() -> TraceContext | None:
+    """The thread's active trace context, or None when untraced."""
+
+    return getattr(_local, "context", None)
+
+
+@contextmanager
+def use_context(ctx: TraceContext | None):
+    """Set the thread-local current context for the duration of the block."""
+
+    prev = getattr(_local, "context", None)
+    _local.context = ctx
+    try:
+        yield ctx
+    finally:
+        _local.context = prev
+
+
+@dataclass
+class Span:
+    """A live span being timed; becomes a record via ``to_record``."""
+
+    name: str
+    context: TraceContext
+    service: str = ""
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        return span_record(
+            self.name,
+            None,
+            start_s=self.start_s,
+            duration_s=self.duration_s,
+            attrs=self.attrs,
+            service=self.service,
+            context=self.context,
+        )
+
+
+class Tracer:
+    """Collects finished spans, optionally streaming them to a sink.
+
+    Keeps a bounded in-memory tail (``spans``) so tests and the smoke
+    can assert on emitted spans without a file, and forwards every
+    record to ``sink.write`` when a sink is attached.  Thread-safe; a
+    single Tracer is shared across the client, gateway and coordinator
+    inside one process.
+    """
+
+    def __init__(self, sink=None, *, service: str = "repro", max_spans: int = 4096):
+        self.sink = sink
+        self.service = service
+        self.spans: deque = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict) -> None:
+        with self._lock:
+            self.spans.append(record)
+        if self.sink is not None:
+            self.sink.write(record)
+
+    def adopt(self, record: object) -> None:
+        """Take in a span record produced by a foreign process.
+
+        Validates the minimum shape (mesh workers hand these back in
+        replies); malformed records are dropped, never raised.
+        """
+
+        if not isinstance(record, dict) or record.get("type") != "span":
+            return
+        if not _valid_id(record.get("trace")) or not _valid_id(record.get("span")):
+            return
+        self.emit(record)
+
+    def record(
+        self,
+        name: str,
+        parent: TraceContext | None,
+        *,
+        start_s: float,
+        duration_s: float,
+        attrs: dict | None = None,
+        context: TraceContext | None = None,
+    ) -> TraceContext:
+        """Emit a span from explicit timings; returns the span's context.
+
+        The async-safe path: the gateway's event loop pre-allocates the
+        child context, times the dispatch itself, and calls this once
+        the response is ready — no thread-local involved.
+        """
+
+        if context is None:
+            context = (
+                parent.child() if parent is not None else TraceContext.root()
+            )
+        self.emit(
+            span_record(
+                name,
+                parent,
+                start_s=start_s,
+                duration_s=duration_s,
+                attrs=attrs,
+                service=self.service,
+                context=context,
+            )
+        )
+        return context
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        parent: TraceContext | None = None,
+        attrs: dict | None = None,
+    ):
+        """Open a span around a block; sets the thread-local context.
+
+        Only for synchronous code on a real thread (client calls,
+        scheduler pool threads, coordinator dispatch) — async tasks
+        interleave on one thread and must use ``record`` instead.
+        """
+
+        if parent is None:
+            parent = current_context()
+        context = parent.child() if parent is not None else TraceContext.root()
+        span = Span(name=name, context=context, service=self.service)
+        if attrs:
+            span.attrs.update(attrs)
+        start_wall = time.time()
+        start_perf = time.perf_counter()
+        with use_context(context):
+            try:
+                yield span
+            finally:
+                span.start_s = start_wall
+                span.duration_s = time.perf_counter() - start_perf
+                self.emit(span.to_record())
+
+    def flush(self) -> None:
+        if self.sink is not None:
+            self.sink.flush()

@@ -207,6 +207,16 @@ class PipelineScheduler:
                 self._depths[key] = depth
             else:
                 self._depths.pop(key, None)
+            # retire this chain's tail once it has fully drained —
+            # otherwise a long stream of one-shot keys (e.g. mesh shard
+            # families that only ever see one cohort) grows _tails
+            # without bound. Chaining on a resolved gate is a no-op, so
+            # dropping the reference is safe; a later submit under the
+            # same key simply starts a fresh chain.
+            if self._tails.get(key) is gate:
+                del self._tails[key]
+            if self._barrier is gate:
+                self._barrier = None
             if self._in_flight == 0:
                 self._idle.notify_all()
 

@@ -28,6 +28,7 @@ __all__ = [
     "ServiceReport",
     "build_report",
     "percentile",
+    "summarize_reservoir",
 ]
 
 #: Default per-series sample cap. Below this many recordings a reservoir
@@ -162,6 +163,21 @@ def percentile(samples, q: float) -> float:
     if not len(samples):
         return float("nan")
     return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def summarize_reservoir(res) -> dict:
+    """Standard stats block for one reservoir-backed series.
+
+    The shape telemetry endpoints agree on (mesh coordinator peers,
+    MetricsRegistry histogram snapshots): exact ``count``/``mean`` plus
+    quantiles over the retained sample.
+    """
+    return {
+        "count": res.count,
+        "mean": res.mean,
+        "p50": percentile(res, 50),
+        "p95": percentile(res, 95),
+    }
 
 
 @dataclass

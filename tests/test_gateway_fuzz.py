@@ -349,3 +349,119 @@ class TestHelloFuzz:
         assert advertised_families(["family:3", "family:1"]) == (1, 3)
         with pytest.raises(ApiError):
             advertised_families(["family:three"])
+
+
+class TestTraceFuzz:
+    """The ``trace`` feature bit and the per-request trace envelope.
+
+    Same discipline as the hello fuzz: tracing is an *optional* overlay
+    on the frozen wire form, so (a) the feature is only granted when
+    both ends opt in, (b) a ``trace`` key sent to a pre-feature/untraced
+    session is ignored like any unknown top-level key, and (c) on a
+    traced session a malformed context degrades that one request to
+    untraced — the response is normal and the session survives.
+    """
+
+    @staticmethod
+    def _spec():
+        from repro.api import ServiceSpec
+        from repro.geometry import Box
+
+        return ServiceSpec(
+            region=Box.square(100.0), shards=(1, 2), grid_nx=5, batch_size=4
+        )
+
+    @staticmethod
+    def _handshake(address, features=()):
+        import socket as socketlib
+
+        from repro.gateway import decode_payload
+        from repro.gateway.protocol import hello_doc, parse_welcome
+
+        sock = socketlib.create_connection(address, timeout=10.0)
+        sock.settimeout(10.0)
+        sock.sendall(encode_frame(hello_doc(features=features)))
+
+        def recv() -> dict:
+            buf = bytearray()
+            need = HEADER.size
+            while len(buf) < need:
+                chunk = sock.recv(need - len(buf))
+                assert chunk, "server closed mid-frame"
+                buf += chunk
+            (length,) = HEADER.unpack(bytes(buf))
+            buf = bytearray()
+            while len(buf) < length:
+                chunk = sock.recv(length - len(buf))
+                assert chunk, "server closed mid-frame"
+                buf += chunk
+            return decode_payload(bytes(buf))
+
+        _, _, _, granted = parse_welcome(recv())
+        return sock, recv, granted
+
+    def test_trace_offer_is_granted_only_by_a_tracing_gateway(self):
+        from repro.gateway import GatewayConfig, serve_gateway
+        from repro.gateway.protocol import TRACE_FEATURE
+
+        spec = self._spec()
+        for trace, expect in ((False, False), (True, True)):
+            with serve_gateway(GatewayConfig(spec=spec, trace=trace)) as gw:
+                sock, recv, granted = self._handshake(
+                    gw.address, features=(TRACE_FEATURE,)
+                )
+                assert (TRACE_FEATURE in granted) is expect
+                # a trace key on the request is harmless either way:
+                # untraced sessions ignore unknown top-level keys
+                doc = to_wire(RegisterWorker(worker_id=1, location=(1.0, 2.0)))
+                doc["trace"] = {"trace_id": "aa", "span_id": "bb"}
+                sock.sendall(encode_frame(doc))
+                reply = from_wire(recv())
+                assert isinstance(reply, WorkerRegistered)
+                sock.close()
+
+    def test_mutated_trace_contexts_never_error_a_traced_session(self):
+        from repro.gateway import GatewayConfig, serve_gateway
+        from repro.gateway.protocol import TRACE_FEATURE
+
+        rng = np.random.default_rng(777)
+        # every poison must itself be JSON-encodable: the fuzz rides a
+        # real frame, and bytes can't cross a JSON wire in the first place
+        atoms = [None, -1, 0.5, True, "aa", "ZZ!", "a" * 200, [], {}]
+        with serve_gateway(
+            GatewayConfig(spec=self._spec(), trace=True)
+        ) as gw:
+            sock, recv, granted = self._handshake(
+                gw.address, features=(TRACE_FEATURE,)
+            )
+            assert TRACE_FEATURE in granted
+            for i in range(60):
+                doc = to_wire(RegisterWorker(worker_id=i, location=(1.0, 2.0)))
+                roll = rng.integers(3)
+                if roll == 0:
+                    doc["trace"] = atoms[int(rng.integers(len(atoms)))]
+                else:
+                    trace = {}
+                    for key in ("trace_id", "span_id", "parent_id"):
+                        if rng.integers(2):
+                            trace[key] = atoms[int(rng.integers(len(atoms)))]
+                    doc["trace"] = trace
+                sock.sendall(encode_frame(doc))
+                reply = from_wire(recv())
+                # malformed contexts degrade to untraced; the request
+                # itself is valid and must answer normally
+                assert isinstance(reply, WorkerRegistered), doc["trace"]
+            # the session still traces properly-formed contexts
+            before = len(gw.tracer.spans)
+            doc = to_wire(SubmitTask(task_id=0, location=(3.0, 4.0)))
+            doc["trace"] = {"trace_id": "feed" * 4, "span_id": "beef" * 4}
+            sock.sendall(encode_frame(doc))
+            assert isinstance(from_wire(recv()), TaskDecision)
+            new = list(gw.tracer.spans)[before:]
+            assert any(
+                rec["name"] == "gateway.dispatch"
+                and rec["trace"] == "feed" * 4
+                and rec["parent"] == "beef" * 4
+                for rec in new
+            )
+            sock.close()

@@ -59,6 +59,43 @@ class TestSampleReservoir:
             b.record(float(v))
         assert a == b  # replacement decisions replay identically
 
+    def test_serialize_restore_extend_keeps_exact_aggregates(self):
+        # property test over random splits: serialize mid-stream,
+        # restore, extend the restored copy with the remainder — the
+        # exact aggregates (count/total/mean) must equal a single
+        # uninterrupted pass, whatever the capacity or cut point
+        rng = np.random.default_rng(42)
+        for trial in range(30):
+            capacity = int(rng.integers(1, 64))
+            n = int(rng.integers(1, 2_000))
+            cut = int(rng.integers(0, n + 1))
+            values = rng.normal(50.0, 20.0, size=n)
+
+            straight = SampleReservoir(capacity=capacity, seed=trial)
+            straight.extend(values)
+
+            first = SampleReservoir(capacity=capacity, seed=trial)
+            first.extend(values[:cut])
+            resumed = SampleReservoir.from_dict(
+                json.loads(json.dumps(first.to_dict()))
+            )
+            resumed.extend(values[cut:])
+
+            assert resumed.count == straight.count == n
+            assert resumed.total == pytest.approx(straight.total, rel=1e-12)
+            assert resumed.mean == pytest.approx(values.mean(), rel=1e-12)
+            # the rng state rode the snapshot too, so even the retained
+            # sample (which victims were kept) is bit-identical
+            assert resumed == straight
+
+    def test_snapshot_carries_every_v2_field(self):
+        res = SampleReservoir(capacity=4, seed=2)
+        res.extend([1.0, 2.0, 3.0])
+        doc = res.to_dict()
+        assert set(doc) == {"capacity", "count", "total", "values", "state"}
+        assert doc["count"] == 3 and doc["total"] == pytest.approx(6.0)
+        json.dumps(doc)  # checkpoint payloads must be JSON-pure
+
     def test_accepts_legacy_raw_lists(self):
         res = SampleReservoir.from_dict([1.0, 2.0, 3.0])
         assert list(res) == [1.0, 2.0, 3.0]

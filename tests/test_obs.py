@@ -1,0 +1,390 @@
+"""Tests for the observability layer (repro.obs).
+
+Three seams: trace primitives (contexts, spans, the never-raising wire
+parser), the metrics registry (naming, labels, adopted reservoirs),
+and the export/summary path (JSONL sink → ``repro.obs summarize``).
+The end-to-end cross-process trace is covered by the mesh smoke gate
+(``python -m repro.mesh --smoke --trace``); here the pieces are tested
+in isolation so failures localize.
+"""
+
+import json
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    TraceContext,
+    Tracer,
+    current_context,
+    flat_name,
+    has_cross_process_trace,
+    load_records,
+    new_id,
+    parse_trace_context,
+    span_record,
+    stage_latencies,
+    summarize,
+    trace_tree,
+    use_context,
+)
+from repro.obs.summary import render_waterfall
+from repro.service.metrics import SampleReservoir
+
+
+# --------------------------------------------------------------------- #
+# trace contexts and the wire parser                                     #
+# --------------------------------------------------------------------- #
+
+
+class TestTraceContext:
+    def test_ids_are_hex_and_distinct(self):
+        ids = {new_id() for _ in range(64)}
+        assert len(ids) == 64
+        for value in ids:
+            int(value, 16)  # hex or raise
+            assert len(value) == 16
+
+    def test_child_links_under_parent(self):
+        root = TraceContext.root()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_wire_form_carries_only_what_the_next_hop_needs(self):
+        ctx = TraceContext(trace_id="aa", span_id="bb", parent_id="cc")
+        assert ctx.to_dict() == {"trace_id": "aa", "span_id": "bb"}
+
+    def test_parse_round_trip(self):
+        ctx = TraceContext.root().child()
+        parsed = parse_trace_context(ctx.to_dict())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+
+class TestParseNeverRaises:
+    """The hardening boundary: junk trace headers degrade to None."""
+
+    JUNK = [
+        None,
+        0,
+        1.5,
+        True,
+        "abc",
+        b"abc",
+        [],
+        ["trace_id"],
+        {},
+        {"trace_id": "aa"},
+        {"span_id": "bb"},
+        {"trace_id": None, "span_id": "bb"},
+        {"trace_id": 7, "span_id": "bb"},
+        {"trace_id": "aa", "span_id": ["bb"]},
+        {"trace_id": "", "span_id": "bb"},
+        {"trace_id": "zz", "span_id": "bb"},  # non-hex charset
+        {"trace_id": "a" * 65, "span_id": "bb"},  # oversized
+        {"trace_id": "aa\n", "span_id": "bb"},
+    ]
+
+    def test_catalogued_junk_degrades_to_none(self):
+        for junk in self.JUNK:
+            assert parse_trace_context(junk) is None, junk
+
+    def test_random_junk_degrades_or_parses(self):
+        rng = np.random.default_rng(2026)
+        atoms = [None, -1, 0.5, True, "aa", "AA-bb", "zz", "a" * 80, [], {}]
+        for _ in range(500):
+            doc = {}
+            for key in ("trace_id", "span_id", "parent_id", "extra"):
+                if rng.integers(2):
+                    doc[key] = atoms[int(rng.integers(len(atoms)))]
+            ctx = parse_trace_context(doc)  # must never raise
+            if ctx is not None:
+                assert set(ctx.trace_id) <= set("0123456789abcdefABCDEF-")
+
+    def test_invalid_parent_id_is_dropped_not_fatal(self):
+        ctx = parse_trace_context(
+            {"trace_id": "aa", "span_id": "bb", "parent_id": {"bad": 1}}
+        )
+        assert ctx is not None
+        assert ctx.parent_id is None
+
+
+class TestThreadLocalPropagation:
+    def test_use_context_saves_and_restores(self):
+        assert current_context() is None
+        outer = TraceContext.root()
+        with use_context(outer):
+            assert current_context() is outer
+            inner = outer.child()
+            with use_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+        assert current_context() is None
+
+    def test_context_is_per_thread(self):
+        seen = {}
+
+        def probe():
+            seen["worker"] = current_context()
+
+        with use_context(TraceContext.root()):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["worker"] is None
+
+
+class TestTracer:
+    def test_span_blocks_nest_via_thread_local(self):
+        tracer = Tracer(service="t")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        records = list(tracer.spans)
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert inner.context.parent_id == outer.context.span_id
+        assert inner.context.trace_id == outer.context.trace_id
+        assert all(r["duration_s"] >= 0.0 for r in records)
+
+    def test_record_is_the_explicit_async_path(self):
+        tracer = Tracer()
+        parent = TraceContext.root()
+        pre = parent.child()
+        ctx = tracer.record(
+            "gw", parent, start_s=1.0, duration_s=0.5, context=pre
+        )
+        assert ctx is pre
+        (rec,) = tracer.spans
+        assert rec["parent"] == parent.span_id
+        assert rec["start_s"] == 1.0 and rec["duration_s"] == 0.5
+
+    def test_adopt_validates_foreign_records(self):
+        tracer = Tracer()
+        good = span_record(
+            "worker.execute", TraceContext.root(), start_s=0.0, duration_s=0.1
+        )
+        for bad in (
+            None,
+            "span",
+            {"type": "metrics"},
+            {"type": "span", "trace": "zz!", "span": "aa"},
+            {"type": "span", "trace": "aa"},  # no span id
+        ):
+            tracer.adopt(bad)
+        tracer.adopt(good)
+        assert list(tracer.spans) == [good]
+
+    def test_span_tail_is_bounded(self):
+        tracer = Tracer(max_spans=8)
+        for i in range(50):
+            tracer.record(f"s{i}", None, start_s=0.0, duration_s=0.0)
+        assert len(tracer.spans) == 8
+        assert tracer.spans[-1]["name"] == "s49"
+
+
+# --------------------------------------------------------------------- #
+# metrics registry                                                       #
+# --------------------------------------------------------------------- #
+
+
+class TestMetricsRegistry:
+    def test_counter_series_split_by_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("api.requests.calls", kind="submit_task")
+        reg.counter("api.requests.calls", kind="submit_task")
+        reg.counter("api.requests.calls", kind="register_worker")
+        assert reg.counter_value("api.requests.calls", kind="submit_task") == 2
+        assert reg.counters("api.requests.calls", label="kind") == {
+            "submit_task": 2,
+            "register_worker": 1,
+        }
+        snap = reg.snapshot()
+        assert snap["counters"]["api.requests.calls{kind=submit_task}"] == 2
+
+    def test_flat_name_sorts_labels(self):
+        assert flat_name("m", {}) == "m"
+        assert flat_name("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+
+    def test_gauge_fn_dict_expands_per_key(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("gateway.sessions.open", 3)
+        reg.gauge_fn("runtime.scheduler.key_depth", lambda: {"s0": 2, "s1": 0})
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["gateway.sessions.open"] == 3
+        assert gauges["runtime.scheduler.key_depth{key=s0}"] == 2
+        assert gauges["runtime.scheduler.key_depth{key=s1}"] == 0
+
+    def test_gauge_fn_failure_is_skipped_not_fatal(self):
+        reg = MetricsRegistry()
+
+        def boom():
+            raise RuntimeError("sampling failed")
+
+        reg.gauge_fn("bad.gauge", boom)
+        assert reg.snapshot()["gauges"] == {}
+
+    def test_histogram_summaries_use_the_shared_quantile_helper(self):
+        reg = MetricsRegistry()
+        for v in range(100):
+            reg.histogram("api.requests.latency_s", float(v), kind="call")
+        hist = reg.snapshot()["histograms"]["api.requests.latency_s{kind=call}"]
+        assert hist["count"] == 100
+        assert hist["mean"] == pytest.approx(49.5)
+        assert set(hist) == {"count", "mean", "p50", "p95"}
+
+    def test_adopted_reservoir_stays_the_owners_object(self):
+        reg = MetricsRegistry()
+        mine = SampleReservoir(capacity=8, seed=5)
+        out = reg.adopt_histogram("mesh.peer.dispatch_depth", mine, peer="w0")
+        assert out is mine
+        mine.record(4.0)
+        assert (
+            reg.histograms("mesh.peer.dispatch_depth", label="peer")["w0"]
+            is mine
+        )
+        snap = reg.snapshot()["histograms"]["mesh.peer.dispatch_depth{peer=w0}"]
+        assert snap["count"] == 1
+
+    def test_same_series_name_seeds_identically_across_registries(self):
+        a = MetricsRegistry().get_histogram("x.y.z", capacity=4, kind="k")
+        b = MetricsRegistry().get_histogram("x.y.z", capacity=4, kind="k")
+        for v in range(500):
+            a.record(float(v))
+            b.record(float(v))
+        assert a == b
+
+    def test_to_record_is_sink_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        rec = reg.to_record()
+        assert rec["type"] == "metrics"
+        json.dumps(rec)  # a sink line must serialize
+
+
+# --------------------------------------------------------------------- #
+# export + summary                                                       #
+# --------------------------------------------------------------------- #
+
+
+def _synthetic_trace():
+    """client.request → gateway.dispatch → worker.execute, plus a stray."""
+
+    client = TraceContext.root()
+    gw = client.child()
+    worker = gw.child()
+    spans = [
+        span_record(
+            "client.request", None, start_s=10.0, duration_s=0.10,
+            context=client, service="client",
+        ),
+        span_record(
+            "gateway.dispatch", client, start_s=10.01, duration_s=0.08,
+            context=gw, service="gateway",
+        ),
+        span_record(
+            "worker.execute", gw, start_s=10.02, duration_s=0.05,
+            context=worker, service="worker",
+        ),
+        span_record("client.request", None, start_s=20.0, duration_s=0.01),
+    ]
+    return spans
+
+
+class TestSinkAndLoad:
+    def test_sink_round_trip_and_flush(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        records = _synthetic_trace()
+        for rec in records:
+            sink.write(rec)
+        sink.flush()
+        assert load_records(path) == records
+        assert sink.written == len(records)
+        assert sink.dropped == 0
+
+    def test_sink_bounds_the_file(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl", max_records=5)
+        for i in range(20):
+            sink.write({"type": "span", "i": i})
+        sink.close()
+        assert sink.written == 5
+        assert sink.dropped == 15
+        assert len(load_records(sink.path)) == 5
+
+    def test_unserializable_record_is_dropped_not_raised(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.write({"bad": float("nan"), "worse": {1, 2}})
+        sink.close()
+        assert sink.dropped >= 0  # never raised; file stays parseable
+        assert all(isinstance(r, dict) for r in load_records(sink.path))
+
+    def test_load_skips_damaged_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\nnot json\n\n[1, 2]\n{"b": 2}\n')
+        assert load_records(path) == [{"a": 1}, {"b": 2}]
+
+
+class TestSummary:
+    def test_stage_latencies_and_trace_tree(self):
+        spans = _synthetic_trace()
+        stages = stage_latencies(spans)
+        assert stages["client.request"]["count"] == 2
+        assert stages["worker.execute"]["p50_ms"] == pytest.approx(50.0)
+        assert len(trace_tree(spans)) == 2
+
+    def test_cross_process_detection_requires_the_ancestor_chain(self):
+        spans = _synthetic_trace()
+        assert has_cross_process_trace(spans)
+        # snip the middle hop: worker no longer reaches the client span
+        broken = [s for s in spans if s["name"] != "gateway.dispatch"]
+        assert not has_cross_process_trace(broken)
+
+    def test_waterfall_orders_parents_above_children(self):
+        spans = _synthetic_trace()
+        members = max(trace_tree(spans).values(), key=len)
+        art = render_waterfall(members)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert "client.request" in lines[0]
+        assert "gateway.dispatch" in lines[1]
+        assert "worker.execute" in lines[2]
+        assert all("#" in line for line in lines)
+
+    def test_summarize_reads_a_file_end_to_end(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for rec in _synthetic_trace():
+            sink.write(rec)
+        sink.close()
+        text = summarize(path, slowest=1)
+        assert "per-stage latency (ms)" in text
+        assert "worker.execute" in text
+        assert "slowest 1 traces" in text
+
+    def test_summarize_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert "no span records" in summarize(path)
+
+    def test_cli_summarize(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for rec in _synthetic_trace():
+            sink.write(rec)
+        sink.close()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "summarize", str(path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "per-stage latency (ms)" in proc.stdout

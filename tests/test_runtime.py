@@ -202,6 +202,27 @@ class TestPipelineScheduler:
             gate.set()
             sched.shutdown()
 
+    def test_retired_keys_are_pruned_from_the_tail_map(self):
+        # a long stream of one-shot keys (mesh shard families that see a
+        # single cohort each) must not grow the internal chain-tail map
+        # without bound: once a key's chain drains, its tail is retired
+        sched = PipelineScheduler(max_workers=4)
+        try:
+            futures = [
+                sched.submit(f"one-shot-{i}", lambda: None) for i in range(200)
+            ]
+            sched.submit(None, lambda: None)  # and a barrier
+            assert sched.drain(timeout=10)
+            for future in futures:
+                future.result(timeout=10)
+            assert sched._tails == {}
+            assert sched._barrier is None
+            assert sched.key_depths() == {}
+            # retiring a tail must not break resubmission under the key
+            assert sched.submit("one-shot-0", lambda: "again").result(10) == "again"
+        finally:
+            sched.shutdown()
+
     def test_shutdown_refuses_new_work(self):
         sched = PipelineScheduler(max_workers=1)
         sched.shutdown()
