@@ -10,8 +10,8 @@ import numpy as np
 import pytest
 
 from repro.crowdsourcing import Instance, TBFPipeline
-from repro.matching import HSTGreedyMatcher, optimal_total_distance
 from repro.experiments import shared_tree
+from repro.matching import HSTGreedyMatcher, optimal_total_distance
 from repro.workloads import SyntheticConfig, gaussian_workload
 
 

@@ -34,7 +34,6 @@ from repro.api import (
     ServiceSpec,
     TaskDecision,
     make_backend,
-    requests_from_events,
 )
 from repro.gateway import GatewayConfig, RemoteBackend, serve_gateway
 from repro.service import LoadConfig, LoadGenerator

@@ -10,7 +10,6 @@ Run:  python examples/scalability_demo.py [--sizes 2000 8000 32000]
 
 import argparse
 
-import numpy as np
 
 from repro import Instance, TBFPipeline
 from repro.experiments import shared_tree

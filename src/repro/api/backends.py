@@ -483,7 +483,7 @@ class ClusterBackend(BackendBase):
         # round (a sole waiter's blocking pump is capped at
         # _SOLE_WAIT_S) — never across a whole rendezvous
         self._lock = threading.Lock()
-        self._waiters = 0  # rendezvous in progress; guarded by _lock
+        self._waiters = 0  # rendezvous in progress; guarded-by: _lock
         self._route_map = ShardMap(spec.region, *spec.shards)
         self._route_map.shard_of((spec.region.xmin, spec.region.ymin))
 

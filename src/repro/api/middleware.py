@@ -141,11 +141,11 @@ class TokenBucket:
         self.rate = float(rate)
         self.burst = int(burst)
         self._clock = clock
-        self._tokens = float(burst)
-        self._last = float(clock())
+        self._tokens = float(burst)  # guarded-by: _lock
+        self._last = float(clock())  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.admitted = 0
-        self.rejected = 0
+        self.admitted = 0  # guarded-by: _lock
+        self.rejected = 0  # guarded-by: _lock
 
     @staticmethod
     def cost_of(request) -> int:
@@ -157,7 +157,7 @@ class TokenBucket:
             return 0
         return 1
 
-    def _refill(self) -> None:
+    def _refill(self) -> None:  # guarded-by: _lock
         now = float(self._clock())
         self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
         self._last = now

@@ -1,0 +1,46 @@
+"""repro.lint — invariant-aware static analysis for the serving stack.
+
+Four AST rule families encode the runtime's load-bearing invariants as
+stable ``RL`` codes:
+
+* **RL1xx determinism** — the keyed-seeding convention
+  (:func:`repro.utils.keyed_shard_seed`) is the only sanctioned entropy
+  on deterministic paths; no wall clocks in decision logic.
+* **RL2xx asyncio discipline** — nothing blocking inside ``async def``;
+  ``Tracer.span`` stays off the event loop.
+* **RL3xx lock discipline** — ``# guarded-by:`` annotated attributes
+  mutate only under their lock; no silently swallowed dispatch errors.
+* **RL4xx wire parity** — ``_body``/``_from_body`` agree on fields;
+  feature bits live in one registry.
+
+Run it with ``python -m repro.lint [paths...]`` (``--format json``,
+``--baseline``, ``--permissive``); suppress a single finding in place
+with ``# lint: ok RL103 <reason>``.  The lock-order recorder lives in
+:mod:`repro.lint.lockgraph` and doubles as a pytest plugin.
+
+This is *code* analysis — :mod:`repro.privacy.analysis` is the privacy
+accountant and unrelated.
+"""
+
+from .engine import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    ParsedModule,
+    config_with,
+    lint_paths,
+    lint_source,
+)
+from .findings import Finding, fingerprint, load_baseline, write_baseline
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "ParsedModule",
+    "config_with",
+    "fingerprint",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,109 @@
+"""``python -m repro.lint`` — the CLI around the analysis engine.
+
+Exit codes: ``0`` clean (or every finding baselined / report-only),
+``1`` non-baselined findings, ``2`` usage errors.  ``--format json``
+emits a machine-readable report (the CI uploads it as an artifact);
+``--write-baseline`` snapshots current findings so a follow-up run
+fails only on *new* ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .engine import DEFAULT_CONFIG, config_with, lint_paths
+from .findings import load_baseline, write_baseline
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="invariant-aware static analysis for the repro serving stack",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of grandfathered fingerprints; only new findings fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--permissive",
+        action="store_true",
+        help="apply every rule family everywhere, report-only (exit 0)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_with(DEFAULT_CONFIG, permissive=args.permissive)
+
+    try:
+        findings, n_files = lint_paths(args.paths, config)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline: dict[str, dict] = {}
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.write_baseline} "
+            "(fill in each entry's reason; baseline false positives only)"
+        )
+        return 0
+
+    fresh = [f for f in findings if f.fingerprint not in baseline]
+    grandfathered = len(findings) - len(fresh)
+
+    if args.format == "json":
+        report = {
+            "files": n_files,
+            "findings": [f.to_dict() for f in findings],
+            "fresh": [f.fingerprint for f in fresh],
+            "grandfathered": grandfathered,
+            "permissive": args.permissive,
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for f in findings:
+            marker = "" if f.fingerprint not in baseline else " [baselined]"
+            print(f.render() + marker)
+        summary = (
+            f"{n_files} file(s): {len(fresh)} finding(s)"
+            + (f", {grandfathered} baselined" if grandfathered else "")
+        )
+        print(("PERMISSIVE " if args.permissive else "") + summary)
+
+    if args.permissive:
+        return 0
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Tiny AST helpers shared by the rule families."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "self_attr", "const_str"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    This is a *syntactic* identity — ``time.sleep`` matches an attribute
+    chain spelled exactly that way, which is how every call site in this
+    repository spells stdlib calls (plain ``import time`` style).  An
+    aliased import (``import time as t``) would evade it; the test suite
+    pins the spelled forms that must keep matching.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def self_attr(node: ast.AST) -> str | None:
+    """``x`` when ``node`` is exactly ``self.x``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def const_str(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

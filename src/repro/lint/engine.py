@@ -1,0 +1,273 @@
+"""The analysis engine: file walking, parsing, pragmas, rule dispatch.
+
+Each python file becomes a :class:`ParsedModule` — source, AST, a
+line→comment map (the AST drops comments; ``tokenize`` recovers them,
+which is what the ``# guarded-by:`` and ``# lint: ok`` conventions ride
+on) and a dotted *module name* derived from the path (``src/repro/mesh/
+worker.py`` → ``repro.mesh.worker``).  Rules scope themselves by module
+name prefix, so the determinism family fires in the deterministic
+serving stack but not in, say, the observability layer, whose whole job
+is wall-clock timestamps.
+
+Suppression is per-line and per-code: ``# lint: ok RL103 <reason>`` on
+the finding's anchor line waives exactly that rule there.  Unlike a
+baseline entry the pragma lives next to the code it excuses, moves with
+it, and forces a written reason into the diff.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+from .findings import Finding, assign_occurrences
+
+__all__ = ["LintConfig", "ParsedModule", "lint_paths", "lint_source", "DEFAULT_CONFIG"]
+
+_PRAGMA = re.compile(r"lint:\s*ok\s+([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rule families apply where (module-name prefixes).
+
+    ``permissive`` widens every family to every file and downgrades the
+    run to report-only — the mode the CI uses over ``examples/`` and
+    ``benchmarks/``, where the deterministic-path rules are advisory.
+    """
+
+    #: RL1xx: modules whose control flow must be reproducible — the only
+    #: sanctioned randomness is utils.keyed_shard_seed-derived seeding.
+    deterministic_prefixes: tuple[str, ...] = (
+        "repro.service",
+        "repro.cluster",
+        "repro.mesh",
+        "repro.hst",
+        "repro.privacy",
+        "repro.matching",
+        "repro.crowdsourcing",
+    )
+    #: RL1xx exemption: the seeding convention's home; it *implements*
+    #: the sanctioned source (ensure_rng's fresh-entropy arm included).
+    determinism_exempt: tuple[str, ...] = ("repro.utils",)
+    #: RL2xx applies to every ``async def`` body (None = everywhere);
+    #: the event loop is blocking-hostile regardless of the module.
+    async_prefixes: tuple[str, ...] | None = None
+    #: RL302/RL303: dispatch paths where a swallowed exception loses a
+    #: request instead of a cosmetic detail.
+    dispatch_prefixes: tuple[str, ...] = (
+        "repro.gateway",
+        "repro.mesh",
+        "repro.cluster",
+        "repro.runtime",
+        "repro.api",
+        "repro.service",
+    )
+    #: RL403: the one module allowed to declare feature-bit constants.
+    feature_registry: str = "repro.gateway.protocol"
+    permissive: bool = False
+
+    def scoped(self, module: str, prefixes: tuple[str, ...] | None) -> bool:
+        """Whether a rule family scoped by ``prefixes`` covers ``module``."""
+        if self.permissive or prefixes is None:
+            return True
+        return any(
+            module == p or module.startswith(p + ".") or p == ""
+            for p in prefixes
+        )
+
+
+DEFAULT_CONFIG = LintConfig()
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file plus everything rules need to see."""
+
+    path: str  #: display path (repo-relative when possible)
+    module: str  #: dotted module name, e.g. ``repro.mesh.worker``
+    source: str
+    tree: ast.AST
+    lines: list[str] = field(default_factory=list)
+    comments: dict[int, str] = field(default_factory=dict)  #: line -> comment
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def comment(self, lineno: int) -> str:
+        return self.comments.get(lineno, "")
+
+    def waived(self, code: str, lineno: int) -> bool:
+        """``# lint: ok <codes>`` on the anchor line waives ``code``."""
+        match = _PRAGMA.search(self.comments.get(lineno, ""))
+        if not match:
+            return False
+        codes = {c.strip() for c in match.group(1).split(",")}
+        return code in codes
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            code=code,
+            path=self.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            snippet=self.line_text(lineno).strip(),
+        )
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name for a file, anchored at the ``repro`` package.
+
+    Files outside any ``repro`` tree (examples, benchmarks, fixtures)
+    fall back to their bare stem — prefix-scoped families then skip them
+    unless the run is permissive.
+    """
+    parts = list(path.parts)
+    stem = path.stem
+    if stem == "__init__":
+        parts = parts[:-1]
+        if not parts:
+            return ""
+    else:
+        parts[-1] = stem
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+        return ".".join(parts)
+    return parts[-1]
+
+
+def _extract_comments(source: str) -> dict[int, str]:
+    comments: dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the ast parse will report the real problem
+    return comments
+
+
+def parse_module(path: Path, *, display: str | None = None) -> ParsedModule:
+    source = path.read_text(encoding="utf-8")
+    return parse_source(
+        source, display=display or str(path), module=module_name(path)
+    )
+
+
+def parse_source(
+    source: str, *, display: str = "<string>", module: str = ""
+) -> ParsedModule:
+    tree = ast.parse(source, filename=display)
+    return ParsedModule(
+        path=display,
+        module=module,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        comments=_extract_comments(source),
+    )
+
+
+def _all_rules():
+    # local import: the rule modules import this one for ParsedModule
+    from . import rules_asyncio, rules_determinism, rules_locks, rules_wire
+
+    return (
+        rules_determinism.check,
+        rules_asyncio.check,
+        rules_locks.check,
+        rules_wire.check,
+    )
+
+
+def lint_module(mod: ParsedModule, config: LintConfig = DEFAULT_CONFIG) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in _all_rules():
+        findings.extend(rule(mod, config))
+    findings = [f for f in findings if not mod.waived(f.code, f.line)]
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return assign_occurrences(findings)
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str = "fixture",
+    config: LintConfig = DEFAULT_CONFIG,
+) -> list[Finding]:
+    """Lint a source string (the test-fixture door)."""
+    return lint_module(
+        parse_source(source, display=f"<{module}>", module=module), config
+    )
+
+
+def iter_python_files(paths) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+    # dedupe while keeping order (a file may be reachable via two args)
+    seen: set = set()
+    unique = []
+    for f in files:
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def lint_paths(
+    paths, config: LintConfig = DEFAULT_CONFIG
+) -> tuple[list[Finding], int]:
+    """Lint every ``.py`` under ``paths``; returns ``(findings, n_files)``.
+
+    Unparseable files surface as an ``RL000`` finding instead of an
+    exception — a syntax error in one file must not hide every other
+    file's findings.
+    """
+    findings: list[Finding] = []
+    files = iter_python_files(paths)
+    cwd = Path.cwd()
+    for path in files:
+        try:
+            display = str(path.relative_to(cwd))
+        except ValueError:
+            display = str(path)
+        try:
+            mod = parse_module(path, display=display)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    code="RL000",
+                    path=display,
+                    line=int(exc.lineno or 1),
+                    message=f"file does not parse: {exc.msg}",
+                    snippet=(exc.text or "").strip(),
+                )
+            )
+            continue
+        findings.extend(lint_module(mod, config))
+    return findings, len(files)
+
+
+def config_with(config: LintConfig, **overrides) -> LintConfig:
+    """A copy of ``config`` with the given fields replaced."""
+    valid = {f.name for f in fields(LintConfig)}
+    unknown = set(overrides) - valid
+    if unknown:
+        raise TypeError(f"unknown LintConfig fields: {sorted(unknown)}")
+    return replace(config, **overrides)

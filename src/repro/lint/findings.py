@@ -1,0 +1,137 @@
+"""Findings, fingerprints and the baseline workflow.
+
+A :class:`Finding` is one rule violation: a stable ``code`` (``RL101``,
+``RL301``, ...), the file and line it anchors to, and a message.  Its
+*fingerprint* deliberately ignores the line **number** — it hashes the
+rule code, the repo-relative path, the normalized text of the offending
+line and an occurrence index — so a baseline entry keeps matching while
+unrelated edits move code around, and stops matching the moment the
+offending line itself changes.
+
+The baseline file is a JSON list of fingerprint entries.  Grandfathered
+findings (fingerprints present in the baseline) do not fail the run;
+anything new does.  The intended workflow is the reverse of most
+linters': fix real findings, baseline only true false-positives, and
+record *why* in the entry's ``reason`` field (``--write-baseline``
+leaves it empty for the author to fill in).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "fingerprint", "load_baseline", "write_baseline"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+    snippet: str = ""
+    col: int = 0
+    #: occurrence index among same-(code, path, snippet) findings; set by
+    #: the engine so two identical lines get distinct fingerprints
+    occurrence: int = field(default=0, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint(self.code, self.path, self.snippet, self.occurrence)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def fingerprint(code: str, path: str, snippet: str, occurrence: int) -> str:
+    """Line-number-independent identity of a finding (see module docstring)."""
+    normalized = " ".join(snippet.split())
+    digest = hashlib.sha256(
+        f"{code}|{path}|{normalized}|{occurrence}".encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number duplicate (code, path, snippet) findings 0, 1, 2, ...
+
+    Keeps fingerprints unique when one file repeats the identical
+    offending line (fixtures do; real code occasionally does too).
+    """
+    seen: dict[tuple, int] = {}
+    out: list[Finding] = []
+    for f in findings:
+        key = (f.code, f.path, " ".join(f.snippet.split()))
+        n = seen.get(key, 0)
+        seen[key] = n + 1
+        out.append(
+            Finding(
+                code=f.code,
+                path=f.path,
+                line=f.line,
+                message=f.message,
+                snippet=f.snippet,
+                col=f.col,
+                occurrence=n,
+            )
+        )
+    return out
+
+
+def load_baseline(path) -> dict[str, dict]:
+    """Read a baseline file; returns ``{fingerprint: entry}``.
+
+    Accepts the ``--write-baseline`` output shape (a list of entries
+    with ``fingerprint`` keys) and tolerates a bare list of fingerprint
+    strings for hand-written files.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = data.get("findings", data) if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path!r} must hold a list of entries")
+    out: dict[str, dict] = {}
+    for entry in entries:
+        if isinstance(entry, str):
+            out[entry] = {"fingerprint": entry}
+        elif isinstance(entry, dict) and "fingerprint" in entry:
+            out[str(entry["fingerprint"])] = entry
+        else:
+            raise ValueError(f"malformed baseline entry: {entry!r}")
+    return out
+
+
+def write_baseline(path, findings: list[Finding]) -> None:
+    """Write every finding as a baseline entry (``reason`` left blank).
+
+    Baselining is for *false positives only*; fill in ``reason`` for each
+    entry you keep, and fix — rather than baseline — real findings.
+    """
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "code": f.code,
+            "path": f.path,
+            "snippet": " ".join(f.snippet.split()),
+            "reason": "",
+        }
+        for f in findings
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"findings": entries}, fh, indent=2, sort_keys=True)
+        fh.write("\n")

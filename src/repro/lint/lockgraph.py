@@ -1,0 +1,450 @@
+"""Dynamic lock-order recorder: the runtime leg of ``repro.lint``.
+
+Static rules cannot see lock *ordering* — a deadlock is a property of
+interleaved executions.  This module patches ``threading.Lock`` /
+``threading.RLock`` so every lock handed out during a recorded run is a
+tracked proxy.  Each acquisition adds edges ``held → acquired`` to a
+cross-module graph keyed by the lock's *creation site* (``file:line``),
+so the graph speaks about program locks, not object instances.  After
+the run:
+
+* a **cycle** in the graph (A taken under B somewhere, B taken under A
+  elsewhere) is a deadlock waiting for the right interleaving — the
+  report shows both acquisition stacks of every edge on the cycle;
+* a ``time.sleep`` executed while holding any tracked lock is a
+  **blocking-while-holding** violation (socket sends are deliberately
+  *not* in the default blocking set: the mesh serializes frame writes
+  under a per-connection ``_wlock`` by design).
+
+As a pytest plugin (``-p repro.lint.lockgraph --lockgraph``) it records
+the whole session and fails it with exit status 3 when the graph has
+cycles or blocking violations.  Programmatic use::
+
+    with lockgraph.record() as rec:
+        ...exercise the code...
+    assert not rec.cycles()
+
+The proxies implement the private ``Condition`` protocol
+(``_release_save`` / ``_acquire_restore`` / ``_is_owned``) so
+``threading.Condition(tracked_lock)`` — which the scheduler's ``_idle``
+and the mesh's ``_wake`` are — keeps working *and* keeps the held-set
+bookkeeping honest across ``wait()``.
+"""
+
+from __future__ import annotations
+
+import _thread
+import contextlib
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["LockGraphRecorder", "record"]
+
+_INTERNAL_FILES = (__file__, threading.__file__)
+
+_STACK_DEPTH = 14
+
+
+def _capture_stack() -> tuple[str, ...]:
+    """A cheap raw stack: ``file:line in func`` frames, innermost last.
+
+    No source-line reads (that is what makes per-acquire capture
+    affordable); recorder and threading frames are skipped.
+    """
+    frames: list[str] = []
+    frame = sys._getframe(2)
+    while frame is not None and len(frames) < _STACK_DEPTH:
+        filename = frame.f_code.co_filename
+        if filename not in _INTERNAL_FILES:
+            frames.append(
+                f"{filename}:{frame.f_lineno} in {frame.f_code.co_qualname}"
+            )
+        frame = frame.f_back
+    frames.reverse()
+    return tuple(frames)
+
+
+def _creation_site() -> str:
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename not in _INTERNAL_FILES:
+            return f"{filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+@dataclass
+class Edge:
+    """``src`` was held while ``dst`` was acquired, ``count`` times."""
+
+    src: str
+    dst: str
+    count: int = 0
+    src_stack: tuple[str, ...] = ()  #: where src was acquired (first time)
+    dst_stack: tuple[str, ...] = ()  #: where dst was acquired under it
+
+
+@dataclass
+class BlockingEvent:
+    """``time.sleep`` ran while the thread held tracked locks."""
+
+    held: tuple[str, ...]
+    seconds: float
+    stack: tuple[str, ...] = ()
+
+
+class _TrackedLock:
+    """Proxy around a real Lock/RLock that reports to the recorder."""
+
+    def __init__(self, inner, site: str, recorder: "LockGraphRecorder") -> None:
+        self._inner = inner
+        self._site = site
+        self._recorder = recorder
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._recorder._note_acquire(self._site)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._recorder._note_release(self._site)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        inner_locked = getattr(self._inner, "locked", None)
+        if inner_locked is not None:
+            return inner_locked()
+        return self._is_owned()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TrackedLock {self._site} wrapping {self._inner!r}>"
+
+    def __getattr__(self, name):
+        # everything else (e.g. _at_fork_reinit, which concurrent.futures
+        # registers with os.register_at_fork) passes straight through
+        return getattr(self._inner, name)
+
+    # -- Condition protocol (threading.Condition private API) ---------- #
+
+    def _release_save(self):
+        save = getattr(self._inner, "_release_save", None)
+        state = save() if save is not None else self._inner.release()
+        # Condition.wait drops the lock entirely (all recursion levels)
+        self._recorder._note_release(self._site, full=True)
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        restore = getattr(self._inner, "_acquire_restore", None)
+        if restore is not None:
+            restore(state)
+        else:
+            self._inner.acquire()
+        self._recorder._note_acquire(self._site)
+
+    def _is_owned(self) -> bool:
+        owned = getattr(self._inner, "_is_owned", None)
+        if owned is not None:
+            return owned()
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+
+class _HeldState(threading.local):
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}  # site -> recursion depth
+        self.stacks: dict[str, tuple[str, ...]] = {}  # site -> acquire stack
+
+
+class LockGraphRecorder:
+    """Builds the cross-thread lock acquisition graph for one run."""
+
+    def __init__(self) -> None:
+        # a *real* lock: the recorder must not observe itself
+        self._mutex = _thread.allocate_lock()
+        self._tls = _HeldState()
+        self.edges: dict[tuple[str, str], Edge] = {}
+        self.blocking: list[BlockingEvent] = []
+        self.locks_created = 0
+        self.acquisitions = 0
+        self._installed = False
+        self._orig_lock = None
+        self._orig_rlock = None
+        self._orig_sleep = None
+
+    # -- patching ------------------------------------------------------- #
+
+    def install(self) -> None:
+        if self._installed:
+            raise RuntimeError("lockgraph recorder already installed")
+        self._orig_lock = threading.Lock
+        self._orig_rlock = threading.RLock
+        self._orig_sleep = time.sleep
+        recorder = self
+
+        def tracked_lock():
+            with recorder._mutex:
+                recorder.locks_created += 1
+            return _TrackedLock(recorder._orig_lock(), _creation_site(), recorder)
+
+        def tracked_rlock():
+            with recorder._mutex:
+                recorder.locks_created += 1
+            return _TrackedLock(recorder._orig_rlock(), _creation_site(), recorder)
+
+        def observing_sleep(seconds):
+            recorder._note_sleep(seconds)
+            recorder._orig_sleep(seconds)
+
+        threading.Lock = tracked_lock
+        threading.RLock = tracked_rlock
+        time.sleep = observing_sleep
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        threading.Lock = self._orig_lock
+        threading.RLock = self._orig_rlock
+        time.sleep = self._orig_sleep
+        self._installed = False
+
+    # -- recording (called from proxies) -------------------------------- #
+
+    def _note_acquire(self, site: str) -> None:
+        tls = self._tls
+        depth = tls.counts.get(site)
+        if depth is not None:  # re-entrant RLock acquire: no new ordering
+            tls.counts[site] = depth + 1
+            return
+        stack = _capture_stack()
+        held = list(tls.counts)
+        tls.counts[site] = 1
+        tls.stacks[site] = stack
+        with self._mutex:
+            self.acquisitions += 1
+            for prior in held:
+                key = (prior, site)
+                edge = self.edges.get(key)
+                if edge is None:
+                    self.edges[key] = Edge(
+                        src=prior,
+                        dst=site,
+                        count=1,
+                        src_stack=tls.stacks.get(prior, ()),
+                        dst_stack=stack,
+                    )
+                else:
+                    edge.count += 1
+
+    def _note_release(self, site: str, *, full: bool = False) -> None:
+        tls = self._tls
+        depth = tls.counts.get(site)
+        if depth is None:
+            return  # released on a different thread than it was acquired
+        if full or depth <= 1:
+            del tls.counts[site]
+            tls.stacks.pop(site, None)
+        else:
+            tls.counts[site] = depth - 1
+
+    def _note_sleep(self, seconds) -> None:
+        held = tuple(self._tls.counts)
+        if not held:
+            return
+        event = BlockingEvent(
+            held=held, seconds=float(seconds), stack=_capture_stack()
+        )
+        with self._mutex:
+            self.blocking.append(event)
+
+    # -- analysis -------------------------------------------------------- #
+
+    def cycles(self) -> list[list[str]]:
+        """Every elementary ordering cycle, as site lists ``[A, B, A]``.
+
+        One representative cycle per strongly connected component — a
+        component with three interlocked orders still surfaces (fixing
+        the reported edge re-runs reveal the rest).
+        """
+        graph: dict[str, list[str]] = {}
+        for src, dst in self.edges:
+            graph.setdefault(src, []).append(dst)
+            graph.setdefault(dst, [])
+        found: list[list[str]] = []
+        for component in _tarjan_scc(graph):
+            if len(component) < 2:
+                continue
+            cycle = _cycle_within(graph, component)
+            if cycle:
+                found.append(cycle)
+        return found
+
+    def violations(self) -> list[str]:
+        out = [f"lock-order cycle: {' -> '.join(c)}" for c in self.cycles()]
+        out.extend(
+            f"time.sleep({e.seconds:g}) while holding {', '.join(e.held)}"
+            for e in self.blocking
+        )
+        return out
+
+    def report(self) -> str:
+        lines = [
+            "lockgraph: "
+            f"{self.locks_created} lock(s), {self.acquisitions} "
+            f"acquisition(s), {len(self.edges)} ordering edge(s)",
+        ]
+        cycles = self.cycles()
+        if not cycles and not self.blocking:
+            lines.append("lockgraph: no cycles, no blocking-while-holding")
+            return "\n".join(lines)
+        for cycle in cycles:
+            lines.append(f"CYCLE: {' -> '.join(cycle)}")
+            for src, dst in zip(cycle, cycle[1:]):
+                edge = self.edges[(src, dst)]
+                lines.append(f"  edge {src} -> {dst} (seen {edge.count}x)")
+                lines.append(f"    {src} acquired at:")
+                lines.extend(f"      {fr}" for fr in edge.src_stack[-6:])
+                lines.append(f"    then {dst} acquired at:")
+                lines.extend(f"      {fr}" for fr in edge.dst_stack[-6:])
+        for event in self.blocking:
+            lines.append(
+                f"BLOCKING: time.sleep({event.seconds:g}) "
+                f"holding {', '.join(event.held)}"
+            )
+            lines.extend(f"      {fr}" for fr in event.stack[-6:])
+        return "\n".join(lines)
+
+
+def _tarjan_scc(graph: dict[str, list[str]]) -> list[list[str]]:
+    """Strongly connected components, iteratively (no recursion limit)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+    for root in graph:
+        if root in index:
+            continue
+        work = [(root, iter(graph[root]))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(graph[nxt])))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def _cycle_within(graph: dict[str, list[str]], component: list[str]) -> list[str]:
+    """One closed walk inside an SCC, e.g. ``[A, B, A]``."""
+    members = set(component)
+    start = component[0]
+    # DFS back to start, restricted to the component
+    path = [start]
+    seen = {start}
+    def _dfs(node: str) -> bool:
+        for nxt in graph.get(node, ()):
+            if nxt == start and len(path) > 1:
+                path.append(start)
+                return True
+            if nxt in members and nxt not in seen:
+                seen.add(nxt)
+                path.append(nxt)
+                if _dfs(nxt):
+                    return True
+                path.pop()
+        return False
+
+    return path if _dfs(start) else []
+
+
+@contextlib.contextmanager
+def record():
+    """Record lock orderings for the enclosed block."""
+    recorder = LockGraphRecorder()
+    recorder.install()
+    try:
+        yield recorder
+    finally:
+        recorder.uninstall()
+
+
+# --------------------------------------------------------------------- #
+# pytest plugin (activate with: -p repro.lint.lockgraph --lockgraph)     #
+# --------------------------------------------------------------------- #
+
+
+def pytest_addoption(parser) -> None:
+    group = parser.getgroup("lockgraph")
+    group.addoption(
+        "--lockgraph",
+        action="store_true",
+        default=False,
+        help="record the lock acquisition graph; fail the session "
+        "(exit 3) on ordering cycles or blocking-while-holding",
+    )
+
+
+def pytest_configure(config) -> None:
+    if config.getoption("--lockgraph"):
+        recorder = LockGraphRecorder()
+        recorder.install()
+        config._lockgraph_recorder = recorder
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    recorder = getattr(config, "_lockgraph_recorder", None)
+    if recorder is None:
+        return
+    terminalreporter.section("lockgraph")
+    terminalreporter.write_line(recorder.report())
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    recorder = getattr(session.config, "_lockgraph_recorder", None)
+    if recorder is None:
+        return
+    recorder.uninstall()
+    if recorder.violations():
+        session.exitstatus = 3

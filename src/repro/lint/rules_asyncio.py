@@ -1,0 +1,126 @@
+"""RL2xx — asyncio discipline: nothing blocking on the event loop.
+
+The gateway's event loop multiplexes every connection; one blocking
+call inside an ``async def`` stalls all of them (and, worse, can
+deadlock against the scheduler pool the loop is waiting on).  PR 7
+additionally established that :meth:`repro.obs.trace.Tracer.span` — a
+*thread-local* context manager — is only safe on real threads, never on
+the loop, where interleaved tasks would corrupt the save/restore
+discipline.  These rules fence the loop off:
+
+=======  ==============================================================
+RL201    ``time.sleep`` inside ``async def`` — use ``asyncio.sleep``
+RL202    synchronous socket op (``sendall``/``recv``/``accept``/
+         ``connect``/…) inside ``async def`` — use the stream APIs or
+         ``loop.sock_*``
+RL203    un-awaited ``.acquire()`` inside ``async def`` — a threading
+         lock blocks the loop; ``asyncio`` primitives are awaited
+RL204    ``Tracer.span(...)`` inside ``async def`` — pre-mint a child
+         context on the loop and use ``Tracer.record`` with explicit
+         timings instead
+=======  ==============================================================
+
+Only statements directly in the async body are checked: a nested
+``def`` is a callback whose execution context is unknown (it usually
+runs on a pool thread, where blocking is the point).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutil import dotted_name
+from .engine import LintConfig, ParsedModule
+
+__all__ = ["check"]
+
+_SOCKET_OPS = {
+    "sendall",
+    "recv",
+    "recv_into",
+    "recvfrom",
+    "accept",
+    "connect",
+    "makefile",
+}
+
+
+def _async_body_calls(func: ast.AsyncFunctionDef):
+    """Yield ``(call, awaited)`` for calls lexically on the loop.
+
+    Descends through control flow but stops at nested function
+    boundaries (sync *and* async — a nested coroutine is its own
+    checked scope when defined with ``async def`` at any level, since
+    ``ast.walk`` from the module root visits it separately).
+    """
+    stack: list[tuple[ast.AST, bool]] = [(node, False) for node in func.body]
+    while stack:
+        node, awaited = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Await):
+            for child in ast.iter_child_nodes(node):
+                stack.append((child, True))
+            continue
+        if isinstance(node, ast.Call):
+            yield node, awaited
+            awaited = False  # arguments of an awaited call are not awaited
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, awaited if isinstance(node, ast.Call) else False))
+
+
+def check(mod: ParsedModule, config: LintConfig) -> list:
+    if not config.scoped(mod.module, config.async_prefixes):
+        return []
+    findings = []
+    for func in ast.walk(mod.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for call, awaited in _async_body_calls(func):
+            name = dotted_name(call.func) or ""
+            attr = (
+                call.func.attr if isinstance(call.func, ast.Attribute) else ""
+            )
+            if name == "time.sleep":
+                findings.append(
+                    mod.finding(
+                        "RL201",
+                        call,
+                        f"time.sleep blocks the event loop in async "
+                        f"{func.name}(); use `await asyncio.sleep(...)`",
+                    )
+                )
+            elif attr in _SOCKET_OPS and not awaited:
+                findings.append(
+                    mod.finding(
+                        "RL202",
+                        call,
+                        f"synchronous socket .{attr}() blocks the event "
+                        f"loop in async {func.name}(); use asyncio "
+                        "streams or loop.sock_* equivalents",
+                    )
+                )
+            elif attr == "acquire" and not awaited:
+                findings.append(
+                    mod.finding(
+                        "RL203",
+                        call,
+                        f"blocking .acquire() in async {func.name}(); a "
+                        "threading lock stalls the loop — await an "
+                        "asyncio primitive instead",
+                    )
+                )
+            elif attr == "span":
+                findings.append(
+                    mod.finding(
+                        "RL204",
+                        call,
+                        f"Tracer.span in async {func.name}(): the "
+                        "thread-local span contextmanager is unsafe on "
+                        "the event loop — pre-mint a child context and "
+                        "use Tracer.record with explicit timings",
+                    )
+                )
+    return findings

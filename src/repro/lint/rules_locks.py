@@ -1,0 +1,228 @@
+"""RL3xx — lock discipline: annotated guards, honest except clauses.
+
+The ``# guarded-by:`` convention makes a class's locking contract
+machine-checkable.  Declare it where the attribute is created::
+
+    self._pending = {}  # guarded-by: _lock
+
+From then on, every mutation of ``self._pending`` anywhere in the class
+must sit inside ``with self._lock:`` (several guard names may be
+listed, comma-separated — a Condition built over the same lock counts:
+``# guarded-by: _lock, _idle``).  A helper that is *called with the
+lock held* declares that on its ``def`` line::
+
+    def _refill(self) -> None:  # guarded-by: _lock
+
+``__init__`` is exempt (the object is not shared yet), reads are not
+checked (many are intentionally lock-free snapshots), and nested
+functions are checked conservatively (a closure may run on another
+thread, so enclosing ``with`` blocks do not count for it).
+
+=======  ==============================================================
+RL301    a declared-guarded attribute mutated outside its lock
+RL302    bare ``except:`` — swallows KeyboardInterrupt/SystemExit too
+RL303    ``except Exception: pass`` in a dispatch path — a lost request
+         with no structured error, no log and no stat
+=======  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .astutil import self_attr
+from .engine import LintConfig, ParsedModule
+
+__all__ = ["check"]
+
+_GUARDED = re.compile(r"guarded-by:\s*([A-Za-z_]\w*(?:\s*,\s*[A-Za-z_]\w*)*)")
+
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def _guards_in(comment: str) -> frozenset[str] | None:
+    match = _GUARDED.search(comment)
+    if not match:
+        return None
+    return frozenset(g.strip() for g in match.group(1).split(","))
+
+
+def _base_self_attr(node: ast.AST) -> str | None:
+    """``x`` for ``self.x``, ``self.x[...]``, ``self.x[...][...]``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return self_attr(node)
+
+
+class _ClassChecker:
+    def __init__(self, mod: ParsedModule, cls: ast.ClassDef) -> None:
+        self.mod = mod
+        self.cls = cls
+        self.declared: dict[str, frozenset[str]] = {}
+        self.decl_lines: set[int] = set()
+        self.findings: list = []
+
+    def collect_declarations(self) -> None:
+        for node in ast.walk(self.cls):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            guards = _guards_in(self.mod.comment(node.lineno))
+            if guards is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = self_attr(target)
+                if attr is not None:
+                    self.declared[attr] = guards
+                    self.decl_lines.add(node.lineno)
+
+    def run(self) -> list:
+        self.collect_declarations()
+        if not self.declared:
+            return []
+        for node in self.cls.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in _EXEMPT_METHODS:
+                    continue
+                held = _guards_in(self.mod.comment(node.lineno)) or frozenset()
+                self._walk(node.body, frozenset(held))
+        return self.findings
+
+    # -- traversal ----------------------------------------------------- #
+
+    def _walk(self, body, held: frozenset[str]) -> None:
+        for node in body:
+            self._visit(node, held)
+
+    def _visit(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # a closure may run on another thread/later: enclosing with
+            # blocks do not vouch for it
+            inner = node.body
+            if isinstance(inner, list):
+                self._walk(inner, frozenset())
+            else:  # a Lambda body is a single expression
+                self._visit(inner, frozenset())
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = frozenset(
+                attr
+                for item in node.items
+                if (attr := self_attr(item.context_expr)) is not None
+            )
+            self._walk(node.body, held | acquired)
+            return
+        self._check_node(node, held)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    # -- mutation checks ------------------------------------------------ #
+
+    def _check_node(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._check_target(target, node, held)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            self._check_target(node.target, node, held)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._check_mutation(_base_self_attr(target), node, held)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS:
+                self._check_mutation(
+                    _base_self_attr(node.func.value), node, held
+                )
+
+    def _check_target(self, target: ast.AST, node: ast.AST, held) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_target(elt, node, held)
+            return
+        if isinstance(target, ast.Starred):
+            self._check_target(target.value, node, held)
+            return
+        self._check_mutation(_base_self_attr(target), node, held)
+
+    def _check_mutation(self, attr: str | None, node: ast.AST, held) -> None:
+        if attr is None or attr not in self.declared:
+            return
+        if getattr(node, "lineno", 0) in self.decl_lines:
+            return  # the declaring assignment itself
+        guards = self.declared[attr]
+        if held & guards:
+            return
+        wanted = " / ".join(f"self.{g}" for g in sorted(guards))
+        self.findings.append(
+            self.mod.finding(
+                "RL301",
+                node,
+                f"self.{attr} is declared guarded-by "
+                f"{', '.join(sorted(guards))} but is mutated outside "
+                f"`with {wanted}` (annotate the def with "
+                "`# guarded-by:` if the caller holds the lock)",
+            )
+        )
+
+
+def check(mod: ParsedModule, config: LintConfig) -> list:
+    findings: list = []
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.ClassDef):
+            findings.extend(_ClassChecker(mod, node).run())
+
+    dispatch = config.scoped(mod.module, config.dispatch_prefixes)
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            findings.append(
+                mod.finding(
+                    "RL302",
+                    node,
+                    "bare `except:` also catches KeyboardInterrupt/"
+                    "SystemExit; name the exceptions (or Exception)",
+                )
+            )
+            continue
+        if not dispatch:
+            continue
+        name = node.type.id if isinstance(node.type, ast.Name) else None
+        if name in ("Exception", "BaseException") and all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            )
+            for stmt in node.body
+        ):
+            findings.append(
+                mod.finding(
+                    "RL303",
+                    node,
+                    f"`except {name}: pass` on a dispatch path swallows "
+                    "request failures silently; answer a structured "
+                    "error, count it, or narrow the exception type",
+                )
+            )
+    return findings

@@ -1,0 +1,186 @@
+"""RL4xx — wire-schema parity: both directions, one feature registry.
+
+A wire message is a pair of converters: ``_body`` (produce the dict)
+and ``_from_body`` (consume it).  The classic drift bug is adding a
+field to one side only — it serializes fine, deserializes fine, and
+silently drops data across the boundary.  Where both sides are
+*analyzable* (``_body`` returns a dict literal with constant keys;
+``_from_body`` touches its parameter only as ``body["k"]`` /
+``body.get("k", ...)``), the key sets must match exactly.  A side that
+builds its dict dynamically (e.g. ``ReportResult._body`` returning
+``self.report.to_dict()``) opts the class out rather than guessing.
+
+=======  ==============================================================
+RL401    ``_body`` and ``_from_body`` disagree on the field set
+RL402    a class (or module) defines one converter of a wire pair
+         without the other
+RL403    a ``*_FEATURE`` / ``*_ROLE`` wire constant declared outside
+         the feature registry module — two declarations of one feature
+         bit is how version-negotiation splits brains
+=======  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .astutil import const_str
+from .engine import LintConfig, ParsedModule
+
+__all__ = ["check"]
+
+_PAIRS = (("_body", "_from_body"), ("to_wire", "from_wire"))
+
+_FEATURE_CONST = re.compile(r"^[A-Z][A-Z0-9_]*_(FEATURE|ROLE)$")
+
+_UNANALYZABLE = object()
+
+
+def _produced_keys(func: ast.FunctionDef):
+    """Keys of every returned dict literal, or ``_UNANALYZABLE``."""
+    keys: set[str] = set()
+    saw_return = False
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        saw_return = True
+        if not isinstance(node.value, ast.Dict):
+            return _UNANALYZABLE
+        for key in node.value.keys:
+            text = const_str(key) if key is not None else None
+            if text is None:  # **unpack or computed key
+                return _UNANALYZABLE
+            keys.add(text)
+    return keys if saw_return else _UNANALYZABLE
+
+
+def _consumed_keys(func: ast.FunctionDef):
+    """Keys read off the body parameter, or ``_UNANALYZABLE``.
+
+    Any use of the parameter other than ``body["k"]`` or
+    ``body.get("k", ...)`` (passing it on, ``**body``, iteration) makes
+    the consumption side unanalyzable.
+    """
+    args = [a.arg for a in func.args.args if a.arg not in ("self", "cls")]
+    if not args:  # no body parameter means no reads
+        return set()
+    param = args[-1]
+    keys: set[str] = set()
+    accounted = 0
+    total = 0
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and node.id == param:
+            total += 1
+        elif (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+        ):
+            text = const_str(node.slice)
+            if text is None:
+                return _UNANALYZABLE
+            keys.add(text)
+            accounted += 1
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == param
+        ):
+            text = const_str(node.args[0]) if node.args else None
+            if text is None:
+                return _UNANALYZABLE
+            keys.add(text)
+            accounted += 1
+    if total != accounted:
+        return _UNANALYZABLE
+    return keys
+
+
+def _check_pair(mod, owner: str, produce: ast.FunctionDef, consume: ast.FunctionDef):
+    produced = _produced_keys(produce)
+    consumed = _consumed_keys(consume)
+    if produced is _UNANALYZABLE or consumed is _UNANALYZABLE:
+        return []
+    findings = []
+    unread = sorted(produced - consumed)
+    unmade = sorted(consumed - produced)
+    if unread:
+        findings.append(
+            mod.finding(
+                "RL401",
+                produce,
+                f"{owner}.{produce.name} writes field(s) "
+                f"{', '.join(unread)} that {consume.name} never reads — "
+                "wire data silently dropped on decode",
+            )
+        )
+    if unmade:
+        findings.append(
+            mod.finding(
+                "RL401",
+                consume,
+                f"{owner}.{consume.name} reads field(s) "
+                f"{', '.join(unmade)} that {produce.name} never writes — "
+                "decode will KeyError (or silently default)",
+            )
+        )
+    return findings
+
+
+def _scan_scope(mod, owner: str, body: list) -> list:
+    defs = {
+        node.name: node
+        for node in body
+        if isinstance(node, ast.FunctionDef)
+    }
+    findings = []
+    for out_name, in_name in _PAIRS:
+        out_fn, in_fn = defs.get(out_name), defs.get(in_name)
+        if out_fn is not None and in_fn is not None:
+            findings.extend(_check_pair(mod, owner, out_fn, in_fn))
+        elif out_fn is not None or in_fn is not None:
+            present = out_fn or in_fn
+            missing = in_name if out_fn is not None else out_name
+            findings.append(
+                mod.finding(
+                    "RL402",
+                    present,
+                    f"{owner} defines {present.name} without {missing}: a "
+                    "wire converter must round-trip — every producer "
+                    "needs its consumer (and vice versa)",
+                )
+            )
+    return findings
+
+
+def check(mod: ParsedModule, config: LintConfig) -> list:
+    findings = _scan_scope(mod, mod.module or mod.path, mod.tree.body)
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.ClassDef):
+            findings.extend(_scan_scope(mod, node.name, node.body))
+
+    in_repro = config.permissive or mod.module.startswith("repro")
+    if in_repro and mod.module != config.feature_registry:
+        for node in mod.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and _FEATURE_CONST.match(target.id)
+                    and const_str(node.value) is not None
+                ):
+                    findings.append(
+                        mod.finding(
+                            "RL403",
+                            node,
+                            f"feature/role constant {target.id} declared "
+                            f"outside the registry "
+                            f"({config.feature_registry}); import it from "
+                            "there so negotiation has one source of truth",
+                        )
+                    )
+    return findings

@@ -122,15 +122,15 @@ class MeshPeer:
         self.label = label
         self.families = advertised_families(features)
         self.liveness_timeout = liveness_timeout
-        self.dead = False
-        self.configured = False
-        self.calls = 0
-        self.outstanding = 0
+        self.dead = False  # guarded-by: _lock
+        self.configured = False  # guarded-by: config_lock
+        self.calls = 0  # guarded-by: _lock
+        self.outstanding = 0  # guarded-by: _lock
         #: outstanding-ops-at-send samples: per-peer dispatch depth
         self.depth = SampleReservoir()
         self.config_lock = threading.Lock()
-        self._seq = 0
-        self._pending: dict[int, Future] = {}
+        self._seq = 0  # guarded-by: _lock
+        self._pending: dict[int, Future] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self._wlock = threading.Lock()
         self._reader = threading.Thread(
@@ -166,6 +166,15 @@ class MeshPeer:
             return
         finally:
             self.abandon()
+
+    def mark_dead(self) -> None:
+        """Flip ``dead`` under the peer lock.
+
+        New :meth:`call` attempts fail fast from here on; in-flight
+        calls are untouched (that is :meth:`abandon`'s job).
+        """
+        with self._lock:
+            self.dead = True
 
     def abandon(self) -> None:
         """Mark dead and fail every in-flight call with :class:`PeerLost`."""
@@ -314,19 +323,19 @@ class MeshCoordinator:
         self._wake = threading.Condition(self._state)
         self._journal = FamilyJournal(self.router)
         #: family id -> peer name
-        self.ownership: dict[int, str] = {}
-        self._installed: dict[int, bool] = {}
-        self._specs: dict[str, dict] = {}
-        self._checkpoints: dict[str, dict] = {}
-        self._results: dict[int, int | None] = {}
-        self._peers: dict[str, MeshPeer] = {}
-        self._join_order: list[str] = []
-        self._alive: set[str] = set()
-        self._failure: BaseException | None = None
-        self._events_since_checkpoint = 0
-        self.now = 0.0
-        self.failovers = 0
-        self.rejected_handshakes = 0
+        self.ownership: dict[int, str] = {}  # guarded-by: _state, _wake
+        self._installed: dict[int, bool] = {}  # guarded-by: _state, _wake
+        self._specs: dict[str, dict] = {}  # guarded-by: _state, _wake
+        self._checkpoints: dict[str, dict] = {}  # guarded-by: _state, _wake
+        self._results: dict[int, int | None] = {}  # guarded-by: _state, _wake
+        self._peers: dict[str, MeshPeer] = {}  # guarded-by: _state, _wake
+        self._join_order: list[str] = []  # guarded-by: _state, _wake
+        self._alive: set[str] = set()  # guarded-by: _state, _wake
+        self._failure: BaseException | None = None  # guarded-by: _state, _wake
+        self._events_since_checkpoint = 0  # guarded-by: _state, _wake
+        self.now = 0.0  # guarded-by: _state, _wake
+        self.failovers = 0  # guarded-by: _state, _wake
+        self.rejected_handshakes = 0  # guarded-by: _state, _wake
 
         self._scheduler = PipelineScheduler(
             max_workers=dispatch_workers, name="repro-mesh"
@@ -334,8 +343,8 @@ class MeshCoordinator:
         self._listener: socket.socket | None = None
         self._acceptor: threading.Thread | None = None
         self.address: tuple[str, int] | None = None
-        self._started = False
-        self._closed = False
+        self._started = False  # guarded-by: _state, _wake
+        self._closed = False  # guarded-by: _state, _wake
 
         # telemetry reservoirs (exact counts/means, bounded samples),
         # re-homed on a MetricsRegistry: the registry holds views of the
@@ -410,7 +419,7 @@ class MeshCoordinator:
                 self._installed.setdefault(fam, False)
             for key in self.router.keys():
                 self._specs[key] = self._spec_for(key)
-        self._started = True
+            self._started = True
         for fam in sorted(self.ownership):
             self._scheduler.submit(fam, self._family_job, fam, 0)
         self._await(self._scheduler.submit(None, lambda: None), "shard builds")
@@ -879,7 +888,9 @@ class MeshCoordinator:
         with self._state:
             peer = self._peers.get(name)
             if peer is not None:
-                peer.dead = True
+                # under the *peer's* lock, not just _state: call() checks
+                # dead under peer._lock and must not race this flip
+                peer.mark_dead()
             if name in self._alive:
                 self._alive.discard(name)
                 self.failovers += 1

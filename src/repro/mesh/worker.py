@@ -34,7 +34,6 @@ import time
 
 from ..api.errors import map_exception
 from ..cluster.worker import ShardHost
-from ..obs.trace import parse_trace_context, span_record
 from ..gateway.protocol import (
     MESH_WORKER_ROLE,
     FrameDecoder,
@@ -46,6 +45,7 @@ from ..gateway.protocol import (
     parse_welcome,
     role_feature,
 )
+from ..obs.trace import parse_trace_context, span_record
 from .protocol import fail_doc, parse_op, reply_doc
 
 __all__ = [
@@ -177,7 +177,9 @@ def serve_connection(
                 # nothing and change nothing
                 ctx = parse_trace_context(body.get("trace"))
                 if ctx is not None:
-                    start_wall = time.time()
+                    # span *timestamp*, never decision logic: wall time
+                    # labels the trace record and nothing replays it
+                    start_wall = time.time()  # lint: ok RL103
                     start_perf = time.perf_counter()
                 results = host.apply(body["ops"])
                 out = {"results": [list(row) for row in results]}

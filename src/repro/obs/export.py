@@ -22,10 +22,10 @@ class JsonlSink:
     def __init__(self, path, *, max_records: int = 100_000):
         self.path = str(path)
         self.max_records = max_records
-        self.written = 0
-        self.dropped = 0
+        self.written = 0  # guarded-by: _lock
+        self.dropped = 0  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._buffer: list[str] = []
+        self._buffer: list[str] = []  # guarded-by: _lock
         # truncate up front so a rerun starts clean
         with open(self.path, "w", encoding="utf-8"):
             pass
@@ -45,6 +45,9 @@ class JsonlSink:
             if len(self._buffer) < 256:
                 return
             lines, self._buffer = self._buffer, []
+            # count the batch the moment it leaves the buffer, or the
+            # budget check above undercounts by every flushed batch
+            self.written += len(lines)
         self._append(lines)
 
     def _append(self, lines: list[str]) -> None:

@@ -54,10 +54,10 @@ class MetricsRegistry:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._counters: dict[tuple, float] = {}
-        self._gauges: dict[tuple, float] = {}
-        self._gauge_fns: dict[tuple, object] = {}
-        self._histograms: dict[tuple, SampleReservoir] = {}
+        self._counters: dict[tuple, float] = {}  # guarded-by: _lock
+        self._gauges: dict[tuple, float] = {}  # guarded-by: _lock
+        self._gauge_fns: dict[tuple, object] = {}  # guarded-by: _lock
+        self._histograms: dict[tuple, SampleReservoir] = {}  # guarded-by: _lock
 
     # -- counters ----------------------------------------------------
 

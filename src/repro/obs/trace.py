@@ -202,7 +202,7 @@ class Tracer:
     def __init__(self, sink=None, *, service: str = "repro", max_spans: int = 4096):
         self.sink = sink
         self.service = service
-        self.spans: deque = deque(maxlen=max_spans)
+        self.spans: deque = deque(maxlen=max_spans)  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def emit(self, record: dict) -> None:

@@ -1,20 +1,18 @@
 """Privacy mechanisms and Geo-Indistinguishability auditing."""
 
-from .budget import BudgetExceededError, PrivacyBudgetLedger
-from .bounds import lemma2_upper_factor, theorem3_competitive_bound
-from .attack import (
-    AttackReport,
-    evaluate_laplace_attack,
-    evaluate_tree_attack,
-    laplace_posterior,
-    tree_posterior,
-)
 from .analysis import (
     DisplacementProfile,
     compare_mechanisms,
     empirical_displacement,
     laplace_displacement_profile,
     tree_displacement_profile,
+)
+from .attack import (
+    AttackReport,
+    evaluate_laplace_attack,
+    evaluate_tree_attack,
+    laplace_posterior,
+    tree_posterior,
 )
 from .audit import (
     GeoIReport,
@@ -24,6 +22,8 @@ from .audit import (
     verify_laplace_geo_i,
     verify_tree_geo_i,
 )
+from .bounds import lemma2_upper_factor, theorem3_competitive_bound
+from .budget import BudgetExceededError, PrivacyBudgetLedger
 from .laplace import PlanarLaplaceMechanism
 from .psd import GeocastRegion, NoisyQuadtree
 from .tree_mechanism import ENUMERATION_LEAF_LIMIT, TreeMechanism

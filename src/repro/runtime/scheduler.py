@@ -98,18 +98,18 @@ class PipelineScheduler:
         )
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
-        self._tails: dict[object, Future] = {}
-        self._barrier: Future | None = None
-        self._in_flight = 0
+        self._tails: dict[object, Future] = {}  # guarded-by: _lock, _idle
+        self._barrier: Future | None = None  # guarded-by: _lock, _idle
+        self._in_flight = 0  # guarded-by: _lock, _idle
         self._slots = (
             threading.BoundedSemaphore(int(max_in_flight))
             if max_in_flight is not None
             else None
         )
-        self._shutdown = False
-        self._depths: dict[object, int] = {}
-        self.submitted = 0
-        self.barriers = 0
+        self._shutdown = False  # guarded-by: _lock, _idle
+        self._depths: dict[object, int] = {}  # guarded-by: _lock, _idle
+        self.submitted = 0  # guarded-by: _lock, _idle
+        self.barriers = 0  # guarded-by: _lock, _idle
 
     # ------------------------------------------------------------------ #
     # submission                                                          #

@@ -45,7 +45,7 @@ import numpy as np
 from ..geometry.box import Box
 from ..geometry.points import as_points
 from ..utils import ensure_rng, keyed_shard_seed, spawn_rng
-from .events import RequestQueue, TaskArrival, WorkerArrival
+from .events import RequestQueue, WorkerArrival
 from .metrics import ServiceReport, build_report
 from .shard import ShardServer
 from .sharding import ShardMap
@@ -126,12 +126,12 @@ class ShardedAssignmentEngine:
         # engine-wide id registry: shards only see their own workers, so
         # cross-shard duplicates must be caught here or one worker id
         # could be assigned twice and budget-charged on two ledgers
-        self._known_workers: set[int] = set()
-        self._assignments: list[tuple[int, int]] = []
+        self._known_workers: set[int] = set()  # guarded-by: _shared_lock
+        self._assignments: list[tuple[int, int]] = []  # guarded-by: _shared_lock
         # guards the cross-shard state (registry, clock) when different
         # shards' requests run on different threads; see module docstring
         self._shared_lock = threading.Lock()
-        self.now = 0.0
+        self.now = 0.0  # guarded-by: _shared_lock
 
     @property
     def n_shards(self) -> int:
@@ -255,8 +255,11 @@ class ShardedAssignmentEngine:
             [int(w) for w in ids],
             [np.asarray(loc, dtype=np.float64) for loc in locs],
         )
-        self._known_workers.update(int(w) for w in ids)
-        self._known_workers.update(int(w) for w in shard.server.registered_ids)
+        with self._shared_lock:
+            self._known_workers.update(int(w) for w in ids)
+            self._known_workers.update(
+                int(w) for w in shard.server.registered_ids
+            )
 
     # ------------------------------------------------------------------ #
     # event-driven operation                                              #
@@ -273,7 +276,8 @@ class ShardedAssignmentEngine:
         if not isinstance(events, RequestQueue):
             events = RequestQueue(events)
         for event in events:
-            self.now = event.time
+            with self._shared_lock:
+                self.now = event.time
             if isinstance(event, WorkerArrival):
                 self.register_worker(event.worker_id, event.location)
             else:

@@ -217,7 +217,9 @@ class ShardServer:
         shard.shard_id = payload["shard_id"]
         shard.box = Box(*(float(v) for v in payload["box"]))
         shard.tree = hst_from_dict(payload["tree"], validate=False)
-        rng = np.random.default_rng()
+        # seed irrelevant: the snapshot state replaces it wholesale just
+        # below — seeding keeps even the transient value deterministic
+        rng = np.random.default_rng(0)
         state = dict(payload["rng_state"])
         expected = rng.bit_generator.state["bit_generator"]
         if state.get("bit_generator") != expected:

@@ -10,7 +10,6 @@ client speaking the framed wire protocol over a real loopback socket,
 or a worker mesh of standalone processes dialed in over loopback.
 """
 
-import pytest
 
 from repro.api import ServiceSpec, make_backend
 from repro.api.conformance import (

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hst import build_hst, tree_distance
+from repro.hst import tree_distance
 from repro.privacy import (
     PlanarLaplaceMechanism,
     TreeMechanism,

@@ -5,12 +5,10 @@ rotting as the library evolves. Heavy CLI flags are overridden where the
 script supports them.
 """
 
-import runpy
 import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

@@ -6,6 +6,7 @@ import io
 import numpy as np
 import pytest
 
+from repro.crowdsourcing import PipelineOutcome
 from repro.experiments import (
     CASE_STUDY_RADII,
     DEFAULTS,
@@ -22,7 +23,6 @@ from repro.experiments import (
     sweep_to_csv,
     table1_rows,
 )
-from repro.crowdsourcing import PipelineOutcome
 from repro.matching import MatchingResult
 from repro.matching.types import Assignment
 

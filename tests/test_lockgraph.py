@@ -1,0 +1,272 @@
+"""repro.lint.lockgraph: the dynamic lock-order leg.
+
+The centerpiece plants a deliberate A→B / B→A inversion and asserts the
+cycle is reported with *both* acquisition stacks; the rest covers
+blocking-while-holding, re-entrancy, Condition compatibility (the
+scheduler's ``_idle`` pattern), clean uninstall, and the pytest plugin's
+exit status.
+"""
+
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from pathlib import Path
+
+from repro.lint import lockgraph
+from repro.runtime import PipelineScheduler
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def run_thread(fn):
+    t = threading.Thread(target=fn)
+    t.start()
+    t.join(10)
+    assert not t.is_alive()
+
+
+class TestInversion:
+    def test_cycle_reported_with_both_stacks(self):
+        with lockgraph.record() as rec:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def forward_order():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            def reversed_order():
+                with lock_b:
+                    with lock_a:
+                        pass
+
+            run_thread(forward_order)
+            run_thread(reversed_order)
+
+        cycles = rec.cycles()
+        assert len(cycles) == 1
+        cycle = cycles[0]
+        assert cycle[0] == cycle[-1] and len(cycle) == 3
+
+        report = rec.report()
+        assert "CYCLE" in report
+        # both edges of the inversion, each with both acquisition stacks
+        assert report.count("acquired at:") == 4
+        assert "forward_order" in report
+        assert "reversed_order" in report
+
+    def test_consistent_order_is_clean(self):
+        with lockgraph.record() as rec:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def one():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            run_thread(one)
+            run_thread(one)
+
+        assert rec.cycles() == []
+        assert rec.violations() == []
+        assert len(rec.edges) == 1
+        assert "no cycles" in rec.report()
+
+    def test_edges_keyed_by_creation_site_across_instances(self):
+        # two *instances* of the same class hierarchy share creation
+        # sites, so a per-instance-consistent order still surfaces the
+        # program-level inversion
+        with lockgraph.record() as rec:
+
+            class Pair:
+                def __init__(self):
+                    self.a = threading.Lock()
+                    self.b = threading.Lock()
+
+            p, q = Pair(), Pair()
+
+            def t1():
+                with p.a:
+                    with q.b:
+                        pass
+
+            def t2():
+                with q.b:
+                    with p.a:
+                        pass
+
+            run_thread(t1)
+            run_thread(t2)
+        assert len(rec.cycles()) == 1
+
+
+class TestBlocking:
+    def test_sleep_while_holding_flagged(self):
+        with lockgraph.record() as rec:
+            lock = threading.Lock()
+
+            def hold_and_sleep():
+                with lock:
+                    time.sleep(0.001)
+
+            run_thread(hold_and_sleep)
+
+        assert len(rec.blocking) == 1
+        event = rec.blocking[0]
+        assert event.seconds == 0.001
+        assert "hold_and_sleep" in " ".join(event.stack)
+        assert any("time.sleep" in v for v in rec.violations())
+
+    def test_sleep_without_lock_is_fine(self):
+        with lockgraph.record() as rec:
+            threading.Lock()  # a tracked lock exists but is not held
+            time.sleep(0.001)
+        assert rec.blocking == []
+
+
+class TestCompatibility:
+    def test_rlock_reentrancy_no_self_edge(self):
+        with lockgraph.record() as rec:
+            lock = threading.RLock()
+
+            def reenter():
+                with lock:
+                    with lock:
+                        pass
+
+            run_thread(reenter)
+        assert rec.edges == {}
+        assert rec.cycles() == []
+
+    def test_condition_wait_notify_roundtrip(self):
+        # Condition(tracked_lock) exercises the private protocol
+        # (_release_save/_acquire_restore/_is_owned); wait() must also
+        # keep the held-set honest or later edges are phantoms
+        with lockgraph.record() as rec:
+            lock = threading.Lock()
+            cond = threading.Condition(lock)
+            other = threading.Lock()
+            ready = []
+
+            def waiter():
+                with cond:
+                    while not ready:
+                        cond.wait(5)
+                # the lock was fully dropped inside wait(): acquiring
+                # another lock now must not edge from the condition lock
+                with other:
+                    pass
+
+            t = threading.Thread(target=waiter)
+            t.start()
+            time.sleep(0.05)
+            with cond:
+                ready.append(1)
+                cond.notify_all()
+            t.join(10)
+            assert not t.is_alive()
+
+        assert rec.cycles() == []
+
+    def test_scheduler_runs_clean_under_recorder(self):
+        with lockgraph.record() as rec:
+            sched = PipelineScheduler(max_workers=2)
+            results = [sched.submit(k % 3, lambda v=k: v * v) for k in range(30)]
+            sched.submit(None, lambda: None)  # a barrier for good measure
+            assert [f.result() for f in results] == [k * k for k in range(30)]
+            sched.shutdown()
+
+        assert rec.acquisitions > 0
+        assert rec.violations() == [], rec.report()
+
+    def test_uninstall_restores_factories(self):
+        orig_lock, orig_rlock, orig_sleep = (
+            threading.Lock,
+            threading.RLock,
+            time.sleep,
+        )
+        with lockgraph.record():
+            assert threading.Lock is not orig_lock
+        assert threading.Lock is orig_lock
+        assert threading.RLock is orig_rlock
+        assert time.sleep is orig_sleep
+
+    def test_locked_proxy_api(self):
+        with lockgraph.record():
+            lock = threading.Lock()
+            assert lock.locked() is False
+            assert lock.acquire(False) is True
+            assert lock.locked() is True
+            lock.release()
+            assert lock.locked() is False
+
+
+class TestPytestPlugin:
+    def _run(self, tmp_path, test_body, *extra):
+        test = tmp_path / "test_planted.py"
+        test.write_text(textwrap.dedent(test_body))
+        return subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                "-p",
+                "repro.lint.lockgraph",
+                *extra,
+                str(test),
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+            cwd=str(tmp_path),
+        )
+
+    _INVERSION = """\
+        import threading
+
+        def test_inverted_orders():
+            a = threading.Lock()
+            b = threading.Lock()
+            def t1():
+                with a:
+                    with b:
+                        pass
+            def t2():
+                with b:
+                    with a:
+                        pass
+            for fn in (t1, t2):
+                t = threading.Thread(target=fn)
+                t.start()
+                t.join()
+    """
+
+    def test_plugin_fails_session_on_cycle(self, tmp_path):
+        proc = self._run(tmp_path, self._INVERSION, "--lockgraph")
+        assert proc.returncode == 3, proc.stdout + proc.stderr
+        assert "CYCLE" in proc.stdout
+
+    def test_without_flag_plugin_is_inert(self, tmp_path):
+        proc = self._run(tmp_path, self._INVERSION)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_clean_session_passes_with_summary(self, tmp_path):
+        clean = """\
+            import threading
+
+            def test_ordered():
+                a = threading.Lock()
+                b = threading.Lock()
+                with a:
+                    with b:
+                        pass
+        """
+        proc = self._run(tmp_path, clean, "--lockgraph")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "lockgraph" in proc.stdout
+        assert "no cycles" in proc.stdout

@@ -16,7 +16,6 @@ import time
 import pytest
 
 from repro.api import (
-    AssignmentClient,
     Batch,
     Flush,
     GetReport,

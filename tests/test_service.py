@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.crowdsourcing.server import publish_tree
 from repro.geometry import Box
 from repro.privacy import BudgetExceededError, PrivacyBudgetLedger, TreeMechanism
-from repro.crowdsourcing.server import publish_tree
 from repro.service import (
     LoadConfig,
     LoadGenerator,

@@ -1,6 +1,5 @@
 """Tests for repro.experiments.summary: the headline grader."""
 
-import pytest
 
 from repro.experiments.metrics import MetricSummary, SeriesPoint, SweepResult
 from repro.experiments.summary import (

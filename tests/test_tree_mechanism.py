@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hst import build_hst, enumerate_leaves, lca_level, tree_distance
+from repro.hst import build_hst, lca_level, tree_distance
 from repro.privacy import ENUMERATION_LEAF_LIMIT, TreeMechanism
 
 from .conftest import random_point_set, random_tree
