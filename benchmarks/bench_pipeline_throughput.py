@@ -25,7 +25,10 @@ Setup — identical for both runs except the dispatch discipline:
 The emitted ``BENCH`` JSON records both throughputs, the speedup ratio
 and ``cpu_count`` — the scaling headroom is bounded by cores: on a
 1-core box the two disciplines mostly time-share and the ratio hovers
-near 1; with >= 2 cores the pipelined gateway should clear 1.5x.
+near 1; with >= 2 cores the pipelined gateway should clear 1.5x. Each
+leg's row also carries the codec its sessions negotiated and frame-byte
+totals (client counters summed over connections, plus the server's), so
+transport cost per discipline is auditable from the JSON alone.
 
 Run:  PYTHONPATH=src python benchmarks/bench_pipeline_throughput.py
 Also collectable by pytest (parity gates on a scaled-down stream):
@@ -122,6 +125,12 @@ def _replay_connections(address, spec, substreams, *, depth: int) -> dict:
     try:
         clients[0].flush()
         report = clients[0].report(wall_seconds=wall)
+        # counter snapshot while the connections are drained but still
+        # open (same discipline as bench_gateway_throughput): every
+        # request is answered, no goodbye frames are in flight yet
+        codec = clients[0].backend.codec
+        bytes_sent = sum(c.backend.bytes_sent for c in clients)
+        bytes_received = sum(c.backend.bytes_received for c in clients)
     finally:
         for client in clients:
             client.close()
@@ -132,6 +141,9 @@ def _replay_connections(address, spec, substreams, *, depth: int) -> dict:
         "assigned": report.tasks_assigned,
         "workers_registered": report.workers_registered,
         "throughput_tasks_per_s": tasks / wall if wall > 0 else 0.0,
+        "codec": codec,
+        "client_bytes_sent": bytes_sent,
+        "client_bytes_received": bytes_received,
         "per_shard_pairs": results,
     }
 
@@ -148,9 +160,13 @@ def _run_gateway(spec, substreams, *, pipeline: bool, n_procs: int) -> dict:
         row = _replay_connections(
             server.address, spec, substreams, depth=depth
         )
+        stats = dict(server.stats)
     row["runtime"] = "pipelined" if pipeline else "serial"
     row["window"] = WINDOW
     row["depth"] = depth
+    row["frames"] = stats["frames"]
+    row["server_bytes_in"] = stats["bytes_in"]
+    row["server_bytes_out"] = stats["bytes_out"]
     return row
 
 

@@ -7,7 +7,12 @@ reference vs engine vs cluster vs a remote client over a loopback
 gateway socket vs a worker mesh over loopback sockets), then on a
 ``(2, 2)`` lattice (engine vs cluster vs remote vs mesh), and finally a
 failover leg that SIGKILLs a mesh worker mid-stream and demands the
-answers still match. Also exercises the full middleware chain
+answers still match. The remote leg appears twice — once negotiating
+``codec:bin1`` and once withholding the offer so the session stays on
+JSON — and a mixed-codec mesh leg alternates its peers between the two
+wires; the failover leg runs on that same mixed mesh, so the
+binary-codec conformance matrix is json-only vs bin-only vs mixed with
+the SIGKILL included. Also exercises the full middleware chain
 (validation, token bucket, latency metrics, error mapping) on the way.
 
 Examples::
@@ -80,13 +85,27 @@ def main(argv: list[str] | None = None) -> int:
             "chunk_size": 21,  # deliberately odd: chunk joints must not matter
             "checkpoint_every": 64,  # parity must survive checkpoint barriers
         },
-        # the remote run serves the engine over a real loopback socket,
-        # so the parity gate also covers the framed wire path
+        # the remote runs serve the engine over a real loopback socket,
+        # so the parity gate also covers the framed wire path — once per
+        # codec: the bin1 session and the json-only session must be
+        # bit-identical to each other and to every in-process backend
         "remote": {"backend": "sharded"},
-        # the mesh run spawns worker processes that dial the coordinator
-        # over loopback sockets — same odd chunk and checkpoint cadence
+        "remote-json": {"backend": "sharded"},
+        # the mesh runs spawn worker processes that dial the coordinator
+        # over loopback sockets — same odd chunk and checkpoint cadence;
+        # the mixed leg alternates peers between bin1 and json frames
         "mesh": {"n_peers": 2, "chunk_size": 21, "checkpoint_every": 64},
+        "mesh-mixed": {"n_peers": 2, "chunk_size": 21, "checkpoint_every": 64},
     }
+    backend_kinds = (
+        "inprocess",
+        "sharded",
+        "cluster",
+        "remote",
+        "remote-json",
+        "mesh",
+        "mesh-mixed",
+    )
     outcomes = []
     for shards in ((1, 1), (2, 2)):
         spec = ServiceSpec(
@@ -102,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         result = run_conformance(
             spec,
+            backend_kinds,
             requests=stream,
             pipeline=max(1, args.pipeline),
             backend_kwargs=cluster_kwargs,
@@ -109,9 +129,15 @@ def main(argv: list[str] | None = None) -> int:
         outcomes.append((shards, result))
 
     # failover leg: kill a mesh worker mid-stream on the sharded case;
-    # restore+replay must leave the answers bit-identical anyway
+    # restore+replay must leave the answers bit-identical anyway — on a
+    # mixed-codec mesh, so the journal can replay across wire formats
     failover_run, failovers = run_mesh_failover(
-        spec, stream, n_peers=3, chunk_size=21, checkpoint_every=64
+        spec,
+        stream,
+        n_peers=3,
+        chunk_size=21,
+        checkpoint_every=64,
+        worker_codecs=("bin1", "json"),
     )
     failover_problems = check_parity([outcomes[-1][1].runs[0], failover_run])
     if failovers < 1:

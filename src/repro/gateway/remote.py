@@ -32,20 +32,35 @@ import socket
 
 from ..api.backends import BackendBase, ServiceSpec
 from ..api.errors import BackendUnavailable, ValidationFailed, error_from_info
-from ..api.messages import ErrorInfo, WIRE_VERSION, attach_trace, from_wire, to_wire
+from ..api.messages import (
+    Batch,
+    ErrorInfo,
+    WIRE_VERSION,
+    attach_trace,
+    from_wire,
+    to_wire,
+)
 from ..obs.trace import current_context
+from .codec import decode_stream_result, encode_stream_batch
 from .protocol import (
+    BIN1_CODEC,
+    BIN1_MAGIC,
     HEADER,
+    JSON_CODEC,
     MAX_FRAME_BYTES,
     PIPELINE_FEATURE,
+    STREAM_RESULT_TAG,
     TRACE_FEATURE,
     check_frame_length,
+    codec_feature,
     decode_payload,
     encode_frame,
     goodbye_doc,
+    granted_codec,
     hello_doc,
     is_gateway_doc,
     parse_welcome,
+    payload_frame,
 )
 
 __all__ = ["RemoteBackend"]
@@ -78,6 +93,12 @@ class RemoteBackend(BackendBase):
         offer is free, and only a tracing-enabled server grants it).
         When granted, request frames carry the sender's current trace
         context so the server links its spans under the caller's.
+    binary:
+        Whether to *offer* the ``codec:bin1`` feature (on by default).
+        A granting server puts the whole session on struct-packed
+        binary frames; pre-feature servers ignore the offer and the
+        session stays JSON. The outcome lands in :attr:`codec`, fixed
+        at welcome for the life of the connection.
     """
 
     name = "remote"
@@ -93,6 +114,7 @@ class RemoteBackend(BackendBase):
         max_frame_bytes: int = MAX_FRAME_BYTES,
         pipeline: bool = True,
         trace: bool = True,
+        binary: bool = True,
     ) -> None:
         super().__init__(spec)
         self.address = (str(address[0]), int(address[1]))
@@ -102,10 +124,14 @@ class RemoteBackend(BackendBase):
         self.max_frame_bytes = int(max_frame_bytes)
         self.pipeline = bool(pipeline)
         self.trace = bool(trace)
+        self.binary = bool(binary)
         self.api_version: int | None = None
         self.session: int | None = None
         self.server_backend: str | None = None
         self.server_features: tuple[str, ...] = ()
+        self.codec: str = JSON_CODEC
+        self.bytes_sent = 0
+        self.bytes_received = 0
         self._sock: socket.socket | None = None
         self._outstanding = 0
 
@@ -124,10 +150,15 @@ class RemoteBackend(BackendBase):
     # ------------------------------------------------------------------ #
 
     def _open(self) -> None:
+        self.codec = JSON_CODEC  # handshake always starts in json
         try:
             self._sock = socket.create_connection(
                 self.address, timeout=self.connect_timeout
             )
+            # request/response framing stalls badly under Nagle: the last
+            # partial segment of every frame waits on the peer's delayed
+            # ACK (~40ms) unless small writes go out immediately
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._sock.settimeout(self.call_timeout)
             self._send_doc(
                 hello_doc(
@@ -138,6 +169,7 @@ class RemoteBackend(BackendBase):
                         for feature, on in (
                             (PIPELINE_FEATURE, self.pipeline),
                             (TRACE_FEATURE, self.trace),
+                            (codec_feature(BIN1_CODEC), self.binary),
                         )
                         if on
                     ),
@@ -158,6 +190,14 @@ class RemoteBackend(BackendBase):
                 self.session,
                 self.server_features,
             ) = parse_welcome(doc)
+            # the codec switches AT the welcome: the hello/welcome pair
+            # above travelled json, everything from here on is framed in
+            # the granted codec (a grant we never offered is skew and
+            # raises before any frame is misread)
+            self.codec = granted_codec(
+                self.server_features,
+                (BIN1_CODEC,) if self.binary else (),
+            )
         except OSError as exc:
             self._drop()
             raise BackendUnavailable(
@@ -235,16 +275,36 @@ class RemoteBackend(BackendBase):
             raise BackendUnavailable(
                 "gateway connection was lost; open a new RemoteBackend"
             )
-        doc = to_wire(request)
-        if self.supports_trace:
-            # the thread's current span (the client middleware opens one
-            # around each call) crosses the socket as a plain dict; an
-            # untraced thread sends nothing
-            ctx = current_context()
-            if ctx is not None:
-                attach_trace(doc, ctx.to_dict())
+        payload = None
+        if (
+            self.codec == BIN1_CODEC
+            and type(request) is Batch
+            and not self.supports_trace
+        ):
+            # columnar fast path: a stream window of register/submit
+            # events packs straight into fixed-width rows, skipping the
+            # document layer on both ends. None means some item fell
+            # outside the row shape — take the document path below.
+            # A traced session stays on documents: rows have nowhere to
+            # carry the trace context.
+            payload = encode_stream_batch(request)
         try:
-            self._send_doc(doc)
+            if payload is not None:
+                frame = payload_frame(
+                    payload, max_frame_bytes=self.max_frame_bytes
+                )
+                self.bytes_sent += len(frame)
+                self._sock.sendall(frame)
+            else:
+                doc = to_wire(request)
+                if self.supports_trace:
+                    # the thread's current span (the client middleware
+                    # opens one around each call) crosses the socket as a
+                    # plain dict; an untraced thread sends nothing
+                    ctx = current_context()
+                    if ctx is not None:
+                        attach_trace(doc, ctx.to_dict())
+                self._send_doc(doc)
         except OSError as exc:
             self._drop()
             raise BackendUnavailable(
@@ -273,12 +333,24 @@ class RemoteBackend(BackendBase):
                 "must be owed by a prior send_request"
             )
         try:
-            doc = self._recv_doc()
+            payload = self._recv_payload()
         except OSError as exc:
             self._drop()
             raise BackendUnavailable(
                 f"gateway connection lost mid-call: {exc}"
             ) from exc
+        if (
+            self.codec == BIN1_CODEC
+            and len(payload) >= 3
+            and payload[0] == BIN1_MAGIC
+            and payload[2] == STREAM_RESULT_TAG
+        ):
+            # mirror of the send-side fast path: the whole window of
+            # answers comes back as rows and never touches from_wire
+            result = decode_stream_result(payload)
+            self._outstanding -= 1
+            return result
+        doc = decode_payload(payload, codec=self.codec)
         self._outstanding -= 1
         if is_gateway_doc(doc):
             self._drop()
@@ -298,11 +370,16 @@ class RemoteBackend(BackendBase):
     # ------------------------------------------------------------------ #
 
     def _send_doc(self, doc: dict) -> None:
-        self._sock.sendall(
-            encode_frame(doc, max_frame_bytes=self.max_frame_bytes)
+        frame = encode_frame(
+            doc, max_frame_bytes=self.max_frame_bytes, codec=self.codec
         )
+        self.bytes_sent += len(frame)
+        self._sock.sendall(frame)
 
     def _recv_doc(self) -> dict:
+        return decode_payload(self._recv_payload(), codec=self.codec)
+
+    def _recv_payload(self) -> bytes:
         header = self._recv_exact(HEADER.size)
         (length,) = HEADER.unpack(header)
         try:
@@ -313,7 +390,8 @@ class RemoteBackend(BackendBase):
             raise BackendUnavailable(
                 f"gateway sent an invalid frame: {exc}"
             ) from exc
-        return decode_payload(self._recv_exact(length))
+        self.bytes_received += HEADER.size + length
+        return self._recv_exact(length)
 
     def _recv_exact(self, n: int) -> bytes:
         chunks = bytearray()

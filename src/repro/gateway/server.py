@@ -51,6 +51,7 @@ import asyncio
 import contextlib
 import itertools
 import logging
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -69,17 +70,26 @@ from ..obs.export import JsonlSink
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import Tracer, parse_trace_context
 from ..runtime import PipelineScheduler, default_worker_count
+from .codec import decode_stream_batch, encode_stream_result
 from .protocol import (
+    BIN1_CODEC,
+    BIN1_MAGIC,
     HEADER,
+    JSON_CODEC,
     MAX_FRAME_BYTES,
     PIPELINE_FEATURE,
+    STREAM_BATCH_TAG,
     TRACE_FEATURE,
     check_frame_length,
+    codec_feature,
     decode_payload,
     encode_frame,
     goodbye_doc,
     is_gateway_doc,
+    negotiate_codec,
+    offered_codecs,
     parse_hello,
+    payload_frame,
     welcome_doc,
 )
 
@@ -115,6 +125,11 @@ class GatewayConfig:
     are honored, and spans land in ``trace_path`` (JSONL) when set.
     ``slow_request_s`` logs (and counts) any dispatch slower than the
     threshold, traced or not.
+
+    ``codecs`` lists the payload codecs this gateway will grant beyond
+    the always-on json baseline (default: ``("bin1",)``). A client
+    offering ``codec:bin1`` in its hello gets the whole session framed
+    binary; ``codecs=()`` pins every session to json.
     """
 
     spec: ServiceSpec
@@ -133,8 +148,16 @@ class GatewayConfig:
     trace: bool = False
     trace_path: str | None = None
     slow_request_s: float | None = None
+    codecs: tuple = (BIN1_CODEC,)
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "codecs", tuple(self.codecs))
+        unknown = [c for c in self.codecs if c not in (BIN1_CODEC,)]
+        if unknown:
+            raise ValueError(
+                f"unknown codecs {unknown!r}; this gateway implements "
+                f"{BIN1_CODEC!r} (json needs no listing)"
+            )
         if self.max_inflight < 1:
             raise ValueError(
                 f"max_inflight must be >= 1, got {self.max_inflight}"
@@ -178,6 +201,7 @@ class GatewayConfig:
             "trace": self.trace,
             "trace_path": self.trace_path,
             "slow_request_s": self.slow_request_s,
+            "codecs": list(self.codecs),
         }
 
     @classmethod
@@ -197,6 +221,7 @@ class Session:
     client: str = ""
     pipelined: bool = False
     traced: bool = False
+    codec: str = JSON_CODEC
     requests: int = 0
     errors: int = 0
 
@@ -267,7 +292,10 @@ class GatewayServer:
             "rejected_handshakes": 0,
             "pipelined_sessions": 0,
             "traced_sessions": 0,
+            "bin1_sessions": 0,
             "slow_requests": 0,
+            "bytes_in": 0,
+            "bytes_out": 0,
         }
         self.address: tuple[str, int] | None = None
         self._session_ids = itertools.count(1)
@@ -364,6 +392,12 @@ class GatewayServer:
     async def _on_connection(self, reader, writer) -> None:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
+        # mirror the client side: responses must not sit in Nagle's buffer
+        # waiting for a delayed ACK on the frame's last partial segment
+        conn = writer.get_extra_info("socket")
+        if conn is not None:
+            with contextlib.suppress(OSError):
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
             await self._session(reader, writer)
         except asyncio.CancelledError:
@@ -389,6 +423,11 @@ class GatewayServer:
                 self._read_frame(reader), self.config.handshake_timeout
             )
             session.api_version, session.client, features = parse_hello(doc)
+            # a malformed codec offer is a structured rejection, same as
+            # any other hello damage (offer validation raises ApiError)
+            session.codec = negotiate_codec(
+                offered_codecs(features), self.config.codecs
+            )
         except (_Disconnect, asyncio.TimeoutError):
             self.stats["rejected_handshakes"] += 1
             return
@@ -412,6 +451,7 @@ class GatewayServer:
             for feature, on in (
                 (PIPELINE_FEATURE, session.pipelined),
                 (TRACE_FEATURE, session.traced),
+                (codec_feature(session.codec), session.codec != JSON_CODEC),
             )
             if on
         )
@@ -420,7 +460,11 @@ class GatewayServer:
             self.stats["pipelined_sessions"] += 1
         if session.traced:
             self.stats["traced_sessions"] += 1
+        if session.codec == BIN1_CODEC:
+            self.stats["bin1_sessions"] += 1
         self.sessions[session.id] = session
+        # the welcome itself travels as json — it *is* the codec switch:
+        # every frame after it (either direction) uses session.codec
         await self._write(
             writer,
             welcome_doc(
@@ -457,7 +501,9 @@ class GatewayServer:
           farewell payload if any (framing damage gets its structured
           answer; disconnects and client goodbyes get silence).
         """
-        read = asyncio.ensure_future(self._read_frame(reader))
+        read = asyncio.ensure_future(
+            self._read_frame(reader, codec=session.codec)
+        )
         await asyncio.wait(
             {read, drain_wait}, return_when=asyncio.FIRST_COMPLETED
         )
@@ -498,18 +544,23 @@ class GatewayServer:
         out. Requests still execute through the scheduler, so two
         *different* serial connections overlap when their shards differ.
         """
+        codec = session.codec
         while True:
             kind, payload = await self._intake(reader, session, drain_wait)
             if kind == "doc":
-                await self._write(writer, await self._dispatch(payload, session))
+                await self._write(
+                    writer, await self._dispatch(payload, session), codec=codec
+                )
                 if self._drain_event.is_set():
-                    await self._write(writer, goodbye_doc("gateway draining"))
+                    await self._write(
+                        writer, goodbye_doc("gateway draining"), codec=codec
+                    )
                     return
             elif kind == "reject":
-                await self._write(writer, payload)
+                await self._write(writer, payload, codec=codec)
             else:  # drain (idle: nothing in flight) or close
                 if payload is not None:
-                    await self._write(writer, payload)
+                    await self._write(writer, payload, codec=codec)
                 return
 
     async def _pipelined_loop(self, reader, writer, session, drain_wait) -> None:
@@ -526,12 +577,13 @@ class GatewayServer:
         pending: set[asyncio.Task] = set()
         write_lock = asyncio.Lock()
         farewell_doc: dict | None = None
+        codec = session.codec
 
         async def respond(doc: dict) -> None:
             response = await self._dispatch(doc, session)
             with contextlib.suppress(ConnectionError):
                 async with write_lock:
-                    await self._write(writer, response)
+                    await self._write(writer, response, codec=codec)
 
         try:
             while True:
@@ -550,7 +602,7 @@ class GatewayServer:
                     task.add_done_callback(pending.discard)
                 elif kind == "reject":
                     async with write_lock:
-                        await self._write(writer, payload)
+                        await self._write(writer, payload, codec=codec)
                 else:  # drain or close; farewell goes out after the flush
                     farewell_doc = payload
                     return
@@ -563,16 +615,22 @@ class GatewayServer:
             if farewell_doc is not None:
                 with contextlib.suppress(ConnectionError):
                     async with write_lock:
-                        await self._write(writer, farewell_doc)
+                        await self._write(writer, farewell_doc, codec=codec)
 
-    async def _dispatch(self, doc: dict, session: Session) -> dict:
-        """Serve one api wire document; always returns a response doc."""
-        try:
-            request = from_wire(doc)
-        except ApiError as exc:
-            self.stats["errors"] += 1
-            session.errors += 1
-            return to_wire(exc.info())
+    async def _dispatch(self, doc, session: Session):
+        """Serve one api wire document (or a fast-path request
+        dataclass); returns a response doc — or the raw response
+        dataclass on the fast path, which ``_write`` packs columnar."""
+        fast = not isinstance(doc, dict)
+        if fast:
+            request = doc
+        else:
+            try:
+                request = from_wire(doc)
+            except ApiError as exc:
+                self.stats["errors"] += 1
+                session.errors += 1
+                return to_wire(exc.info())
         # trace context off the envelope: malformed → None → untraced.
         # gctx (the gateway.dispatch span) is minted HERE, on the event
         # loop, because span ids must be allocated before the job runs
@@ -618,9 +676,10 @@ class GatewayServer:
         if ok:
             session.requests += 1
             self.stats["responses"] += 1
-            out = to_wire(response)
+            out = response if fast else to_wire(response)
         if timed:
             elapsed = time.perf_counter() - start_perf
+            kind = doc.get("kind") if not fast else type(doc).kind
             if gctx is not None:
                 self.tracer.record(
                     "gateway.dispatch",
@@ -628,7 +687,7 @@ class GatewayServer:
                     start_s=start_wall,
                     duration_s=elapsed,
                     attrs={
-                        "kind": doc.get("kind"),
+                        "kind": kind,
                         "session": session.id,
                         "ok": ok,
                     },
@@ -639,7 +698,7 @@ class GatewayServer:
                 self.stats["slow_requests"] += 1
                 _log.warning(
                     "slow request: kind=%s session=%d %.1f ms%s",
-                    doc.get("kind"),
+                    kind,
                     session.id,
                     elapsed * 1e3,
                     f" trace={ctx.trace_id}" if ctx is not None else "",
@@ -680,7 +739,13 @@ class GatewayServer:
     # frame IO                                                            #
     # ------------------------------------------------------------------ #
 
-    async def _read_frame(self, reader) -> dict:
+    async def _read_frame(self, reader, *, codec: str | None = None):
+        """One inbound frame: a wire document, or a :class:`Batch`
+        dataclass when a bin1 session sent a columnar stream window.
+        ``codec`` pins the session's negotiated codec once the handshake
+        is done; the hello itself reads with ``None`` (sniffed) because
+        it must parse to *reject* structured even when a confused peer
+        leads with the wrong codec."""
         try:
             header = await reader.readexactly(HEADER.size)
         except (asyncio.IncompleteReadError, ConnectionError) as exc:
@@ -693,12 +758,56 @@ class GatewayServer:
         except (asyncio.IncompleteReadError, ConnectionError):
             raise _Disconnect(clean=False) from None
         self.stats["frames"] += 1
-        return decode_payload(payload)
+        self.stats["bytes_in"] += HEADER.size + length
+        if (
+            codec == BIN1_CODEC
+            and length >= 3
+            and payload[0] == BIN1_MAGIC
+            and payload[2] == STREAM_BATCH_TAG
+        ):
+            # columnar fast path: the window decodes straight to a Batch
+            # dataclass and skips from_wire in _dispatch. Malformed rows
+            # raise the same structured codes decode_payload would.
+            return decode_stream_batch(payload)
+        return decode_payload(payload, codec=codec)
 
-    async def _write(self, writer, doc: dict) -> None:
-        writer.write(
-            encode_frame(doc, max_frame_bytes=self.config.max_frame_bytes)
-        )
+    async def _write(self, writer, doc, *, codec: str = JSON_CODEC) -> None:
+        """Frame one response: a wire document, or (fast path) a
+        response dataclass packed columnar when its shape allows."""
+        try:
+            if isinstance(doc, dict):
+                frame = encode_frame(
+                    doc, max_frame_bytes=self.config.max_frame_bytes, codec=codec
+                )
+            else:
+                payload = (
+                    encode_stream_result(doc) if codec == BIN1_CODEC else None
+                )
+                if payload is not None:
+                    frame = payload_frame(
+                        payload, max_frame_bytes=self.config.max_frame_bytes
+                    )
+                else:
+                    # anything outside the row shape (reports, errors,
+                    # mixed batches) takes the document path it always had
+                    frame = encode_frame(
+                        to_wire(doc),
+                        max_frame_bytes=self.config.max_frame_bytes,
+                        codec=codec,
+                    )
+        except ApiError as exc:
+            # an oversize *response* is this request's failure, not the
+            # connection's: answer the structured frame-too-large error
+            # (tiny, always frames) and keep the session alive — the
+            # outbound mirror of check_frame_length on the inbound path
+            self.stats["errors"] += 1
+            frame = encode_frame(
+                to_wire(exc.info()),
+                max_frame_bytes=self.config.max_frame_bytes,
+                codec=codec,
+            )
+        self.stats["bytes_out"] += len(frame)
+        writer.write(frame)
         with contextlib.suppress(ConnectionError):
             await writer.drain()
 

@@ -42,6 +42,16 @@ class SnapIndex:
     This is the client-side "map location to an HST leaf" step: the index
     is built once from the published point set and then answers
     nearest-neighbour queries in O(log N).
+
+    When the point set is recognised as a row-major uniform lattice (the
+    shape every :func:`uniform_grid` announcement has), queries skip the
+    KD-tree entirely: nearest-on-a-lattice separates per axis, so a snap
+    is two subtract-scale-round operations and a clip — O(1), and an
+    order of magnitude cheaper per single-event query. Arbitrary point
+    sets keep the KD-tree path; both paths return the nearest point's
+    index (ties on exact cell midlines may break differently between the
+    two, which is why the lattice path, once detected, serves *all*
+    queries for that index).
     """
 
     def __init__(self, points) -> None:
@@ -50,6 +60,7 @@ class SnapIndex:
             raise ValueError("snap index needs at least one predefined point")
         self._points = pts
         self._tree = cKDTree(pts)
+        self._lattice = _detect_lattice(pts)
 
     def __len__(self) -> int:
         return len(self._points)
@@ -63,6 +74,20 @@ class SnapIndex:
 
     def snap(self, location) -> int:
         """Index of the predefined point nearest to ``location``."""
+        if self._lattice is not None:
+            x0, y0, inv_dx, inv_dy, nx, ny = self._lattice
+            x, y = float(location[0]), float(location[1])
+            ix = int((x - x0) * inv_dx + 0.5)
+            iy = int((y - y0) * inv_dy + 0.5)
+            if ix < 0:
+                ix = 0
+            elif ix >= nx:
+                ix = nx - 1
+            if iy < 0:
+                iy = 0
+            elif iy >= ny:
+                iy = ny - 1
+            return iy * nx + ix
         _, idx = self._tree.query(as_point(location))
         return int(idx)
 
@@ -71,9 +96,48 @@ class SnapIndex:
         locs = as_points(locations)
         if len(locs) == 0:
             return np.empty(0, dtype=np.intp)
+        if self._lattice is not None:
+            x0, y0, inv_dx, inv_dy, nx, ny = self._lattice
+            ix = np.floor((locs[:, 0] - x0) * inv_dx + 0.5).astype(np.intp)
+            iy = np.floor((locs[:, 1] - y0) * inv_dy + 0.5).astype(np.intp)
+            np.clip(ix, 0, nx - 1, out=ix)
+            np.clip(iy, 0, ny - 1, out=iy)
+            return iy * nx + ix
         _, idx = self._tree.query(locs)
         return np.asarray(idx, dtype=np.intp)
 
     def point(self, index: int) -> np.ndarray:
         """Coordinates of predefined point ``index``."""
         return self._points[index].copy()
+
+
+def _detect_lattice(pts: np.ndarray):
+    """Recognise a row-major uniform lattice in a point set.
+
+    Returns ``(x0, y0, 1/dx, 1/dy, nx, ny)`` when ``pts`` is exactly the
+    meshgrid layout :func:`uniform_grid` produces (y outer, x inner, even
+    spacing on both axes), else ``None``. The check reconstructs the
+    candidate lattice and compares bit-for-bit, so a false positive would
+    require two different point sets with identical coordinates.
+    """
+    n = len(pts)
+    if n == 1:
+        return (float(pts[0, 0]), float(pts[0, 1]), 1.0, 1.0, 1, 1)
+    xs = np.unique(pts[:, 0])
+    ys = np.unique(pts[:, 1])
+    nx, ny = len(xs), len(ys)
+    if nx * ny != n:
+        return None
+    dx = (xs[-1] - xs[0]) / (nx - 1) if nx > 1 else 1.0
+    dy = (ys[-1] - ys[0]) / (ny - 1) if ny > 1 else 1.0
+    if dx <= 0 or dy <= 0:
+        return None
+    gx, gy = np.meshgrid(xs, ys)
+    if not (
+        np.array_equal(pts[:, 0], gx.ravel())
+        and np.array_equal(pts[:, 1], gy.ravel())
+        and np.allclose(np.diff(xs), dx, rtol=1e-9, atol=0.0)
+        and np.allclose(np.diff(ys), dy, rtol=1e-9, atol=0.0)
+    ):
+        return None
+    return (float(xs[0]), float(ys[0]), 1.0 / float(dx), 1.0 / float(dy), nx, ny)

@@ -14,9 +14,10 @@ builds its dict dynamically (e.g. ``ReportResult._body`` returning
 RL401    ``_body`` and ``_from_body`` disagree on the field set
 RL402    a class (or module) defines one converter of a wire pair
          without the other
-RL403    a ``*_FEATURE`` / ``*_ROLE`` wire constant declared outside
-         the feature registry module — two declarations of one feature
-         bit is how version-negotiation splits brains
+RL403    a ``*_FEATURE`` / ``*_ROLE`` / ``*_CODEC`` / ``*_TAG`` /
+         ``BIN1_*`` wire constant declared outside the feature registry
+         module — two declarations of one feature bit, codec name or
+         binary frame tag is how version-negotiation splits brains
 =======  ==============================================================
 """
 
@@ -32,9 +33,25 @@ __all__ = ["check"]
 
 _PAIRS = (("_body", "_from_body"), ("to_wire", "from_wire"))
 
-_FEATURE_CONST = re.compile(r"^[A-Z][A-Z0-9_]*_(FEATURE|ROLE)$")
+_FEATURE_CONST = re.compile(
+    r"^([A-Z][A-Z0-9_]*_(FEATURE|ROLE|CODEC|TAG)|BIN1_[A-Z0-9_]+)$"
+)
 
 _UNANALYZABLE = object()
+
+
+def _wire_const(node: ast.expr) -> bool:
+    """True for the literals wire constants are made of: str or int.
+
+    Feature bits and codec names are strings; binary frame tags and
+    magic/version bytes are ints.  ``True`` is an int to Python but not
+    a wire constant, so bools are excluded.
+    """
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (str, int))
+        and not isinstance(node.value, bool)
+    )
 
 
 def _produced_keys(func: ast.FunctionDef):
@@ -171,13 +188,13 @@ def check(mod: ParsedModule, config: LintConfig) -> list:
                 if (
                     isinstance(target, ast.Name)
                     and _FEATURE_CONST.match(target.id)
-                    and const_str(node.value) is not None
+                    and _wire_const(node.value)
                 ):
                     findings.append(
                         mod.finding(
                             "RL403",
                             node,
-                            f"feature/role constant {target.id} declared "
+                            f"wire constant {target.id} declared "
                             f"outside the registry "
                             f"({config.feature_registry}); import it from "
                             "there so negotiation has one source of truth",

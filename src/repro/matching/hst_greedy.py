@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from ..hst.paths import Path, tree_distance_for_level
 from .leaf_trie import LeafTrie
 
@@ -56,9 +58,16 @@ class HSTGreedyMatcher:
         self, depth: int, branching: int, worker_paths: Sequence[Path]
     ) -> None:
         self._trie = LeafTrie(depth, branching)
+        # dense slot -> leaf-path table; the trie indexes availability, the
+        # array is the flat record of every slot ever admitted (release and
+        # snapshot rebuilds read paths from here instead of re-collecting
+        # tuples). Grown geometrically by add_worker.
+        n = len(worker_paths)
+        self._slot_paths = np.zeros((max(n, 8), depth), dtype=np.int64)
         for worker_id, path in enumerate(worker_paths):
             self._trie.insert(path, worker_id)
-        self._next_slot = len(worker_paths)
+            self._slot_paths[worker_id] = path
+        self._next_slot = n
 
     @classmethod
     def for_tree(cls, tree, worker_paths: Sequence[Path]) -> "HSTGreedyMatcher":
@@ -100,7 +109,21 @@ class HSTGreedyMatcher:
         slot = self._next_slot
         self._next_slot += 1
         self._trie.insert(path, slot)
+        if slot >= len(self._slot_paths):
+            grown = np.zeros(
+                (2 * len(self._slot_paths), self._slot_paths.shape[1]),
+                dtype=self._slot_paths.dtype,
+            )
+            grown[:slot] = self._slot_paths
+            self._slot_paths = grown
+        self._slot_paths[slot] = path
         return slot
+
+    def slot_path(self, slot: int) -> Path:
+        """Leaf path a slot was admitted under (consumed slots included)."""
+        if not 0 <= slot < self._next_slot:
+            raise IndexError(f"slot {slot} outside [0, {self._next_slot})")
+        return tuple(self._slot_paths[slot].tolist())
 
     def assign(self, task_path: Path) -> tuple[int, int] | None:
         """Assign the nearest available worker to the task's leaf.
@@ -170,12 +193,16 @@ class HSTGreedyMatcher:
         self._trie.remove(worker_id)
         return worker_id, level
 
-    def release(self, worker_id: int, path: Path) -> None:
+    def release(self, worker_id: int, path: Path | None = None) -> None:
         """Return a previously consumed worker to the pool.
 
         Used by the case-study semantics where a failed assignment leaves
-        the worker available.
+        the worker available. ``path`` defaults to the leaf the slot was
+        admitted under (from the slot table); passing it explicitly keeps
+        the historical call shape working.
         """
+        if path is None:
+            path = self.slot_path(worker_id)
         self._trie.insert(path, worker_id)
 
 

@@ -75,7 +75,10 @@ class LeafTrie:
         node = self._root
         node.count += 1
         for v in path:
-            node = node.children.setdefault(v, _Node())
+            child = node.children.get(v)
+            if child is None:
+                child = node.children[v] = _Node()
+            node = child
             node.count += 1
         if node.items is None:
             node.items = []
@@ -138,9 +141,39 @@ class LeafTrie:
                 yield from self._iter_subtree(parent.children[v], level)
 
     def nearest(self, path: Path) -> tuple[int, int] | None:
-        """Closest item on the tree, as ``(item, lca_level)``; ``None`` if empty."""
-        for found in self.iter_candidates(path):
-            return found
+        """Closest item on the tree, as ``(item, lca_level)``; ``None`` if empty.
+
+        A direct walk rather than ``next(iter_candidates(...))``: the
+        nearest item is the first one candidate enumeration would yield
+        (same chain, same smallest-live-child descent, same
+        most-recent-at-leaf tie-break), found here without spinning up the
+        generator machinery — this query is the per-task hot path.
+        """
+        path = self._validate(path)
+        chain: list[_Node] = [self._root]
+        node = self._root
+        for v in path:
+            child = node.children.get(v)
+            if child is None:
+                break
+            chain.append(child)
+            node = child
+        deepest = len(chain) - 1
+        if deepest == self.depth and chain[-1].items:
+            return chain[-1].items[-1], 0
+        for prefix_len in range(min(deepest, self.depth - 1), -1, -1):
+            parent = chain[prefix_len]
+            skip = path[prefix_len]
+            live = sorted(parent.children)
+            for v in live:
+                if v == skip:
+                    continue
+                # leaf-ward descent through the smallest live child mirrors
+                # _iter_subtree's DFS order; items live only at leaves
+                node = parent.children[v]
+                while node.items is None:
+                    node = node.children[min(node.children)]
+                return node.items[-1], self.depth - prefix_len
         return None
 
     def pop_nearest(self, path: Path) -> tuple[int, int] | None:
@@ -184,6 +217,12 @@ class LeafTrie:
                 stack.append(current.children[v])
 
     def _validate(self, path: Path) -> Path:
+        if type(path) is tuple and len(path) == self.depth:
+            for v in path:
+                if type(v) is not int or not 0 <= v < self.branching:
+                    break
+            else:
+                return path  # already canonical — the hot-path shape
         p = tuple(int(v) for v in path)
         if len(p) != self.depth:
             raise ValueError(f"path length {len(p)} != depth {self.depth}")

@@ -9,7 +9,9 @@ knows its coordinator only by address::
 CLI workers (real ``python -m repro.mesh --worker`` processes, real
 sockets), replays the conformance stream, and asserts bit-identical
 assignments and reports against the single-process sharded engine —
-then repeats the run with a worker SIGKILLed mid-stream and asserts the
+once with both peers on the default bin1 wire and once with the peers
+split across bin1 and json frames — then repeats the run with a worker
+SIGKILLed mid-stream on that same mixed-codec mesh and asserts the
 failover changed nothing::
 
     python -m repro.mesh --smoke
@@ -74,6 +76,30 @@ def _run_smoke(args) -> int:
     for problem in problems:
         print(f"  - {problem}", file=sys.stderr)
 
+    # mixed-codec leg: one peer frames bin1, the other json — the codec
+    # each worker negotiated must be invisible in the answers
+    mixed = run_backend(
+        make_backend(
+            "mesh",
+            spec,
+            n_peers=2,
+            spawn="cli",
+            chunk_size=17,
+            checkpoint_every=48,
+            worker_codecs=("bin1", "json"),
+        ),
+        requests,
+        window=16,
+    )
+    mixed_problems = check_parity([reference, mixed])
+    print(
+        f"[repro.mesh smoke] mixed-codec leg (bin1+json peers): "
+        f"{'OK' if not mixed_problems else 'FAILED'}",
+        file=sys.stderr,
+    )
+    for problem in mixed_problems:
+        print(f"  - {problem}", file=sys.stderr)
+
     trace_problems: list[str] = []
     if args.trace:
         trace_problems = _run_traced_leg(spec, requests, reference, args.trace)
@@ -86,6 +112,7 @@ def _run_smoke(args) -> int:
         chunk_size=17,
         checkpoint_every=48,
         window=16,
+        worker_codecs=("bin1", "json"),
     )
     fail_problems = check_parity([reference, failed])
     if failovers < 1:
@@ -98,7 +125,7 @@ def _run_smoke(args) -> int:
     for problem in fail_problems:
         print(f"  - {problem}", file=sys.stderr)
 
-    if problems or trace_problems or fail_problems:
+    if problems or mixed_problems or trace_problems or fail_problems:
         print("[repro.mesh smoke] FAILED", file=sys.stderr)
         return 1
     print("[repro.mesh smoke] OK", file=sys.stderr)
@@ -190,6 +217,14 @@ def main(argv: list[str] | None = None) -> int:
         "--name", default="mesh-worker", help="worker name for --worker"
     )
     parser.add_argument(
+        "--codec",
+        default="bin1",
+        help=(
+            "wire codec to offer the coordinator for --worker "
+            "('bin1' or 'json'; the coordinator's grant decides)"
+        ),
+    )
+    parser.add_argument(
         "--connect-window",
         type=float,
         default=10.0,
@@ -217,7 +252,10 @@ def main(argv: list[str] | None = None) -> int:
         from .worker import run_worker
 
         run_worker(
-            address, name=args.name, connect_window_s=args.connect_window
+            address,
+            name=args.name,
+            codec=args.codec,
+            connect_window_s=args.connect_window,
         )
         return 0
 

@@ -56,12 +56,17 @@ from ..api.messages import to_wire
 from ..cluster.balancer import ClusterRouter, family_of, key_order
 from ..cluster.dispatch import FamilyJournal
 from ..gateway.protocol import (
+    BIN1_CODEC,
+    JSON_CODEC,
     MESH_WORKER_ROLE,
     FrameDecoder,
     advertised_families,
+    codec_feature,
     encode_frame,
     goodbye_doc,
     is_gateway_doc,
+    negotiate_codec,
+    offered_codecs,
     parse_hello,
     peer_role,
     role_feature,
@@ -114,12 +119,16 @@ class MeshPeer:
         features,
         *,
         label: str = "",
+        codec: str = JSON_CODEC,
         liveness_timeout: float = 120.0,
     ) -> None:
         self.name = name
         self.sock = sock
         self.features = tuple(features)
         self.label = label
+        #: negotiated per-peer payload codec — a mixed mesh legitimately
+        #: runs some peers binary and some json, fixed at each welcome
+        self.codec = codec
         self.families = advertised_families(features)
         self.liveness_timeout = liveness_timeout
         self.dead = False  # guarded-by: _lock
@@ -203,7 +212,7 @@ class MeshPeer:
             self.outstanding += 1
             self.depth.record(float(self.outstanding))
         try:
-            frame = encode_frame(op_doc(op, seq, body))
+            frame = encode_frame(op_doc(op, seq, body), codec=self.codec)
             try:
                 with self._wlock:
                     self.sock.sendall(frame)
@@ -237,7 +246,11 @@ class MeshPeer:
         if not self.dead:
             try:
                 with self._wlock:
-                    self.sock.sendall(encode_frame(goodbye_doc("mesh closing")))
+                    self.sock.sendall(
+                        encode_frame(
+                            goodbye_doc("mesh closing"), codec=self.codec
+                        )
+                    )
             except OSError:
                 pass
         try:
@@ -291,6 +304,7 @@ class MeshCoordinator:
         handshake_timeout: float = 10.0,
         dispatch_workers: int | None = None,
         tracer=None,
+        codecs: tuple = (BIN1_CODEC,),
     ) -> None:
         if expected_workers < 1:
             raise ValueError(f"need at least one worker, got {expected_workers}")
@@ -318,6 +332,10 @@ class MeshCoordinator:
         self.port = port
         self.liveness_timeout = liveness_timeout
         self.handshake_timeout = handshake_timeout
+        #: payload codecs grantable to dialing workers (json always
+        #: implied); each peer's codec is negotiated at its own welcome,
+        #: so one mesh freely mixes binary and json workers
+        self.codecs = tuple(codecs)
 
         self._state = threading.RLock()
         self._wake = threading.Condition(self._state)
@@ -476,6 +494,11 @@ class MeshCoordinator:
             ).start()
 
     def _handshake(self, conn: socket.socket) -> None:
+        # mirror the worker side: op dispatch is latency-bound round trips
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
         conn.settimeout(self.handshake_timeout)
         decoder = FrameDecoder()
         try:
@@ -493,6 +516,7 @@ class MeshCoordinator:
                     "this endpoint coordinates mesh workers; hello "
                     f"advertises role {role!r}"
                 )
+            codec = negotiate_codec(offered_codecs(features), self.codecs)
         except OSError:
             conn.close()
             return
@@ -518,6 +542,7 @@ class MeshCoordinator:
                 conn,
                 features,
                 label=client,
+                codec=codec,
                 liveness_timeout=self.liveness_timeout,
             )
             self._peers[name] = peer
@@ -531,13 +556,16 @@ class MeshCoordinator:
         # `configure` ahead of the welcome, and the worker (rightly)
         # treats a welcome-less peer as not a coordinator.
         try:
+            granted = (role_feature(MESH_WORKER_ROLE),) + (
+                (codec_feature(codec),) if codec != JSON_CODEC else ()
+            )
             conn.sendall(
                 encode_frame(
                     welcome_doc(
                         api_version,
                         "repro.mesh.coordinator",
                         session,
-                        features=(role_feature(MESH_WORKER_ROLE),),
+                        features=granted,
                     )
                 )
             )

@@ -35,11 +35,15 @@ import time
 from ..api.errors import map_exception
 from ..cluster.worker import ShardHost
 from ..gateway.protocol import (
+    BIN1_CODEC,
+    JSON_CODEC,
     MESH_WORKER_ROLE,
     FrameDecoder,
+    codec_feature,
     encode_frame,
     family_features,
     goodbye_doc,
+    granted_codec,
     hello_doc,
     is_gateway_doc,
     parse_welcome,
@@ -74,8 +78,9 @@ def connect_worker(
     *,
     name: str = "mesh-worker",
     families=(),
+    codec: str = BIN1_CODEC,
     connect_window_s: float = 10.0,
-) -> tuple[socket.socket, FrameDecoder, list[dict]]:
+) -> tuple[socket.socket, FrameDecoder, list[dict], str]:
     """Dial the coordinator and complete the role handshake.
 
     Retries the TCP connect inside ``connect_window_s`` (a CLI worker
@@ -83,18 +88,32 @@ def connect_worker(
     insists the welcome grants the mesh-worker role — a plain gateway
     would answer a feature-less welcome, and serving assignment requests
     as if they were shard ops helps nobody.
+
+    ``codec`` is the *offer* (:data:`JSON_CODEC` offers nothing); the
+    returned codec is what the welcome granted, and it is what every
+    reply frame must be encoded in. The decoder stays in sniffing mode
+    because ops glued behind the json welcome may already ride the
+    granted codec.
     """
     deadline = time.monotonic() + connect_window_s
     while True:
         try:
             sock = socket.create_connection(address, timeout=connect_window_s)
+            # ops are request/response frames; Nagle + delayed ACK would
+            # add ~40ms to every partial-segment tail (see gateway.remote)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             break
         except OSError:
             if time.monotonic() >= deadline:
                 raise
             time.sleep(0.05)
     try:
-        features = (role_feature(MESH_WORKER_ROLE), *family_features(families))
+        offered = () if codec == JSON_CODEC else (str(codec),)
+        features = (
+            role_feature(MESH_WORKER_ROLE),
+            *family_features(families),
+            *(codec_feature(c) for c in offered),
+        )
         sock.sendall(
             encode_frame(
                 hello_doc(client=f"repro.mesh.worker/{name}", features=features)
@@ -113,22 +132,28 @@ def connect_worker(
                 f"peer at {address!r} did not grant the mesh-worker role "
                 "(is it a plain gateway?)"
             )
+        session_codec = granted_codec(granted, offered)
     except BaseException:
         sock.close()
         raise
     sock.settimeout(None)
     # ops may already ride glued to the welcome — hand them to the loop
-    return sock, decoder, frames[1:]
+    return sock, decoder, frames[1:], session_codec
 
 
 def serve_connection(
-    sock: socket.socket, decoder: FrameDecoder, *, pending: list | None = None
+    sock: socket.socket,
+    decoder: FrameDecoder,
+    *,
+    pending: list | None = None,
+    codec: str = JSON_CODEC,
 ) -> None:
     """The op loop: apply coordinator ops to a local ShardHost until the
     coordinator says goodbye or the connection dies.
 
     ``pending`` carries frames that arrived glued to the welcome. The
     host is built on the first ``configure`` op; ops before it fail.
+    ``codec`` (fixed at welcome) frames every reply.
     """
     host: ShardHost | None = None
     queue = list(pending or ())
@@ -212,12 +237,15 @@ def serve_connection(
             info = map_exception(exc).info()
             try:
                 sock.sendall(
-                    encode_frame(fail_doc(seq, info.code, info.message, info.detail))
+                    encode_frame(
+                        fail_doc(seq, info.code, info.message, info.detail),
+                        codec=codec,
+                    )
                 )
             except OSError:
                 pass
             return
-        sock.sendall(encode_frame(reply_doc(seq, out)))
+        sock.sendall(encode_frame(reply_doc(seq, out), codec=codec))
 
 
 def run_worker(
@@ -225,16 +253,23 @@ def run_worker(
     *,
     name: str = "mesh-worker",
     families=(),
+    codec: str = BIN1_CODEC,
     connect_window_s: float = 10.0,
 ) -> None:
     """Entry point of one mesh worker process: dial, handshake, serve."""
-    sock, decoder, pending = connect_worker(
-        address, name=name, families=families, connect_window_s=connect_window_s
+    sock, decoder, pending, session_codec = connect_worker(
+        address,
+        name=name,
+        families=families,
+        codec=codec,
+        connect_window_s=connect_window_s,
     )
     try:
-        serve_connection(sock, decoder, pending=pending)
+        serve_connection(sock, decoder, pending=pending, codec=session_codec)
         try:
-            sock.sendall(encode_frame(goodbye_doc("worker done")))
+            sock.sendall(
+                encode_frame(goodbye_doc("worker done"), codec=session_codec)
+            )
         except OSError:
             pass
     finally:
@@ -246,11 +281,16 @@ def run_worker(
 # --------------------------------------------------------------------- #
 
 
-def _worker_entry(host: str, port: int, name: str) -> None:
-    run_worker((host, port), name=name)
+def _worker_entry(host: str, port: int, name: str, codec: str) -> None:
+    run_worker((host, port), name=name, codec=codec)
 
 
-def spawn_local_worker(address: tuple[str, int], *, name: str = "mesh-worker"):
+def spawn_local_worker(
+    address: tuple[str, int],
+    *,
+    name: str = "mesh-worker",
+    codec: str = BIN1_CODEC,
+):
     """Fork a worker subprocess in-repo (tests, MeshBackend default).
 
     Fork keeps startup cheap and inherits ``sys.path``; spawn is the
@@ -265,7 +305,7 @@ def spawn_local_worker(address: tuple[str, int], *, name: str = "mesh-worker"):
     ctx = multiprocessing.get_context(method)
     proc = ctx.Process(
         target=_worker_entry,
-        args=(address[0], int(address[1]), name),
+        args=(address[0], int(address[1]), name, str(codec)),
         name=f"repro-mesh-{name}",
         daemon=True,
     )
@@ -273,7 +313,12 @@ def spawn_local_worker(address: tuple[str, int], *, name: str = "mesh-worker"):
     return proc
 
 
-def spawn_cli_worker(address: tuple[str, int], *, name: str = "mesh-worker"):
+def spawn_cli_worker(
+    address: tuple[str, int],
+    *,
+    name: str = "mesh-worker",
+    codec: str = BIN1_CODEC,
+):
     """Launch ``python -m repro.mesh --worker`` as a real OS process.
 
     This is the deployment shape — a standalone process that knows the
@@ -298,6 +343,8 @@ def spawn_cli_worker(address: tuple[str, int], *, name: str = "mesh-worker"):
             f"{address[0]}:{int(address[1])}",
             "--name",
             name,
+            "--codec",
+            str(codec),
         ],
         env=env,
     )

@@ -11,11 +11,20 @@ Composition note: Geo-I composes additively over *independent* mechanism
 invocations on the same datum — reporting twice with budgets ε1 and ε2 is
 (ε1+ε2)-Geo-I against an adversary seeing both reports. The ledger tracks
 exactly that sum per principal.
+
+Storage: balances live in a dense float64 array indexed by a
+principal→row dict, and history in parallel row/epsilon arrays — the
+cohort path (:meth:`PrivacyBudgetLedger.spend_batch`) charges thousands
+of principals with a handful of array operations, and the audit
+aggregates (:meth:`PrivacyBudgetLedger.total_spent`,
+:meth:`PrivacyBudgetLedger.min_remaining`) are single reductions. The
+JSON wire shape of :meth:`PrivacyBudgetLedger.to_dict` is unchanged from
+the dict-backed ledger, so existing snapshots restore bit-identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import numpy as np
 
 __all__ = ["BudgetExceededError", "PrivacyBudgetLedger"]
 
@@ -24,7 +33,6 @@ class BudgetExceededError(RuntimeError):
     """Raised when a spend would push a principal past its budget cap."""
 
 
-@dataclass
 class PrivacyBudgetLedger:
     """Per-principal cumulative epsilon tracker with a hard cap.
 
@@ -34,17 +42,24 @@ class PrivacyBudgetLedger:
         Maximum cumulative epsilon any principal may spend.
     """
 
-    capacity: float
-    _spent: dict[object, float] = field(default_factory=dict, repr=False)
-    _history: list[tuple[object, float]] = field(default_factory=list, repr=False)
-
-    def __post_init__(self) -> None:
+    def __init__(self, capacity: float) -> None:
+        self.capacity = capacity
         if self.capacity <= 0:
             raise ValueError(f"capacity must be positive, got {self.capacity}")
+        self._rows: dict[object, int] = {}  # principal -> balance row
+        self._principals: list[object] = []  # row -> principal
+        self._balances = np.zeros(16, dtype=np.float64)
+        self._hist_rows = np.zeros(32, dtype=np.intp)
+        self._hist_eps = np.zeros(32, dtype=np.float64)
+        self._n_hist = 0
+
+    def __repr__(self) -> str:  # matches the former dataclass repr
+        return f"{type(self).__name__}(capacity={self.capacity!r})"
 
     def spent(self, principal) -> float:
         """Cumulative epsilon already spent by ``principal``."""
-        return self._spent.get(principal, 0.0)
+        row = self._rows.get(principal)
+        return 0.0 if row is None else float(self._balances[row])
 
     def remaining(self, principal) -> float:
         """Budget left before ``principal`` hits the cap."""
@@ -68,10 +83,10 @@ class PrivacyBudgetLedger:
                 f"principal {principal!r} has {self.remaining(principal):.3f} "
                 f"of {self.capacity} left; cannot spend {epsilon}"
             )
-        new_total = self.spent(principal) + epsilon
-        self._spent[principal] = new_total
-        self._history.append((principal, epsilon))
-        return new_total
+        row = self._row_of(principal)
+        self._balances[row] += epsilon
+        self._record(row, epsilon)
+        return float(self._balances[row])
 
     def spend_batch(self, principals, epsilon: float) -> None:
         """Record the same ``epsilon`` spend for a whole cohort at once.
@@ -85,35 +100,54 @@ class PrivacyBudgetLedger:
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
         principals = list(principals)
-        # count multiplicity so a principal repeated within the batch is
-        # checked against its *total* batch spend, not the pre-batch state
-        counts: dict[object, int] = {}
-        for p in principals:
-            counts[p] = counts.get(p, 0) + 1
-        for p, k in counts.items():
-            if self.spent(p) + k * epsilon > self.capacity + 1e-12:
-                raise BudgetExceededError(
-                    f"principal {p!r} has {self.remaining(p):.3f} of "
-                    f"{self.capacity} left; cannot spend {k} x {epsilon} "
-                    f"(batch of {len(principals)} rejected)"
-                )
-        for p in principals:
-            self._spent[p] = self.spent(p) + epsilon
-            self._history.append((p, epsilon))
+        if not principals:
+            return
+        # resolve rows up front (allocating for new principals) so the
+        # cap check and the apply are both pure array passes
+        n_before = len(self._principals)
+        rows = np.fromiter(
+            (self._row_of(p) for p in principals),
+            dtype=np.intp,
+            count=len(principals),
+        )
+        # multiplicity-aware check: a principal repeated within the batch
+        # is charged against its *total* batch spend, not pre-batch state
+        counts = np.bincount(rows, minlength=len(self._principals))
+        would_be = self._balances[: len(self._principals)] + counts * epsilon
+        over = np.flatnonzero(would_be > self.capacity + 1e-12)
+        if over.size:
+            row = int(over[0])
+            p = self._principals[row]
+            k = int(counts[row])
+            # all-or-nothing includes the row table: principals first seen
+            # in a rejected batch must not linger as zero-balance rows
+            for stray in self._principals[n_before:]:
+                del self._rows[stray]
+            del self._principals[n_before:]
+            raise BudgetExceededError(
+                f"principal {p!r} has {self.remaining(p):.3f} of "
+                f"{self.capacity} left; cannot spend {k} x "
+                f"{epsilon} (batch of {len(principals)} rejected)"
+            )
+        np.add.at(self._balances, rows, epsilon)
+        self._record_many(rows, epsilon)
 
     @property
     def history(self) -> list[tuple[object, float]]:
         """All recorded spends in order, as ``(principal, epsilon)``."""
-        return list(self._history)
+        return [
+            (self._principals[self._hist_rows[i]], float(self._hist_eps[i]))
+            for i in range(self._n_hist)
+        ]
 
     @property
     def principals(self) -> int:
         """Number of principals with at least one recorded spend."""
-        return len(self._spent)
+        return len(self._principals)
 
     def total_spent(self) -> float:
         """Sum of all spends across principals (for dashboards)."""
-        return sum(self._spent.values())
+        return float(self._balances[: len(self._principals)].sum())
 
     def min_remaining(self) -> float:
         """Smallest remaining budget over all known principals.
@@ -121,15 +155,56 @@ class PrivacyBudgetLedger:
         The auditor's headline number: how close the most-exposed user is
         to the cap. ``capacity`` when nobody has spent yet.
         """
-        if not self._spent:
+        if not self._principals:
             return self.capacity
-        return self.capacity - max(self._spent.values())
+        return self.capacity - float(
+            self._balances[: len(self._principals)].max()
+        )
 
     def mean_remaining(self) -> float:
         """Average remaining budget over all known principals."""
-        if not self._spent:
+        if not self._principals:
             return self.capacity
-        return self.capacity - sum(self._spent.values()) / len(self._spent)
+        return self.capacity - self.total_spent() / len(self._principals)
+
+    # ------------------------------------------------------------------ #
+    # internals                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _row_of(self, principal) -> int:
+        row = self._rows.get(principal)
+        if row is None:
+            row = len(self._principals)
+            self._rows[principal] = row
+            self._principals.append(principal)
+            if row >= len(self._balances):
+                grown = np.zeros(2 * len(self._balances), dtype=np.float64)
+                grown[:row] = self._balances
+                self._balances = grown
+        return row
+
+    def _record(self, row: int, epsilon: float) -> None:
+        if self._n_hist >= len(self._hist_rows):
+            self._grow_history(self._n_hist + 1)
+        self._hist_rows[self._n_hist] = row
+        self._hist_eps[self._n_hist] = epsilon
+        self._n_hist += 1
+
+    def _record_many(self, rows: np.ndarray, epsilon: float) -> None:
+        end = self._n_hist + len(rows)
+        if end > len(self._hist_rows):
+            self._grow_history(end)
+        self._hist_rows[self._n_hist : end] = rows
+        self._hist_eps[self._n_hist : end] = epsilon
+        self._n_hist = end
+
+    def _grow_history(self, need: int) -> None:
+        size = max(need, 2 * len(self._hist_rows))
+        rows = np.zeros(size, dtype=np.intp)
+        eps = np.zeros(size, dtype=np.float64)
+        rows[: self._n_hist] = self._hist_rows[: self._n_hist]
+        eps[: self._n_hist] = self._hist_eps[: self._n_hist]
+        self._hist_rows, self._hist_eps = rows, eps
 
     # ------------------------------------------------------------------ #
     # serialization                                                       #
@@ -144,8 +219,14 @@ class PrivacyBudgetLedger:
         """
         return {
             "capacity": self.capacity,
-            "spent": [[p, v] for p, v in self._spent.items()],
-            "history": [[p, e] for p, e in self._history],
+            "spent": [
+                [p, float(self._balances[row])]
+                for row, p in enumerate(self._principals)
+            ],
+            "history": [
+                [self._principals[self._hist_rows[i]], float(self._hist_eps[i])]
+                for i in range(self._n_hist)
+            ],
         }
 
     @classmethod
@@ -165,15 +246,22 @@ class PrivacyBudgetLedger:
                     f"spent balance {value} for {principal!r} outside "
                     f"(0, {ledger.capacity}]"
                 )
-            ledger._spent[principal] = value
-        ledger._history = [(p, float(e)) for p, e in payload["history"]]
+            # resolve the row before indexing: _row_of may swap _balances
+            # for a grown array, and the subscript target must be the new one
+            row = ledger._row_of(principal)
+            ledger._balances[row] = value
+        for p, e in payload["history"]:
+            # _row_of tolerates history-only principals (zero balance rows
+            # would be caught by the totals check below)
+            ledger._record(ledger._row_of(p), float(e))
         totals: dict[object, float] = {}
-        for p, e in ledger._history:
-            totals[p] = totals.get(p, 0.0) + e
-        for p in set(totals) | set(ledger._spent):
-            if abs(totals.get(p, 0.0) - ledger._spent.get(p, 0.0)) > 1e-9:
+        for i in range(ledger._n_hist):
+            p = ledger._principals[ledger._hist_rows[i]]
+            totals[p] = totals.get(p, 0.0) + float(ledger._hist_eps[i])
+        for p in ledger._principals:
+            if abs(totals.get(p, 0.0) - ledger.spent(p)) > 1e-9:
                 raise ValueError(
                     f"ledger history sums to {totals.get(p, 0.0)} for {p!r} "
-                    f"but the balance says {ledger._spent.get(p, 0.0)}"
+                    f"but the balance says {ledger.spent(p)}"
                 )
         return ledger

@@ -66,6 +66,7 @@ class TreeMechanism:
         self.weights = TreeWeights.from_tree(tree, epsilon)
         self.method = method
         self._rng = ensure_rng(seed)
+        self._cols = np.arange(tree.depth)
 
     @property
     def epsilon(self) -> float:
@@ -169,8 +170,10 @@ class TreeMechanism:
         Samples every leaf's LCA level in one multinomial draw and builds
         all output paths with array operations — the same distribution as
         the per-leaf samplers (it is the level sampler, vectorized), at a
-        fraction of the Python overhead. Used by pipelines to register
-        10^4-10^5 workers at once.
+        fraction of the Python overhead. Pipelines use it to register
+        10^4-10^5 workers at once, and :class:`~repro.service.shard
+        .ShardServer` routes every single-event task submission through it
+        as a batch of one — the hot path has exactly one sampler.
         """
         rng = self._resolve_rng(rng)
         paths = np.asarray(paths, dtype=np.int64)
@@ -182,27 +185,69 @@ class TreeMechanism:
             paths.min() < 0 or paths.max() >= self.tree.branching
         ):
             raise ValueError("path entries outside [0, branching)")
+        return self._obfuscate_rows(paths, rng)
+
+    def _obfuscate_rows(self, paths: np.ndarray, rng) -> np.ndarray:
+        """The batch sampler proper, on pre-validated ``(n, D)`` int64 rows.
+
+        Single kernel behind both public batch entry points; the callers
+        own validation so a batch of one (the per-task hot path) pays no
+        redundant bound scans.
+        """
         n = len(paths)
         depth, c = self.tree.depth, self.tree.branching
         out = paths.copy()
         if n == 0:
             return out
-        levels = rng.choice(depth + 1, size=n, p=self.weights.level_probs)
-        moved = levels > 0
-        if not np.any(moved):
+        if n == 1:
+            # the per-task hot case: identical draws (rng.random(1), then
+            # one rng.random((1, depth + 1)) block when the leaf moves) and
+            # identical arithmetic as the vector branch below, with scalar
+            # ops in place of gather/scatter — bit-for-bit the same output
+            # for the same stream, at a fraction of the fixed cost
+            level = int(
+                np.searchsorted(self.weights.level_cdf, rng.random(1), "right")[0]
+            )
+            if level == 0:
+                return out
+            u = rng.random((1, depth + 1))[0]
+            row = out[0]
+            split = depth - level
+            avoid = int(row[split])
+            child = min(int(u[0] * (c - 1)), c - 2)
+            if child >= avoid:
+                child += 1
+            row[split] = child
+            for j in range(split + 1, depth):
+                row[j] = min(int(u[j + 1] * c), c - 1)
             return out
-        idx = np.flatnonzero(moved)
+        # level draw via the precomputed cdf: bit-identical to
+        # rng.choice(depth + 1, size=n, p=level_probs) on the same stream,
+        # minus choice's per-call p validation — which dominates at n = 1
+        levels = np.searchsorted(
+            self.weights.level_cdf, rng.random(n), side="right"
+        )
+        moved = levels > 0
+        if not moved.any():
+            return out
+        idx = moved.nonzero()[0]
         split = depth - levels[idx]
+        # one uniform block covers the turning child and the whole descent:
+        # floor-scaling doubles is uniform to 2**-53 per draw and an order
+        # of magnitude cheaper than per-call bounded-integer sampling (the
+        # clip guards the measure-zero round-up at the top of the range)
+        u = rng.random((len(idx), depth + 1))
         # non-returning child at the turning node: uniform over the other
         # c - 1 children (shift past the avoided index)
         avoid = out[idx, split]
-        child = rng.integers(0, c - 1, size=len(idx))
+        child = (u[:, 0] * (c - 1)).astype(np.int64)
+        np.clip(child, 0, c - 2, out=child)
         child += child >= avoid
         out[idx, split] = child
         # uniform descent below the turn
-        col = np.arange(depth)[None, :]
-        below = col > split[:, None]
-        random_children = rng.integers(0, c, size=(len(idx), depth))
+        below = self._cols[None, :] > split[:, None]
+        random_children = (u[:, 1:] * c).astype(np.int64)
+        np.clip(random_children, 0, c - 1, out=random_children)
         rows = out[idx]
         rows[below] = random_children[below]
         out[idx] = rows
@@ -211,17 +256,21 @@ class TreeMechanism:
     def obfuscate_points_batch(self, point_indices, rng=None) -> np.ndarray:
         """Vectorized obfuscation of real leaves by predefined-point index.
 
-        The cohort-registration convenience: looks up the ``(n, D)`` path
-        rows for ``point_indices`` in one fancy-indexing step and hands
-        them to :meth:`obfuscate_batch`, so the whole snap-to-report hot
-        path stays in numpy.
+        The registration *and* serving convenience: looks up the ``(n, D)``
+        path rows for ``point_indices`` in one fancy-indexing step and
+        hands them to the batch kernel, so the whole snap-to-report hot
+        path stays in numpy. Rows coming out of :attr:`tree.paths
+        <repro.hst.tree.HST.paths>` are valid by construction, so only the
+        indices themselves get bounds-checked here.
         """
         idx = np.asarray(point_indices, dtype=np.intp)
         if idx.ndim != 1:
             raise ValueError(f"expected a 1-d index array, got shape {idx.shape}")
         if idx.size and (idx.min() < 0 or idx.max() >= self.tree.n_points):
             raise IndexError("point index out of range")
-        return self.obfuscate_batch(self.tree.paths[idx], rng)
+        return self._obfuscate_rows(
+            self.tree.paths[idx], self._resolve_rng(rng)
+        )
 
     def obfuscate_walk(self, x: Path, rng=None) -> Path:
         """Paper Algorithm 3: the O(D) random-walk sampler."""

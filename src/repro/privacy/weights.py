@@ -134,6 +134,18 @@ class TreeWeights:
         return self.leaf_probability(0)
 
     @cached_property
+    def level_cdf(self) -> np.ndarray:
+        """``(D+1,)`` cumulative level distribution, normalised exactly as
+        ``Generator.choice(p=level_probs)`` normalises it internally — so
+        ``searchsorted(level_cdf, rng.random(n), side="right")`` draws the
+        same levels from the same stream, without choice's per-call
+        validation overhead. This is the batch sampler's hot lookup table.
+        """
+        cdf = self.level_probs.cumsum()
+        cdf /= cdf[-1]
+        return cdf
+
+    @cached_property
     def expected_displacement(self) -> float:
         """Expected tree distance between the true and obfuscated leaf."""
         distances = np.array(

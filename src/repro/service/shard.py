@@ -146,11 +146,17 @@ class ShardServer:
         the whole chain fails), and ``latency_offset`` adds the time
         already spent probing earlier shards in the chain, so the
         recorded latency covers the task's full serving time.
+
+        The obfuscation runs through the *same* vectorized kernel as
+        cohort registration — :meth:`~repro.privacy.tree_mechanism
+        .TreeMechanism.obfuscate_points_batch` with a batch of one — so
+        the shard has exactly one sampler on its hot path (batch and
+        single-event draws come from one stream with one draw layout,
+        and there is no scalar twin to drift out of sync).
         """
-        leaf = self.tree.leaf_for_location(location)
-        report = TaskReport(
-            task_id=task_id, leaf=self.mechanism.obfuscate(leaf, self._rng)
-        )
+        snapped = np.array([self.tree.snap_index.snap(location)], dtype=np.intp)
+        obfuscated = self.mechanism.obfuscate_points_batch(snapped, self._rng)
+        report = TaskReport(task_id=task_id, leaf=tuple(obfuscated[0].tolist()))
         start = time.perf_counter()
         found = self.server.submit_task_detailed(report)
         latency = time.perf_counter() - start + latency_offset

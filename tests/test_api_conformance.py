@@ -52,7 +52,7 @@ class TestConformance:
             "inprocess",
             "sharded",
             "cluster",
-            "remote",
+            "remote-bin1",
             "mesh",
         ]
         assert result.ok, "\n".join(result.problems)
@@ -67,7 +67,7 @@ class TestConformance:
         assert [run.name for run in result.runs] == [
             "sharded",
             "cluster",
-            "remote",
+            "remote-bin1",
             "mesh",
         ]
         assert result.ok, "\n".join(result.problems)

@@ -907,4 +907,8 @@ class TestSmokeCli:
         )
         doc = json.loads(capsys.readouterr().out)
         assert doc["ok"] is True
-        assert doc["cases"][0]["backends"] == ["inprocess", "sharded", "remote"]
+        assert doc["cases"][0]["backends"] == [
+            "inprocess",
+            "sharded",
+            "remote-bin1",
+        ]

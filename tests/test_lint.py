@@ -370,6 +370,31 @@ class TestWire:
         )
         assert found == []
 
+    def test_rl403_codec_constant_outside_registry(self):
+        found = lint('BIN2_CODEC = "bin2"\n', module="repro.gateway.fixture")
+        assert codes(found) == ["RL403"]
+
+    def test_rl403_frame_tag_outside_registry(self):
+        # binary frame tags are ints, not strings — still registry-only
+        found = lint("SHINY_TAG = 0x19\n", module="repro.gateway.fixture")
+        assert codes(found) == ["RL403"]
+
+    def test_rl403_bin1_prefixed_constant_outside_registry(self):
+        found = lint("BIN1_MAGIC = 0xB1\n", module="repro.mesh.fixture")
+        assert codes(found) == ["RL403"]
+
+    def test_rl403_near_miss_bool_is_not_a_wire_constant(self):
+        found = lint("USE_TAG = True\n", module="repro.mesh.fixture")
+        assert found == []
+
+    def test_rl403_near_miss_struct_layout_is_not_a_tag(self):
+        # a private struct layout next to imported tags is fine
+        found = lint(
+            "import struct\n_STREAM_ROW = struct.Struct('>Bqqddd')\n",
+            module="repro.gateway.fixture",
+        )
+        assert found == []
+
 
 # --------------------------------------------------------------------- #
 # pragmas, fingerprints, baseline                                        #
