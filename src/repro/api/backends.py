@@ -470,6 +470,7 @@ class ClusterBackend(BackendBase):
         n_procs: int = 2,
         chunk_size: int = 256,
         checkpoint_every: int = 8192,
+        rebase_every: int = 8,
         balancer=None,
         tracer=None,
     ) -> None:
@@ -477,6 +478,7 @@ class ClusterBackend(BackendBase):
         self.n_procs = int(n_procs)
         self.chunk_size = int(chunk_size)
         self.checkpoint_every = int(checkpoint_every)
+        self.rebase_every = int(rebase_every)
         self.balancer = balancer
         self.tracer = tracer
         # held only for bounded coordinator steps — dispatch, one pump
@@ -501,6 +503,7 @@ class ClusterBackend(BackendBase):
             batch_size=spec.batch_size,
             chunk_size=self.chunk_size,
             checkpoint_every=self.checkpoint_every,
+            rebase_every=self.rebase_every,
             balancer=self.balancer,
             seed=spec.seed,
             tracer=self.tracer,
@@ -654,6 +657,7 @@ class MeshBackend(BackendBase):
         n_peers: int = 2,
         chunk_size: int = 256,
         checkpoint_every: int = 8192,
+        rebase_every: int = 8,
         spawn: str = "fork",
         host: str = "127.0.0.1",
         port: int = 0,
@@ -667,6 +671,7 @@ class MeshBackend(BackendBase):
         self.n_peers = int(n_peers)
         self.chunk_size = int(chunk_size)
         self.checkpoint_every = int(checkpoint_every)
+        self.rebase_every = int(rebase_every)
         self.spawn = spawn
         # per-worker codec offers, cycled by worker index; empty means
         # every worker offers the default (bin1). A mixed tuple like
@@ -694,6 +699,7 @@ class MeshBackend(BackendBase):
             batch_size=spec.batch_size,
             chunk_size=self.chunk_size,
             checkpoint_every=self.checkpoint_every,
+            rebase_every=self.rebase_every,
             seed=spec.seed,
             host=self.host,
             port=self.port,

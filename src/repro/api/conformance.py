@@ -163,7 +163,9 @@ def run_mesh_failover(
     spawn: str = "fork",
     chunk_size: int = 32,
     checkpoint_every: int = 64,
+    rebase_every: int = 8,
     worker_codecs: tuple = (),
+    stats: dict | None = None,
 ) -> tuple[BackendRun, int]:
     """Drive the stream through a mesh and SIGKILL a worker mid-stream.
 
@@ -175,6 +177,12 @@ def run_mesh_failover(
     the peers like :class:`~repro.api.backends.MeshBackend` — a mixed
     tuple makes the SIGKILL leg cross codec boundaries too: the killed
     peer's journal may replay onto a successor speaking the other wire.
+
+    A ``stats`` dict, when given, is filled before teardown with the
+    checkpoint-chain telemetry of the run — ``max_chain_len``,
+    ``delta_checkpoints``, ``base_checkpoints``, ``rebase_total``,
+    ``compacted_ops`` — so failover legs can assert the recovery really
+    composed base+delta chains rather than full snapshots.
     """
     from .backends import MeshBackend
 
@@ -187,6 +195,7 @@ def run_mesh_failover(
         spawn=spawn,
         chunk_size=chunk_size,
         checkpoint_every=checkpoint_every,
+        rebase_every=rebase_every,
         worker_codecs=worker_codecs,
     )
     pairs: list = []
@@ -204,7 +213,28 @@ def run_mesh_failover(
                 backend.kill_worker(kill_index)
         client.flush()
         report = client.report()
-        failovers = backend.coordinator.failovers
+        coord = backend.coordinator
+        failovers = coord.failovers
+        if stats is not None:
+            snap = coord.registry.snapshot()
+            counters = snap["counters"]
+            hists = snap["histograms"]
+            stats["failovers"] = failovers
+            stats["max_chain_len"] = snap["gauges"].get(
+                "mesh.checkpoint.chain_len", 0
+            )
+            stats["delta_checkpoints"] = hists.get(
+                "mesh.checkpoint.delta_bytes", {}
+            ).get("count", 0)
+            stats["base_checkpoints"] = hists.get(
+                "mesh.checkpoint.snapshot_bytes", {}
+            ).get("count", 0)
+            stats["rebase_total"] = counters.get(
+                "mesh.checkpoint.rebase_total", 0
+            )
+            stats["compacted_ops"] = counters.get(
+                "mesh.journal.compacted_ops", 0
+            )
     run = BackendRun(
         name="mesh-failover",
         assignments=tuple(pairs),

@@ -28,6 +28,10 @@ from .snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
     SUPPORTED_SNAPSHOT_VERSIONS,
+    SnapshotError,
+    compose_chain,
+    delta_snapshot,
+    restore_chain,
     restore_shard,
     snapshot_from_json,
     snapshot_shard,
@@ -45,6 +49,10 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "SUPPORTED_SNAPSHOT_VERSIONS",
     "ShardHost",
+    "SnapshotError",
+    "compose_chain",
+    "delta_snapshot",
+    "restore_chain",
     "restore_shard",
     "snapshot_from_json",
     "snapshot_shard",

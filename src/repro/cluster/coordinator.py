@@ -15,18 +15,22 @@ shards themselves live in worker processes:
   preserved; cross-shard order is irrelevant (shards share nothing);
 * **checkpoints & failover** — every ``checkpoint_every`` events the
   coordinator snapshots all shards (:mod:`repro.cluster.snapshot`) and
-  truncates its per-family op journals. Replies travel over a dedicated
-  pipe per worker whose write end only that worker holds, so a dying
-  worker — however violently it goes — closes its pipe and the
-  coordinator sees ``EOFError`` instead of a hang. The replacement
-  process restores the dead worker's shards from their last snapshots
-  (or recreates them from spec), replays the journaled ops, and the
-  stream continues — no task is lost, and replay from a snapshot is
-  bit-deterministic;
+  compacts its per-family op journals. Steady-state checkpoints are
+  O(delta): each shard answers only the cells changed since the parent
+  checkpoint, chained on the last full (base) document, with a rebase
+  every ``rebase_every`` checkpoints to bound the chain. Replies travel
+  over a dedicated pipe per worker whose write end only that worker
+  holds, so a dying worker — however violently it goes — closes its pipe
+  and the coordinator sees ``EOFError`` instead of a hang. The
+  replacement process restores the dead worker's shards from their
+  base + delta chains (or recreates them from spec), replays the
+  journaled ops, and the stream continues — no task is lost, and replay
+  from a composed chain is bit-deterministic;
 * **load balancing** — a :class:`~repro.cluster.balancer.HotShardBalancer`
   watches per-family throughput and either migrates a hot family to the
-  coolest worker (snapshot → load → drop) or splits a hot cell into a
-  finer sub-lattice, rebuilding only that cell's HST.
+  coolest worker (preload its chain → flush → ship one final delta →
+  commit, so only the small delta sits in the cut-over window) or splits
+  a hot cell into a finer sub-lattice, rebuilding only that cell's HST.
 
 Replies are matched by worker *incarnation*: after a failover, barrier
 acks from the dead process are ignored, but its task results are still
@@ -35,11 +39,13 @@ accepted (first write wins — replayed duplicates deduplicate).
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import time
 from multiprocessing.connection import wait as conn_wait
 
 from ..geometry.box import Box
+from ..obs.registry import MetricsRegistry
 from ..obs.trace import current_context
 from ..service.events import RequestQueue, TaskArrival, WorkerArrival
 from ..service.metrics import ServiceReport, build_report
@@ -77,6 +83,11 @@ class ClusterCoordinator:
     checkpoint_every:
         Events between cluster-wide snapshot barriers; ``0`` disables
         periodic checkpoints (failover then replays from stream start).
+    rebase_every:
+        Delta-chain length cap. After a full (base) snapshot, up to
+        ``rebase_every`` consecutive checkpoints ship O(delta) documents
+        chained on it before the next base is cut; ``0`` makes every
+        checkpoint a full snapshot.
     balancer:
         A :class:`~repro.cluster.balancer.BalancerConfig` to enable hot
         shard splitting/migration, or ``None`` to leave placement static.
@@ -94,6 +105,7 @@ class ClusterCoordinator:
         batch_size: int = 256,
         chunk_size: int = 256,
         checkpoint_every: int = 8192,
+        rebase_every: int = 8,
         balancer: BalancerConfig | None = None,
         seed: int = 0,
         max_outstanding: int = 8,
@@ -107,6 +119,8 @@ class ClusterCoordinator:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0 (0 disables)")
+        if rebase_every < 0:
+            raise ValueError("rebase_every must be >= 0 (0 = always full)")
         from ..service.sharding import ShardMap
 
         self.shard_map = ShardMap(region, *shards)
@@ -118,6 +132,7 @@ class ClusterCoordinator:
         self.batch_size = batch_size
         self.chunk_size = chunk_size
         self.checkpoint_every = checkpoint_every
+        self.rebase_every = rebase_every
         self.seed = int(ensure_rng(seed).integers(2**31)) if not isinstance(seed, int) else seed
         self.max_outstanding = max_outstanding
         self.poll_interval = poll_interval
@@ -130,7 +145,10 @@ class ClusterCoordinator:
             fam: fam % n_workers for fam in range(self.shard_map.n_shards)
         }
         self._specs: dict[str, dict] = {}
-        self._checkpoints: dict[str, dict] = {}
+        # key -> [base, delta, ...]: the restore chain for each shard,
+        # replaced wholesale whenever a checkpoint answers a base (rebase)
+        self._checkpoints: dict[str, list[dict]] = {}
+        self._ckpt_seq = 0
         # the journal is the single source of dispatched ops: normal flow
         # and failover replay both send the journal's unsent suffix, so
         # an op can never be delivered twice to one incarnation
@@ -154,11 +172,23 @@ class ClusterCoordinator:
         self._ready: set[str] = set()
         self._snapshot_inbox: dict[str, dict] = {}
         self._awaiting_snapshots: set[str] = set()
+        # in-flight snapshot request parameters, kept so a failover can
+        # re-issue the exact same delta/base request to the replacement
+        self._snapshot_reqs: dict[str, dict] = {}
         self._flushed: set[int] = set()
         self._awaiting_flush: set[int] = set()
         self._report_inbox: dict[int, dict] = {}
         self._awaiting_report: set[int] = set()
         self._events_since_checkpoint = 0
+
+        # checkpoint telemetry (near-zero cost: touched at barriers only)
+        self.registry = MetricsRegistry()
+        self.registry.gauge_fn(
+            "cluster.checkpoint.chain_len",
+            lambda: max(
+                (len(c) for c in self._checkpoints.values()), default=0
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                           #
@@ -416,40 +446,95 @@ class ClusterCoordinator:
                     self._apply_migrate(action[1], action[2])
 
     def checkpoint(self) -> None:
-        """Snapshot every shard and truncate the op journals.
+        """Snapshot every shard in O(delta) and compact the op journals.
 
         A barrier: commands are FIFO per worker, so each snapshot reflects
-        everything dispatched before it; journals are cleared only once
+        everything dispatched before it; journals are compacted only once
         the snapshot actually arrived (a crash mid-checkpoint falls back
-        to the previous snapshot plus the untruncated journal).
+        to the previous chain plus the untruncated journal).
 
-        Known cost: snapshots carry the shard's full state, including the
-        raw telemetry samples and assignment history, so checkpoint time
-        grows with stream length — size ``checkpoint_every`` to the run
-        (incremental/delta snapshots are a planned refinement).
+        Steady state ships deltas — only the cells changed since the
+        parent checkpoint — chained on the last base document; every
+        ``rebase_every`` checkpoints a fresh base bounds the chain, so
+        neither checkpoint bytes nor failover-restore cost grow with
+        stream length.
         """
+        start = time.perf_counter()
         keys = self.router.keys()
-        self._request_snapshots(keys)
+        self._request_snapshots(keys, self._checkpoint_reqs(keys))
         for key in keys:
-            self._checkpoints[key] = self._snapshot_inbox.pop(key)
-        self._journal.truncate()
+            self._absorb_snapshot(key, self._snapshot_inbox.pop(key))
+        stats = self._journal.compact()
+        self.registry.counter(
+            "cluster.journal.compacted_ops", stats["dropped"]
+        )
+        self.registry.histogram(
+            "cluster.checkpoint.seconds", time.perf_counter() - start
+        )
         self._events_since_checkpoint = 0
 
-    def _request_snapshots(self, keys: list[str]) -> None:
+    def _checkpoint_reqs(self, keys: list[str]) -> dict[str, dict]:
+        """Build each shard's snapshot request: a delta chained on the
+        current tip while the chain is short, a rebasing base otherwise."""
+        reqs: dict[str, dict] = {}
+        for key in keys:
+            self._ckpt_seq += 1
+            chain = self._checkpoints.get(key)
+            if chain and len(chain) <= self.rebase_every:
+                reqs[key] = {
+                    "mode": "delta",
+                    "checkpoint": self._ckpt_seq,
+                    "parent": chain[-1]["checkpoint"],
+                }
+            else:
+                reqs[key] = {"mode": "base", "checkpoint": self._ckpt_seq}
+        return reqs
+
+    def _absorb_snapshot(self, key: str, doc: dict) -> None:
+        """Append a delta to (or rebase) the shard's restore chain."""
+        size = len(json.dumps(doc))
+        if doc.get("kind") == "delta":
+            chain = self._checkpoints.get(key)
+            if not chain or doc.get("parent") != chain[-1].get("checkpoint"):
+                raise ClusterError(
+                    f"shard {key!r} answered a delta chained on "
+                    f"{doc.get('parent')!r} but the coordinator's chain "
+                    "tip differs — checkpoint lineage diverged"
+                )
+            chain.append(doc)
+            self.registry.histogram("cluster.checkpoint.delta_bytes", size)
+        else:
+            if key in self._checkpoints:
+                self.registry.counter("cluster.checkpoint.rebase_total")
+            self._checkpoints[key] = [doc]
+            self.registry.histogram("cluster.checkpoint.base_bytes", size)
+
+    def _request_snapshots(
+        self, keys: list[str], reqs: dict[str, dict] | None = None
+    ) -> None:
         # drop any orphan replies from an earlier barrier (a failover can
         # duplicate a snapshot reply): this barrier must only complete on
         # snapshots requested *now*, like the flush/report barriers do
         for key in keys:
             self._snapshot_inbox.pop(key, None)
         self._awaiting_snapshots.update(keys)
-        for key in keys:
-            owner = self.ownership[family_of(key)]
-            self._cmd_qs[owner].put(("snapshot", key))
-        self._wait(
-            lambda: all(k in self._snapshot_inbox for k in keys),
-            f"snapshots of {len(keys)} shards",
-        )
-        self._awaiting_snapshots.difference_update(keys)
+        if reqs:
+            self._snapshot_reqs.update(reqs)
+        try:
+            for key in keys:
+                owner = self.ownership[family_of(key)]
+                req = self._snapshot_reqs.get(key)
+                self._cmd_qs[owner].put(
+                    ("snapshot", key, req) if req else ("snapshot", key)
+                )
+            self._wait(
+                lambda: all(k in self._snapshot_inbox for k in keys),
+                f"snapshots of {len(keys)} shards",
+            )
+        finally:
+            self._awaiting_snapshots.difference_update(keys)
+            for key in keys:
+                self._snapshot_reqs.pop(key, None)
 
     def _apply_split(self, fam: int) -> None:
         """Split a hot cell into a finer sub-lattice on the same worker."""
@@ -462,17 +547,51 @@ class ClusterCoordinator:
         self.cell_splits += 1
 
     def _apply_migrate(self, fam: int, dst: int) -> None:
-        """Move a whole family to another worker via snapshot + restore."""
+        """Move a whole family to another worker, delta-aware.
+
+        The destination *preloads* the family's current restore chains —
+        the bulky bases ship while the source keeps serving — then one
+        final delta barrier captures everything since, and the cut-over
+        *commit* installs chain + final delta. The stop-the-world window
+        (between the flush and the ownership flip) therefore carries one
+        small delta per shard instead of a full snapshot.
+        """
         src = self.ownership[fam]
         if src == dst:
             return
-        self._flush_family(fam)
         keys = self.router.family_keys(fam)
-        self._request_snapshots(keys)
+        fresh = [k for k in keys if k not in self._checkpoints]
+        if fresh:
+            # no chain to preload yet (checkpoints disabled or a young
+            # sub-shard): cut bases now, outside the cut-over window
+            reqs = {}
+            for key in fresh:
+                self._ckpt_seq += 1
+                reqs[key] = {"mode": "base", "checkpoint": self._ckpt_seq}
+            self._request_snapshots(fresh, reqs)
+            for key in fresh:
+                self._absorb_snapshot(key, self._snapshot_inbox.pop(key))
+        dst_inc = self._inc[dst]
+        preloaded: dict[str, int] = {}
         for key in keys:
-            snap = self._snapshot_inbox.pop(key)
-            self._checkpoints[key] = snap
-            self._cmd_qs[dst].put(("load", key, snap))
+            chain = self._checkpoints[key]
+            self._cmd_qs[dst].put(("preload", key, list(chain)))
+            preloaded[key] = len(chain)
+        # cut-over: flush the family, then one (small) delta per shard
+        self._flush_family(fam)
+        self._request_snapshots(keys, self._checkpoint_reqs(keys))
+        for key in keys:
+            self._absorb_snapshot(key, self._snapshot_inbox.pop(key))
+        for key in keys:
+            chain = self._checkpoints[key]
+            if self._inc[dst] != dst_inc or len(chain) <= preloaded[key]:
+                # the destination died after preloading (its stage died
+                # with it), or the barrier rebased: ship the full chain —
+                # a commit whose first doc is a base ignores the stage
+                docs = list(chain)
+            else:
+                docs = list(chain[preloaded[key] :])
+            self._cmd_qs[dst].put(("commit", key, docs))
             self._cmd_qs[src].put(("drop", key))
         self.ownership[fam] = dst
         self._journal.reset(fam)
@@ -510,9 +629,9 @@ class ClusterCoordinator:
                 # deliver the journal twice
                 return
             for key in self.router.family_keys(fam):
-                snap = self._checkpoints.get(key)
-                if snap is not None:
-                    cmd_q.put(("load", key, snap))
+                chain = self._checkpoints.get(key)
+                if chain is not None:
+                    cmd_q.put(("load", key, list(chain)))
                 else:
                     cmd_q.put(("create", key, self._specs[key]))
             # rewind the journal cursor: everything since the checkpoint
@@ -521,10 +640,13 @@ class ClusterCoordinator:
             self._flush_family(fam)
         if self._inc[widx] != inc:
             return
-        # re-issue barrier requests the dead incarnation never answered
+        # re-issue barrier requests the dead incarnation never answered,
+        # with the same delta/base parameters (the reloaded chain's tip
+        # cursor was just seeded, so a delta request still answers)
         for key in sorted(self._awaiting_snapshots):
             if self.ownership[family_of(key)] == widx:
-                cmd_q.put(("snapshot", key))
+                req = self._snapshot_reqs.get(key)
+                cmd_q.put(("snapshot", key, req) if req else ("snapshot", key))
         if widx in self._awaiting_flush:
             cmd_q.put(("flush",))
         if widx in self._awaiting_report:

@@ -176,6 +176,27 @@ class FamilyJournal:
                 self._base[f] = stop
             self._sent[f] = max(self._sent[f], self._base[f])
 
+    def compact(self, marks: dict[int, int] | None = None) -> dict:
+        """Truncate every family to its mark, reporting what was dropped.
+
+        The checkpoint-barrier form of :meth:`truncate`, shared by the
+        cluster and mesh coordinators: ``marks`` is the :meth:`ends`
+        capture from barrier submit time (``None`` compacts everything
+        journaled — the synchronous cluster barrier). Returns
+        ``{"dropped": n, "retained": m}`` op counts so the caller can
+        feed its checkpoint telemetry.
+        """
+        dropped = 0
+        for fam in self._ops:
+            upto = None if marks is None else marks.get(fam)
+            before = len(self._ops[fam])
+            self.truncate(fam, upto)
+            dropped += before - len(self._ops[fam])
+        return {
+            "dropped": dropped,
+            "retained": sum(len(ops) for ops in self._ops.values()),
+        }
+
     def reset(self, fam: int) -> None:
         """Forget a family's journal entirely (its state was just
         re-snapshotted, e.g. after a migration)."""

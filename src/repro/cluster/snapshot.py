@@ -1,29 +1,46 @@
 """Versioned shard-state snapshots: the cluster's checkpoint wire format.
 
-A snapshot is one JSON document capturing *everything* a shard is at a
-point in the event stream:
+A v3 snapshot document comes in two kinds:
 
-* the published HST (via :func:`~repro.hst.serialize.hst_to_dict` — the
-  same round-trip-guaranteed format clients consume);
-* the per-worker privacy ledger balances
-  (:meth:`~repro.privacy.budget.PrivacyBudgetLedger.to_dict`);
-* the matcher state — registrations, slot table, consumed slots, and the
-  accumulated result
-  (:meth:`~repro.crowdsourcing.server.MatchingServer.export_state`);
-* the metrics recorder and the client-side RNG state
-  (:meth:`~repro.service.shard.ShardServer.export_state`);
-* the *pending cohort buffer* — worker arrivals batched but not yet
-  obfuscated. The buffer holds true locations that have not crossed the
-  privacy boundary, so it lives in the snapshot, never in a log a server
-  component could read.
+* a **base** — one JSON document capturing *everything* a shard is at a
+  point in the event stream:
+
+  - the published HST (via :func:`~repro.hst.serialize.hst_to_dict` — the
+    same round-trip-guaranteed format clients consume);
+  - the per-worker privacy ledger balances
+    (:meth:`~repro.privacy.budget.PrivacyBudgetLedger.to_dict`);
+  - the matcher state — registrations, slot table, consumed slots, and
+    the accumulated result
+    (:meth:`~repro.crowdsourcing.server.MatchingServer.export_state`);
+  - the metrics recorder and the client-side RNG state
+    (:meth:`~repro.service.shard.ShardServer.export_state`);
+  - the *pending cohort buffer* — worker arrivals batched but not yet
+    obfuscated. The buffer holds true locations that have not crossed
+    the privacy boundary, so it lives in the snapshot, never in a log a
+    server component could read.
+
+* a **delta** — only the cells changed since the *parent* checkpoint:
+  the ledger history suffix, new registrations/assignments/consumed
+  matcher slots, reservoir suffixes and overwrites, the RNG state, and
+  the (small, bounded) pending buffer. Deltas chain by checkpoint id:
+  ``doc["parent"]`` names the checkpoint the delta builds on, and
+  :func:`compose_chain` folds ``[base, delta, delta, ...]`` back into a
+  single base document *bit-identically* — the composed ``state`` dict
+  equals a full export taken at the same moment, float for float.
+  Coordinators rebase periodically (request a fresh base) so chains stay
+  bounded; every restore cost is then O(base + bounded deltas).
+
+Malformed documents and broken chains raise :class:`SnapshotError`, a
+``ValueError`` with a stable ``code`` string for programmatic handling.
 
 Round-trip guarantee (mirrors ``hst_to_dict``/``hst_from_dict``):
-restoring a snapshot taken mid-stream and replaying the remaining events
-produces byte-identical assignments to the uninterrupted run — the RNG
-state makes every subsequent obfuscation draw the same. This is what lets
-the coordinator checkpoint shards, restart a crashed worker from its last
-snapshot, and migrate shards between workers without replaying history
-from the start of the stream.
+restoring a snapshot taken mid-stream — from a base document or composed
+from a base + delta chain — and replaying the remaining events produces
+byte-identical assignments to the uninterrupted run; the RNG state makes
+every subsequent obfuscation draw the same. This is what lets the
+coordinator checkpoint shards in O(delta), restart a crashed worker from
+its last chain, and migrate shards between workers by shipping the base
+early and cutting over on one final small delta.
 """
 
 from __future__ import annotations
@@ -38,63 +55,141 @@ __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SUPPORTED_SNAPSHOT_VERSIONS",
+    "SnapshotError",
     "snapshot_shard",
+    "delta_snapshot",
     "restore_shard",
+    "compose_chain",
+    "restore_chain",
     "snapshot_to_json",
     "snapshot_from_json",
 ]
 
 SNAPSHOT_FORMAT = "repro-shard-snapshot"
-#: Current write version. v2 stores bounded telemetry reservoirs (with
-#: their sampler state) instead of v1's unbounded raw sample lists.
-SNAPSHOT_VERSION = 2
+#: Current write version. v3 adds the base/delta document kinds chained
+#: by checkpoint id; a v3 base is a v2 document plus the two chain
+#: fields. v2 stores bounded telemetry reservoirs (with their sampler
+#: state) instead of v1's unbounded raw sample lists.
+SNAPSHOT_VERSION = 3
 #: Versions this runtime can restore. v1 documents load with their raw
-#: sample lists folded into fresh reservoirs.
-SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
+#: sample lists folded into fresh reservoirs; v1/v2 documents restore as
+#: bases (they predate deltas, so they never appear mid-chain).
+SUPPORTED_SNAPSHOT_VERSIONS = (1, 2, 3)
 
 #: A shard with no buffered worker arrivals.
 _EMPTY_PENDING: tuple[list, list] = ([], [])
 
 
-def snapshot_shard(shard: ShardServer, pending=None) -> dict:
-    """Freeze one shard (and its pending cohort buffer) into a snapshot.
+class SnapshotError(ValueError):
+    """A snapshot document or chain this runtime refuses to restore.
 
-    ``pending`` is the shard's un-flushed ``(worker_ids, locations)``
-    cohort buffer as kept by the engine or a cluster worker; ``None``
-    means the buffer is empty.
+    ``code`` is a stable machine-readable identifier (the message text is
+    not): ``snapshot-bad-format``, ``snapshot-unsupported-version``,
+    ``snapshot-missing-fields``, ``snapshot-delta-alone``,
+    ``snapshot-chain-empty``, ``snapshot-chain-base``,
+    ``snapshot-chain-order``, ``snapshot-chain-broken``.
     """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _pending_doc(pending) -> dict:
     ids, locs = pending if pending is not None else _EMPTY_PENDING
     ids = [int(w) for w in ids]
     if len(ids) != len(locs):
         raise ValueError("pending buffer needs one worker id per location")
     return {
-        "format": SNAPSHOT_FORMAT,
-        "version": SNAPSHOT_VERSION,
-        "state": shard.export_state(),
-        "pending": {
-            "worker_ids": ids,
-            "locations": [[float(p[0]), float(p[1])] for p in locs],
-        },
+        "worker_ids": ids,
+        "locations": [[float(p[0]), float(p[1])] for p in locs],
     }
 
 
-def restore_shard(payload: dict) -> tuple[ShardServer, tuple[list[int], list]]:
-    """Reconstruct ``(shard, pending)`` from a snapshot document."""
+def snapshot_shard(shard: ShardServer, pending=None, *, checkpoint=None) -> dict:
+    """Freeze one shard (and its pending cohort buffer) into a base doc.
+
+    ``pending`` is the shard's un-flushed ``(worker_ids, locations)``
+    cohort buffer as kept by the engine or a cluster worker; ``None``
+    means the buffer is empty. ``checkpoint`` is the barrier id the
+    coordinator assigned (``None`` for ad-hoc snapshots); deltas chain
+    onto it via their ``parent`` field.
+    """
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "kind": "base",
+        "checkpoint": checkpoint,
+        "state": shard.export_state(),
+        "pending": _pending_doc(pending),
+    }
+
+
+def delta_snapshot(
+    shard: ShardServer, pending, cursor: dict, *, checkpoint, parent
+) -> dict:
+    """Export only what changed since the ``cursor`` taken at ``parent``.
+
+    The cursor is the pure-value marker
+    :meth:`~repro.service.shard.ShardServer.checkpoint_cursor` returned
+    when the parent checkpoint was cut; the export is non-destructive, so
+    one shard can answer deltas against the same parent repeatedly (the
+    mesh coordinator retries whole barrier rounds after a peer loss).
+    """
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "kind": "delta",
+        "checkpoint": checkpoint,
+        "parent": parent,
+        "delta": shard.export_delta(cursor),
+        "pending": _pending_doc(pending),
+    }
+
+
+def _check_header(payload) -> int:
     if not isinstance(payload, dict):
-        raise ValueError("snapshot payload must be a dict")
+        raise SnapshotError(
+            "snapshot-bad-format", "snapshot payload must be a dict"
+        )
     if payload.get("format") != SNAPSHOT_FORMAT:
-        raise ValueError(
-            f"not a {SNAPSHOT_FORMAT} document: {payload.get('format')!r}"
+        raise SnapshotError(
+            "snapshot-bad-format",
+            f"not a {SNAPSHOT_FORMAT} document: {payload.get('format')!r}",
         )
     version = payload.get("version")
     if version not in SUPPORTED_SNAPSHOT_VERSIONS:
-        raise ValueError(
+        raise SnapshotError(
+            "snapshot-unsupported-version",
             f"unsupported snapshot version {version!r} "
-            f"(supported: {SUPPORTED_SNAPSHOT_VERSIONS})"
+            f"(supported: {SUPPORTED_SNAPSHOT_VERSIONS})",
+        )
+    return version
+
+
+def _kind_of(payload: dict, version: int) -> str:
+    return payload.get("kind", "base") if version >= 3 else "base"
+
+
+def restore_shard(payload: dict) -> tuple[ShardServer, tuple[list[int], list]]:
+    """Reconstruct ``(shard, pending)`` from a *base* snapshot document.
+
+    Delta documents cannot be restored alone — hand the whole chain to
+    :func:`restore_chain` instead.
+    """
+    version = _check_header(payload)
+    if _kind_of(payload, version) != "base":
+        raise SnapshotError(
+            "snapshot-delta-alone",
+            "cannot restore a delta document by itself; compose its chain "
+            "with restore_chain(base, deltas...)",
         )
     missing = {"state", "pending"} - set(payload)
     if missing:
-        raise ValueError(f"snapshot missing fields: {sorted(missing)}")
+        raise SnapshotError(
+            "snapshot-missing-fields",
+            f"snapshot missing fields: {sorted(missing)}",
+        )
     shard = ShardServer.from_state(payload["state"])
     buf = payload["pending"]
     pending = (
@@ -104,6 +199,80 @@ def restore_shard(payload: dict) -> tuple[ShardServer, tuple[list[int], list]]:
     if len(pending[0]) != len(pending[1]):
         raise ValueError("pending buffer needs one worker id per location")
     return shard, pending
+
+
+def compose_chain(docs) -> dict:
+    """Fold ``[base, delta, delta, ...]`` into one base document.
+
+    Validates the chain shape — the first document must be a base, every
+    later one a delta whose ``parent`` equals its predecessor's
+    ``checkpoint`` — then applies the deltas in order at the dict level.
+    The composed ``state`` is bit-identical to a full export taken at the
+    final checkpoint; the composed document carries that checkpoint id.
+    """
+    docs = list(docs)
+    if not docs:
+        raise SnapshotError("snapshot-chain-empty", "snapshot chain is empty")
+    head = docs[0]
+    version = _check_header(head)
+    if _kind_of(head, version) != "base":
+        raise SnapshotError(
+            "snapshot-chain-base",
+            "snapshot chain must start with a base document, got a "
+            f"{head.get('kind')!r} document first",
+        )
+    if len(docs) == 1:
+        return head
+    if version < 3:
+        raise SnapshotError(
+            "snapshot-chain-base",
+            f"deltas need a v3 base; chain starts with a v{version} document",
+        )
+    missing = {"state", "pending"} - set(head)
+    if missing:
+        raise SnapshotError(
+            "snapshot-missing-fields",
+            f"snapshot missing fields: {sorted(missing)}",
+        )
+    state = head["state"]
+    pending = head["pending"]
+    tip = head.get("checkpoint")
+    for doc in docs[1:]:
+        _check_header(doc)
+        if _kind_of(doc, doc["version"]) != "delta":
+            raise SnapshotError(
+                "snapshot-chain-order",
+                "snapshot chain holds a base document after the first "
+                "position; a chain is one base plus deltas",
+            )
+        missing = {"delta", "pending", "checkpoint", "parent"} - set(doc)
+        if missing:
+            raise SnapshotError(
+                "snapshot-missing-fields",
+                f"delta document missing fields: {sorted(missing)}",
+            )
+        if tip is None or doc["parent"] != tip:
+            raise SnapshotError(
+                "snapshot-chain-broken",
+                f"delta {doc['checkpoint']!r} chains onto parent "
+                f"{doc['parent']!r} but the chain tip is {tip!r}",
+            )
+        state = ShardServer.compose_state(state, doc["delta"])
+        pending = doc["pending"]
+        tip = doc["checkpoint"]
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "kind": "base",
+        "checkpoint": tip,
+        "state": state,
+        "pending": pending,
+    }
+
+
+def restore_chain(docs) -> tuple[ShardServer, tuple[list[int], list]]:
+    """Compose a base + delta chain and restore the resulting shard."""
+    return restore_shard(compose_chain(docs))
 
 
 def snapshot_to_json(shard: ShardServer, pending=None, indent=None) -> str:

@@ -14,10 +14,12 @@ worker's death signal):
 command      payload                                 reply
 ===========  ======================================  =====================
 ``create``   ``(key, spec)``                         ``("ready", ...)``
-``load``     ``(key, snapshot)``                     ``("ready", ...)``
+``load``     ``(key, snapshot-or-chain)``            ``("ready", ...)``
+``preload``  ``(key, docs)``                         ``("staged", ...)``
+``commit``   ``(key, docs)``                         ``("ready", ...)``
 ``drop``     ``(key,)``                              —
 ``events``   ``(seq, ops)``                          ``("done", ..., results)``
-``snapshot`` ``(key,)``                              ``("snapshot", ...)``
+``snapshot`` ``(key[, req])``                        ``("snapshot", ...)``
 ``flush``    ``()``                                  ``("flushed", ...)``
 ``report``   ``()``                                  ``("report", ...)``
 ``crash``    ``()``                                  *process exits* (tests)
@@ -30,6 +32,13 @@ command      payload                                 reply
 fallback chain (sub-shard first, then its split parent). Any exception
 escapes as an ``("error", ...)`` reply so the coordinator can surface it
 instead of hanging on a silent worker death.
+
+``snapshot``'s optional ``req`` dict carries the delta-checkpoint
+coordinates (``mode``/``checkpoint``/``parent``); a bare ``(key,)``
+command still answers a full base document. ``preload``/``commit`` are
+the hot-shard migration handshake: the destination stages the (large)
+base + delta chain while the source keeps serving, then installs
+chain + final delta in one step at cut-over.
 """
 
 from __future__ import annotations
@@ -40,7 +49,7 @@ import traceback
 
 from ..geometry.box import Box
 from ..service.shard import ShardServer
-from .snapshot import restore_shard, snapshot_shard
+from .snapshot import delta_snapshot, restore_chain, restore_shard, snapshot_shard
 
 __all__ = ["ShardHost", "worker_main"]
 
@@ -59,6 +68,11 @@ class ShardHost:
         self.batch_size = batch_size
         self.shards: dict[str, ShardServer] = {}
         self.pending: dict[str, tuple[list[int], list]] = {}
+        # per-shard delta-checkpoint cursors: checkpoint id -> the
+        # pure-value cursor taken when that checkpoint was answered
+        self.cursors: dict[str, dict[int, dict]] = {}
+        # migration staging area: chains preloaded but not yet committed
+        self.staged: dict[str, list[dict]] = {}
 
     # ------------------------------------------------------------------ #
     # shard lifecycle                                                     #
@@ -78,26 +92,99 @@ class ShardHost:
         )
         self.pending[key] = ([], [])
 
-    def load(self, key: str, snapshot: dict) -> None:
-        """Install a shard restored from a checkpoint snapshot."""
+    def load(self, key: str, snapshot) -> None:
+        """Install a shard restored from a checkpoint snapshot.
+
+        ``snapshot`` is either one base document or a ``[base, delta,
+        ...]`` chain; a chain is composed first and the tip checkpoint's
+        cursor is seeded, so the restored shard can immediately answer
+        "what changed since the last checkpoint" deltas.
+        """
         if key in self.shards:
             raise ValueError(f"shard {key!r} already hosted")
-        shard, pending = restore_shard(snapshot)
+        if isinstance(snapshot, list):
+            shard, pending = restore_chain(snapshot)
+            tip = snapshot[-1].get("checkpoint")
+        else:
+            shard, pending = restore_shard(snapshot)
+            tip = snapshot.get("checkpoint")
         if shard.shard_id != key:
             raise ValueError(
                 f"snapshot is for shard {shard.shard_id!r}, not {key!r}"
             )
         self.shards[key] = shard
         self.pending[key] = pending
+        self.cursors[key] = (
+            {tip: shard.checkpoint_cursor()} if tip is not None else {}
+        )
+
+    def preload(self, key: str, docs) -> None:
+        """Stage a snapshot chain for a shard migrating here.
+
+        The bulky base (and any deltas so far) land while the source
+        still serves the shard; :meth:`commit` later installs staged +
+        final docs in one step, so the stop-the-world window only ever
+        carries one small delta.
+        """
+        if key in self.shards:
+            raise ValueError(f"shard {key!r} already hosted")
+        self.staged[key] = list(docs)
+
+    def commit(self, key: str, docs) -> None:
+        """Install a migrating shard from its staged chain + final docs.
+
+        A ``docs`` list starting with a base document replaces the stage
+        entirely — the coordinator ships the whole chain again when the
+        stage can't be trusted (this process restarted after the preload)
+        or the final barrier rebased.
+        """
+        staged = self.staged.pop(key, [])
+        docs = list(docs)
+        if docs and docs[0].get("kind", "base") == "base":
+            self.load(key, docs)
+        else:
+            self.load(key, staged + docs)
 
     def drop(self, key: str) -> None:
         """Forget a shard (it has been migrated elsewhere)."""
         del self.shards[key]
         del self.pending[key]
+        self.cursors.pop(key, None)
 
-    def snapshot(self, key: str) -> dict:
-        """Snapshot a shard *including* its un-flushed pending buffer."""
-        return snapshot_shard(self.shards[key], self.pending[key])
+    def snapshot(
+        self, key: str, *, mode: str = "base", checkpoint=None, parent=None
+    ) -> dict:
+        """Snapshot a shard *including* its un-flushed pending buffer.
+
+        ``mode="delta"`` answers a delta against ``parent`` when that
+        checkpoint's cursor is still held — falling back to a base
+        otherwise (e.g. first checkpoint, or a freshly restored worker
+        asked against a checkpoint it never cut). The export is
+        non-destructive: cursors for ``parent`` and the new
+        ``checkpoint`` are retained, so a retried barrier round can ask
+        against the same parent again.
+        """
+        shard = self.shards[key]
+        cursors = self.cursors.setdefault(key, {})
+        cursor = cursors.get(parent) if mode == "delta" else None
+        if cursor is not None:
+            doc = delta_snapshot(
+                shard,
+                self.pending[key],
+                cursor,
+                checkpoint=checkpoint,
+                parent=parent,
+            )
+        else:
+            doc = snapshot_shard(
+                shard, self.pending[key], checkpoint=checkpoint
+            )
+        if checkpoint is not None:
+            kept = {checkpoint: shard.checkpoint_cursor()}
+            if doc["kind"] == "delta":
+                kept[parent] = cursors[parent]
+            self.cursors[key] = kept
+        return doc
 
     # ------------------------------------------------------------------ #
     # serving                                                             #
@@ -227,11 +314,20 @@ def worker_main(
                 _, key, snapshot = msg
                 host.load(key, snapshot)
                 res_conn.send(("ready", *me, key))
+            elif op == "preload":
+                _, key, docs = msg
+                host.preload(key, docs)
+                res_conn.send(("staged", *me, key))
+            elif op == "commit":
+                _, key, docs = msg
+                host.commit(key, docs)
+                res_conn.send(("ready", *me, key))
             elif op == "drop":
                 host.drop(msg[1])
             elif op == "snapshot":
                 key = msg[1]
-                res_conn.send(("snapshot", *me, key, host.snapshot(key)))
+                req = msg[2] if len(msg) > 2 else {}
+                res_conn.send(("snapshot", *me, key, host.snapshot(key, **req)))
             elif op == "flush":
                 host.flush()
                 res_conn.send(("flushed", *me))

@@ -17,6 +17,8 @@ reference implementation that the examples and integration tests exercise.
 
 from __future__ import annotations
 
+from itertools import islice
+
 import numpy as np
 
 from ..geometry.box import Box
@@ -72,6 +74,11 @@ class MatchingServer:
         self._worker_reports: dict[int, WorkerReport] = {}
         self._ids: list[int] = []
         self._matcher: HSTGreedyMatcher | None = None
+        # append-only consumption log (slot per assignment) and the
+        # registration count at lazy matcher build — the two facts delta
+        # checkpoints need that the trie itself doesn't keep
+        self._consumed: list[int] = []
+        self._built_at: int | None = None
         self.result = MatchingResult()
 
     def register_worker(self, report: WorkerReport) -> None:
@@ -146,6 +153,7 @@ class MatchingServer:
         if self._matcher is None:
             ids = sorted(self._worker_reports)
             self._ids = ids
+            self._built_at = len(ids)
             self._matcher = HSTGreedyMatcher(
                 self.tree.depth,
                 self.tree.branching,
@@ -156,6 +164,7 @@ class MatchingServer:
             self.result.unassigned_tasks.append(report.task_id)
             return None
         slot, level = found
+        self._consumed.append(slot)
         worker_id = self._ids[slot]
         self.result.assignments.append(
             Assignment(task=report.task_id, worker=worker_id)
@@ -177,10 +186,10 @@ class MatchingServer:
         rebuilding all slots and removing the consumed ones reproduces the
         exact structure).
         """
-        consumed: list[int] = []
-        if self._matcher is not None:
-            live = set(self._matcher.available_ids)
-            consumed = [s for s in range(len(self._ids)) if s not in live]
+        # every unavailable slot got there via exactly one assignment (the
+        # serving path never releases), so the consumption log *is* the
+        # consumed set — sorted to keep the historical export shape
+        consumed = sorted(self._consumed)
         return {
             "allow_late_registration": self.allow_late_registration,
             "reports": [
@@ -193,6 +202,81 @@ class MatchingServer:
                 [a.task, a.worker] for a in self.result.assignments
             ],
             "unassigned_tasks": list(self.result.unassigned_tasks),
+        }
+
+    def cursor(self) -> dict:
+        """Pure-value checkpoint cursor: counts of the append-only logs
+        plus whether the matcher trie existed at cursor time."""
+        return {
+            "reports": len(self._worker_reports),
+            "consumed": len(self._consumed),
+            "assignments": len(self.result.assignments),
+            "unassigned": len(self.result.unassigned_tasks),
+            "matcher": self._matcher is not None,
+        }
+
+    def export_delta(self, cursor: dict) -> dict:
+        """Changes since ``cursor`` (non-destructive).
+
+        Registrations, assignments, unassigned tasks and the consumption
+        log are all append-only, so each travels as a suffix. ``built_at``
+        is the registration count at lazy matcher build when the build
+        happened inside this window (the composer needs it to reproduce
+        the sorted-then-appended slot table), else ``None``.
+        """
+        suffix = islice(self._worker_reports.values(), int(cursor["reports"]), None)
+        built_at = None
+        if not cursor["matcher"] and self._matcher is not None:
+            built_at = self._built_at
+        return {
+            "reports": [[r.worker_id, list(r.leaf)] for r in suffix],
+            "built_at": built_at,
+            "consumed": list(self._consumed[int(cursor["consumed"]) :]),
+            "assignments": [
+                [a.task, a.worker]
+                for a in self.result.assignments[int(cursor["assignments"]) :]
+            ],
+            "unassigned_tasks": list(
+                self.result.unassigned_tasks[int(cursor["unassigned"]) :]
+            ),
+        }
+
+    @staticmethod
+    def compose_dict(base: dict, delta: dict) -> dict:
+        """Fold an :meth:`export_delta` payload into an
+        :meth:`export_state` payload, returning the child checkpoint's
+        :meth:`export_state` form.
+
+        Slot-table rule: if the parent already had a matcher, every new
+        registration was appended to the table in registration order; if
+        the matcher was built inside the window, the table is the sorted
+        prefix of the first ``built_at`` worker ids followed by the rest
+        in registration order — exactly the live build's layout.
+        """
+        reports = [list(entry) for entry in base["reports"]]
+        reports.extend(list(entry) for entry in delta["reports"])
+        if base["slot_ids"] is not None:
+            slot_ids = list(base["slot_ids"])
+            slot_ids.extend(wid for wid, _ in delta["reports"])
+        elif delta["built_at"] is not None:
+            wids = [wid for wid, _ in reports]
+            built_at = int(delta["built_at"])
+            slot_ids = sorted(wids[:built_at]) + wids[built_at:]
+        else:
+            slot_ids = None
+        consumed = sorted(
+            {int(s) for s in base["consumed_slots"]}
+            | {int(s) for s in delta["consumed"]}
+        )
+        return {
+            "allow_late_registration": base["allow_late_registration"],
+            "reports": reports,
+            "slot_ids": slot_ids,
+            "consumed_slots": consumed,
+            "assignments": [list(entry) for entry in base["assignments"]]
+            + [list(entry) for entry in delta["assignments"]],
+            "unassigned_tasks": list(base["unassigned_tasks"])
+            + list(delta["unassigned_tasks"]),
         }
 
     @classmethod
@@ -230,6 +314,7 @@ class MatchingServer:
             )
             for slot in payload["consumed_slots"]:
                 server._matcher.remove_worker(int(slot))
+        server._consumed = [int(s) for s in payload["consumed_slots"]]
         server.result = MatchingResult(
             assignments=[
                 Assignment(task=int(t), worker=int(w))

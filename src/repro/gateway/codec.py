@@ -64,6 +64,7 @@ from .protocol import (
     FLUSHED_TAG,
     GENERIC_TAG,
     GET_REPORT_TAG,
+    PACKED_DOC_TAG,
     REGISTER_WORKER_TAG,
     STREAM_BATCH_TAG,
     STREAM_RESULT_TAG,
@@ -75,6 +76,7 @@ from .protocol import (
 __all__ = [
     "encode_bin1",
     "decode_bin1",
+    "encode_packed",
     "encode_stream_batch",
     "decode_stream_batch",
     "encode_stream_result",
@@ -442,6 +444,14 @@ def _decode_at(r: _Reader, depth: int) -> dict:
         items = [_decode_nested(r, depth + 1) for _ in range(count)]
         kind = "batch" if tag == BATCH_TAG else "batch_result"
         return _doc(kind, {"items": items})
+    if tag == PACKED_DOC_TAG:
+        doc = _unpack_value(r, 1)
+        if not isinstance(doc, dict):
+            raise ValidationFailed(
+                f"bin1 packed body must encode an object, "
+                f"got {type(doc).__name__}"
+            )
+        return doc
     if tag == ERROR_TAG:
         code = r.take_str()
         message = r.take_str()
@@ -633,3 +643,237 @@ def decode_stream_result(payload) -> BatchResult:
         append(StreamItemResult(seq, item))
     r.done()
     return BatchResult(items)
+
+
+# --------------------------------------------------------------------- #
+# packed documents                                                       #
+# --------------------------------------------------------------------- #
+#
+# PACKED_DOC_TAG carries one whole document as a self-describing value
+# tree instead of GENERIC_TAG's embedded JSON text. Same data model as
+# JSON — null/bool/int/float/str/list/object, nothing more — so the
+# decoded document is exactly what a json.loads round trip would have
+# produced and the codec stays invisible to backends. The layout wins
+# where JSON loses: full-precision floats travel as 8 raw bytes instead
+# of ~18 decimal chars (and a homogeneous float list as one contiguous
+# block), ints as zigzag varints, lengths as varints. Floats whose
+# shortest repr is already short (0.5, 2.0 — ledger epsilons) keep the
+# text form so the binary layout never pays for what JSON got free.
+# Checkpoint snapshots — reservoir samples, obfuscated locations,
+# ledger balances — are mostly full-precision floats, which is why the
+# mesh asks for this layout on its snapshot/load frames.
+
+_MAX_VALUE_DEPTH = 64  # value trees (HSTs nest by tree depth) vs doc tags
+
+_P_NULL = 0x00
+_P_FALSE = 0x01
+_P_TRUE = 0x02
+_P_INT = 0x03  # zigzag LEB128, i64 range
+_P_BIGINT = 0x04  # varint length + decimal text (RNG states are u128s)
+_P_F64 = 0x05  # 8 raw big-endian bytes
+_P_STR = 0x06  # varint length + utf-8
+_P_LIST = 0x07
+_P_DICT = 0x08
+_P_F64S = 0x09  # homogeneous float list: one contiguous f64 block
+_P_FSHORT = 0x0A  # u8 length + shortest-repr text (short decimals)
+
+#: repr() lengths up to this travel as text; beyond it raw f64 is
+#: smaller. float(repr(v)) == v exactly (shortest-repr guarantee), so
+#: the two float forms decode to the same value and only size differs.
+_FSHORT_MAX = 8
+
+
+def _pack_varint(n: int, out: bytearray) -> None:
+    while True:
+        b = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return
+
+
+def _pack_value(v, out: bytearray, depth: int) -> bool:
+    """Append one packed value; False -> the document doesn't fit the
+    JSON data model (the caller falls back to another layout)."""
+    if depth > _MAX_VALUE_DEPTH:
+        return False
+    if v is None:
+        out.append(_P_NULL)
+        return True
+    t = type(v)
+    if t is bool:
+        out.append(_P_TRUE if v else _P_FALSE)
+        return True
+    if t is int:
+        if _I64_MIN <= v <= _I64_MAX:
+            out.append(_P_INT)
+            _pack_varint((v << 1) ^ (v >> 63), out)
+        else:
+            raw = str(v).encode("ascii")
+            out.append(_P_BIGINT)
+            _pack_varint(len(raw), out)
+            out += raw
+        return True
+    if t is float:
+        raw = repr(v)
+        if len(raw) <= _FSHORT_MAX:
+            out.append(_P_FSHORT)
+            out.append(len(raw))
+            out += raw.encode("ascii")
+        else:
+            out.append(_P_F64)
+            out += _F64.pack(v)
+        return True
+    if t is str:
+        raw = v.encode("utf-8")
+        out.append(_P_STR)
+        _pack_varint(len(raw), out)
+        out += raw
+        return True
+    if t is list or t is tuple:  # json widens tuples to arrays
+        if len(v) >= 4 and all(type(x) is float for x in v):
+            # one contiguous block iff it beats per-element encoding
+            # (min(...) is each element's FSHORT-or-F64 cost)
+            per_elem = sum(min(9, 2 + len(repr(x))) for x in v)
+            if _F64.size * len(v) <= per_elem:
+                out.append(_P_F64S)
+                _pack_varint(len(v), out)
+                out += struct.pack(f">{len(v)}d", *v)
+                return True
+        out.append(_P_LIST)
+        _pack_varint(len(v), out)
+        return all(_pack_value(x, out, depth + 1) for x in v)
+    if t is dict:
+        out.append(_P_DICT)
+        _pack_varint(len(v), out)
+        for key, val in v.items():
+            # json coerces non-str keys to text; don't replicate that
+            # lossy rule here, let the GENERIC fallback own it
+            if type(key) is not str:
+                return False
+            raw = key.encode("utf-8")
+            _pack_varint(len(raw), out)
+            out += raw
+            if not _pack_value(val, out, depth + 1):
+                return False
+        return True
+    return False
+
+
+def encode_packed(doc) -> bytes | None:
+    """One document -> a PACKED_DOC_TAG payload, or ``None`` when any
+    value falls outside the JSON data model (caller picks another
+    layout — this encoder never raises on shape)."""
+    if not isinstance(doc, dict):
+        return None
+    out = bytearray()
+    out += _PREFIX.pack(BIN1_MAGIC, BIN1_WIRE_VERSION, PACKED_DOC_TAG)
+    if not _pack_value(doc, out, 1):
+        return None
+    return bytes(out)
+
+
+def _unpack_varint(r: _Reader) -> int:
+    shift = 0
+    n = 0
+    view = r.view
+    while True:
+        start = r.need(1)
+        b = view[start]
+        n |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return n
+        shift += 7
+        if shift > 70:
+            raise ValidationFailed(
+                "bin1 packed varint runs past 10 bytes"
+            )
+
+
+def _take_pstr(r: _Reader) -> str:
+    n = _unpack_varint(r)
+    if n > r.end - r.pos:
+        raise ValidationFailed(
+            f"bin1 packed string length {n} exceeds the "
+            f"{r.end - r.pos} payload bytes that remain"
+        )
+    start = r.need(n)
+    try:
+        return str(r.view[start : start + n], "utf-8")
+    except UnicodeDecodeError as exc:
+        raise ValidationFailed(
+            f"bin1 string field is not valid UTF-8: {exc}"
+        ) from exc
+
+
+def _unpack_value(r: _Reader, depth: int):
+    if depth > _MAX_VALUE_DEPTH:
+        raise ValidationFailed(
+            f"bin1 packed value nests deeper than {_MAX_VALUE_DEPTH} levels"
+        )
+    start = r.need(1)
+    t = r.view[start]
+    if t == _P_NULL:
+        return None
+    if t == _P_FALSE:
+        return False
+    if t == _P_TRUE:
+        return True
+    if t == _P_INT:
+        z = _unpack_varint(r)
+        return (z >> 1) ^ -(z & 1)
+    if t == _P_BIGINT:
+        raw = _take_pstr(r)
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ValidationFailed(
+                f"bin1 packed bigint is not decimal text: {raw[:40]!r}"
+            ) from exc
+    if t == _P_F64:
+        (v,) = r.unpack(_F64)
+        return v
+    if t == _P_FSHORT:
+        start = r.need(1)
+        n = r.view[start]
+        start = r.need(n)
+        try:
+            return float(str(r.view[start : start + n], "ascii"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ValidationFailed(
+                f"bin1 packed short float is not decimal text: {exc}"
+            ) from exc
+    if t == _P_STR:
+        return _take_pstr(r)
+    if t == _P_F64S:
+        count = _unpack_varint(r)
+        if count > (r.end - r.pos) // _F64.size:
+            raise ValidationFailed(
+                f"bin1 packed float-array count {count} exceeds the "
+                f"{r.end - r.pos} payload bytes that remain"
+            )
+        start = r.need(count * _F64.size)
+        return list(struct.unpack_from(f">{count}d", r.view, start))
+    if t == _P_LIST:
+        count = _unpack_varint(r)
+        if count > (r.end - r.pos):
+            raise ValidationFailed(
+                f"bin1 packed list count {count} exceeds the "
+                f"{r.end - r.pos} payload bytes that remain"
+            )
+        return [_unpack_value(r, depth + 1) for _ in range(count)]
+    if t == _P_DICT:
+        count = _unpack_varint(r)
+        if count > (r.end - r.pos):
+            raise ValidationFailed(
+                f"bin1 packed object count {count} exceeds the "
+                f"{r.end - r.pos} payload bytes that remain"
+            )
+        obj = {}
+        for _ in range(count):
+            key = _take_pstr(r)
+            obj[key] = _unpack_value(r, depth + 1)
+        return obj
+    raise ValidationFailed(f"unknown bin1 packed value type {t:#04x}")

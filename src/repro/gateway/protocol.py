@@ -65,6 +65,7 @@ __all__ = [
     "ENVELOPE_TAG",
     "STREAM_BATCH_TAG",
     "STREAM_RESULT_TAG",
+    "PACKED_DOC_TAG",
     "WORKER_REGISTERED_TAG",
     "TASK_DECISION_TAG",
     "FLUSHED_TAG",
@@ -172,6 +173,14 @@ ERROR_TAG = 0x17
 #: direction: a batch_result of envelope_results wrapping
 #: worker_registered / task_decision rows.
 STREAM_RESULT_TAG = 0x18
+#: Whole document as a self-describing packed value tree (varint ints,
+#: raw f64s, homogeneous f64 arrays) instead of embedded JSON text.
+#: Carries exactly the JSON data model, so it is a drop-in replacement
+#: for :data:`GENERIC_TAG` on big numeric documents — checkpoint
+#: snapshots and delta chains — where decimal text dominates the frame.
+#: Produced only on request (``encode_frame(..., packed=True)``); every
+#: bin1 decoder accepts it.
+PACKED_DOC_TAG = 0x19
 
 #: Frame header: one big-endian u32 payload length.
 HEADER = struct.Struct(">I")
@@ -200,20 +209,28 @@ def encode_frame(
     *,
     max_frame_bytes: int = MAX_FRAME_BYTES,
     codec: str = JSON_CODEC,
+    packed: bool = False,
 ) -> bytes:
     """Serialize one document to a length-prefixed frame.
 
     ``codec`` is the *session's* negotiated codec; handshake frames are
-    sent before negotiation and always travel as json. The outbound
+    sent before negotiation and always travel as json. ``packed`` asks a
+    bin1 session to try the :data:`PACKED_DOC_TAG` value-tree layout
+    first — the win for numeric-heavy documents like checkpoint
+    snapshots — falling back to the ordinary encoding when the document
+    does not fit the JSON data model exactly (and doing nothing at all
+    on json sessions, where the request is meaningless). The outbound
     frame ceiling is enforced here exactly like the inbound one
     (:func:`check_frame_length`), so an oversize response surfaces as a
     structured :class:`~repro.api.errors.ValidationFailed` the caller
     can answer with — never as a silently-violated protocol invariant.
     """
     if codec == BIN1_CODEC:
-        from .codec import encode_bin1
+        from .codec import encode_bin1, encode_packed
 
-        payload = encode_bin1(doc)
+        payload = encode_packed(doc) if packed else None
+        if payload is None:
+            payload = encode_bin1(doc)
     elif codec == JSON_CODEC:
         payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
     else:

@@ -69,6 +69,10 @@ class LintConfig:
     )
     #: RL403: the one module allowed to declare feature-bit constants.
     feature_registry: str = "repro.gateway.protocol"
+    #: RL404: the one module allowed to declare checkpoint snapshot
+    #: format/version constants (``SNAPSHOT_*``,
+    #: ``SUPPORTED_SNAPSHOT_VERSIONS``).
+    snapshot_registry: str = "repro.cluster.snapshot"
     permissive: bool = False
 
     def scoped(self, module: str, prefixes: tuple[str, ...] | None) -> bool:

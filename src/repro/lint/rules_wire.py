@@ -18,6 +18,10 @@ RL403    a ``*_FEATURE`` / ``*_ROLE`` / ``*_CODEC`` / ``*_TAG`` /
          ``BIN1_*`` wire constant declared outside the feature registry
          module — two declarations of one feature bit, codec name or
          binary frame tag is how version-negotiation splits brains
+RL404    a ``SNAPSHOT_*`` / ``SUPPORTED_SNAPSHOT_VERSIONS`` checkpoint
+         format constant declared outside the snapshot registry module
+         — a second snapshot version constant is how one runtime writes
+         documents another half of it refuses to restore
 =======  ==============================================================
 """
 
@@ -37,6 +41,10 @@ _FEATURE_CONST = re.compile(
     r"^([A-Z][A-Z0-9_]*_(FEATURE|ROLE|CODEC|TAG)|BIN1_[A-Z0-9_]+)$"
 )
 
+_SNAPSHOT_CONST = re.compile(
+    r"^(SNAPSHOT_[A-Z0-9_]+|SUPPORTED_SNAPSHOT_VERSIONS)$"
+)
+
 _UNANALYZABLE = object()
 
 
@@ -52,6 +60,14 @@ def _wire_const(node: ast.expr) -> bool:
         and isinstance(node.value, (str, int))
         and not isinstance(node.value, bool)
     )
+
+
+def _snapshot_const(node: ast.expr) -> bool:
+    """True for the literals snapshot constants are made of: a str or
+    int, or a tuple of them (``SUPPORTED_SNAPSHOT_VERSIONS``)."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return all(_wire_const(el) for el in node.elts)
+    return _wire_const(node)
 
 
 def _produced_keys(func: ast.FunctionDef):
@@ -180,13 +196,15 @@ def check(mod: ParsedModule, config: LintConfig) -> list:
             findings.extend(_scan_scope(mod, node.name, node.body))
 
     in_repro = config.permissive or mod.module.startswith("repro")
-    if in_repro and mod.module != config.feature_registry:
+    if in_repro:
         for node in mod.tree.body:
             if not isinstance(node, ast.Assign):
                 continue
             for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
                 if (
-                    isinstance(target, ast.Name)
+                    mod.module != config.feature_registry
                     and _FEATURE_CONST.match(target.id)
                     and _wire_const(node.value)
                 ):
@@ -198,6 +216,22 @@ def check(mod: ParsedModule, config: LintConfig) -> list:
                             f"outside the registry "
                             f"({config.feature_registry}); import it from "
                             "there so negotiation has one source of truth",
+                        )
+                    )
+                elif (
+                    mod.module != config.snapshot_registry
+                    and _SNAPSHOT_CONST.match(target.id)
+                    and _snapshot_const(node.value)
+                ):
+                    findings.append(
+                        mod.finding(
+                            "RL404",
+                            node,
+                            f"snapshot format constant {target.id} "
+                            f"declared outside the registry "
+                            f"({config.snapshot_registry}); import it from "
+                            "there so every runtime writes and restores "
+                            "one checkpoint format",
                         )
                     )
     return findings

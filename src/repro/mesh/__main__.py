@@ -125,7 +125,56 @@ def _run_smoke(args) -> int:
     for problem in fail_problems:
         print(f"  - {problem}", file=sys.stderr)
 
-    if problems or mixed_problems or trace_problems or fail_problems:
+    delta_problems: list[str] = []
+    if args.delta_failover:
+        # delta-failover leg: checkpoint often enough that the kill
+        # lands mid-chain — recovery must restore shards by composing a
+        # base plus deltas (asserted via the chain telemetry), and the
+        # answers must still be bit-identical to the serial engine
+        stats: dict = {}
+        delta_run, delta_failovers = run_mesh_failover(
+            spec,
+            requests,
+            n_peers=2,
+            spawn="cli",
+            chunk_size=17,
+            checkpoint_every=24,
+            rebase_every=8,
+            kill_after=(len(requests) * 3) // 4,
+            window=16,
+            worker_codecs=("bin1", "json"),
+            stats=stats,
+        )
+        delta_problems = check_parity([reference, delta_run])
+        if delta_failovers < 1:
+            delta_problems.append(
+                "killed worker was never detected (failovers == 0)"
+            )
+        if stats.get("delta_checkpoints", 0) < 1:
+            delta_problems.append(
+                "no delta checkpoint was ever taken — the leg never "
+                f"exercised chain restore (stats: {stats})"
+            )
+        print(
+            f"[repro.mesh smoke] delta-failover leg: "
+            f"{delta_failovers} failover(s), "
+            f"{stats.get('delta_checkpoints', 0)} delta / "
+            f"{stats.get('base_checkpoints', 0)} base checkpoints, "
+            f"max chain {stats.get('max_chain_len', 0)}, "
+            f"{stats.get('compacted_ops', 0)} journal ops compacted, "
+            f"{'OK' if not delta_problems else 'FAILED'}",
+            file=sys.stderr,
+        )
+        for problem in delta_problems:
+            print(f"  - {problem}", file=sys.stderr)
+
+    if (
+        problems
+        or mixed_problems
+        or trace_problems
+        or fail_problems
+        or delta_problems
+    ):
         print("[repro.mesh smoke] FAILED", file=sys.stderr)
         return 1
     print("[repro.mesh smoke] OK", file=sys.stderr)
@@ -231,6 +280,15 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds to keep retrying the initial TCP connect",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--delta-failover",
+        action="store_true",
+        help=(
+            "with --smoke: add a SIGKILL-mid-chain leg with frequent "
+            "checkpoints; recovery must compose base+delta chains and "
+            "stay bit-identical"
+        ),
+    )
     parser.add_argument(
         "--trace",
         metavar="PATH",

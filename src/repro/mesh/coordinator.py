@@ -199,8 +199,12 @@ class MeshPeer:
     # calls                                                               #
     # ------------------------------------------------------------------ #
 
-    def call(self, op: str, body: dict) -> dict:
-        """Send one op, block for its reply; the reply body on success."""
+    def call(self, op: str, body: dict, *, packed: bool = False) -> dict:
+        """Send one op, block for its reply; the reply body on success.
+
+        ``packed`` asks a bin1 session for the PACKED_DOC_TAG layout —
+        used for snapshot-carrying ops, where the body is mostly floats.
+        """
         with self._lock:
             if self.dead:
                 raise PeerLost(self.name)
@@ -212,7 +216,9 @@ class MeshPeer:
             self.outstanding += 1
             self.depth.record(float(self.outstanding))
         try:
-            frame = encode_frame(op_doc(op, seq, body), codec=self.codec)
+            frame = encode_frame(
+                op_doc(op, seq, body), codec=self.codec, packed=packed
+            )
             try:
                 with self._wlock:
                     self.sock.sendall(frame)
@@ -279,6 +285,11 @@ class MeshCoordinator:
         Dispatch batch size and the period (in events) of automatic
         snapshot barriers; ``0`` disables periodic checkpoints (failover
         then replays from stream start).
+    rebase_every:
+        Delta-chain length cap. Once a shard's last base checkpoint has
+        this many deltas chained onto it, the next barrier requests a
+        fresh base (rebase) instead of another delta; ``0`` makes every
+        barrier a full snapshot.
     host, port:
         Listen address; port ``0`` picks a free port (see ``address``).
     dispatch_workers:
@@ -297,6 +308,7 @@ class MeshCoordinator:
         batch_size: int = 256,
         chunk_size: int = 256,
         checkpoint_every: int = 8192,
+        rebase_every: int = 8,
         seed: int = 0,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -312,6 +324,8 @@ class MeshCoordinator:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0 (0 disables)")
+        if rebase_every < 0:
+            raise ValueError("rebase_every must be >= 0 (0 = always full)")
         from ..service.sharding import ShardMap
 
         self.shard_map = ShardMap(region, *shards)
@@ -323,6 +337,7 @@ class MeshCoordinator:
         self.batch_size = batch_size
         self.chunk_size = chunk_size
         self.checkpoint_every = checkpoint_every
+        self.rebase_every = int(rebase_every)
         self.seed = (
             int(ensure_rng(seed).integers(2**31))
             if not isinstance(seed, int)
@@ -344,7 +359,9 @@ class MeshCoordinator:
         self.ownership: dict[int, str] = {}  # guarded-by: _state, _wake
         self._installed: dict[int, bool] = {}  # guarded-by: _state, _wake
         self._specs: dict[str, dict] = {}  # guarded-by: _state, _wake
-        self._checkpoints: dict[str, dict] = {}  # guarded-by: _state, _wake
+        #: key -> [base doc, delta doc, ...] chain (see cluster.snapshot)
+        self._checkpoints: dict[str, list[dict]] = {}  # guarded-by: _state, _wake
+        self._ckpt_seq = 0  # guarded-by: _state, _wake
         self._results: dict[int, int | None] = {}  # guarded-by: _state, _wake
         self._peers: dict[str, MeshPeer] = {}  # guarded-by: _state, _wake
         self._join_order: list[str] = []  # guarded-by: _state, _wake
@@ -375,6 +392,15 @@ class MeshCoordinator:
         )
         self._checkpoint_s = self.registry.adopt_histogram(
             "mesh.checkpoint.seconds", SampleReservoir()
+        )
+        self._delta_bytes = self.registry.adopt_histogram(
+            "mesh.checkpoint.delta_bytes", SampleReservoir()
+        )
+        self.registry.gauge_fn(
+            "mesh.checkpoint.chain_len",
+            lambda: max(
+                (len(c) for c in self._checkpoints.values()), default=0
+            ),
         )
         self.registry.gauge_fn(
             "runtime.scheduler.key_depth", self._scheduler.key_depths
@@ -797,12 +823,16 @@ class MeshCoordinator:
             if self._installed.get(fam) and self.ownership[fam] == peer.name:
                 return
             plan = [
-                (key, self._checkpoints.get(key))
+                (key, list(self._checkpoints[key]))
+                if key in self._checkpoints
+                else (key, None)
                 for key in self.router.family_keys(fam)
             ]
-        for key, snap in plan:
-            if snap is not None:
-                peer.call("load", {"key": key, "snapshot": snap})
+        for key, chain in plan:
+            if chain is not None:
+                peer.call(
+                    "load", {"key": key, "snapshots": chain}, packed=True
+                )
             else:
                 peer.call("create", {"key": key, "spec": self._specs[key]})
         with self._state:
@@ -836,6 +866,54 @@ class MeshCoordinator:
             except PeerLost as lost:
                 self._handle_peer_loss(lost.peer)
 
+    def _checkpoint_reqs(self) -> dict[str, dict]:  # guarded-by: _state
+        """Per-key snapshot request bodies for one barrier attempt.
+
+        The caller holds ``_state`` (ids are drawn from ``_ckpt_seq``).
+        A key with a bounded chain gets a delta request against its tip;
+        a key past ``rebase_every`` (or with no chain yet) gets a base.
+        Each retry attempt draws *fresh* checkpoint ids — a worker that
+        already answered the aborted attempt keeps its parent cursor, so
+        re-asking the same parent with a new id is always answerable.
+        """
+        reqs: dict[str, dict] = {}
+        for key in self.router.keys():
+            self._ckpt_seq += 1
+            chain = self._checkpoints.get(key)
+            if chain and len(chain) <= self.rebase_every:
+                reqs[key] = {
+                    "mode": "delta",
+                    "checkpoint": self._ckpt_seq,
+                    "parent": chain[-1]["checkpoint"],
+                }
+            else:
+                reqs[key] = {"mode": "base", "checkpoint": self._ckpt_seq}
+        return reqs
+
+    def _absorb_snapshot(self, key: str, doc: dict) -> None:  # guarded-by: _state
+        """Chain one barrier reply; the caller holds ``_state``.
+
+        A delta appends to the chain (its parent must equal the tip — a
+        mismatch means lineage diverged and restoring would be silently
+        wrong, so fail loud); a base rebases the chain to itself. The
+        worker may answer a delta request with a base (e.g. it lost the
+        parent cursor); that is just an early rebase.
+        """
+        size = float(len(json.dumps(doc, separators=(",", ":"))))
+        chain = self._checkpoints.get(key)
+        if doc.get("kind") == "delta":
+            if not chain or chain[-1].get("checkpoint") != doc.get("parent"):
+                raise MeshError(
+                    f"checkpoint lineage diverged for shard {key!r}"
+                )
+            chain.append(doc)
+            self._delta_bytes.record(size)
+        else:
+            if chain is not None:
+                self.registry.counter("mesh.checkpoint.rebase_total")
+            self._checkpoints[key] = [doc]
+            self._snapshot_bytes.record(size)
+
     def _checkpoint_job(self) -> None:
         t0 = time.perf_counter()
         with self._state:
@@ -845,10 +923,12 @@ class MeshCoordinator:
             snaps: dict[str, dict] = {}
             try:
                 self._settle(marks)
+                with self._state:
+                    reqs = self._checkpoint_reqs()
                 for key in self.router.keys():
                     with self._state:
                         peer = self._peers[self.ownership[family_of(key)]]
-                    reply = peer.call("snapshot", {"key": key})
+                    reply = peer.call("snapshot", {"key": key, **reqs[key]})
                     snap = reply.get("snapshot")
                     if not isinstance(snap, dict):
                         raise MeshError(
@@ -866,12 +946,11 @@ class MeshCoordinator:
                 self._handle_peer_loss(lost.peer)
         with self._state:
             for key, snap in snaps.items():
-                self._checkpoints[key] = snap
-                self._snapshot_bytes.record(
-                    float(len(json.dumps(snap, separators=(",", ":"))))
-                )
-            for fam, upto in marks.items():
-                self._journal.truncate(fam, upto)
+                self._absorb_snapshot(key, snap)
+            stats = self._journal.compact(marks)
+        self.registry.counter(
+            "mesh.journal.compacted_ops", stats["dropped"]
+        )
         self._checkpoint_s.record(time.perf_counter() - t0)
 
     def _report_job(self, flush: bool) -> dict[str, dict]:

@@ -21,15 +21,28 @@ op             body                        reply body
 =============  ==========================  ===============================
 ``configure``  ``batch_size``              ``{}``
 ``create``     ``key``, ``spec``           ``{"key": ...}``
-``load``       ``key``, ``snapshot``       ``{"key": ...}``
+``load``       ``key``, ``snapshots``      ``{"key": ...}``
+               (chain) *or* ``snapshot``
+               (one base doc)
 ``drop``       ``key``                     ``{"key": ...}``
 ``events``     ``ops``                     ``{"results": [[tid,wid,key]]}``
-``snapshot``   ``key``                     ``{"key": ..., "snapshot": ...}``
+``snapshot``   ``key`` [, ``mode``,        ``{"key": ..., "snapshot": ...}``
+               ``checkpoint``,
+               ``parent``]
 ``flush``      —                           ``{}``
 ``report``     —                           ``{"report": {key: row}}``
 ``ping``       —                           ``{}``
 ``crash``      —                           *process exits* (tests)
 =============  ==========================  ===============================
+
+The ``snapshot`` extras are the delta-checkpoint protocol: ``mode``
+``"delta"`` asks for only the cells changed since ``parent`` (the
+worker falls back to a base document when it no longer has that
+cursor), and ``checkpoint`` is the id the produced document carries so
+later deltas can chain onto it. Old coordinators that omit the extras
+get plain base snapshots; old workers that ignore them answer bases the
+coordinator absorbs as rebases — the fields are additive, not a wire
+version bump.
 
 Every op carries a ``seq`` the worker echoes in its reply, so a
 coordinator may keep several ops in flight per peer (different shard

@@ -189,7 +189,10 @@ def serve_connection(
                 host.create(str(body["key"]), body["spec"])
                 out = {"key": body["key"]}
             elif op == "load":
-                host.load(str(body["key"]), body["snapshot"])
+                # "snapshots" carries a base+delta chain; "snapshot" the
+                # single-document form older coordinators send
+                docs = body.get("snapshots", body.get("snapshot"))
+                host.load(str(body["key"]), docs)
                 out = {"key": body["key"]}
             elif op == "drop":
                 host.drop(str(body["key"]))
@@ -220,7 +223,15 @@ def serve_connection(
                         )
                     ]
             elif op == "snapshot":
-                out = {"key": body["key"], "snapshot": host.snapshot(str(body["key"]))}
+                out = {
+                    "key": body["key"],
+                    "snapshot": host.snapshot(
+                        str(body["key"]),
+                        mode=str(body.get("mode", "base")),
+                        checkpoint=body.get("checkpoint"),
+                        parent=body.get("parent"),
+                    ),
+                }
             elif op == "flush":
                 host.flush()
                 out = {}
@@ -245,7 +256,12 @@ def serve_connection(
             except OSError:
                 pass
             return
-        sock.sendall(encode_frame(reply_doc(seq, out), codec=codec))
+        # snapshot replies are float-heavy; bin1 sessions pack them
+        sock.sendall(
+            encode_frame(
+                reply_doc(seq, out), codec=codec, packed=op == "snapshot"
+            )
+        )
 
 
 def run_worker(

@@ -210,6 +210,48 @@ class PrivacyBudgetLedger:
     # serialization                                                       #
     # ------------------------------------------------------------------ #
 
+    def history_len(self) -> int:
+        """Checkpoint cursor: number of spends recorded so far."""
+        return self._n_hist
+
+    def export_delta(self, start: int) -> list:
+        """Spends recorded since cursor ``start``, as ``[principal, eps]``.
+
+        The history is append-only, so a suffix plus the parent
+        checkpoint's balances reproduces the current ledger bit-for-bit:
+        balances are ordered float sums of the history, and replaying the
+        suffix performs the exact additions the live ledger performed.
+        """
+        return [
+            [self._principals[self._hist_rows[i]], float(self._hist_eps[i])]
+            for i in range(int(start), self._n_hist)
+        ]
+
+    @staticmethod
+    def compose_dict(base: dict, suffix: list) -> dict:
+        """Fold an :meth:`export_delta` suffix into a :meth:`to_dict`
+        payload, returning the child checkpoint's :meth:`to_dict` form.
+
+        Balances are advanced by replaying the suffix in order — the same
+        IEEE additions the live ledger applied — so the composed ``spent``
+        floats are bit-identical to a full export at the child.
+        """
+        spent = [[p, float(balance)] for p, balance in base["spent"]]
+        rows = {p: i for i, (p, _) in enumerate(spent)}
+        for principal, epsilon in suffix:
+            row = rows.get(principal)
+            if row is None:
+                rows[principal] = len(spent)
+                spent.append([principal, float(epsilon)])
+            else:
+                spent[row][1] += float(epsilon)
+        return {
+            "capacity": base["capacity"],
+            "spent": spent,
+            "history": [list(entry) for entry in base["history"]]
+            + [[p, float(e)] for p, e in suffix],
+        }
+
     def to_dict(self) -> dict:
         """JSON-ready export of the full ledger (audits, shard snapshots).
 

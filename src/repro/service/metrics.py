@@ -50,9 +50,16 @@ class SampleReservoir:
     a shared RNG: the state is one integer, trivially serialized, and a
     restored reservoir replays the same replacement decisions — the
     property the cluster's bit-exact snapshot/replay guarantee needs.
+
+    Delta checkpoints lean on the write pattern: below capacity the value
+    list is append-only, and past capacity the only mutations are rare
+    in-place victim replacements (probability ``capacity/count`` each).
+    Replacements bump a generation counter per slot, so a delta export is
+    the appended suffix plus the handful of overwritten slots — the
+    append-only hot path pays nothing for the bookkeeping.
     """
 
-    __slots__ = ("capacity", "count", "total", "values", "_state")
+    __slots__ = ("capacity", "count", "total", "values", "_state", "_gen", "_mutseq")
 
     _MASK = (1 << 64) - 1
 
@@ -64,6 +71,8 @@ class SampleReservoir:
         self.total = 0.0
         self.values: list[float] = []
         self._state = int(seed) & self._MASK
+        self._gen: dict[int, int] = {}  # slot -> mutation seq of last overwrite
+        self._mutseq = 0
 
     def _next_rand(self) -> int:
         # splitmix64: full-period, one-int state, good enough for sampling
@@ -84,6 +93,8 @@ class SampleReservoir:
         slot = self._next_rand() % self.count
         if slot < self.capacity:
             self.values[slot] = value
+            self._mutseq += 1
+            self._gen[slot] = self._mutseq
 
     def extend(self, values) -> None:
         for value in values:
@@ -129,6 +140,54 @@ class SampleReservoir:
             "total": float(self.total),
             "values": [float(v) for v in self.values],
             "state": self._state,
+        }
+
+    def cursor(self) -> dict:
+        """Pure-value checkpoint cursor: enough to export a delta later.
+
+        ``len`` is the clean prefix length (everything before it was
+        already captured by the parent checkpoint unless overwritten) and
+        ``mut`` is the mutation sequence at cursor time — slots whose
+        generation exceeds it were overwritten inside the delta window.
+        """
+        return {"len": len(self.values), "mut": self._mutseq}
+
+    def export_delta(self, cursor: dict) -> dict:
+        """Changes since ``cursor`` (non-destructive; absolute aggregates).
+
+        ``appended`` carries the value suffix past the cursor's clean
+        length; ``set`` carries ``[slot, value]`` overwrites of slots the
+        parent already held. Together with the parent's value list they
+        reproduce the current list bit-for-bit.
+        """
+        clean_len = int(cursor["len"])
+        clean_mut = int(cursor["mut"])
+        return {
+            "count": self.count,
+            "total": float(self.total),
+            "state": self._state,
+            "appended": [float(v) for v in self.values[clean_len:]],
+            "set": [
+                [slot, float(self.values[slot])]
+                for slot, gen in sorted(self._gen.items())
+                if gen > clean_mut and slot < clean_len
+            ],
+        }
+
+    @staticmethod
+    def compose_dict(base: dict, delta: dict) -> dict:
+        """Fold an :meth:`export_delta` payload into a :meth:`to_dict`
+        payload, returning the child checkpoint's :meth:`to_dict` form."""
+        values = [float(v) for v in base["values"]]
+        values.extend(float(v) for v in delta["appended"])
+        for slot, value in delta["set"]:
+            values[int(slot)] = float(value)
+        return {
+            "capacity": base["capacity"],
+            "count": int(delta["count"]),
+            "total": float(delta["total"]),
+            "values": values,
+            "state": int(delta["state"]),
         }
 
     @classmethod
@@ -261,6 +320,45 @@ class ShardMetrics:
             latencies_s=SampleReservoir.from_dict(payload["latencies_s"]),
             reported_distances=SampleReservoir.from_dict(payload["reported_distances"]),
         )
+
+    def cursor(self) -> dict:
+        """Pure-value checkpoint cursor for delta export."""
+        return {
+            "latencies_s": self.latencies_s.cursor(),
+            "reported_distances": self.reported_distances.cursor(),
+        }
+
+    def export_delta(self, cursor: dict) -> dict:
+        """Changes since ``cursor``. Counters are tiny, so they travel as
+        absolute values; only the reservoirs get true deltas."""
+        return {
+            "workers_registered": self.workers_registered,
+            "cohorts_flushed": self.cohorts_flushed,
+            "tasks_assigned": self.tasks_assigned,
+            "tasks_unassigned": self.tasks_unassigned,
+            "latencies_s": self.latencies_s.export_delta(cursor["latencies_s"]),
+            "reported_distances": self.reported_distances.export_delta(
+                cursor["reported_distances"]
+            ),
+        }
+
+    @staticmethod
+    def compose_dict(base: dict, delta: dict) -> dict:
+        """Fold an :meth:`export_delta` payload into a :meth:`to_dict`
+        payload, returning the child checkpoint's :meth:`to_dict` form."""
+        return {
+            "shard_id": base["shard_id"],
+            "workers_registered": int(delta["workers_registered"]),
+            "cohorts_flushed": int(delta["cohorts_flushed"]),
+            "tasks_assigned": int(delta["tasks_assigned"]),
+            "tasks_unassigned": int(delta["tasks_unassigned"]),
+            "latencies_s": SampleReservoir.compose_dict(
+                base["latencies_s"], delta["latencies_s"]
+            ),
+            "reported_distances": SampleReservoir.compose_dict(
+                base["reported_distances"], delta["reported_distances"]
+            ),
+        }
 
     def snapshot(self, *, epsilon: float, ledger) -> "ShardSnapshot":
         """Freeze the recorder, folding in the shard's budget ledger."""

@@ -199,6 +199,55 @@ class ShardServer:
             "rng_state": self._rng.bit_generator.state,
         }
 
+    def checkpoint_cursor(self) -> dict:
+        """Pure-value cursor marking this shard's position for delta export.
+
+        Captures only counts and tiny value markers (no object
+        references), so a coordinator can hold cursors for checkpoints
+        that are long gone and a worker can answer "what changed since
+        checkpoint N" without having retained checkpoint N itself.
+        """
+        return {
+            "ledger_hist": self.ledger.history_len(),
+            "server": self.server.cursor(),
+            "metrics": self.metrics.cursor(),
+        }
+
+    def export_delta(self, cursor: dict) -> dict:
+        """Changes since ``cursor`` — the delta half of a v3 snapshot.
+
+        Everything mutable on the serving path is append-only or
+        dirty-tracked (ledger history, registrations, assignments,
+        consumed matcher slots, reservoir suffixes), so the export is
+        O(changes), not O(shard). The published tree, box and epsilon are
+        immutable and never travel in a delta; the RNG state is a few
+        integers and travels whole.
+        """
+        return {
+            "rng_state": self._rng.bit_generator.state,
+            "ledger": self.ledger.export_delta(cursor["ledger_hist"]),
+            "server": self.server.export_delta(cursor["server"]),
+            "metrics": self.metrics.export_delta(cursor["metrics"]),
+        }
+
+    @staticmethod
+    def compose_state(base: dict, delta: dict) -> dict:
+        """Fold an :meth:`export_delta` payload into an
+        :meth:`export_state` payload, returning the child checkpoint's
+        :meth:`export_state` form bit-identically."""
+        return {
+            "shard_id": base["shard_id"],
+            "box": base["box"],
+            "epsilon": base["epsilon"],
+            "tree": base["tree"],
+            "ledger": PrivacyBudgetLedger.compose_dict(
+                base["ledger"], delta["ledger"]
+            ),
+            "server": MatchingServer.compose_dict(base["server"], delta["server"]),
+            "metrics": ShardMetrics.compose_dict(base["metrics"], delta["metrics"]),
+            "rng_state": delta["rng_state"],
+        }
+
     @classmethod
     def from_state(cls, payload: dict) -> "ShardServer":
         """Reassemble a shard from :meth:`export_state` output.

@@ -395,6 +395,47 @@ class TestWire:
         )
         assert found == []
 
+    def test_rl404_snapshot_version_outside_registry(self):
+        found = lint("SNAPSHOT_VERSION = 4\n", module="repro.mesh.fixture")
+        assert codes(found) == ["RL404"]
+
+    def test_rl404_snapshot_format_outside_registry(self):
+        found = lint(
+            'SNAPSHOT_FORMAT = "my-snapshot"\n', module="repro.service.fixture"
+        )
+        assert codes(found) == ["RL404"]
+
+    def test_rl404_supported_versions_tuple_outside_registry(self):
+        found = lint(
+            "SUPPORTED_SNAPSHOT_VERSIONS = (1, 2, 3)\n",
+            module="repro.mesh.fixture",
+        )
+        assert codes(found) == ["RL404"]
+
+    def test_rl404_near_miss_in_registry(self):
+        found = lint(
+            "SNAPSHOT_VERSION = 3\nSUPPORTED_SNAPSHOT_VERSIONS = (1, 2, 3)\n",
+            module="repro.cluster.snapshot",
+        )
+        assert found == []
+
+    def test_rl404_near_miss_imported_constant(self):
+        found = lint(
+            "from repro.cluster.snapshot import SNAPSHOT_VERSION\n",
+            module="repro.mesh.fixture",
+        )
+        assert found == []
+
+    def test_rl404_near_miss_computed_value_is_not_a_constant(self):
+        # deriving a local view of the registry's tuple is fine; only a
+        # second *literal* declaration splits the format's brain
+        found = lint(
+            "from repro.cluster.snapshot import SUPPORTED_SNAPSHOT_VERSIONS\n"
+            "SNAPSHOT_MAX = max(SUPPORTED_SNAPSHOT_VERSIONS)\n",
+            module="repro.mesh.fixture",
+        )
+        assert found == []
+
 
 # --------------------------------------------------------------------- #
 # pragmas, fingerprints, baseline                                        #
